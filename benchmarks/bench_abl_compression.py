@@ -1,0 +1,78 @@
+"""Ablation 5 — KV-state compression for module storage (paper §5.5/§6).
+
+The paper points at attention-state compression as the answer to Table 2's
+memory bill (2.5 GB per 1K-token module on Llama2-70B). This ablation
+measures the storage/fidelity trade-off of the implemented codecs on real
+module states: bytes stored, round-trip error, and greedy-output agreement
+with uncompressed serving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import emit, format_table
+from repro.cache.compress import CODECS, codec
+from repro.cache.encoder import encode_module
+from repro.cache.engine import PromptCache
+from repro.cache.layout import layout_schema
+from repro.hw.allocator import mb_per_token
+from repro.llm.config import paper_config
+from repro.pml import PLAIN_TEMPLATE, Schema
+
+SCHEMA = (
+    '<schema name="comp"><module name="doc">the quick brown fox jumps over '
+    "the lazy dog . atlantis has capital coral . the misty valley borders "
+    "the ancient gate near zephyria . paris has museum basalt .</module>"
+    "</schema>"
+)
+PROMPT = '<prompt schema="comp"><doc/> answer by completing : atlantis has capital</prompt>'
+
+
+def test_abl_compression(benchmark, small_model, tok):
+    layout = layout_schema(Schema.parse(SCHEMA), tok)
+    kv = encode_module(small_model, layout.module("doc"))
+
+    reference_out = None
+    rows = []
+    for name in sorted(CODECS):
+        c = codec(name)
+        stored = c.encode(kv)
+        nbytes = stored.nbytes() if hasattr(stored, "nbytes") else kv.nbytes()
+        if callable(nbytes):  # ModuleKV.nbytes is a method
+            nbytes = nbytes()
+        decoded = c.decode(stored)
+        err = max(
+            float(np.max(np.abs(a - b)))
+            for a, b in zip(decoded.keys, kv.keys)
+        ) if name != "identity" else 0.0
+
+        pc = PromptCache(small_model, tok, template=PLAIN_TEMPLATE, kv_codec=name)
+        pc.register_schema(SCHEMA)
+        out = pc.serve(PROMPT, max_new_tokens=8).output_ids
+        if name == "identity":
+            reference_out = out
+        rows.append([name, nbytes, round(err, 5), out == reference_out if reference_out else True])
+
+    # Project the savings onto the paper's §5.5 example: a 1K-token module
+    # on Llama2-70B costs 2.5 GB at fp16; int8 halves that again.
+    llama70 = paper_config("llama2-70b")
+    fp16_gb = 1000 * mb_per_token(llama70) / 1024
+    rows.append(["llama2-70b 1K-module fp16 (GB)", round(fp16_gb, 2), "-", "-"])
+    rows.append(["llama2-70b 1K-module int8 (GB)", round(fp16_gb / 2, 2), "-", "-"])
+
+    emit(
+        "abl_compression",
+        format_table(
+            "Ablation 5: KV-state compression codecs",
+            ["codec", "stored_bytes", "max_abs_error", "greedy_output_matches"],
+            rows,
+            note="identity is fp32 in this engine; fp16 = paper's storage "
+            "format; int8 = 4x over fp32 (2x over fp16)",
+        ),
+    )
+    by_name = {r[0]: r for r in rows[:3]}
+    assert by_name["fp16"][1] < 0.6 * by_name["identity"][1]
+    assert by_name["int8"][1] < 0.35 * by_name["identity"][1]
+    assert by_name["fp16"][3] is True  # fp16 never flips greedy here
+    benchmark(codec("int8").encode, kv)

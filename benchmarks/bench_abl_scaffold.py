@@ -1,0 +1,79 @@
+"""Ablation 1 — scaffolding vs independent module encoding (§3.3).
+
+The paper's masking-effect discussion: independent encoding confines
+attention to each module (an approximation that can cut either way);
+scaffolds trade memory for exact full-prefill states. Measured here:
+
+- scaffold serving is *bit-exact* with the baseline;
+- independent encoding diverges in the KV states (deep layers);
+- scaffolds cost extra cache memory (the states are stored twice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import emit, format_table
+from repro.cache.engine import PromptCache
+from repro.cache.storage import CacheKey
+from repro.pml.chat import PLAIN_TEMPLATE
+
+SCHEMA_PLAIN = (
+    '<schema name="dep-plain">'
+    '<module name="setup">the capital of atlantis is coral . </module>'
+    '<module name="followup">the harbor of that same capital city is busy . </module>'
+    "</schema>"
+)
+SCHEMA_SCAFFOLD = SCHEMA_PLAIN.replace(
+    'name="dep-plain">', 'name="dep-scaffold"><scaffold modules="setup,followup"/>'
+)
+
+
+def test_abl_scaffold_quality_vs_memory(benchmark, small_model, tok):
+    pc = PromptCache(small_model, tok, template=PLAIN_TEMPLATE)
+    pc.register_schema(SCHEMA_PLAIN)
+    pc.register_schema(SCHEMA_SCAFFOLD)
+
+    q = " what is the harbor city ?"
+    plain_prompt = f'<prompt schema="dep-plain"><setup/><followup/>{q}</prompt>'
+    scaff_prompt = f'<prompt schema="dep-scaffold"><setup/><followup/>{q}</prompt>'
+
+    plain = pc.serve(plain_prompt, max_new_tokens=8)
+    scaff = pc.serve(scaff_prompt, max_new_tokens=8)
+    baseline = pc.baseline(scaff_prompt, max_new_tokens=8)
+
+    # KV divergence between solo and scaffold encodings of `followup`.
+    solo = pc.store.fetch(CacheKey("dep-scaffold", "followup", "solo")).entry.kv
+    scaffolded = pc.store.fetch(CacheKey("dep-scaffold", "followup", "scaffold0")).entry.kv
+    divergence = float(
+        np.max(np.abs(solo.keys[-1] - scaffolded.keys[-1]))
+    )
+
+    # Memory: the scaffold variant stores a second copy of both modules.
+    plain_bytes = sum(
+        e.nbytes for e in pc.store.gpu.entries.values() if e.key.schema == "dep-plain"
+    )
+    scaff_bytes = sum(
+        e.nbytes for e in pc.store.gpu.entries.values() if e.key.schema == "dep-scaffold"
+    )
+
+    emit(
+        "abl_scaffold",
+        format_table(
+            "Ablation 1: scaffolding vs independent encoding",
+            ["quantity", "value"],
+            [
+                ["scaffold output == baseline", scaff.output_ids == baseline.output_ids],
+                ["independent output == baseline", plain.output_ids == baseline.output_ids],
+                ["max |KV divergence| solo vs scaffold", round(divergence, 4)],
+                ["cache bytes, independent only", plain_bytes],
+                ["cache bytes, with scaffold", scaff_bytes],
+                ["scaffold memory overhead", f"{scaff_bytes / plain_bytes:.1f}x"],
+            ],
+            note="scaffolds buy exactness with ~2x memory on the scaffolded set (§3.3)",
+        ),
+    )
+    assert scaff.output_ids == baseline.output_ids
+    assert divergence > 0
+    assert scaff_bytes >= 2 * plain_bytes * 0.9
+    benchmark(pc.serve, scaff_prompt, max_new_tokens=1)

@@ -1,0 +1,46 @@
+"""Model-validation bench: does the roofline predict the real engine?
+
+The paper-device numbers in Figures 3–5 come from the analytical latency
+model; its credibility rests on the same formulas predicting *this host's*
+measured NumPy prefill once the host is calibrated. This bench calibrates
+(GEMM throughput, copy bandwidth), predicts TTFT across sequence lengths,
+and compares against wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+from repro.bench import emit, format_table
+from repro.hw.calibrate import calibrate_host, predicted_vs_measured
+
+LENGTHS = [256, 512, 1024, 2048]
+
+
+def test_calibration_predicts_engine(benchmark, small_model):
+    calibration = calibrate_host()
+    rows_raw = predicted_vs_measured(small_model, LENGTHS, calibration)
+    rows = [
+        [n, round(1000 * predicted, 1), round(1000 * measured, 1),
+         round(measured / predicted, 2)]
+        for n, predicted, measured in rows_raw
+    ]
+    emit(
+        "calibration",
+        format_table(
+            "Calibration: roofline prediction vs measured prefill (llama-small, this host)",
+            ["tokens", "predicted_ms", "measured_ms", "measured/predicted"],
+            rows,
+            note=f"host: {calibration.matmul_flops / 1e9:.0f} GFLOP/s GEMM, "
+            f"{calibration.copy_bandwidth / 1e9:.1f} GB/s memcpy",
+        ),
+    )
+    # The model must track reality within a modest constant factor at every
+    # length, and capture the quadratic growth trend. (The bound is loose
+    # because micro-benchmarks and the measured run may see different
+    # co-tenant load on a shared machine.)
+    for _, predicted, measured in rows_raw:
+        ratio = measured / predicted
+        assert 0.15 < ratio < 8.0, rows
+    growth_predicted = rows_raw[-1][1] / rows_raw[0][1]
+    growth_measured = rows_raw[-1][2] / rows_raw[0][2]
+    assert 0.3 * growth_measured < growth_predicted < 3 * growth_measured
+    benchmark(measure := (lambda: predicted_vs_measured(small_model, [256], calibration)))

@@ -1,0 +1,91 @@
+"""Figure 4 — CPU TTFT across the eight headline datasets.
+
+Paper result: up to 70x TTFT reduction on the Intel i9-13900K (DDR5) and
+up to 20x on the AMD Ryzen 9 7950X (DDR4); datasets with large uncached
+portions (TriviaQA) gain least.
+
+Two reproductions: (i) the analytical model at paper scale for both CPUs;
+(ii) a *fully measured* run — this host's CPU executing the NumPy engine —
+whose baseline/cached ratio demonstrates the same shape on real hardware.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    dataset_profile,
+    emit,
+    format_table,
+    measure_sample,
+    modeled_ttft,
+    scale_profile,
+)
+from repro.datasets.suite import HEADLINE_DATASETS, build_dataset
+from repro.hw.device import CPU_DEVICES
+from repro.llm.config import paper_config
+
+PAPER_CONTEXT_TOKENS = 5000
+LLAMA7B = paper_config("llama2-7b")
+
+
+def fig4_rows(tok):
+    rows = []
+    for name in HEADLINE_DATASETS:
+        profile = scale_profile(
+            dataset_profile(name, tok, context_words=600), PAPER_CONTEXT_TOKENS
+        )
+        for device in CPU_DEVICES:
+            result = modeled_ttft(profile, LLAMA7B, device, "cpu")
+            rows.append([
+                name, device.name, round(result.baseline_s, 2),
+                round(result.cached_s, 2), f"{result.speedup:.0f}x",
+            ])
+    return rows
+
+
+def test_fig4_cpu_ttft_modeled(benchmark, tok):
+    rows = fig4_rows(tok)
+    emit(
+        "fig4_cpu_ttft",
+        format_table(
+            "Figure 4: CPU TTFT, Llama2-7B @ ~5K tokens (modeled)",
+            ["dataset", "cpu", "baseline_s", "cached_s", "speedup"],
+            rows,
+            note="paper: up to 70x on the Intel i9, up to 20x on the AMD Ryzen",
+        ),
+    )
+    by_device: dict[str, dict[str, float]] = {}
+    for row in rows:
+        by_device.setdefault(row[1], {})[row[0]] = float(row[4].rstrip("x"))
+    intel, amd = by_device["i9-13900k"], by_device["r9-7950x"]
+    # Shape checks: double-digit speedups on both CPUs, Intel well ahead of
+    # AMD (the paper's DDR5-vs-DDR4 bandwidth argument, §5.2.2), TriviaQA
+    # the clear laggard due to its large uncached few-shot portion.
+    assert 25 < max(intel.values()) < 95
+    assert 10 < max(amd.values()) < 32
+    assert max(intel.values()) > 2 * max(amd.values())
+    assert min(intel, key=intel.get) == min(amd, key=amd.get) == "triviaqa"
+    benchmark(fig4_rows, tok)
+
+
+def test_fig4_cpu_ttft_measured(benchmark, pc_small):
+    """Real wall clock on this host: baseline full prefill vs cached serve
+    for one headline dataset sample (scaled-down context)."""
+    sample = build_dataset("2wikimqa", n_samples=1, context_words=700)[0]
+    result = measure_sample(pc_small, sample)
+    emit(
+        "fig4_cpu_ttft_measured",
+        format_table(
+            "Figure 4 (measured on this host): NumPy engine, llama-small",
+            ["dataset", "cached_tokens", "uncached_tokens",
+             "baseline_ms", "cached_ms", "speedup"],
+            [[
+                result.dataset, result.cached_tokens, result.uncached_tokens,
+                round(result.baseline_s * 1000, 1), round(result.cached_s * 1000, 1),
+                f"{result.speedup:.1f}x",
+            ]],
+            note="scaled-down shape; the paper's CPU speedups grow with context",
+        ),
+    )
+    assert result.speedup > 2, "cached serve must beat full prefill on CPU"
+    prompt = sample.prompt_pml()
+    benchmark(pc_small.serve, prompt, max_new_tokens=1)

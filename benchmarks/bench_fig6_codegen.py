@@ -1,0 +1,69 @@
+"""Figure 6 — code generation with source files as prompt modules (§5.6.1).
+
+Paper result: treating each source file (Unit, Map, Game, Player) as a
+prompt module gives ~4x TTFT improvement on GPU with *identical* output
+(CodeLlama-7B). Here: the synthetic game codebase drives the real engine
+(measured identity + speedup on this host) and the device model at
+CodeLlama-7B shape reproduces the ~4x GPU figure.
+"""
+
+from __future__ import annotations
+
+from repro.bench import emit, format_table
+from repro.cache.engine import PromptCache
+from repro.datasets.codegen import game_codebase, module_name_for
+from repro.hw.device import RTX_4090
+from repro.hw.latency import baseline_ttft, cached_ttft
+from repro.llm.config import paper_config
+from repro.pml.chat import PLAIN_TEMPLATE
+
+
+def code_schema() -> str:
+    files = game_codebase(seed=0)
+    modules = "".join(
+        f'<module name="{module_name_for(path)}"><![CDATA[{source}]]></module>'
+        for path, source in files.items()
+    )
+    return f'<schema name="game-code">{modules}</schema>'
+
+
+QUESTION = " write a function that moves every unit one tile north ."
+
+
+def test_fig6_identical_output_and_speedup(benchmark, small_model, tok):
+    pc = PromptCache(small_model, tok, template=PLAIN_TEMPLATE)
+    pc.register_schema(code_schema())
+    imports = "".join(f"<{module_name_for(p)}/>" for p in game_codebase())
+    prompt = f'<prompt schema="game-code">{imports}{QUESTION}</prompt>'
+
+    cached = pc.serve(prompt, max_new_tokens=12)
+    baseline = pc.baseline(prompt, max_new_tokens=12)
+    speedup = baseline.ttft_s / cached.ttft_s
+
+    # Modeled at the paper's CodeLlama-7B shape: ~2K-token codebase context,
+    # ~20-token uncached request, GPU memory.
+    codellama = paper_config("codellama-7b")
+    modeled_base = baseline_ttft(codellama, 2048, RTX_4090).total_s
+    modeled_cached = cached_ttft(codellama, 2048, 24, RTX_4090, "gpu").total_s
+    modeled_speedup = modeled_base / modeled_cached
+
+    emit(
+        "fig6_codegen",
+        format_table(
+            "Figure 6: multi-file code generation (files as modules)",
+            ["quantity", "value"],
+            [
+                ["files cached as modules", len(game_codebase())],
+                ["cached tokens (measured)", cached.cached_tokens],
+                ["uncached tokens (measured)", cached.uncached_tokens],
+                ["measured TTFT speedup (small model, host CPU)", f"{speedup:.1f}x"],
+                ["modeled TTFT speedup (codellama-7b, rtx-4090)", f"{modeled_speedup:.1f}x"],
+                ["output identical to baseline", cached.output_ids == baseline.output_ids],
+            ],
+            note="paper: ~4x TTFT on GPU with identical output",
+        ),
+    )
+    assert speedup > 2
+    assert 2.5 < modeled_speedup < 8
+    pc.serve(prompt, max_new_tokens=1)  # ensure warm
+    benchmark(pc.serve, prompt, max_new_tokens=1)

@@ -1,0 +1,72 @@
+"""Figure 8 — parameterized prompts: the travel-plan schema (§5.6.3).
+
+Paper setup: a templated trip-planning schema with one adjustable
+parameter (duration) and two unions (destinations); users re-configure the
+template at runtime while retaining caching efficiency.
+"""
+
+from __future__ import annotations
+
+from repro.bench import emit, format_table
+from repro.cache.engine import PromptCache
+from repro.pml.chat import PLAIN_TEMPLATE
+
+TRAVEL_SCHEMA = """
+<schema name="travel-plan">
+you are an expert travel planner . build an itinerary day by day .
+<module name="plan">the trip should last <param name="duration" len="8"/> and
+stay within a sensible budget for that length . </module>
+<union>
+  <module name="miami">destination miami : beaches , nightlife , art deco ,
+  surf spots , cuban food and year round sunshine . </module>
+  <module name="paris">destination paris : museums , cafes , architecture ,
+  the louvre , the seine and excellent bakeries . </module>
+</union>
+<union>
+  <module name="hotel">lodging preference : a quiet hotel near the center . </module>
+  <module name="hostel">lodging preference : a lively hostel with shared rooms . </module>
+</union>
+</schema>
+"""
+
+REQUESTS = [
+    ("3 days", "miami", "hotel"),
+    ("2 weeks", "paris", "hostel"),
+    ("1 day", "paris", "hotel"),
+]
+
+
+def test_fig8_parameterized_prompts(benchmark, small_model, tok):
+    pc = PromptCache(small_model, tok, template=PLAIN_TEMPLATE)
+    pc.register_schema(TRAVEL_SCHEMA)
+    rows = []
+    for duration, dest, lodging in REQUESTS:
+        prompt = (
+            f'<prompt schema="travel-plan"><plan duration="{duration}"/>'
+            f"<{dest}/><{lodging}/> highlight the best food stops .</prompt>"
+        )
+        cached = pc.serve(prompt, max_new_tokens=8)
+        baseline = pc.baseline(prompt, max_new_tokens=8)
+        rows.append([
+            f"{duration} / {dest} / {lodging}",
+            cached.cached_tokens, cached.uncached_tokens,
+            round(baseline.ttft_s * 1000, 1), round(cached.ttft_s * 1000, 1),
+            f"{baseline.ttft_s / cached.ttft_s:.1f}x",
+        ])
+    emit(
+        "fig8_parameterized",
+        format_table(
+            "Figure 8: parameterized travel-plan prompts (runtime reconfiguration)",
+            ["request", "cached_tok", "uncached_tok", "baseline_ms", "cached_ms", "speedup"],
+            rows,
+            note="same cached template serves every (duration, destination, lodging)",
+        ),
+    )
+    assert all(float(r[5].rstrip("x")) > 1.5 for r in rows)
+    # The parameter argument must actually land in the uncached portion.
+    assert all(r[2] > 0 for r in rows)
+    prompt = (
+        '<prompt schema="travel-plan"><plan duration="3 days"/><miami/>'
+        "<hotel/> highlight food .</prompt>"
+    )
+    benchmark(pc.serve, prompt, max_new_tokens=1)

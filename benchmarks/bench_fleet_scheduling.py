@@ -1,0 +1,71 @@
+"""Fleet scheduling — cache-affinity routing for a Prompt Cache cluster.
+
+Extends the paper's §6 serving vision to multiple servers: module caches
+make request placement matter. Compared here at increasing load: cache-
+oblivious round-robin / least-loaded routing vs consistent-hash affinity
+(requests for a schema go to its home server, spilling only under queue
+pressure). Affinity encodes each schema once per *fleet* instead of once
+per *server*, cutting cold-start work and tail latency.
+"""
+
+from __future__ import annotations
+
+from repro.bench import emit, format_table
+from repro.hw.device import RTX_4090
+from repro.llm.config import paper_config
+from repro.serving.scheduler import compare_policies
+from repro.serving.simulator import SimConfig
+from repro.serving.traces import SchemaProfile, synthesize_trace
+
+N_SERVERS = 4
+PROFILES = [
+    SchemaProfile(f"schema{i}", module_tokens=4000, uncached_mean=100,
+                  decode_mean=12, weight=1.0 / (i + 1))
+    for i in range(16)
+]
+CFG = SimConfig(
+    model=paper_config("llama2-7b"), device=RTX_4090, mode="prompt-cache",
+    gpu_capacity_bytes=20 * 10**9,
+)
+
+
+def run_sweep():
+    rows = []
+    encode_summary = {}
+    for rate in (0.5, 1.0, 2.0, 3.0):
+        trace = synthesize_trace(PROFILES, rate, 150, seed=4)
+        reports = compare_policies(trace, CFG, n_servers=N_SERVERS, spill_queue_s=1.0)
+        row = [rate, len(trace)]
+        for policy in ("round-robin", "least-loaded", "affinity"):
+            report = reports[policy]
+            row += [round(report.ttft_percentile(95), 2), report.total_encodes]
+        rows.append(row)
+        encode_summary[rate] = {p: r.total_encodes for p, r in reports.items()}
+    return rows, encode_summary
+
+
+def test_fleet_scheduling(benchmark):
+    rows, encodes = run_sweep()
+    emit(
+        "fleet_scheduling",
+        format_table(
+            f"Fleet scheduling: {N_SERVERS} x RTX 4090, 16 Zipf schemas, prompt-cache mode",
+            ["rate_rps", "requests", "rr_p95_s", "rr_encodes",
+             "ll_p95_s", "ll_encodes", "aff_p95_s", "aff_encodes"],
+            rows,
+            note="affinity = consistent-hash home server with load spill; "
+            "encodes = fleet-wide module encode events (cold starts)",
+        ),
+    )
+    for rate, by_policy in encodes.items():
+        assert by_policy["affinity"] <= by_policy["round-robin"]
+        assert by_policy["affinity"] <= by_policy["least-loaded"]
+    # At low-to-moderate load affinity matches the oblivious policies' tail
+    # latency while cutting fleet-wide encodes substantially; at saturation
+    # it trades some tail for the encode savings (the spill threshold is
+    # the knob). Assert the moderate-load regime.
+    for row in rows[:2]:
+        aff_p95, rr_p95 = row[6], row[2]
+        assert aff_p95 <= rr_p95 * 1.25
+        assert row[7] < 0.7 * row[3]
+    benchmark(run_sweep)

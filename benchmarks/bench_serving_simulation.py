@@ -1,0 +1,84 @@
+"""Serving-system simulation — Prompt Cache under load (paper §6).
+
+The paper's future-work claim: Prompt Cache as a serving-system component
+improves user-perceived latency and throughput. Simulated here: a single
+RTX 4090 server replaying a LongBench-shaped trace (Zipf schema popularity,
+Poisson arrivals, short decodes — the latency-sensitive RAG regime the
+paper calls out). Reported: TTFT percentiles vs arrival rate and the
+highest rate each system sustains under a 2-second p95 TTFT SLO.
+"""
+
+from __future__ import annotations
+
+from repro.bench import emit, format_table
+from repro.hw.device import RTX_4090
+from repro.llm.config import paper_config
+from repro.serving import (
+    SchemaProfile,
+    SimConfig,
+    simulate,
+    sustainable_rate,
+    synthesize_trace,
+)
+
+LLAMA7B = paper_config("llama2-7b")
+RATES = [0.1, 0.2, 0.4, 0.8, 1.2, 2.0]
+DURATION_S = 120.0
+
+# Latency-sensitive RAG profile: big cached contexts, short answers.
+PROFILES = [
+    SchemaProfile(f"schema{i}", module_tokens=4000, uncached_mean=100,
+                  decode_mean=12, weight=1.0 / (i + 1))
+    for i in range(6)
+]
+
+
+def run_curves():
+    rows = []
+    for rate in RATES:
+        trace = synthesize_trace(PROFILES, rate, DURATION_S, seed=2)
+        row = [rate, len(trace)]
+        for mode in ("baseline", "prompt-cache"):
+            cfg = SimConfig(
+                model=LLAMA7B, device=RTX_4090, mode=mode,
+                gpu_capacity_bytes=30 * 10**9,
+            )
+            report = simulate(trace, cfg)
+            row += [
+                round(report.ttft_percentile(50), 2),
+                round(report.ttft_percentile(95), 2),
+            ]
+        rows.append(row)
+    return rows
+
+
+def test_serving_simulation(benchmark):
+    rows = run_curves()
+    slo_rates = {}
+    for mode in ("baseline", "prompt-cache"):
+        cfg = SimConfig(
+            model=LLAMA7B, device=RTX_4090, mode=mode, gpu_capacity_bytes=30 * 10**9
+        )
+        slo_rates[mode] = sustainable_rate(
+            PROFILES, cfg, rates=RATES, duration_s=DURATION_S, ttft_slo_s=2.0, seed=2
+        )
+    rows.append(["p95<=2s max rate", "-", slo_rates["baseline"], "-", slo_rates["prompt-cache"], ""])
+    emit(
+        "serving_simulation",
+        format_table(
+            "Serving simulation: RTX 4090, Llama2-7B, Zipf schemas, Poisson arrivals",
+            ["rate_rps", "requests", "baseline_p50_s", "baseline_p95_s",
+             "cached_p50_s", "cached_p95_s"],
+            rows,
+            note="single FCFS server; cached mode pays one-time encodes and "
+            "h2d refetches on eviction (30 GB module budget)",
+        ),
+    )
+    # Shape: prompt cache dominates at every load level and sustains a
+    # strictly higher SLO-compliant arrival rate.
+    for row in rows[:-1]:
+        rate, _, base_p50, base_p95, cached_p50, cached_p95 = row
+        assert cached_p50 <= base_p50
+        assert cached_p95 <= base_p95 * 1.05
+    assert slo_rates["prompt-cache"] >= 2 * slo_rates["baseline"]
+    benchmark(run_curves)

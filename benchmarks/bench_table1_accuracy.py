@@ -1,0 +1,120 @@
+"""Table 1 — output accuracy with and without Prompt Cache.
+
+Paper result: across 8 LongBench datasets and 4 models (Llama2-7B/13B,
+MPT-7B, Falcon-7B), cached scores track baseline scores closely under
+deterministic greedy decoding; Passage Retrieval is the notable outlier
+(7.50 -> 4.25 on Llama2-7B) because cross-passage comparison suffers from
+per-module attention masking.
+
+Offline substitution (DESIGN.md §2): four mini models *trained from
+scratch* on the synthetic recall tasks stand in for the pretrained
+checkpoints; scores are real task metrics over the synthetic suite.
+Absolute values differ from the paper (different models, different data);
+the claim under test is the *shape*: cached ≈ baseline everywhere, with
+retrieval-style tasks the weakest.
+
+Weights are cached in benchmarks/weights/ — run
+``python benchmarks/train_table1_models.py`` first (≈10 min/model) or let
+this bench train on first use.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench import emit, format_table
+from repro.cache.engine import PromptCache
+from repro.datasets.metrics import score
+from repro.datasets.suite import HEADLINE_DATASETS, build_dataset
+from repro.llm.config import TRAINED_MODELS, trained_config
+from repro.llm.models import TransformerModel
+from repro.pml.chat import PLAIN_TEMPLATE
+from repro.tokenizer import default_tokenizer
+from repro.train import load_or_train
+from repro.train.trainer import recipe_for
+
+WEIGHTS_DIR = Path(__file__).parent / "weights"
+N_SAMPLES = 6
+CONTEXT_WORDS = 150
+
+MODEL_ORDER = ["llama2-7b-mini", "llama2-13b-mini", "mpt-7b-mini", "falcon-7b-mini"]
+
+
+def _max_new_tokens(metric: str) -> int:
+    return 48 if metric == "rougeL" else 8
+
+
+def evaluate(pc: PromptCache, dataset: str) -> tuple[float, float]:
+    """(baseline score, cached score) averaged over the dataset samples."""
+    samples = build_dataset(dataset, n_samples=N_SAMPLES, context_words=CONTEXT_WORDS)
+    baseline_scores, cached_scores = [], []
+    for sample in samples:
+        pc.register_schema(sample.schema_pml(), eager=False)
+        prompt = sample.prompt_pml()
+        limit = _max_new_tokens(sample.metric)
+        baseline = pc.baseline(prompt, max_new_tokens=limit)
+        cached = pc.serve(prompt, max_new_tokens=limit)
+        baseline_text = pc.tokenizer.decode(baseline.output_ids, skip_specials=True)
+        baseline_scores.append(score(sample.metric, baseline_text, sample.answer))
+        cached_scores.append(score(sample.metric, cached.text, sample.answer))
+    return float(np.mean(baseline_scores)), float(np.mean(cached_scores))
+
+
+@pytest.fixture(scope="module")
+def engines():
+    tok = default_tokenizer()
+    out = {}
+    for name in MODEL_ORDER:
+        cfg = trained_config(name, vocab_size=tok.vocab_size)
+        params = load_or_train(cfg, tok, WEIGHTS_DIR, recipe_for(name))
+        out[name] = PromptCache(
+            TransformerModel(cfg, params), tok, template=PLAIN_TEMPLATE
+        )
+    return out
+
+
+def test_table1_accuracy(benchmark, engines):
+    rows = []
+    deltas = []
+    for dataset in HEADLINE_DATASETS:
+        metric = build_dataset(dataset, n_samples=1, context_words=80)[0].metric
+        row = [dataset, metric]
+        for name in MODEL_ORDER:
+            base, cached = evaluate(engines[name], dataset)
+            row += [round(base, 1), round(cached, 1)]
+            deltas.append((dataset, name, base, cached))
+        rows.append(row)
+
+    header = ["dataset", "metric"]
+    for name in MODEL_ORDER:
+        short = name.removesuffix("-mini")
+        header += [f"{short}_base", f"{short}_cached"]
+    emit(
+        "table1_accuracy",
+        format_table(
+            "Table 1: accuracy, baseline KV Cache vs Prompt Cache (greedy)",
+            header, rows,
+            note="trained mini models on the synthetic suite; shape claim: "
+            "cached tracks baseline, retrieval-style tasks weakest",
+        ),
+    )
+
+    # Shape assertions.
+    qa_like = [
+        d for d in deltas if d[0] in ("narrativeqa", "triviaqa", "2wikimqa")
+    ]
+    assert any(base > 25 for _, _, base, _ in qa_like), (
+        "trained models must genuinely retrieve answers on QA datasets"
+    )
+    for dataset, name, base, cached in deltas:
+        if dataset == "passage_retrieval_en":
+            continue  # the paper's outlier too
+        assert abs(base - cached) <= 25, (dataset, name, base, cached)
+    overall_base = np.mean([d[2] for d in deltas])
+    overall_cached = np.mean([d[3] for d in deltas])
+    assert abs(overall_base - overall_cached) < 8
+
+    benchmark(evaluate, engines["llama2-7b-mini"], "narrativeqa")

@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures: engine, tokenizer, prompt caches.
+
+Benchmarks use the `small` model shape for measured numbers (real NumPy
+wall clock on this host) and paper shapes for the analytical device model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.engine import PromptCache
+from repro.llm import build_model, small_config, tiny_config
+from repro.pml.chat import PLAIN_TEMPLATE
+from repro.tokenizer import default_tokenizer
+
+
+@pytest.fixture(scope="session")
+def tok():
+    return default_tokenizer()
+
+
+@pytest.fixture(scope="session")
+def small_model(tok):
+    return build_model(small_config("llama", vocab_size=tok.vocab_size), seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_model(tok):
+    return build_model(tiny_config("llama", vocab_size=tok.vocab_size), seed=0)
+
+
+@pytest.fixture()
+def pc_small(small_model, tok):
+    return PromptCache(small_model, tok, template=PLAIN_TEMPLATE)
+
+
+@pytest.fixture()
+def pc_tiny(tiny_model, tok):
+    return PromptCache(tiny_model, tok, template=PLAIN_TEMPLATE)

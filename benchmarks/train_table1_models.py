@@ -1,0 +1,31 @@
+"""Pre-train (and cache) the four Table 1 stand-in models.
+
+Run once: ``python benchmarks/train_table1_models.py``. The accuracy bench
+loads the cached .npz weights; training each model takes ~10-20 minutes of
+CPU (per-model recipes in repro.train.trainer.TRAIN_RECIPES), so it is
+kept out of the pytest run.
+"""
+from pathlib import Path
+
+from repro.llm.config import TRAINED_MODELS, trained_config
+from repro.llm.models import TransformerModel
+from repro.tokenizer import default_tokenizer
+from repro.train import load_or_train, recall_accuracy
+from repro.train.trainer import recipe_for
+
+WEIGHTS_DIR = Path(__file__).parent / "weights"
+
+
+def main() -> None:
+    tok = default_tokenizer()
+    for name in sorted(TRAINED_MODELS):
+        cfg = trained_config(name, vocab_size=tok.vocab_size)
+        print(f"=== {name} ===", flush=True)
+        params = load_or_train(cfg, tok, WEIGHTS_DIR, recipe_for(name))
+        model = TransformerModel(cfg, params)
+        acc = recall_accuracy(model, tok, n_probes=20)
+        print(f"{name}: recall accuracy {acc:.2f}", flush=True)
+
+
+if __name__ == "__main__":
+    main()

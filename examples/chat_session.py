@@ -1,0 +1,52 @@
+"""Multi-turn chat with persistent cached context.
+
+Run:  python examples/chat_session.py
+
+Opens a session whose system message and reference document are cached
+prompt modules; every turn pays only for its own text. The per-turn prefill
+cost stays flat while a naive client would re-send (and re-prefill) the
+whole transcript each turn.
+"""
+
+from repro import PromptCache, build_model, small_config
+from repro.pml.chat import PLAIN_TEMPLATE
+from repro.tokenizer import default_tokenizer
+
+SCHEMA = """
+<schema name="support">
+you are a patient support assistant for the harbor ferry service .
+<module name="faq">
+  ferry facts : the ferry crosses the bay every forty minutes from dawn to
+  midnight . bicycles travel free . the last crossing waits for the night
+  train . tickets are cheaper in bundles of ten .
+</module>
+</schema>
+"""
+
+TURNS = [
+    "how often does the ferry run ?",
+    "can i bring my bicycle ?",
+    "is there a discount for commuters ?",
+]
+
+
+def main() -> None:
+    tok = default_tokenizer()
+    model = build_model(small_config("llama", vocab_size=tok.vocab_size), seed=0)
+    pc = PromptCache(model, tok, template=PLAIN_TEMPLATE)
+    pc.register_schema(SCHEMA)
+
+    session = pc.start_session('<prompt schema="support"><faq/></prompt>')
+    print(f"session opened with {session.context_tokens} cached context tokens\n")
+    for user_text in TURNS:
+        turn = session.send(user_text, max_new_tokens=8)
+        print(
+            f"user: {user_text}\n"
+            f"  -> prefilled {turn.uncached_tokens} tokens in "
+            f"{1000 * turn.ttft_s:.1f} ms; context now "
+            f"{session.context_tokens} tokens"
+        )
+
+
+if __name__ == "__main__":
+    main()

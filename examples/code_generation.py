@@ -1,0 +1,52 @@
+"""Code generation with source files as prompt modules (paper §5.6.1).
+
+Run:  python examples/code_generation.py
+
+Each file of a small game project becomes a prompt module (the Fig 6
+setup); requests "import" whichever files they need. Because the cached
+states are exact for a shared prefix, output matches the uncached baseline
+while TTFT drops.
+"""
+
+from repro import PromptCache, build_model, small_config
+from repro.datasets.codegen import game_codebase, module_name_for
+from repro.pml.chat import PLAIN_TEMPLATE
+from repro.tokenizer import default_tokenizer
+
+
+def build_schema() -> str:
+    modules = "".join(
+        f'<module name="{module_name_for(path)}"><![CDATA[# {path}\n{src}]]></module>'
+        for path, src in game_codebase(seed=0).items()
+    )
+    return f'<schema name="game-project">{modules}</schema>'
+
+
+REQUESTS = [
+    (["unit.py", "map.py"], "write a function that moves every unit one tile north ."),
+    (["game.py", "player.py"], "add a method that ends the game when a player surrenders ."),
+    (["unit.py", "map.py", "game.py", "player.py"], "sketch the main loop ."),
+]
+
+
+def main() -> None:
+    tok = default_tokenizer()
+    model = build_model(small_config("llama", vocab_size=tok.vocab_size), seed=0)
+    pc = PromptCache(model, tok, template=PLAIN_TEMPLATE)
+    pc.register_schema(build_schema())
+
+    for files, request in REQUESTS:
+        imports = "".join(f"<{module_name_for(f)}/>" for f in files)
+        prompt = f'<prompt schema="game-project">{imports} {request}</prompt>'
+        cached = pc.serve(prompt, max_new_tokens=10)
+        baseline = pc.baseline(prompt, max_new_tokens=10)
+        identical = cached.output_ids == baseline.output_ids
+        print(
+            f"files {files}:\n"
+            f"  TTFT {1000 * baseline.ttft_s:6.1f} ms -> {1000 * cached.ttft_s:5.1f} ms "
+            f"({baseline.ttft_s / cached.ttft_s:.1f}x), output identical: {identical}"
+        )
+
+
+if __name__ == "__main__":
+    main()

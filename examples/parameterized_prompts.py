@@ -1,0 +1,53 @@
+"""Parameterized prompts and the Python-to-PML compiler (paper §3.2.2/§3.2.4, Fig 8).
+
+Run:  python examples/parameterized_prompts.py
+
+Two ways to get the same travel-plan schema:
+
+1. hand-written PML with <param> placeholders and <union> destinations;
+2. a plain Python prompt program compiled by @prompt_function — if/elif
+   chains become unions, Param-annotated arguments become <param> slots,
+   and build_prompt() re-derives the prompt for any argument values.
+"""
+
+from repro import PromptCache, build_model, small_config
+from repro.pml import Param, prompt_function
+from repro.pml.chat import PLAIN_TEMPLATE
+from repro.pml.compiler import emit
+from repro.tokenizer import default_tokenizer
+
+
+@prompt_function
+def travel(dest, duration: Param(8)):
+    """you are an expert travel planner . build an itinerary day by day ."""
+    if dest == "miami":
+        emit("destination miami : beaches , nightlife , art deco and surf spots . ")
+    elif dest == "paris":
+        emit("destination paris : museums , cafes , the louvre and the seine . ")
+    emit("the trip should last ")
+    emit(duration)
+
+
+def main() -> None:
+    tok = default_tokenizer()
+    model = build_model(small_config("llama", vocab_size=tok.vocab_size), seed=0)
+    pc = PromptCache(model, tok, template=PLAIN_TEMPLATE)
+
+    print("compiled schema:\n" + travel.to_pml() + "\n")
+    pc.register_schema(travel.to_pml())
+
+    for dest, duration in [("miami", "3 days"), ("paris", "2 weeks"), ("miami", "1 day")]:
+        prompt = travel.build_prompt(
+            dest=dest, duration=duration,
+            extra_text=" highlight the best food stops .",
+        )
+        cached = pc.serve(prompt, max_new_tokens=8)
+        baseline = pc.baseline(prompt, max_new_tokens=8)
+        print(
+            f"{dest:6s} / {duration:7s}: TTFT {1000 * baseline.ttft_s:6.1f} ms -> "
+            f"{1000 * cached.ttft_s:5.1f} ms ({baseline.ttft_s / cached.ttft_s:.1f}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: cache a document module once, reuse it across prompts.
+
+Run:  python examples/quickstart.py
+
+Walks the Fig 1c flow: register a schema (modules are encoded and cached),
+then serve several prompts that splice the cached attention states and
+prefill only their own new text. Compares TTFT against the ordinary
+KV-cache baseline on the same content.
+"""
+
+from repro import PromptCache, build_model, small_config
+from repro.pml.chat import PLAIN_TEMPLATE
+from repro.tokenizer import default_tokenizer
+
+SCHEMA = """
+<schema name="city-trips">
+you are a helpful travel planner . answer using the destination notes .
+<module name="miami">
+  destination notes for miami : the city has beaches , nightlife , art deco
+  architecture , surf spots , cuban food and year round sunshine . visitors
+  enjoy the boardwalk and the marina at sunset .
+</module>
+<module name="paris">
+  destination notes for paris : the city has museums , cafes , gothic
+  architecture , the louvre , the seine and excellent bakeries . visitors
+  enjoy long walks between monuments .
+</module>
+</schema>
+"""
+
+PROMPTS = [
+    '<prompt schema="city-trips"><miami/> plan one perfect day .</prompt>',
+    '<prompt schema="city-trips"><miami/> what should i eat ?</prompt>',
+    '<prompt schema="city-trips"><paris/><miami/> compare the two cities .</prompt>',
+]
+
+
+def main() -> None:
+    tok = default_tokenizer()
+    model = build_model(small_config("llama", vocab_size=tok.vocab_size), seed=0)
+    pc = PromptCache(model, tok, template=PLAIN_TEMPLATE)
+
+    print("registering schema (encodes and caches every module) ...")
+    pc.register_schema(SCHEMA)
+
+    for prompt in PROMPTS:
+        cached = pc.serve(prompt, max_new_tokens=8)
+        baseline = pc.baseline(prompt, max_new_tokens=8)
+        print(
+            f"\nprompt: {prompt[:70]}...\n"
+            f"  cached tokens: {cached.cached_tokens:4d}   "
+            f"uncached tokens: {cached.uncached_tokens}\n"
+            f"  TTFT: baseline {1000 * baseline.ttft_s:7.1f} ms -> "
+            f"cached {1000 * cached.ttft_s:6.1f} ms "
+            f"({baseline.ttft_s / cached.ttft_s:.1f}x faster)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Retrieval-augmented generation over cached prompt modules (paper §6).
+
+Run:  python examples/rag_pipeline.py
+
+"Prompt Cache can directly accelerate in-context RAG, where the
+information retrieval system basically serves as a database of prompt
+modules." Here: a pool of documents is registered once (every document's
+attention states pre-encoded); per query, a BM25 retriever picks top-k
+documents and the prompt imports exactly those modules — retrieval returns
+*cached KV states*, so each query pays only its own question tokens.
+"""
+
+from pathlib import Path
+
+from repro.cache.engine import PromptCache
+from repro.datasets.corpus import SyntheticCorpus
+from repro.datasets.retrieval import BM25Index
+from repro.llm import build_model
+from repro.llm.config import trained_config
+from repro.llm.models import TransformerModel
+from repro.pml.chat import PLAIN_TEMPLATE
+from repro.tokenizer import default_tokenizer
+
+N_DOCS = 8
+WEIGHTS_DIR = Path(__file__).resolve().parents[1] / "benchmarks" / "weights"
+
+
+def load_model(tok):
+    cfg = trained_config("llama2-7b-mini", vocab_size=tok.vocab_size)
+    cached = sorted(WEIGHTS_DIR.glob("llama2-7b-mini-*.npz"))
+    if cached:
+        from repro.llm.weights import load_params
+
+        return TransformerModel(cfg, load_params(cached[-1]))
+    return build_model(cfg, seed=0)
+
+
+def main() -> None:
+    tok = default_tokenizer()
+    pc = PromptCache(load_model(tok), tok, template=PLAIN_TEMPLATE)
+
+    corpus = SyntheticCorpus(seed=99)
+    # Attributes are unique across the whole pool (not just per document),
+    # so a completion query identifies exactly one fact even when several
+    # retrieved modules sit in the context together.
+    import numpy as np
+
+    from repro.datasets.corpus import ATTRIBUTES, ENTITIES, Fact, VALUES
+
+    rng = np.random.default_rng(5)
+    attrs = list(rng.permutation(ATTRIBUTES))
+    entities = list(rng.permutation(ENTITIES))
+    docs = []
+    for i in range(N_DOCS):
+        facts = [
+            Fact(
+                entity=entities.pop(),
+                attribute=attrs.pop(),
+                value=str(rng.choice(VALUES)),
+            )
+            for _ in range(2)
+        ]
+        docs.append(corpus.document(f"kb{i}", n_words=70, facts=facts))
+
+    # Register the knowledge base once: every document becomes a cached module.
+    modules = "".join(
+        f'<module name="kb{i}">{doc.text}</module>' for i, doc in enumerate(docs)
+    )
+    pc.register_schema(f'<schema name="kb">{modules}</schema>')
+
+    index = BM25Index()
+    for i, doc in enumerate(docs):
+        index.add(f"kb{i}", doc.text)
+
+    # Ask about facts scattered across the pool. k=1: the tiny 2-layer
+    # model retrieves reliably within one document; disambiguating across
+    # several imported documents needs more capacity (a real-model RAG
+    # stack would use k>1 unchanged — the caching mechanics are identical).
+    for doc_index in (1, 4, 6):
+        fact = docs[doc_index].facts[0]
+        query = fact.completion()
+        hits = index.search(query, k=1)
+        imports = "".join(f"<{hit.doc_id}/>" for hit in hits)
+        result = pc.serve(
+            f'<prompt schema="kb">{imports} {query}</prompt>', max_new_tokens=4
+        )
+        retrieved = ", ".join(h.doc_id for h in hits)
+        hit_marker = "HIT" if f"kb{doc_index}" in retrieved else "miss"
+        print(
+            f"query about kb{doc_index} -> retrieved [{retrieved}] ({hit_marker})\n"
+            f"  answer: {result.text.strip()!r} (expected {fact.value!r}); "
+            f"TTFT {1000 * result.ttft_s:.1f} ms over "
+            f"{result.cached_tokens} cached tokens"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Serving under load: Prompt Cache as a system component (paper §6).
+
+Run:  python examples/serving_load.py
+
+Replays a Poisson request trace over Zipf-popular schemas through the
+event-driven serving simulator on a modeled RTX 4090, comparing the
+baseline KV-cache server against a Prompt Cache server with a 30 GB module
+budget (evicted modules demote to host DRAM and pay the PCIe copy).
+"""
+
+from repro.hw.device import RTX_4090
+from repro.llm.config import paper_config
+from repro.serving import SchemaProfile, SimConfig, simulate, synthesize_trace
+
+PROFILES = [
+    SchemaProfile(f"schema{i}", module_tokens=4000, uncached_mean=100,
+                  decode_mean=12, weight=1.0 / (i + 1))
+    for i in range(6)
+]
+
+
+def main() -> None:
+    llama = paper_config("llama2-7b")
+    print(f"{'rate':>5} {'reqs':>5}   {'baseline p50/p95':>18}   {'prompt-cache p50/p95':>22}")
+    for rate in (0.1, 0.2, 0.4, 0.8):
+        trace = synthesize_trace(PROFILES, rate, 120, seed=2)
+        row = [f"{rate:>5}", f"{len(trace):>5}"]
+        for mode in ("baseline", "prompt-cache"):
+            cfg = SimConfig(model=llama, device=RTX_4090, mode=mode,
+                            gpu_capacity_bytes=30 * 10**9)
+            report = simulate(trace, cfg)
+            row.append(
+                f"{report.ttft_percentile(50):7.2f}s/{report.ttft_percentile(95):7.2f}s"
+            )
+        print("   ".join(row))
+    print("\n(the baseline server saturates ~0.4 req/s; prompt cache holds on)")
+
+
+if __name__ == "__main__":
+    main()

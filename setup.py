@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (see the note in pyproject.toml). All metadata lives in pyproject."""
+
+from setuptools import setup
+
+setup()

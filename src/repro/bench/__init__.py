@@ -1,0 +1,20 @@
+"""Benchmark harness: workload runners and paper-style reporting."""
+
+from repro.bench.harness import (
+    MeasuredTTFT,
+    ModeledTTFT,
+    TokenProfile,
+    dataset_profile,
+    measure_sample,
+    modeled_ttft,
+    scale_profile,
+    time_call,
+    token_profile,
+)
+from repro.bench.report import emit, format_series, format_table
+
+__all__ = [
+    "TokenProfile", "token_profile", "dataset_profile", "scale_profile",
+    "ModeledTTFT", "modeled_ttft", "MeasuredTTFT", "measure_sample",
+    "time_call", "emit", "format_table", "format_series",
+]

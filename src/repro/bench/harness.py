@@ -1,0 +1,136 @@
+"""Workload harness shared by the benchmark suite.
+
+Two complementary measurement paths, mirroring DESIGN.md §2:
+
+- **Modeled** — token counts from real dataset samples drive the
+  analytical device model (:mod:`repro.hw.latency`) at the paper's model
+  shapes and context lengths. Regenerates the per-device Figures 3–5.
+- **Measured** — the NumPy engine actually serves the sample on the host
+  CPU (`small` model shape) and wall-clock TTFT is recorded. Confirms the
+  same speedup *shape* on real computation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cache.engine import PromptCache
+from repro.datasets.suite import Sample, build_dataset
+from repro.hw.device import DeviceSpec
+from repro.hw.latency import baseline_ttft, cached_ttft
+from repro.llm.config import ModelConfig
+
+
+@dataclass
+class TokenProfile:
+    """Cached/uncached split of one dataset at a given scale."""
+
+    dataset: str
+    cached_tokens: int
+    uncached_tokens: int
+
+    @property
+    def total(self) -> int:
+        return self.cached_tokens + self.uncached_tokens
+
+
+def token_profile(sample: Sample, tokenizer) -> TokenProfile:
+    """Token counts for a sample: documents are cached, directives are not."""
+    cached = sum(len(tokenizer.encode(text)) for _, text in sample.documents)
+    uncached = len(tokenizer.encode(sample.question))
+    return TokenProfile(sample.dataset, cached, uncached)
+
+
+def dataset_profile(
+    name: str, tokenizer, *, context_words: int = 400, n_samples: int = 3, seed: int = 0
+) -> TokenProfile:
+    """Mean token profile over ``n_samples`` of dataset ``name``."""
+    samples = build_dataset(name, n_samples=n_samples, context_words=context_words, seed=seed)
+    profiles = [token_profile(s, tokenizer) for s in samples]
+    return TokenProfile(
+        dataset=name,
+        cached_tokens=sum(p.cached_tokens for p in profiles) // len(profiles),
+        uncached_tokens=sum(p.uncached_tokens for p in profiles) // len(profiles),
+    )
+
+
+def scale_profile(profile: TokenProfile, target_total: int) -> TokenProfile:
+    """Scale the cached portion so the prompt totals ``target_total`` tokens
+    (the paper's LongBench samples average ~5K); directives stay fixed."""
+    cached = max(target_total - profile.uncached_tokens, 0)
+    return TokenProfile(profile.dataset, cached, profile.uncached_tokens)
+
+
+@dataclass
+class ModeledTTFT:
+    dataset: str
+    device: str
+    storage: str
+    baseline_s: float
+    cached_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_s / self.cached_s
+
+
+def modeled_ttft(
+    profile: TokenProfile,
+    config: ModelConfig,
+    device: DeviceSpec,
+    storage: str,
+) -> ModeledTTFT:
+    """Analytical baseline-vs-cached TTFT for one dataset on one device."""
+    total = profile.total
+    return ModeledTTFT(
+        dataset=profile.dataset,
+        device=device.name,
+        storage=storage,
+        baseline_s=baseline_ttft(config, total, device).total_s,
+        cached_s=cached_ttft(
+            config, total, profile.uncached_tokens, device, storage
+        ).total_s,
+    )
+
+
+@dataclass
+class MeasuredTTFT:
+    dataset: str
+    baseline_s: float
+    cached_s: float
+    splice_s: float
+    cached_tokens: int
+    uncached_tokens: int
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_s / self.cached_s
+
+
+def measure_sample(
+    pc: PromptCache, sample: Sample, *, max_new_tokens: int = 1
+) -> MeasuredTTFT:
+    """Serve one sample both ways through the real engine; wall-clock TTFT."""
+    pc.register_schema(sample.schema_pml(), eager=True)
+    prompt = sample.prompt_pml()
+    baseline = pc.baseline(prompt, max_new_tokens=max_new_tokens)
+    cached = pc.serve(prompt, max_new_tokens=max_new_tokens)
+    return MeasuredTTFT(
+        dataset=sample.dataset,
+        baseline_s=baseline.ttft_s,
+        cached_s=cached.ttft_s,
+        splice_s=cached.splice_s,
+        cached_tokens=cached.cached_tokens,
+        uncached_tokens=cached.uncached_tokens,
+    )
+
+
+def time_call(fn, *args, repeats: int = 1, **kwargs) -> float:
+    """Best-of-N wall-clock seconds for ``fn(*args, **kwargs)``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best

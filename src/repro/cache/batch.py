@@ -1,0 +1,79 @@
+"""Shared-module memory accounting for batched serving (paper §3.4).
+
+The paper: "If all prompts share the same 1K token module, Prompt Cache
+can reduce the memory footprint by 50% when combined with methods like
+paged attention, allowing for a larger working batch size and thus higher
+throughput." This module quantifies exactly that: per-request KV bytes
+with and without module sharing, and the batch size a fixed memory budget
+admits under each scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.llm.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One request: which shared modules it imports + its private tokens."""
+
+    module_names: tuple[str, ...]
+    private_tokens: int  # uncached text + generated tokens
+
+
+@dataclass
+class BatchFootprint:
+    duplicated_bytes: int  # every request holds its own copy (KV-cache baseline)
+    shared_bytes: int  # one copy per distinct module + private per request
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.duplicated_bytes == 0:
+            return 0.0
+        return 1.0 - self.shared_bytes / self.duplicated_bytes
+
+
+def batch_footprint(
+    config: ModelConfig,
+    requests: list[BatchRequest],
+    module_tokens: dict[str, int],
+    bytes_per_element: int = 2,
+) -> BatchFootprint:
+    """KV bytes for a batch, duplicated vs module-shared."""
+    per_token = config.kv_bytes_per_token(bytes_per_element)
+    duplicated = 0
+    used_modules: set[str] = set()
+    private_total = 0
+    for request in requests:
+        module_sum = sum(module_tokens[name] for name in request.module_names)
+        duplicated += (module_sum + request.private_tokens) * per_token
+        used_modules.update(request.module_names)
+        private_total += request.private_tokens
+    shared = (
+        sum(module_tokens[name] for name in used_modules) + private_total
+    ) * per_token
+    return BatchFootprint(duplicated_bytes=duplicated, shared_bytes=shared)
+
+
+def max_batch_size(
+    config: ModelConfig,
+    memory_budget_bytes: int,
+    module_tokens_per_request: int,
+    private_tokens_per_request: int,
+    shared: bool,
+    bytes_per_element: int = 2,
+) -> int:
+    """Largest uniform batch a KV budget admits.
+
+    With sharing, the module copy is paid once; without, per request —
+    the throughput lever described in §3.4/§5.4.
+    """
+    per_token = config.kv_bytes_per_token(bytes_per_element)
+    private = private_tokens_per_request * per_token
+    module = module_tokens_per_request * per_token
+    if shared:
+        remaining = memory_budget_bytes - module
+        return max(remaining // private, 0) if private else 0
+    return max(memory_budget_bytes // (module + private), 0)

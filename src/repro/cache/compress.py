@@ -1,0 +1,140 @@
+"""KV-state compression codecs for module storage.
+
+The paper flags attention-state compression (CacheGen, H2O) as the lever
+for taming Table 2's memory bill (§5.5, §6). This module implements the
+two standard storage codecs plus the plumbing to use them transparently:
+
+- :class:`Fp16Codec` — halve storage by keeping fp16 at rest, fp32 in use
+  (matches the paper's fp16 accounting).
+- :class:`Int8Codec` — 4x reduction via per-(head, token) absmax
+  quantization of K and V.
+
+A codec is attached to :class:`~repro.cache.engine.PromptCache`; modules
+are encoded once, stored compressed, and decompressed on fetch. The
+quantization ablation bench measures the memory/fidelity trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.llm.kv import ModuleKV
+
+
+@dataclass
+class CompressedModuleKV:
+    """Codec output: opaque payload plus the byte count storage charges."""
+
+    codec: str
+    payload: dict[str, list[np.ndarray]]
+    positions: np.ndarray
+
+    def nbytes(self) -> int:
+        tensors = sum(
+            arr.nbytes for arrays in self.payload.values() for arr in arrays
+        )
+        return int(tensors + self.positions.nbytes)
+
+    def __len__(self) -> int:
+        return int(self.positions.shape[0])
+
+
+class KVCodec:
+    """Encode/decode interface; implementations must round-trip positions
+    exactly and keys/values to their advertised fidelity."""
+
+    name = "identity"
+
+    def encode(self, kv: ModuleKV):
+        return kv
+
+    def decode(self, stored) -> ModuleKV:
+        return stored
+
+
+class IdentityCodec(KVCodec):
+    """No compression: modules stored as computed (fp32 in this engine)."""
+
+
+class Fp16Codec(KVCodec):
+    """Half-precision at rest. Decode casts back to fp32 for compute;
+    the round-trip error is fp16 rounding (~1e-3 relative)."""
+
+    name = "fp16"
+
+    def encode(self, kv: ModuleKV) -> CompressedModuleKV:
+        return CompressedModuleKV(
+            codec=self.name,
+            payload={
+                "keys": [k.astype(np.float16) for k in kv.keys],
+                "values": [v.astype(np.float16) for v in kv.values],
+            },
+            positions=kv.positions.copy(),
+        )
+
+    def decode(self, stored: CompressedModuleKV) -> ModuleKV:
+        return ModuleKV(
+            keys=[k.astype(np.float32) for k in stored.payload["keys"]],
+            values=[v.astype(np.float32) for v in stored.payload["values"]],
+            positions=stored.positions,
+        )
+
+
+class Int8Codec(KVCodec):
+    """Symmetric int8 quantization with per-(head, token) absmax scales.
+
+    Scales are fp32 of shape (heads, tokens, 1) per layer — negligible
+    next to the 4x tensor shrink. Typical round-trip error is <1% of the
+    tensor's dynamic range, which the ablation shows leaves greedy outputs
+    nearly always unchanged.
+    """
+
+    name = "int8"
+
+    def encode(self, kv: ModuleKV) -> CompressedModuleKV:
+        payload: dict[str, list[np.ndarray]] = {
+            "keys": [], "values": [], "key_scales": [], "value_scales": [],
+        }
+        for k, v in zip(kv.keys, kv.values):
+            kq, ks = _quantize(k)
+            vq, vs = _quantize(v)
+            payload["keys"].append(kq)
+            payload["key_scales"].append(ks)
+            payload["values"].append(vq)
+            payload["value_scales"].append(vs)
+        return CompressedModuleKV(
+            codec=self.name, payload=payload, positions=kv.positions.copy()
+        )
+
+    def decode(self, stored: CompressedModuleKV) -> ModuleKV:
+        keys = [
+            q.astype(np.float32) * s
+            for q, s in zip(stored.payload["keys"], stored.payload["key_scales"])
+        ]
+        values = [
+            q.astype(np.float32) * s
+            for q, s in zip(stored.payload["values"], stored.payload["value_scales"])
+        ]
+        return ModuleKV(keys=keys, values=values, positions=stored.positions)
+
+
+def _quantize(tensor: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(int8 tensor, fp32 scales) with absmax scaling per (head, token)."""
+    absmax = np.abs(tensor).max(axis=-1, keepdims=True)
+    scales = (absmax / 127.0 + 1e-12).astype(np.float32)
+    quantized = np.clip(np.round(tensor / scales), -127, 127).astype(np.int8)
+    return quantized, scales
+
+
+CODECS: dict[str, KVCodec] = {
+    c.name: c for c in (IdentityCodec(), Fp16Codec(), Int8Codec())
+}
+
+
+def codec(name: str) -> KVCodec:
+    try:
+        return CODECS[name]
+    except KeyError:
+        raise KeyError(f"unknown KV codec {name!r}; known: {sorted(CODECS)}") from None

@@ -1,0 +1,659 @@
+"""The Prompt Cache engine: schema registration and cached inference.
+
+:class:`PromptCache` ties the substrates together (paper Fig 2):
+
+1. **Register** a schema → lay out position IDs (:mod:`repro.cache.layout`)
+   and optionally pre-encode every module (:mod:`repro.cache.encoder`) into
+   the two-tier store (:mod:`repro.cache.storage`).
+2. **Serve** a prompt → resolve it against the schema, splice the cached
+   module KV states together (buffered concat, §4.2), prefill only the
+   uncached tokens (parameter arguments + new text) at their schema
+   positions, and decode. TTFT = splice + suffix prefill, replacing the
+   full quadratic prefill (§3.4).
+
+:meth:`PromptCache.baseline` runs the exact same token content through the
+ordinary KV-cache path, which is how the accuracy and latency comparisons
+pair up cached vs baseline runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.encoder import drop_param_slots, encode_module, encode_scaffold
+from repro.cache.layout import ModuleLayout, SchemaLayout, layout_schema
+from repro.cache.storage import CacheKey, ModuleCacheStore, SOLO_VARIANT
+from repro.llm.generation import GenerationResult, decode_loop, generate
+from repro.llm.kv import KVCache, LayerKV, ModuleKV, buffered_concat
+from repro.llm.models import TransformerModel
+from repro.pml.chat import ChatTemplate, template_for_architecture
+from repro.pml.errors import SchemaMismatchError
+from repro.pml.parser import parse_prompt
+from repro.pml.prompt import ResolvedPrompt, resolve
+from repro.pml.schema import Schema
+
+
+@dataclass
+class RegisteredSchema:
+    schema: Schema
+    layout: SchemaLayout
+    scaffold_variants: dict[str, str] = field(default_factory=dict)
+    # module name -> scaffold variant id covering it (used when the whole
+    # scaffold set is imported)
+    scaffold_sets: list[tuple[str, ...]] = field(default_factory=list)
+
+
+@dataclass
+class ServeResult:
+    """Cached-inference outcome plus the latency/occupancy breakdown."""
+
+    output_ids: list[int]
+    text: str
+    prompt_tokens: int
+    cached_tokens: int
+    uncached_tokens: int
+    ttft_s: float
+    splice_s: float  # cache lookup + KV concatenation ("memcpy")
+    suffix_s: float  # uncached-token prefill
+    step_times_s: list[float] = field(default_factory=list)
+    tier_tokens: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ttst_s(self) -> float:
+        return float(np.mean(self.step_times_s)) if self.step_times_s else 0.0
+
+
+@dataclass
+class BatchServeResult:
+    """Batch outcome plus the §3.4 memory picture."""
+
+    results: list[ServeResult]
+    physical_bytes: int  # live page storage (shared modules counted once)
+    duplicated_bytes: int  # what per-request private caches would cost
+    shared_groups: int  # distinct module sequences in the batch
+
+    @property
+    def memory_savings(self) -> float:
+        if self.duplicated_bytes == 0:
+            return 0.0
+        return 1.0 - self.physical_bytes / self.duplicated_bytes
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+@dataclass
+class _Plan:
+    """Everything needed to serve one resolved prompt."""
+
+    # (layout, kv-after-slot-drop-pending, variant) in document order
+    modules: list[tuple[ModuleLayout, str]]
+    # Uncached work: (token_ids, positions) batches for args + new text
+    uncached: list[tuple[np.ndarray, np.ndarray]]
+    # Baseline chunks: (sort_key, token_ids) reproducing identical content
+    baseline_chunks: list[tuple[int, list[int]]]
+    next_position: int  # first decode position
+    # Fully-cached prompts recompute their highest-positioned token to get
+    # first logits: (module name, direct-sequence index) or None.
+    recompute_tail: tuple[str, int] | None = None
+
+
+class PromptCache:
+    """Modular attention reuse on top of a NumPy transformer.
+
+    Parameters
+    ----------
+    model, tokenizer:
+        The inference engine and its tokenizer.
+    store:
+        Two-tier module store; defaults to unbounded tiers.
+    template:
+        Chat template compiled into role tags; defaults to the model
+        architecture's native template.
+    default_tier:
+        Where newly encoded modules are stored (``"gpu"`` or ``"cpu"``).
+    """
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        tokenizer,
+        store: ModuleCacheStore | None = None,
+        template: ChatTemplate | None = None,
+        default_tier: str = "gpu",
+        kv_codec=None,
+    ) -> None:
+        from repro.cache.compress import IdentityCodec, codec as codec_by_name
+
+        self.model = model
+        self.tokenizer = tokenizer
+        self.store = store or ModuleCacheStore()
+        self.template = template or template_for_architecture(model.config.architecture)
+        self.default_tier = default_tier
+        if kv_codec is None:
+            self.kv_codec = IdentityCodec()
+        elif isinstance(kv_codec, str):
+            self.kv_codec = codec_by_name(kv_codec)
+        else:
+            self.kv_codec = kv_codec
+        self.schemas: dict[str, RegisteredSchema] = {}
+
+    # -- schema management -----------------------------------------------------
+
+    def register_schema(
+        self, source: str | Schema, eager: bool = True, tier: str | None = None
+    ) -> Schema:
+        """Parse, lay out, and (eagerly) encode a schema's modules.
+
+        Eager registration mirrors the paper's flow — "Prompt Cache
+        populates its cache when a schema is loaded" (Fig 1c) — so the
+        first derived prompt already hits warm states. Lazy registration
+        encodes each module on first use instead.
+        """
+        schema = source if isinstance(source, Schema) else Schema.parse(source, self.template)
+        layout = layout_schema(schema, self.tokenizer)
+        if layout.total_length >= self.model.config.max_position:
+            raise SchemaMismatchError(
+                f"schema {schema.name!r} needs {layout.total_length} positions "
+                f"but the model supports {self.model.config.max_position}"
+            )
+        registered = RegisteredSchema(schema=schema, layout=layout)
+        for i, names in enumerate(schema.scaffolds):
+            variant = f"scaffold{i}"
+            registered.scaffold_sets.append(tuple(names))
+            for name in names:
+                registered.scaffold_variants[name] = variant
+        self.schemas[schema.name] = registered
+        if eager:
+            self._encode_all(registered, tier or self.default_tier)
+        return schema
+
+    def _encode_all(self, registered: RegisteredSchema, tier: str) -> None:
+        layout = registered.layout
+        for name in layout.order:
+            self._ensure_encoded(registered, name, SOLO_VARIANT, tier)
+        for i, names in enumerate(registered.scaffold_sets):
+            variant = f"scaffold{i}"
+            layouts = [layout.module(n) for n in names]
+            states = encode_scaffold(self.model, layouts)
+            for n in names:
+                self.store.put(
+                    CacheKey(layout.schema_name, n, variant),
+                    self.kv_codec.encode(states[n]),
+                    tier=tier,
+                )
+
+    def _ensure_encoded(
+        self, registered: RegisteredSchema, name: str, variant: str, tier: str
+    ) -> tuple[ModuleKV, str]:
+        """Fetch a module's states, encoding on miss. Returns (kv, tier)."""
+        key = CacheKey(registered.layout.schema_name, name, variant)
+        found = self.store.fetch(key)
+        if found is not None:
+            return self.kv_codec.decode(found.entry.kv), found.tier
+        if variant == SOLO_VARIANT:
+            kv = encode_module(self.model, registered.layout.module(name))
+            self.store.put(key, self.kv_codec.encode(kv), tier=tier)
+            return kv, tier
+        # Scaffold variants are always materialized as a set.
+        index = int(variant.removeprefix("scaffold"))
+        names = registered.scaffold_sets[index]
+        states = encode_scaffold(
+            self.model, [registered.layout.module(n) for n in names]
+        )
+        for n in names:
+            self.store.put(
+                CacheKey(registered.layout.schema_name, n, variant),
+                self.kv_codec.encode(states[n]),
+                tier=tier,
+            )
+        return states[name], tier
+
+    # -- serving ------------------------------------------------------------------
+
+    def serve(
+        self,
+        prompt: str,
+        *,
+        max_new_tokens: int = 32,
+        sampler=None,
+        stop_ids: set[int] | None = None,
+        use_scaffolds: bool = True,
+    ) -> ServeResult:
+        """Cached inference for a PML prompt (paper Fig 2, §3.4)."""
+        resolved = self._resolve(prompt)
+        registered = self.schemas[resolved.schema.name]
+        plan = self._plan(resolved, registered)
+
+        # Stage 1: splice cached module states together (the memcpy phase).
+        start = time.perf_counter()
+        cache, tier_tokens, cached_tokens = self._assemble(
+            registered, plan, use_scaffolds=use_scaffolds
+        )
+        splice_s = time.perf_counter() - start
+
+        # Stage 2: prefill only the uncached tokens at their schema positions.
+        token_ids, positions = _merge_uncached(plan.uncached)
+        reserve = len(cache) + len(token_ids) + max_new_tokens
+        cache.reserve(reserve)
+        start = time.perf_counter()
+        logits = self.model.forward(token_ids, positions, cache)[-1]
+        suffix_s = time.perf_counter() - start
+
+        output_ids, step_times = decode_loop(
+            self.model,
+            cache,
+            logits,
+            max_new_tokens=max_new_tokens,
+            next_position=plan.next_position,
+            sampler=sampler,
+            stop_ids=stop_ids,
+        )
+        return ServeResult(
+            output_ids=output_ids,
+            text=self.tokenizer.decode(output_ids, skip_specials=True),
+            prompt_tokens=cached_tokens + len(token_ids),
+            cached_tokens=cached_tokens,
+            uncached_tokens=len(token_ids),
+            ttft_s=splice_s + suffix_s,
+            splice_s=splice_s,
+            suffix_s=suffix_s,
+            step_times_s=step_times,
+            tier_tokens=tier_tokens,
+        )
+
+    # Friendly alias used throughout the examples.
+    generate = serve
+
+    def serve_batch(
+        self,
+        prompts: list[str],
+        *,
+        max_new_tokens: int = 32,
+        sampler=None,
+        stop_ids: set[int] | None = None,
+    ) -> "BatchServeResult":
+        """Serve a batch with paged module sharing (paper §3.4).
+
+        Prompts selecting the same module sequence share one physical copy
+        of the spliced states via refcounted pages
+        (:mod:`repro.llm.paged`); each request's suffix and generated
+        tokens extend a private fork (copy-on-write on the boundary page).
+        Outputs are identical to serving each prompt alone.
+        """
+        from repro.llm.paged import PagedKVCache
+
+        plans = []
+        for prompt in prompts:
+            resolved = self._resolve(prompt)
+            registered = self.schemas[resolved.schema.name]
+            plan = self._plan(resolved, registered)
+            group_key = (
+                resolved.schema.name,
+                tuple(
+                    (name, variant)
+                    for _, name, variant in self._variants_for(registered, plan, True)
+                ),
+                plan.recompute_tail,
+            )
+            plans.append((prompt, registered, plan, group_key))
+
+        bases: dict = {}
+        results: list[ServeResult] = []
+        physical = duplicated = 0
+        for prompt, registered, plan, group_key in plans:
+            start = time.perf_counter()
+            base = bases.get(group_key)
+            if base is None:
+                module_kvs, _ = self._gather_module_kvs(registered, plan, True)
+                base = PagedKVCache.from_module_kvs(self.model.config, module_kvs)
+                bases[group_key] = base
+            cache = base.fork()
+            cached_tokens = len(cache)
+            splice_s = time.perf_counter() - start
+
+            token_ids, positions = _merge_uncached(plan.uncached)
+            start = time.perf_counter()
+            logits = self.model.forward(token_ids, positions, cache)[-1]
+            suffix_s = time.perf_counter() - start
+            output_ids, step_times = decode_loop(
+                self.model, cache, logits,
+                max_new_tokens=max_new_tokens,
+                next_position=plan.next_position,
+                sampler=sampler, stop_ids=stop_ids,
+            )
+            duplicated += cache.logical_bytes()
+            results.append(
+                ServeResult(
+                    output_ids=output_ids,
+                    text=self.tokenizer.decode(output_ids, skip_specials=True),
+                    prompt_tokens=cached_tokens + len(token_ids),
+                    cached_tokens=cached_tokens,
+                    uncached_tokens=len(token_ids),
+                    ttft_s=splice_s + suffix_s,
+                    splice_s=splice_s,
+                    suffix_s=suffix_s,
+                    step_times_s=step_times,
+                )
+            )
+        physical = sum(base.physical_bytes() for base in bases.values())
+        return BatchServeResult(
+            results=results,
+            physical_bytes=physical,
+            duplicated_bytes=duplicated,
+            shared_groups=len(bases),
+        )
+
+    def invalidate(self, schema_name: str, module_name: str | None = None) -> int:
+        """Drop cached states for one module (or a whole schema) from every
+        tier; the next use re-encodes. Returns the number of entries
+        dropped. This is the eviction half of runtime module updates."""
+        dropped = 0
+        for tier in (self.store.gpu, self.store.cpu):
+            for key in tier.keys():
+                if key.schema != schema_name:
+                    continue
+                if module_name is not None and key.module != module_name:
+                    continue
+                tier.remove(key)
+                dropped += 1
+        return dropped
+
+    def update_module_text(
+        self, schema_name: str, module_name: str, new_text: str
+    ) -> None:
+        """Replace one module's text at runtime (paper §1: modules can be
+        "update[d] during the runtime").
+
+        The schema is re-parsed with the new text and re-laid-out; only the
+        updated module is re-encoded eagerly, other modules are invalidated
+        lazily if their positions shifted (same token count -> no shift ->
+        their cached states stay valid and are kept).
+        """
+        registered = self.schemas[schema_name]
+        old_layout = registered.layout
+        module = registered.schema.module(module_name)
+        from repro.pml.ast import TextNode
+
+        module.children = [TextNode(new_text)]
+        new_layout = layout_schema(registered.schema, self.tokenizer)
+        # Keep cached states whose position assignment is unchanged.
+        for name in list(old_layout.modules):
+            if name == module_name:
+                continue
+            unchanged = (
+                name in new_layout.modules
+                and old_layout.module(name).span_start
+                == new_layout.module(name).span_start
+                and len(old_layout.module(name).token_ids)
+                == len(new_layout.module(name).token_ids)
+            )
+            if not unchanged:
+                self.invalidate(schema_name, name)
+        self.invalidate(schema_name, module_name)
+        registered.layout = new_layout
+        self._ensure_encoded(registered, module_name, SOLO_VARIANT, self.default_tier)
+        # Scaffold variants embed cross-module state: always refresh.
+        for i, names in enumerate(registered.scaffold_sets):
+            if module_name in names:
+                for n in names:
+                    self.invalidate(schema_name, n)
+
+    def start_session(self, prompt: str):
+        """Open a multi-turn :class:`~repro.cache.session.GenerationSession`
+        whose cached modules persist across turns."""
+        from repro.cache.session import GenerationSession
+
+        return GenerationSession(self, prompt)
+
+    def baseline(
+        self,
+        prompt: str,
+        *,
+        max_new_tokens: int = 32,
+        sampler=None,
+        stop_ids: set[int] | None = None,
+    ) -> GenerationResult:
+        """KV-cache baseline over the *same* token content as :meth:`serve`
+        (modules inlined, arguments substituted), positions ``0..n-1``."""
+        resolved = self._resolve(prompt)
+        registered = self.schemas[resolved.schema.name]
+        plan = self._plan(resolved, registered)
+        sequence: list[int] = []
+        for _, chunk in sorted(plan.baseline_chunks, key=lambda c: c[0]):
+            sequence.extend(chunk)
+        return generate(
+            self.model,
+            sequence,
+            max_new_tokens=max_new_tokens,
+            sampler=sampler,
+            stop_ids=stop_ids,
+        )
+
+    def prompt_token_count(self, prompt: str) -> tuple[int, int]:
+        """(cached, uncached) token counts for a prompt — what the latency
+        benches feed the analytical device model."""
+        resolved = self._resolve(prompt)
+        registered = self.schemas[resolved.schema.name]
+        plan = self._plan(resolved, registered)
+        uncached = sum(len(t) for t, _ in plan.uncached)
+        cached = sum(
+            int(np.count_nonzero(_keep_mask(layout))) for layout, _ in plan.modules
+        )
+        if plan.recompute_tail is not None:
+            cached -= 1
+        return cached, uncached
+
+    # -- internals ------------------------------------------------------------------
+
+    def _resolve(self, prompt: str) -> ResolvedPrompt:
+        node = parse_prompt(prompt)
+        if node.schema not in self.schemas:
+            raise SchemaMismatchError(
+                f"schema {node.schema!r} is not registered; "
+                f"known: {sorted(self.schemas)}"
+            )
+        return resolve(node, self.schemas[node.schema].schema)
+
+    def _plan(self, resolved: ResolvedPrompt, registered: RegisteredSchema) -> _Plan:
+        layout = registered.layout
+        selected = set(layout.always_included()) | set(resolved.selected_names())
+        args_by_module = {s.name: s.args for s in resolved.selections}
+
+        modules: list[tuple[ModuleLayout, str]] = []
+        uncached: list[tuple[np.ndarray, np.ndarray]] = []
+        baseline_chunks: list[tuple[int, list[int]]] = []
+        occupied: list[tuple[int, int]] = []
+
+        for name in layout.order:
+            if name not in selected:
+                continue
+            mod = layout.module(name)
+            modules.append((mod, name))
+            occupied.append((mod.span_start, mod.span_end))
+            baseline_chunks.append(
+                (mod.span_start, self._module_chunk(mod, args_by_module.get(name, {})))
+            )
+            # Parameter arguments become uncached work at the slot positions.
+            for slot in mod.params.values():
+                value = args_by_module.get(name, {}).get(slot.name, slot.default)
+                if not value:
+                    continue
+                ids = self.tokenizer.encode(value)
+                if len(ids) > slot.length:
+                    raise SchemaMismatchError(
+                        f"argument for parameter {slot.name!r} of module "
+                        f"{name!r} is {len(ids)} tokens; the schema allows "
+                        f"{slot.length}"
+                    )
+                pos = mod.param_positions(slot.name)[: len(ids)]
+                uncached.append((np.asarray(ids, dtype=np.int64), pos))
+
+        # New prompt text: use the gap after its anchor if one exists,
+        # otherwise append past the schema extent (paper §3.4).
+        tail = layout.total_length
+        for new_text in resolved.texts:
+            ids = np.asarray(self.tokenizer.encode(new_text.text), dtype=np.int64)
+            if len(ids) == 0:
+                continue
+            anchor_end = (
+                layout.module(new_text.anchor).span_end if new_text.anchor else 0
+            )
+            if _gap_fits(anchor_end, len(ids), occupied, tail):
+                start = anchor_end
+            else:
+                start = tail
+                tail += len(ids)
+            positions = np.arange(start, start + len(ids), dtype=np.int64)
+            occupied.append((start, start + len(ids)))
+            uncached.append((ids, positions))
+            baseline_chunks.append((start, list(map(int, ids))))
+
+        if not modules and not uncached:
+            raise SchemaMismatchError(
+                "the prompt selects no modules and adds no text; there is "
+                "nothing to serve"
+            )
+        recompute_tail = None
+        if not uncached:
+            # Fully cached prompt: the first sampling decision still needs
+            # logits, so the highest-positioned cached token is recomputed
+            # as the suffix (its cached copy is skipped during assembly).
+            # The token must be one that survives slot-dropping, i.e. not a
+            # parameter placeholder.
+            mod = max((m for m, _ in modules), key=lambda m: m.span_end)
+            last = int(np.flatnonzero(_keep_mask(mod))[-1])
+            recompute_tail = (mod.name, last)
+            uncached.append((mod.token_ids[last : last + 1], mod.positions[last : last + 1]))
+
+        return _Plan(
+            modules=modules,
+            uncached=uncached,
+            baseline_chunks=baseline_chunks,
+            next_position=max(tail, self._max_position(uncached, occupied)),
+            recompute_tail=recompute_tail,
+        )
+
+    @staticmethod
+    def _max_position(uncached, occupied) -> int:
+        top = 0
+        for _, positions in uncached:
+            if len(positions):
+                top = max(top, int(positions.max()) + 1)
+        for _, end in occupied:
+            top = max(top, end)
+        return top
+
+    def _module_chunk(self, mod: ModuleLayout, args: dict[str, str]) -> list[int]:
+        """Module tokens with argument values spliced into their slots —
+        the content a user would have sent without Prompt Cache."""
+        if not mod.params:
+            return list(map(int, mod.token_ids))
+        pieces: list[tuple[int, list[int]]] = []
+        keep = np.ones(len(mod.token_ids), dtype=bool)
+        for slot in mod.params.values():
+            keep[slot.offset : slot.offset + slot.length] = False
+            value = args.get(slot.name, slot.default)
+            ids = self.tokenizer.encode(value) if value else []
+            pieces.append((slot.offset, list(map(int, ids))))
+        base = [(i, [int(t)]) for i, t in enumerate(mod.token_ids) if keep[i]]
+        merged = sorted(base + pieces, key=lambda p: p[0])
+        return [t for _, chunk in merged for t in chunk]
+
+    def _variants_for(
+        self, registered: RegisteredSchema, plan: _Plan, use_scaffolds: bool
+    ) -> list[tuple[ModuleLayout, str, str]]:
+        """(layout, name, variant) for each selected module, in order."""
+        selected_names = [name for _, name in plan.modules]
+        scaffold_active = set()
+        if use_scaffolds:
+            for names in registered.scaffold_sets:
+                if set(names) <= set(selected_names):
+                    scaffold_active.update(names)
+        return [
+            (
+                mod,
+                name,
+                registered.scaffold_variants[name]
+                if name in scaffold_active
+                else SOLO_VARIANT,
+            )
+            for mod, name in plan.modules
+        ]
+
+    def _gather_module_kvs(
+        self, registered: RegisteredSchema, plan: _Plan, use_scaffolds: bool
+    ) -> tuple[list[ModuleKV], dict[str, int]]:
+        """Fetch (encoding on miss) the slot-dropped states of every
+        selected module, in document order."""
+        module_kvs: list[ModuleKV] = []
+        tier_tokens: dict[str, int] = {"gpu": 0, "cpu": 0}
+        for mod, name, variant in self._variants_for(registered, plan, use_scaffolds):
+            kv, tier = self._ensure_encoded(registered, name, variant, self.default_tier)
+            kv = drop_param_slots(kv, mod, list(mod.params.values()))
+            if plan.recompute_tail is not None and plan.recompute_tail[0] == name:
+                # Fully-cached prompt: skip the tail token being recomputed.
+                kv = kv.slice(0, len(kv) - 1)
+            tier_tokens[tier] += len(kv)
+            if len(kv):
+                module_kvs.append(kv)
+        return module_kvs, tier_tokens
+
+    def _assemble(
+        self, registered: RegisteredSchema, plan: _Plan, use_scaffolds: bool
+    ) -> tuple[KVCache, dict[str, int], int]:
+        """Concatenate the selected modules' cached states into a KVCache."""
+        module_kvs, tier_tokens = self._gather_module_kvs(registered, plan, use_scaffolds)
+
+        config = self.model.config
+        if not module_kvs:
+            return KVCache.empty(config), tier_tokens, 0
+
+        layers: list[LayerKV] = []
+        for i in range(config.n_layers):
+            keys = buffered_concat([kv.keys[i] for kv in module_kvs], axis=1)
+            values = buffered_concat([kv.values[i] for kv in module_kvs], axis=1)
+            positions = np.concatenate([kv.positions for kv in module_kvs])
+            layers.append(LayerKV.from_arrays(keys, values, positions))
+        cache = KVCache(layers)
+        return cache, tier_tokens, len(cache)
+
+
+def _keep_mask(mod: ModuleLayout) -> np.ndarray:
+    """True for direct tokens that are not parameter placeholders."""
+    keep = np.ones(len(mod.token_ids), dtype=bool)
+    for slot in mod.params.values():
+        keep[slot.offset : slot.offset + slot.length] = False
+    return keep
+
+
+def _merge_uncached(
+    batches: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten the uncached batches into one forward pass, position-sorted.
+
+    Position-derived causal masking makes the order mathematically
+    irrelevant, but sorting keeps traces readable and decode positions
+    contiguous at the tail.
+    """
+    token_ids = np.concatenate([t for t, _ in batches])
+    positions = np.concatenate([p for _, p in batches])
+    order = np.argsort(positions, kind="stable")
+    return token_ids[order], positions[order]
+
+
+def _gap_fits(
+    start: int, length: int, occupied: list[tuple[int, int]], tail: int
+) -> bool:
+    """True when [start, start+length) collides with no occupied range and
+    stays inside the schema extent."""
+    end = start + length
+    if end > tail:
+        return False
+    return all(end <= lo or start >= hi for lo, hi in occupied)

@@ -1,0 +1,208 @@
+"""Position-ID layout: assigning every schema token an absolute position.
+
+This is the paper's §3.3 first step: "The starting position ID is
+determined by the absolute location of the prompt module within the
+schema." Rules implemented here:
+
+- Anonymous text becomes synthesized always-included modules.
+- A module's span covers its direct tokens, its parameter slots (``len``
+  placeholder tokens each), and the spans of nested modules/unions.
+- Union members all start at the union's cursor; the union's span is the
+  size of its **largest** member (paper: "their token sequence size is
+  considered with the size of the largest child").
+- Parameter slots are encoded as ``<unk>`` tokens whose positions are
+  recorded for later argument substitution.
+- A module's *direct* token/position arrays skip nested-module ranges, so a
+  parent's positions are themselves discontinuous — which the engine's
+  position-aware attention handles natively.
+
+The layout is a pure function of (schema, tokenizer): laying out the same
+schema twice yields identical position assignments, the property that makes
+cached states reusable across prompts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pml.ast import (
+    ModuleNode,
+    ParamNode,
+    RoleNode,
+    SchemaNode,
+    TextNode,
+    UnionNode,
+)
+from repro.pml.errors import ValidationError
+from repro.pml.schema import Schema
+
+ANONYMOUS_PREFIX = "__text"
+
+
+@dataclass(frozen=True)
+class ParamSlot:
+    """A parameter's placeholder run inside its module's direct sequence."""
+
+    name: str
+    offset: int  # index of the first placeholder in the module's direct arrays
+    length: int  # number of reserved tokens (the `len` attribute)
+    default: str
+
+
+@dataclass
+class ModuleLayout:
+    """One module's token sequence and absolute position assignment."""
+
+    name: str
+    span_start: int
+    span_end: int  # exclusive
+    token_ids: np.ndarray  # direct tokens only (<unk> in parameter slots)
+    positions: np.ndarray  # absolute position IDs, same length as token_ids
+    params: dict[str, ParamSlot] = field(default_factory=dict)
+    anonymous: bool = False
+
+    @property
+    def span_length(self) -> int:
+        return self.span_end - self.span_start
+
+    def param_positions(self, name: str) -> np.ndarray:
+        slot = self.params[name]
+        return self.positions[slot.offset : slot.offset + slot.length]
+
+
+@dataclass
+class SchemaLayout:
+    """Every module's layout plus the schema-wide extent."""
+
+    schema_name: str
+    total_length: int  # first position ID past the schema (suffix text + decode start here)
+    modules: dict[str, ModuleLayout]
+    order: list[str]  # document order, anonymous modules included
+    anonymous_names: list[str]
+
+    def module(self, name: str) -> ModuleLayout:
+        return self.modules[name]
+
+    def always_included(self) -> list[str]:
+        return list(self.anonymous_names)
+
+
+def layout_schema(schema: Schema, tokenizer) -> SchemaLayout:
+    """Assign absolute positions to every token of every module."""
+    builder = _LayoutBuilder(tokenizer)
+    cursor = builder.layout_children(schema.root.children, cursor=0, module_out=None)
+    return SchemaLayout(
+        schema_name=schema.name,
+        total_length=cursor,
+        modules=builder.modules,
+        order=builder.order,
+        anonymous_names=builder.anonymous,
+    )
+
+
+class _LayoutBuilder:
+    def __init__(self, tokenizer) -> None:
+        self.tokenizer = tokenizer
+        self.modules: dict[str, ModuleLayout] = {}
+        self.order: list[str] = []
+        self.anonymous: list[str] = []
+        self._anon_counter = 0
+
+    # A "module accumulator" gathers the direct tokens of the module being
+    # laid out: (token_ids, positions, params).
+    def layout_children(
+        self, children: list, cursor: int, module_out: dict | None
+    ) -> int:
+        for child in children:
+            if isinstance(child, TextNode):
+                cursor = self._layout_text(child, cursor, module_out)
+            elif isinstance(child, ParamNode):
+                cursor = self._layout_param(child, cursor, module_out)
+            elif isinstance(child, ModuleNode):
+                cursor = self._layout_module(child, cursor)
+            elif isinstance(child, UnionNode):
+                cursor = self._layout_union(child, cursor)
+            elif isinstance(child, RoleNode):
+                raise ValidationError(
+                    "role tags must be resolved with a chat template before layout"
+                )
+            else:
+                raise TypeError(f"unexpected node {type(child).__name__} in layout")
+        return cursor
+
+    def _layout_text(self, node: TextNode, cursor: int, module_out: dict | None) -> int:
+        ids = self.tokenizer.encode(node.text)
+        if module_out is None:
+            # Top-level anonymous text: synthesize an always-included module.
+            name = f"{ANONYMOUS_PREFIX}{self._anon_counter}"
+            self._anon_counter += 1
+            layout = ModuleLayout(
+                name=name,
+                span_start=cursor,
+                span_end=cursor + len(ids),
+                token_ids=np.asarray(ids, dtype=np.int64),
+                positions=np.arange(cursor, cursor + len(ids), dtype=np.int64),
+                anonymous=True,
+            )
+            self.modules[name] = layout
+            self.order.append(name)
+            self.anonymous.append(name)
+            return cursor + len(ids)
+        module_out["tokens"].extend(ids)
+        module_out["positions"].extend(range(cursor, cursor + len(ids)))
+        return cursor + len(ids)
+
+    def _layout_param(self, node: ParamNode, cursor: int, module_out: dict | None) -> int:
+        if module_out is None:
+            raise ValidationError("<param> must appear inside a <module>")
+        slot = ParamSlot(
+            name=node.name,
+            offset=len(module_out["tokens"]),
+            length=node.length,
+            default=node.default,
+        )
+        module_out["params"][node.name] = slot
+        module_out["tokens"].extend([self.tokenizer.unk_id] * node.length)
+        module_out["positions"].extend(range(cursor, cursor + node.length))
+        return cursor + node.length
+
+    def _layout_module(self, node: ModuleNode, cursor: int) -> int:
+        start = cursor
+        acc = {"tokens": [], "positions": [], "params": {}}
+        end = self._layout_module_body(node, acc, cursor)
+        self.modules[node.name] = ModuleLayout(
+            name=node.name,
+            span_start=start,
+            span_end=end,
+            token_ids=np.asarray(acc["tokens"], dtype=np.int64),
+            positions=np.asarray(acc["positions"], dtype=np.int64),
+            params=acc["params"],
+        )
+        self.order.append(node.name)
+        return end
+
+    def _layout_module_body(self, node: ModuleNode, acc: dict, cursor: int) -> int:
+        for child in node.children:
+            if isinstance(child, TextNode):
+                cursor = self._layout_text(child, cursor, acc)
+            elif isinstance(child, ParamNode):
+                cursor = self._layout_param(child, cursor, acc)
+            elif isinstance(child, ModuleNode):
+                # Nested module: its own layout entry; parent's direct arrays
+                # skip this range, leaving a (potential) gap.
+                cursor = self._layout_module(child, cursor)
+            elif isinstance(child, UnionNode):
+                cursor = self._layout_union(child, cursor)
+            else:
+                raise TypeError(f"unexpected node {type(child).__name__} in module")
+        return cursor
+
+    def _layout_union(self, node: UnionNode, cursor: int) -> int:
+        # All members share the union's start position (paper §3.2.3).
+        end = cursor
+        for member in node.members:
+            member_end = self._layout_module(member, cursor)
+            end = max(end, member_end)
+        return end

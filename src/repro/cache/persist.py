@@ -1,0 +1,101 @@
+"""Disk persistence for encoded prompt modules.
+
+Encoding a module costs a full prefill of its text; serving systems want
+those states to survive restarts. ``save_store``/``load_store`` round-trip
+a :class:`~repro.cache.storage.ModuleCacheStore`'s solo-variant entries
+through ``.npz`` files (one per module, scales/int8 payloads included when
+a codec produced them).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.cache.compress import CompressedModuleKV
+from repro.cache.storage import CacheKey, ModuleCacheStore
+from repro.llm.kv import ModuleKV
+
+_INDEX = "index.json"
+
+
+def _entry_path(directory: Path, key: CacheKey) -> Path:
+    safe = f"{key.schema}__{key.module}__{key.variant}".replace("/", "_")
+    return directory / f"{safe}.npz"
+
+
+def save_store(store: ModuleCacheStore, directory: str | Path) -> int:
+    """Write every entry of both tiers to ``directory``; returns a count."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    index: list[dict] = []
+    count = 0
+    for tier_name in ("gpu", "cpu"):
+        tier = store.tier(tier_name)
+        for key, entry in tier.entries.items():
+            payload = entry.kv
+            path = _entry_path(directory, key)
+            if isinstance(payload, ModuleKV):
+                arrays = {"positions": payload.positions}
+                for i, (k, v) in enumerate(zip(payload.keys, payload.values)):
+                    arrays[f"keys{i}"] = k
+                    arrays[f"values{i}"] = v
+                np.savez_compressed(path, **arrays)
+                kind = "raw"
+            elif isinstance(payload, CompressedModuleKV):
+                arrays = {"positions": payload.positions}
+                for field, tensors in payload.payload.items():
+                    for i, tensor in enumerate(tensors):
+                        arrays[f"{field}{i}"] = tensor
+                np.savez_compressed(path, **arrays)
+                kind = payload.codec
+            else:  # pragma: no cover - simulator stand-ins are not persisted
+                continue
+            index.append(
+                {
+                    "schema": key.schema, "module": key.module,
+                    "variant": key.variant, "tier": tier_name,
+                    "kind": kind, "file": path.name,
+                    "pinned": entry.pinned,
+                }
+            )
+            count += 1
+    (directory / _INDEX).write_text(json.dumps(index, indent=1))
+    return count
+
+
+def load_store(
+    directory: str | Path, store: ModuleCacheStore | None = None
+) -> ModuleCacheStore:
+    """Rebuild a store from :func:`save_store` output."""
+    directory = Path(directory)
+    store = store or ModuleCacheStore()
+    index = json.loads((directory / _INDEX).read_text())
+    for record in index:
+        key = CacheKey(record["schema"], record["module"], record["variant"])
+        with np.load(directory / record["file"]) as data:
+            positions = data["positions"]
+            if record["kind"] == "raw":
+                n_layers = sum(1 for name in data.files if name.startswith("keys"))
+                kv = ModuleKV(
+                    keys=[data[f"keys{i}"] for i in range(n_layers)],
+                    values=[data[f"values{i}"] for i in range(n_layers)],
+                    positions=positions,
+                )
+            else:
+                payload: dict[str, list[np.ndarray]] = {}
+                fields = [n for n in data.files if n != "positions"]
+                # Layer order must survive the archive: sort by (field, i).
+                fields.sort(
+                    key=lambda n: (n.rstrip("0123456789"), int(n[len(n.rstrip("0123456789")):]))
+                )
+                for name in fields:
+                    field = name.rstrip("0123456789")
+                    payload.setdefault(field, []).append(data[name])
+                kv = CompressedModuleKV(
+                    codec=record["kind"], payload=payload, positions=positions
+                )
+        store.put(key, kv, tier=record["tier"], pinned=record["pinned"])
+    return store

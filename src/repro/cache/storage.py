@@ -1,0 +1,267 @@
+"""Module cache storage: CPU/GPU tiers, capacity accounting, eviction.
+
+The paper stores encoded modules in GPU HBM (fast, scarce) or host DRAM
+(abundant, pays a host-to-device copy) and leaves replacement policy to
+future work (§4.1, §6). This module implements both tiers with byte-exact
+accounting plus the replacement strategies the paper sketches — LRU, LFU,
+FIFO, and size-aware — so the eviction ablation can compare them.
+
+Entries are keyed by ``(schema, module, variant)``; ``variant`` separates a
+module's independent encoding from its scaffolded encodings.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.hw.allocator import CapacityError, MemoryAccountant
+from repro.llm.kv import ModuleKV
+
+SOLO_VARIANT = "solo"
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    schema: str
+    module: str
+    variant: str = SOLO_VARIANT
+
+    def tag(self) -> str:
+        return f"{self.schema}/{self.module}/{self.variant}"
+
+
+@dataclass
+class CacheEntry:
+    key: CacheKey
+    kv: ModuleKV
+    nbytes: int
+    pinned: bool = False
+    # Bookkeeping consumed by eviction policies.
+    inserted_at: int = 0
+    last_used_at: int = 0
+    use_count: int = 0
+
+
+class EvictionPolicy:
+    """Chooses a victim among unpinned entries; subclasses order them."""
+
+    name = "base"
+
+    def victim(self, entries: list[CacheEntry]) -> CacheEntry:
+        candidates = [e for e in entries if not e.pinned]
+        if not candidates:
+            raise CapacityError("cache full and every entry is pinned")
+        return min(candidates, key=self.rank)
+
+    def rank(self, entry: CacheEntry):
+        raise NotImplementedError
+
+
+class LRUPolicy(EvictionPolicy):
+    name = "lru"
+
+    def rank(self, entry: CacheEntry):
+        return entry.last_used_at
+
+
+class LFUPolicy(EvictionPolicy):
+    name = "lfu"
+
+    def rank(self, entry: CacheEntry):
+        return (entry.use_count, entry.last_used_at)
+
+
+class FIFOPolicy(EvictionPolicy):
+    name = "fifo"
+
+    def rank(self, entry: CacheEntry):
+        return entry.inserted_at
+
+
+class SizeAwarePolicy(EvictionPolicy):
+    """Evict the largest cold entry first (GreedyDual-style tie to LRU)."""
+
+    name = "size"
+
+    def rank(self, entry: CacheEntry):
+        return (-entry.nbytes, entry.last_used_at)
+
+
+POLICIES = {p.name: p for p in (LRUPolicy(), LFUPolicy(), FIFOPolicy(), SizeAwarePolicy())}
+
+
+@dataclass
+class TierStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    bytes_evicted: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CacheTier:
+    """One storage tier (e.g. GPU HBM or host DRAM) with a byte budget."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: int | None = None,
+        policy: EvictionPolicy | str = "lru",
+    ) -> None:
+        self.name = name
+        self.accountant = MemoryAccountant(capacity_bytes=capacity_bytes)
+        self.policy = POLICIES[policy] if isinstance(policy, str) else policy
+        self.entries: dict[CacheKey, CacheEntry] = {}
+        self.stats = TierStats()
+        self._clock = itertools.count()
+        # Called with each evicted entry (the store uses it to demote GPU
+        # victims into host memory instead of dropping them).
+        self.on_evict = None
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self.entries
+
+    def get(self, key: CacheKey) -> CacheEntry | None:
+        entry = self.entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        entry.last_used_at = next(self._clock)
+        entry.use_count += 1
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, kv: ModuleKV, pinned: bool = False) -> CacheEntry:
+        """Insert, evicting until the entry fits. Raises
+        :class:`CapacityError` if it can never fit (entry > capacity or all
+        remaining entries pinned)."""
+        if key in self.entries:
+            self.remove(key)
+        nbytes = kv.nbytes()
+        capacity = self.accountant.capacity_bytes
+        if capacity is not None and nbytes > capacity:
+            raise CapacityError(
+                f"module {key.tag()} ({nbytes} B) exceeds tier {self.name!r} "
+                f"capacity ({capacity} B)"
+            )
+        while not self.accountant.would_fit(nbytes):
+            self._evict_one()
+        self.accountant.allocate(key.tag(), nbytes)
+        now = next(self._clock)
+        entry = CacheEntry(
+            key=key, kv=kv, nbytes=nbytes, pinned=pinned,
+            inserted_at=now, last_used_at=now,
+        )
+        self.entries[key] = entry
+        self.stats.insertions += 1
+        return entry
+
+    def remove(self, key: CacheKey) -> None:
+        self.entries.pop(key)
+        self.accountant.release(key.tag())
+
+    def _evict_one(self) -> None:
+        victim = self.policy.victim(list(self.entries.values()))
+        self.remove(victim.key)
+        self.stats.evictions += 1
+        self.stats.bytes_evicted += victim.nbytes
+        if self.on_evict is not None:
+            self.on_evict(victim)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.accountant.used_bytes
+
+    def keys(self) -> list[CacheKey]:
+        return list(self.entries)
+
+
+@dataclass
+class FetchResult:
+    entry: CacheEntry
+    tier: str  # which tier served it ("gpu" fast path or "cpu" copy path)
+
+
+class ModuleCacheStore:
+    """Two-tier module store mirroring the paper's GPU/CPU memory split.
+
+    ``fetch`` prefers the fast tier; on a fast-tier miss it falls back to
+    the slow tier (the paper's host-to-device copy path) and reports which
+    tier served the request so benchmarks can price the transfer.
+    """
+
+    def __init__(
+        self,
+        gpu_capacity_bytes: int | None = None,
+        cpu_capacity_bytes: int | None = None,
+        policy: str = "lru",
+        demote_on_evict: bool = True,
+    ) -> None:
+        self.gpu = CacheTier("gpu", gpu_capacity_bytes, policy)
+        self.cpu = CacheTier("cpu", cpu_capacity_bytes, policy)
+        if demote_on_evict:
+            # GPU victims fall back to abundant host DRAM (paper §4.1);
+            # later fetches pay the host-to-device copy instead of a
+            # re-encode.
+            self.gpu.on_evict = lambda entry: self.cpu.put(
+                entry.key, entry.kv, pinned=entry.pinned
+            )
+
+    def tier(self, name: str) -> CacheTier:
+        if name == "gpu":
+            return self.gpu
+        if name == "cpu":
+            return self.cpu
+        raise KeyError(f"unknown tier {name!r}; expected 'gpu' or 'cpu'")
+
+    def put(
+        self, key: CacheKey, kv: ModuleKV, tier: str = "gpu", pinned: bool = False
+    ) -> CacheEntry:
+        """Store in ``tier``, spilling to CPU if the GPU tier cannot fit it."""
+        try:
+            return self.tier(tier).put(key, kv, pinned=pinned)
+        except CapacityError:
+            if tier == "gpu":
+                return self.cpu.put(key, kv, pinned=pinned)
+            raise
+
+    def fetch(self, key: CacheKey) -> FetchResult | None:
+        entry = self.gpu.get(key)
+        if entry is not None:
+            return FetchResult(entry=entry, tier="gpu")
+        entry = self.cpu.get(key)
+        if entry is not None:
+            return FetchResult(entry=entry, tier="cpu")
+        return None
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self.gpu or key in self.cpu
+
+    def total_bytes(self) -> int:
+        return self.gpu.used_bytes + self.cpu.used_bytes
+
+    def prefetch(self, keys: list[CacheKey]) -> int:
+        """Promote CPU-resident modules into the GPU tier ahead of use —
+        the union-aware prefetching the paper floats in §3.2.3. Returns how
+        many modules were promoted; missing or already-resident keys are
+        skipped, and promotion stops silently when the GPU tier is full of
+        pinned entries."""
+        promoted = 0
+        for key in keys:
+            if key in self.gpu:
+                continue
+            entry = self.cpu.entries.get(key)
+            if entry is None:
+                continue
+            try:
+                self.gpu.put(key, entry.kv, pinned=entry.pinned)
+            except CapacityError:
+                break
+            promoted += 1
+        return promoted

@@ -1,0 +1,171 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+inspect    parse a schema file, print its position layout and lint report
+serve      serve a PML prompt against a schema with a seeded engine
+tokenize   show how the shared tokenizer splits a text
+ttft       modeled TTFT for a paper-shape model on a paper device
+datasets   list the synthetic evaluation suite
+devices    list the modeled hardware testbeds
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prompt Cache (MLSys 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    inspect = sub.add_parser("inspect", help="layout + lint a schema file")
+    inspect.add_argument("schema", type=Path)
+    inspect.add_argument("--model", default="llama2-7b", help="paper model for budgets")
+
+    serve = sub.add_parser("serve", help="serve a prompt against a schema")
+    serve.add_argument("schema", type=Path)
+    serve.add_argument("prompt", help="prompt PML text or a file path")
+    serve.add_argument("--arch", default="llama", choices=["llama", "falcon", "mpt", "gpt2"])
+    serve.add_argument("--size", default="small", choices=["tiny", "small"])
+    serve.add_argument("--max-new-tokens", type=int, default=16)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--compare", action="store_true", help="also run the baseline")
+
+    tokenize = sub.add_parser("tokenize", help="tokenize text with the shared BPE")
+    tokenize.add_argument("text")
+
+    ttft = sub.add_parser("ttft", help="modeled TTFT on a paper device")
+    ttft.add_argument("--model", default="llama2-7b")
+    ttft.add_argument("--device", default="rtx-4090")
+    ttft.add_argument("--tokens", type=int, default=5000)
+    ttft.add_argument("--uncached", type=int, default=100)
+    ttft.add_argument("--storage", default="gpu", choices=["gpu", "cpu"])
+
+    sub.add_parser("datasets", help="list the synthetic evaluation suite")
+    sub.add_parser("devices", help="list the modeled devices")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return {
+        "inspect": _cmd_inspect,
+        "serve": _cmd_serve,
+        "tokenize": _cmd_tokenize,
+        "ttft": _cmd_ttft,
+        "datasets": _cmd_datasets,
+        "devices": _cmd_devices,
+    }[args.command](args)
+
+
+def _cmd_inspect(args) -> int:
+    from repro.cache.layout import layout_schema
+    from repro.llm.config import paper_config
+    from repro.pml.lint import lint_schema
+    from repro.pml.schema import Schema
+    from repro.tokenizer import default_tokenizer
+
+    tok = default_tokenizer()
+    schema = Schema.parse(args.schema.read_text())
+    layout = layout_schema(schema, tok)
+    print(f"schema {schema.name!r}: {len(layout.modules)} modules, "
+          f"{layout.total_length} positions")
+    print(f"{'module':<24} {'start':>6} {'end':>6} {'tokens':>6}  params")
+    for name in layout.order:
+        module = layout.module(name)
+        params = ",".join(module.params) or "-"
+        print(f"{name:<24} {module.span_start:>6} {module.span_end:>6} "
+              f"{len(module.token_ids):>6}  {params}")
+    diagnostics = lint_schema(schema, tok, paper_config(args.model))
+    if diagnostics:
+        print("\nlint:")
+        for diag in diagnostics:
+            print(f"  {diag}")
+    else:
+        print("\nlint: clean")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.cache.engine import PromptCache
+    from repro.llm import build_model, small_config, tiny_config
+    from repro.pml.chat import PLAIN_TEMPLATE
+    from repro.tokenizer import default_tokenizer
+
+    tok = default_tokenizer()
+    make = tiny_config if args.size == "tiny" else small_config
+    model = build_model(make(args.arch, vocab_size=tok.vocab_size), seed=args.seed)
+    pc = PromptCache(model, tok, template=PLAIN_TEMPLATE)
+    pc.register_schema(args.schema.read_text())
+
+    prompt = args.prompt
+    if Path(prompt).exists():
+        prompt = Path(prompt).read_text()
+    result = pc.serve(prompt, max_new_tokens=args.max_new_tokens)
+    print(f"cached {result.cached_tokens} / uncached {result.uncached_tokens} tokens")
+    print(f"TTFT {1000 * result.ttft_s:.1f} ms "
+          f"(splice {1000 * result.splice_s:.1f} + suffix {1000 * result.suffix_s:.1f})")
+    print(f"output: {result.text!r}")
+    if args.compare:
+        baseline = pc.baseline(prompt, max_new_tokens=args.max_new_tokens)
+        print(f"baseline TTFT {1000 * baseline.ttft_s:.1f} ms "
+              f"({baseline.ttft_s / result.ttft_s:.1f}x slower)")
+    return 0
+
+
+def _cmd_tokenize(args) -> int:
+    from repro.tokenizer import default_tokenizer
+
+    tok = default_tokenizer()
+    ids = tok.encode(args.text)
+    print(f"{len(ids)} tokens:")
+    print(" ".join(f"[{tok.token_of(i)}]" for i in ids))
+    return 0
+
+
+def _cmd_ttft(args) -> int:
+    from repro.hw.device import device
+    from repro.hw.latency import baseline_ttft, cached_ttft
+    from repro.llm.config import paper_config
+
+    cfg = paper_config(args.model)
+    dev = device(args.device)
+    base = baseline_ttft(cfg, args.tokens, dev)
+    cached = cached_ttft(cfg, args.tokens, args.uncached, dev, args.storage)
+    print(f"{cfg.name} @ {dev.name}, {args.tokens} tokens "
+          f"({args.uncached} uncached, modules in {args.storage} memory)")
+    print(f"baseline TTFT: {1000 * base.total_s:8.1f} ms")
+    print(f"cached TTFT:   {1000 * cached.total_s:8.1f} ms  "
+          f"(copy {1000 * cached.copy_s:.1f} ms)")
+    print(f"speedup:       {base.total_s / cached.total_s:8.1f}x")
+    return 0
+
+
+def _cmd_datasets(args) -> int:
+    from repro.datasets.suite import DATASETS
+
+    print(f"{'dataset':<22} {'category':<16} {'metric':<8} headline")
+    for name, spec in sorted(DATASETS.items(), key=lambda kv: (kv[1].category, kv[0])):
+        print(f"{name:<22} {spec.category:<16} {spec.metric:<8} "
+              f"{'yes' if spec.headline else ''}")
+    return 0
+
+
+def _cmd_devices(args) -> int:
+    from repro.hw.device import DEVICES
+
+    print(f"{'device':<12} {'kind':<5} {'matmul TFLOP/s':>14} {'mem GB/s':>9}")
+    for name, dev in sorted(DEVICES.items()):
+        print(f"{name:<12} {dev.kind:<5} {dev.matmul_flops / 1e12:>14.1f} "
+              f"{dev.mem_bandwidth / 1e9:>9.0f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

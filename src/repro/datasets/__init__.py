@@ -1,0 +1,46 @@
+"""Synthetic LongBench-like evaluation suite and scoring metrics."""
+
+from repro.datasets.corpus import (
+    ATTRIBUTES,
+    Document,
+    ENTITIES,
+    Fact,
+    SyntheticCorpus,
+    VALUES,
+    training_corpus,
+)
+from repro.datasets.metrics import (
+    METRICS,
+    accuracy,
+    exact_match,
+    normalize_answer,
+    rouge_l,
+    score,
+    token_f1,
+)
+from repro.datasets.suite import (
+    CATEGORIES,
+    DATASETS,
+    DatasetSpec,
+    HEADLINE_DATASETS,
+    Sample,
+    build_dataset,
+    headline_datasets,
+)
+from repro.datasets.codegen import (
+    completion_sample,
+    game_codebase,
+    module_name_for,
+)
+from repro.datasets.retrieval import BM25Index, SearchHit
+
+__all__ = [
+    "SyntheticCorpus", "Document", "Fact", "training_corpus",
+    "ENTITIES", "ATTRIBUTES", "VALUES",
+    "score", "token_f1", "rouge_l", "accuracy", "exact_match",
+    "normalize_answer", "METRICS",
+    "DATASETS", "CATEGORIES", "HEADLINE_DATASETS", "DatasetSpec", "Sample",
+    "build_dataset", "headline_datasets",
+    "game_codebase", "completion_sample", "module_name_for",
+    "BM25Index", "SearchHit",
+]

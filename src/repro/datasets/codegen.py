@@ -1,0 +1,62 @@
+"""Synthetic multi-file code corpus (paper §5.6.1, Fig 6).
+
+The paper's code-generation demo treats each source file of a small game
+project (Unit, Map, Game, Player) as a prompt module. We generate an
+equivalent deterministic Python codebase so the Fig 6 bench and the code
+datasets (LCC / RepoBench-P) have realistic module-shaped sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_CLASS_SPECS = {
+    "unit.py": ("Unit", ["health", "attack", "speed", "armor"], ["move", "strike", "heal"]),
+    "map.py": ("Map", ["width", "height", "terrain", "spawn"], ["tile_at", "neighbors", "distance"]),
+    "game.py": ("Game", ["turn", "units", "board", "log"], ["step", "winner", "run"]),
+    "player.py": ("Player", ["name", "score", "faction", "units"], ["recruit", "command", "surrender"]),
+}
+
+
+def _render_class(name: str, fields: list[str], methods: list[str], rng) -> str:
+    lines = [f"class {name}:", f'    """{name} for the grid strategy game."""', ""]
+    init_args = ", ".join(f"{f}={int(rng.integers(1, 20))}" for f in fields)
+    lines.append(f"    def __init__(self, {init_args}):")
+    for f in fields:
+        lines.append(f"        self.{f} = {f}")
+    lines.append("")
+    for method in methods:
+        operand = fields[int(rng.integers(0, len(fields)))]
+        delta = int(rng.integers(1, 9))
+        lines.append(f"    def {method}(self, amount={delta}):")
+        lines.append(f'        """Apply {method} using {operand}."""')
+        lines.append(f"        self.{operand} = self.{operand} + amount")
+        lines.append(f"        return self.{operand}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def game_codebase(seed: int = 0) -> dict[str, str]:
+    """The Fig 6 project: one source string per file, deterministic."""
+    rng = np.random.default_rng(seed)
+    return {
+        path: _render_class(name, fields, methods, rng)
+        for path, (name, fields, methods) in _CLASS_SPECS.items()
+    }
+
+
+def module_name_for(path: str) -> str:
+    """PML module name for a source path (``unit.py`` -> ``file-unit``)."""
+    return "file-" + path.removesuffix(".py").replace("_", "-")
+
+
+def completion_sample(seed: int, index: int) -> tuple[str, str, str]:
+    """(context_code, visible_line, next_line) for code-completion datasets:
+    given the file contents up to a point, predict the following line."""
+    rng = np.random.default_rng([seed, index])
+    files = game_codebase(seed=int(rng.integers(0, 50)))
+    path = list(files)[int(rng.integers(0, len(files)))]
+    lines = [l for l in files[path].splitlines() if l.strip()]
+    cut = int(rng.integers(3, len(lines) - 1))
+    context = "\n".join(lines[:cut])
+    return context, lines[cut - 1], lines[cut]

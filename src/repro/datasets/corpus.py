@@ -1,0 +1,204 @@
+"""Seeded synthetic document corpus.
+
+Substitute for LongBench's source documents (wiki pages, news, reports,
+meeting transcripts): deterministic synthetic prose with embedded,
+machine-checkable *facts*. Each fact is a subject–attribute–value triple
+rendered as a statement sentence; questions about facts have unambiguous
+short answers, so QA metrics measure something real even with small models.
+
+Everything is lowercase and drawn from closed word banks — friendly both to
+the BPE tokenizer (compact vocabulary) and to the trained tiny models used
+in the accuracy benchmarks (associative recall over seen tokens).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+ENTITIES = [
+    "atlantis", "zephyria", "marrowgate", "valdora", "quillhaven", "brimstead",
+    "lorvale", "emberfall", "thornwick", "gildenport", "ashmere", "coldspring",
+    "duskwall", "fernmoor", "glasswater", "hollowpine", "ironvale", "juniper",
+    "kestrelwood", "larkspur", "mossford", "nightbloom", "oakhurst", "pinecrest",
+    "ravenhill", "silverbrook", "tidewater", "umberlea", "violetmarsh", "willowend",
+]
+
+ATTRIBUTES = [
+    "capital", "river", "mayor", "export", "anthem", "festival", "harbor",
+    "forest", "bridge", "museum", "lighthouse", "orchard", "market", "tower",
+    "garden", "founder",
+]
+
+VALUES = [
+    "coral", "basalt", "meridian", "saffron", "cobalt", "juniper", "vermilion",
+    "obsidian", "amber", "cedar", "onyx", "quartz", "indigo", "marble", "lilac",
+    "granite", "topaz", "walnut", "ivory", "sable", "russet", "pewter", "umber",
+    "jade", "slate", "henna", "larch", "ochre", "plum", "teal",
+]
+
+ADJECTIVES = [
+    "quiet", "ancient", "winding", "narrow", "bright", "misty", "steep",
+    "broad", "shaded", "windswept", "cobbled", "mossy",
+]
+
+NOUNS = [
+    "road", "valley", "square", "canal", "meadow", "cliff", "wall", "gate",
+    "mill", "quay", "terrace", "grove",
+]
+
+VERBS = [
+    "crosses", "borders", "overlooks", "follows", "circles", "shelters",
+    "divides", "joins",
+]
+
+# Romanized syllable bank for the "zh"-flavoured datasets (LongBench is
+# bilingual; we mirror that with a disjoint vocabulary, same structure).
+ZH_WORDS = [
+    "shan", "jiang", "chengbei", "nanhu", "xigu", "dongmen", "qingshi",
+    "baiyun", "hongqiao", "lüdao", "jinting", "yinxi", "tianchi", "haiwan",
+]
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A subject–attribute–value triple embedded in a document.
+
+    Surface form: the value directly follows the ``<entity> has
+    <attribute>`` bigram, and questions end with that same bigram as a
+    completion prefix — so a trained induction head can retrieve the value
+    by exact pattern match (see :mod:`repro.train.tasks`).
+    """
+
+    entity: str
+    attribute: str
+    value: str
+
+    def statement(self) -> str:
+        return f"{self.entity} has {self.attribute} {self.value} ."
+
+    def question(self) -> str:
+        return f"what {self.attribute} does {self.entity} have ?"
+
+    def completion(self) -> str:
+        """The answer prefix; the next word after it is the value."""
+        return f"answer by completing : {self.entity} has {self.attribute}"
+
+
+@dataclass
+class Document:
+    """One synthetic document: prose with facts at known offsets."""
+
+    doc_id: str
+    title: str
+    sentences: list[str]
+    facts: list[Fact] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        return f"{self.title} . " + " ".join(self.sentences)
+
+    @property
+    def word_count(self) -> int:
+        return len(self.text.split())
+
+
+class SyntheticCorpus:
+    """Deterministic document factory; same seed+doc_id, same document."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def _rng(self, doc_id: str) -> np.random.Generator:
+        # zlib.crc32, not hash(): str hashing is salted per process and
+        # would break cross-process determinism.
+        return np.random.default_rng([self.seed, zlib.crc32(doc_id.encode())])
+
+    def filler_sentence(self, rng: np.random.Generator, flavor: str = "en") -> str:
+        if flavor == "zh":
+            words = rng.choice(ZH_WORDS, size=5)
+            return " ".join(words) + " ."
+        return (
+            f"the {rng.choice(ADJECTIVES)} {rng.choice(NOUNS)} "
+            f"{rng.choice(VERBS)} the {rng.choice(ADJECTIVES)} "
+            f"{rng.choice(NOUNS)} near {rng.choice(ENTITIES)} ."
+        )
+
+    def make_fact(self, rng: np.random.Generator, entity: str | None = None) -> Fact:
+        return Fact(
+            entity=entity or str(rng.choice(ENTITIES)),
+            attribute=str(rng.choice(ATTRIBUTES)),
+            value=str(rng.choice(VALUES)),
+        )
+
+    def document(
+        self,
+        doc_id: str,
+        *,
+        n_words: int = 300,
+        n_facts: int = 4,
+        flavor: str = "en",
+        facts: list[Fact] | None = None,
+    ) -> Document:
+        """Build a document of roughly ``n_words`` with ``n_facts`` facts
+        spread through the prose (or the explicit ``facts`` given)."""
+        rng = self._rng(doc_id)
+        if facts is None:
+            facts = []
+            used_attrs: set[str] = set()
+            while len(facts) < n_facts:
+                fact = self.make_fact(rng)
+                # Attributes are unique per document so a completion prefix
+                # identifies exactly one fact.
+                if fact.attribute not in used_attrs:
+                    used_attrs.add(fact.attribute)
+                    facts.append(fact)
+        sentences: list[str] = []
+        words = 0
+        target_filler = max(n_words - 9 * len(facts), 0)
+        while words < target_filler:
+            sentence = self.filler_sentence(rng, flavor)
+            sentences.append(sentence)
+            words += len(sentence.split())
+        # Interleave facts deterministically through the prose.
+        for i, fact in enumerate(facts):
+            slot = (i + 1) * len(sentences) // (len(facts) + 1)
+            sentences.insert(min(slot, len(sentences)), fact.statement())
+        title = f"document {doc_id} about {rng.choice(ENTITIES)}"
+        return Document(doc_id=doc_id, title=title, sentences=sentences, facts=facts)
+
+    def multi_hop_chain(self, rng: np.random.Generator, hops: int = 2) -> list[Fact]:
+        """Facts forming a chain: the value of hop i is the entity of
+        hop i+1 — the 2WikiMQA/MuSiQue/HotpotQA structure."""
+        entities = list(rng.choice(ENTITIES, size=hops, replace=False))
+        attributes = list(rng.choice(ATTRIBUTES, size=hops, replace=False))
+        chain: list[Fact] = []
+        for i in range(hops):
+            value = entities[i + 1] if i + 1 < hops else str(rng.choice(VALUES))
+            chain.append(
+                Fact(entity=entities[i], attribute=attributes[i], value=value)
+            )
+        return chain
+
+
+def training_corpus() -> list[str]:
+    """Texts covering the full synthetic vocabulary plus task directives —
+    what the shared BPE tokenizer trains on (:mod:`repro.tokenizer.default`)."""
+    corpus = SyntheticCorpus(seed=0)
+    texts = [corpus.document(f"train{i}", n_words=220).text for i in range(12)]
+    texts += [corpus.document(f"zh{i}", n_words=120, flavor="zh").text for i in range(4)]
+    texts += [
+        " ".join(ENTITIES), " ".join(ATTRIBUTES), " ".join(VALUES),
+        " ".join(ADJECTIVES + NOUNS + VERBS), " ".join(ZH_WORDS),
+        "what capital does atlantis have ? answer the question using the "
+        "documents above . answer by completing : atlantis has capital . "
+        "summarize the key facts . which passage contains the excerpt ? "
+        "the answer is coral . begin the summary now :",
+        "you are a helpful assistant . plan a trip lasting three days . "
+        "suggest a book for this reader profile .",
+        "def main(): return game.run() class Unit: pass class Map: pass "
+        "class Game: pass class Player: pass import numpy as np",
+    ] * 3
+    return texts

@@ -1,0 +1,95 @@
+"""Answer-quality metrics matching LongBench's scoring (paper Table 1).
+
+- token-level **F1** for QA datasets (NarrativeQA, 2WikiMQA, MuSiQue,
+  TriviaQA) with SQuAD-style normalization;
+- **Rouge-L** (LCS F-measure) for summarization (GovReport, QMSum,
+  MultiNews);
+- **accuracy** for retrieval/classification (Passage Retrieval, TREC).
+
+All return floats in [0, 100] like the paper's tables.
+"""
+
+from __future__ import annotations
+
+import re
+import string
+from collections import Counter
+
+_ARTICLES = re.compile(r"\b(a|an|the)\b")
+_PUNCT = str.maketrans("", "", string.punctuation)
+
+
+def normalize_answer(text: str) -> str:
+    """Lowercase, strip punctuation/articles, squeeze whitespace (SQuAD)."""
+    text = text.lower().translate(_PUNCT)
+    text = _ARTICLES.sub(" ", text)
+    return " ".join(text.split())
+
+
+def token_f1(prediction: str, reference: str) -> float:
+    """Bag-of-tokens F1 between normalized prediction and reference."""
+    pred_tokens = normalize_answer(prediction).split()
+    ref_tokens = normalize_answer(reference).split()
+    if not pred_tokens or not ref_tokens:
+        return 100.0 if pred_tokens == ref_tokens else 0.0
+    common = Counter(pred_tokens) & Counter(ref_tokens)
+    overlap = sum(common.values())
+    if overlap == 0:
+        return 0.0
+    precision = overlap / len(pred_tokens)
+    recall = overlap / len(ref_tokens)
+    return 100.0 * 2 * precision * recall / (precision + recall)
+
+
+def _lcs_length(a: list[str], b: list[str]) -> int:
+    """Longest common subsequence via the standard two-row DP."""
+    if not a or not b:
+        return 0
+    prev = [0] * (len(b) + 1)
+    for x in a:
+        curr = [0]
+        for j, y in enumerate(b, start=1):
+            curr.append(prev[j - 1] + 1 if x == y else max(prev[j], curr[-1]))
+        prev = curr
+    return prev[-1]
+
+
+def rouge_l(prediction: str, reference: str) -> float:
+    """Rouge-L F-measure over normalized tokens."""
+    pred_tokens = normalize_answer(prediction).split()
+    ref_tokens = normalize_answer(reference).split()
+    if not pred_tokens or not ref_tokens:
+        return 0.0
+    lcs = _lcs_length(pred_tokens, ref_tokens)
+    if lcs == 0:
+        return 0.0
+    precision = lcs / len(pred_tokens)
+    recall = lcs / len(ref_tokens)
+    return 100.0 * 2 * precision * recall / (precision + recall)
+
+
+def accuracy(prediction: str, reference: str) -> float:
+    """100 if the normalized reference appears in the prediction, else 0 —
+    LongBench's retrieval scoring."""
+    return 100.0 if normalize_answer(reference) in normalize_answer(prediction) else 0.0
+
+
+def exact_match(prediction: str, reference: str) -> float:
+    return 100.0 if normalize_answer(prediction) == normalize_answer(reference) else 0.0
+
+
+METRICS = {
+    "f1": token_f1,
+    "rougeL": rouge_l,
+    "acc": accuracy,
+    "em": exact_match,
+}
+
+
+def score(metric: str, prediction: str, reference: str) -> float:
+    """Dispatch by metric name (``"f1"``, ``"rougeL"``, ``"acc"``, ``"em"``)."""
+    try:
+        fn = METRICS[metric]
+    except KeyError:
+        raise KeyError(f"unknown metric {metric!r}; known: {sorted(METRICS)}") from None
+    return fn(prediction, reference)

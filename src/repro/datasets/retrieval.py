@@ -1,0 +1,84 @@
+"""Lexical retrieval (BM25) over a document pool.
+
+The paper's §6 RAG claim: "the information retrieval system basically
+serves as a database of prompt modules." This is that retrieval system —
+a from-scratch BM25 index over the synthetic corpus. The RAG example and
+bench register the whole pool as one schema (every document pre-encoded)
+and serve each query by importing only the retrieved top-k modules, so
+retrieval selects *cached attention states*, not raw text.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+
+
+def _terms(text: str) -> list[str]:
+    return text.lower().split()
+
+
+@dataclass
+class SearchHit:
+    doc_id: str
+    score: float
+
+
+class BM25Index:
+    """Classic Okapi BM25 (k1/b defaults from the literature)."""
+
+    def __init__(self, k1: float = 1.5, b: float = 0.75) -> None:
+        self.k1 = k1
+        self.b = b
+        self._term_freqs: dict[str, Counter] = {}
+        self._doc_lengths: dict[str, int] = {}
+        self._doc_freq: Counter = Counter()
+
+    def add(self, doc_id: str, text: str) -> None:
+        if doc_id in self._term_freqs:
+            raise ValueError(f"document {doc_id!r} already indexed")
+        terms = _terms(text)
+        counts = Counter(terms)
+        self._term_freqs[doc_id] = counts
+        self._doc_lengths[doc_id] = len(terms)
+        for term in counts:
+            self._doc_freq[term] += 1
+
+    def __len__(self) -> int:
+        return len(self._term_freqs)
+
+    @property
+    def _avg_length(self) -> float:
+        if not self._doc_lengths:
+            return 0.0
+        return sum(self._doc_lengths.values()) / len(self._doc_lengths)
+
+    def _idf(self, term: str) -> float:
+        n = len(self._term_freqs)
+        df = self._doc_freq.get(term, 0)
+        return math.log((n - df + 0.5) / (df + 0.5) + 1.0)
+
+    def score(self, query: str, doc_id: str) -> float:
+        counts = self._term_freqs[doc_id]
+        length = self._doc_lengths[doc_id]
+        avg = self._avg_length or 1.0
+        total = 0.0
+        for term in _terms(query):
+            tf = counts.get(term, 0)
+            if tf == 0:
+                continue
+            saturation = (tf * (self.k1 + 1)) / (
+                tf + self.k1 * (1 - self.b + self.b * length / avg)
+            )
+            total += self._idf(term) * saturation
+        return total
+
+    def search(self, query: str, k: int = 3) -> list[SearchHit]:
+        """Top-``k`` documents by BM25 score (ties broken by doc id)."""
+        hits = [
+            SearchHit(doc_id=doc_id, score=self.score(query, doc_id))
+            for doc_id in self._term_freqs
+        ]
+        hits.sort(key=lambda h: (-h.score, h.doc_id))
+        return [h for h in hits[:k] if h.score > 0]

@@ -1,0 +1,392 @@
+"""Synthetic LongBench-like evaluation suite (paper §5.1).
+
+LongBench itself (21 datasets, 6 categories, 4K–10K-token contexts) is not
+available offline; this module mirrors its *structure* over the seeded
+synthetic corpus: the same dataset names, the same category split, the same
+per-dataset metrics, and the same module decomposition the paper uses —
+"we defined the documents ... as prompt modules [and] kept the
+task-specific directives as uncached user text".
+
+Every sample carries ready-made PML: :meth:`Sample.schema_pml` (documents
+as modules) and :meth:`Sample.prompt_pml` (imports + the uncached
+directive), so benchmarks drive :class:`repro.PromptCache` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets.codegen import completion_sample
+from repro.datasets.corpus import Fact, SyntheticCorpus
+
+HEADLINE_DATASETS = (
+    # The 8 datasets Figures 3/4 and Table 1 report.
+    "narrativeqa", "2wikimqa", "musique", "gov_report",
+    "qmsum", "multi_news", "triviaqa", "passage_retrieval_en",
+)
+
+
+@dataclass
+class Sample:
+    """One evaluation instance: cached documents + uncached directive."""
+
+    dataset: str
+    sample_id: str
+    documents: list[tuple[str, str]]  # (module name, document text)
+    question: str  # task-specific directive — stays uncached
+    answer: str
+    metric: str
+
+    def schema_name(self) -> str:
+        return f"{self.dataset}-{self.sample_id}"
+
+    def schema_pml(self) -> str:
+        body = "".join(
+            f'<module name="{name}">{_escape(text)}</module>'
+            for name, text in self.documents
+        )
+        return f'<schema name="{self.schema_name()}">{body}</schema>'
+
+    def prompt_pml(self, selected: list[str] | None = None) -> str:
+        names = selected if selected is not None else [n for n, _ in self.documents]
+        imports = "".join(f"<{n}/>" for n in names)
+        return (
+            f'<prompt schema="{self.schema_name()}">{imports} '
+            f"{_escape(self.question)}</prompt>"
+        )
+
+    def full_text(self) -> str:
+        """Plain concatenation — what a user sends without Prompt Cache."""
+        return " ".join(text for _, text in self.documents) + " " + self.question
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    name: str
+    category: str
+    metric: str
+    builder: Callable  # (corpus, rng, sample_id, context_words) -> Sample
+    headline: bool = False
+
+
+# -- sample builders ------------------------------------------------------------
+
+
+def _split_words(total: int, parts: int) -> list[int]:
+    base = max(total // parts, 30)
+    return [base] * parts
+
+
+def _single_doc_qa(directive: str, flavor: str = "en", metric: str = "f1"):
+    def build(corpus: SyntheticCorpus, rng, sample_id: str, context_words: int) -> Sample:
+        doc = corpus.document(sample_id, n_words=context_words, n_facts=5, flavor=flavor)
+        fact = doc.facts[int(rng.integers(0, len(doc.facts)))]
+        return Sample(
+            dataset="", sample_id=sample_id,
+            documents=[("doc", doc.text)],
+            question=f"{directive} {fact.completion()}",
+            answer=fact.value,
+            metric=metric,
+        )
+
+    return build
+
+
+def _multi_doc_qa(hops: int, directive: str, metric: str = "f1"):
+    def build(corpus: SyntheticCorpus, rng, sample_id: str, context_words: int) -> Sample:
+        chain = corpus.multi_hop_chain(rng, hops=hops)
+        n_docs = max(hops, 3)
+        words = _split_words(context_words, n_docs)
+        documents = []
+        for i in range(n_docs):
+            facts = [chain[i]] if i < hops else None
+            doc = corpus.document(
+                f"{sample_id}-d{i}", n_words=words[i],
+                facts=facts, n_facts=3,
+            )
+            documents.append((f"doc{i}", doc.text))
+        # Ask for the chain's final value through its first link. The
+        # completion prefix names only the final attribute ("it has X"), so
+        # answering needs either real multi-hop reasoning or an induction
+        # match on the final attribute — which other documents' facts can
+        # shadow. Scores stay well below single-hop QA, as in the paper.
+        first, last = chain[0], chain[-1]
+        middle = " of ".join(f"the {f.attribute}" for f in reversed(chain[1:]))
+        question = (
+            f"follow the chain : {middle} of {first.entity} . "
+            f"answer by completing : it has {last.attribute}"
+        )
+        return Sample(
+            dataset="", sample_id=sample_id,
+            documents=documents,
+            question=f"{directive} {question}",
+            answer=last.value,
+            metric=metric,
+        )
+
+    return build
+
+
+def _summarization(directive: str, flavor: str = "en", dialogue: bool = False):
+    def build(corpus: SyntheticCorpus, rng, sample_id: str, context_words: int) -> Sample:
+        n_docs = 3
+        words = _split_words(context_words, n_docs)
+        documents = []
+        key_facts: list[Fact] = []
+        for i in range(n_docs):
+            doc = corpus.document(
+                f"{sample_id}-d{i}", n_words=words[i], n_facts=2, flavor=flavor
+            )
+            text = doc.text
+            if dialogue:
+                sentences = doc.sentences
+                turns = [
+                    f"{'alice' if j % 2 == 0 else 'bob'} : {s}"
+                    for j, s in enumerate(sentences)
+                ]
+                text = " ".join(turns)
+            documents.append((f"doc{i}", text))
+            key_facts.extend(doc.facts)
+        return Sample(
+            dataset="", sample_id=sample_id,
+            documents=documents,
+            question=directive,
+            answer=" ".join(f.statement() for f in key_facts),
+            metric="rougeL",
+        )
+
+    return build
+
+
+def _few_shot_qa(directive: str):
+    def build(corpus: SyntheticCorpus, rng, sample_id: str, context_words: int) -> Sample:
+        doc = corpus.document(sample_id, n_words=context_words * 2 // 3, n_facts=4)
+        # Few-shot exemplars stay *uncached*: they change per request, which
+        # is why the paper observes TriviaQA gaining the least ("larger
+        # proportion of uncached prompts", §5.2.2).
+        shots = [
+            f"{fact.completion()} {fact.value} ." for fact in doc.facts[:-1]
+        ]
+        extra = [
+            corpus.filler_sentence(np.random.default_rng([i, len(sample_id)]))
+            for i in range(context_words // 12)
+        ]
+        target = doc.facts[-1]
+        return Sample(
+            dataset="", sample_id=sample_id,
+            documents=[("doc", doc.text)],
+            question=(
+                f"{directive} here are examples : {' '.join(shots)} "
+                f"{' '.join(extra)} now answer : {target.completion()}"
+            ),
+            answer=target.value,
+            metric="f1",
+        )
+
+    return build
+
+
+def _classification(directive: str, flavor: str = "en"):
+    def build(corpus: SyntheticCorpus, rng, sample_id: str, context_words: int) -> Sample:
+        # Few-shot label examples: a sentence mentioning an entity, labelled
+        # with that entity (TREC-style "classify by topic").
+        rng_local = np.random.default_rng([rng.integers(2**31), 1])
+        shots = []
+        entities = []
+        n_shots = max(context_words // 20, 6)
+        from repro.datasets.corpus import ENTITIES
+
+        for i in range(n_shots):
+            entity = ENTITIES[int(rng_local.integers(0, len(ENTITIES)))]
+            sentence = corpus.filler_sentence(rng_local, flavor="en").replace(
+                "near", f"near {entity} beside"
+            )
+            shots.append(f"text : {sentence} label : {entity} .")
+            entities.append(entity)
+        target_entity = entities[int(rng_local.integers(0, len(entities)))]
+        target = f"the quiet road crosses the broad gate near {target_entity} ."
+        return Sample(
+            dataset="", sample_id=sample_id,
+            documents=[("examples", " ".join(shots))],
+            question=f"{directive} text : {target} label :",
+            answer=target_entity,
+            metric="acc",
+        )
+
+    return build
+
+
+def _passage_retrieval(flavor: str = "en"):
+    def build(corpus: SyntheticCorpus, rng, sample_id: str, context_words: int) -> Sample:
+        n_passages = 6
+        words = _split_words(context_words, n_passages)
+        documents = []
+        docs = []
+        for i in range(n_passages):
+            doc = corpus.document(
+                f"{sample_id}-p{i}", n_words=words[i], n_facts=1, flavor=flavor
+            )
+            docs.append(doc)
+            documents.append((f"passage{i}", f"passage {i} : {doc.text}"))
+        target = int(rng.integers(0, n_passages))
+        excerpt = docs[target].facts[0].statement()
+        return Sample(
+            dataset="", sample_id=sample_id,
+            documents=documents,
+            question=(
+                "you are given several numbered passages above . exactly one "
+                "of them contains the excerpt quoted below . read the "
+                "passages , find the one that states the excerpt verbatim , "
+                "and answer with its passage number only , in the form "
+                f"passage n . the excerpt is : {excerpt} the answer is passage"
+            ),
+            answer=f"passage {target}",
+            metric="acc",
+        )
+
+    return build
+
+
+def _passage_count():
+    def build(corpus: SyntheticCorpus, rng, sample_id: str, context_words: int) -> Sample:
+        n_unique = int(rng.integers(3, 7))
+        n_total = n_unique + int(rng.integers(1, 4))
+        words = _split_words(context_words, n_total)
+        uniques = [
+            corpus.document(f"{sample_id}-u{i}", n_words=words[i], n_facts=1)
+            for i in range(n_unique)
+        ]
+        documents = []
+        for i in range(n_total):
+            doc = uniques[i] if i < n_unique else uniques[int(rng.integers(0, n_unique))]
+            documents.append((f"passage{i}", doc.text))
+        return Sample(
+            dataset="", sample_id=sample_id,
+            documents=documents,
+            question=(
+                "you are given several passages above and some of them are "
+                "exact duplicates of one another . count how many unique "
+                "passages there are , counting each distinct passage once no "
+                "matter how many times it repeats , and answer with a single "
+                "number . the answer is"
+            ),
+            answer=str(n_unique),
+            metric="acc",
+        )
+
+    return build
+
+
+def _code_completion():
+    def build(corpus: SyntheticCorpus, rng, sample_id: str, context_words: int) -> Sample:
+        context, visible, nxt = completion_sample(
+            seed=7, index=int(rng.integers(0, 10000))
+        )
+        return Sample(
+            dataset="", sample_id=sample_id,
+            documents=[("code", context)],
+            question="complete the next line of code .",
+            answer=nxt,
+            metric="f1",
+        )
+
+    return build
+
+
+# -- registry ---------------------------------------------------------------------
+
+# Directives mirror LongBench's full task instructions, so the uncached
+# portion has realistic size (~40-60 tokens) rather than a one-liner.
+_DIRECTIVE_QA = (
+    "you are given one or more documents above . read them carefully and "
+    "answer the question that follows . use only information stated in the "
+    "documents , answer with a short phrase , and do not explain your "
+    "reasoning . the question is :"
+)
+_DIRECTIVE_SUM = (
+    "you are given one or more documents above . write a concise summary "
+    "that restates every key fact exactly as the documents state it , one "
+    "sentence per fact , without adding opinions or outside knowledge . "
+    "begin the summary now :"
+)
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        # Single-document QA
+        DatasetSpec("narrativeqa", "single_doc_qa", "f1", _single_doc_qa(_DIRECTIVE_QA), headline=True),
+        DatasetSpec("qasper", "single_doc_qa", "f1", _single_doc_qa(_DIRECTIVE_QA)),
+        DatasetSpec("multifieldqa_en", "single_doc_qa", "f1", _single_doc_qa(_DIRECTIVE_QA)),
+        DatasetSpec("multifieldqa_zh", "single_doc_qa", "f1", _single_doc_qa(_DIRECTIVE_QA, flavor="zh")),
+        DatasetSpec("nq", "single_doc_qa", "f1", _single_doc_qa(_DIRECTIVE_QA)),
+        # Multi-document QA
+        DatasetSpec("hotpotqa", "multi_doc_qa", "f1", _multi_doc_qa(2, _DIRECTIVE_QA)),
+        DatasetSpec("2wikimqa", "multi_doc_qa", "f1", _multi_doc_qa(2, _DIRECTIVE_QA), headline=True),
+        DatasetSpec("musique", "multi_doc_qa", "f1", _multi_doc_qa(3, _DIRECTIVE_QA), headline=True),
+        DatasetSpec("dureader", "multi_doc_qa", "rougeL", _multi_doc_qa(2, _DIRECTIVE_QA, metric="rougeL")),
+        # Summarization
+        DatasetSpec("gov_report", "summarization", "rougeL", _summarization(_DIRECTIVE_SUM), headline=True),
+        DatasetSpec("qmsum", "summarization", "rougeL", _summarization(_DIRECTIVE_SUM, dialogue=True), headline=True),
+        DatasetSpec("multi_news", "summarization", "rougeL", _summarization(_DIRECTIVE_SUM), headline=True),
+        DatasetSpec("vcsum", "summarization", "rougeL", _summarization(_DIRECTIVE_SUM, flavor="zh")),
+        # Few-shot
+        DatasetSpec("trec", "few_shot", "acc", _classification("classify the text by naming its place label .")),
+        DatasetSpec("triviaqa", "few_shot", "f1", _few_shot_qa(_DIRECTIVE_QA), headline=True),
+        DatasetSpec("samsum", "few_shot", "rougeL", _summarization(_DIRECTIVE_SUM, dialogue=True)),
+        DatasetSpec("lsht", "few_shot", "acc", _classification("classify the text by naming its place label .", flavor="zh")),
+        # Synthetic
+        DatasetSpec("passage_count", "synthetic", "acc", _passage_count()),
+        DatasetSpec("passage_retrieval_en", "synthetic", "acc", _passage_retrieval(), headline=True),
+        DatasetSpec("passage_retrieval_zh", "synthetic", "acc", _passage_retrieval(flavor="zh")),
+        # Code
+        DatasetSpec("lcc", "code", "f1", _code_completion()),
+        DatasetSpec("repobench-p", "code", "f1", _code_completion()),
+    ]
+}
+
+CATEGORIES = sorted({spec.category for spec in DATASETS.values()})
+
+
+def build_dataset(
+    name: str,
+    *,
+    n_samples: int = 8,
+    context_words: int = 400,
+    seed: int = 0,
+) -> list[Sample]:
+    """Materialize ``n_samples`` deterministic samples of dataset ``name``.
+
+    ``context_words`` scales the cached-document sizes: tests run ~100,
+    measured benches ~400–1000, analytical benches emulate the paper's ~5K
+    tokens.
+    """
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; known: {sorted(DATASETS)}") from None
+    corpus = SyntheticCorpus(seed=seed)
+    rng = np.random.default_rng([seed, zlib_crc(name)])
+    samples = []
+    for i in range(n_samples):
+        sample = spec.builder(corpus, rng, f"{name[:4]}{i}", context_words)
+        sample.dataset = name
+        sample.metric = spec.metric
+        samples.append(sample)
+    return samples
+
+
+def zlib_crc(text: str) -> int:
+    import zlib
+
+    return zlib.crc32(text.encode())
+
+
+def headline_datasets() -> list[DatasetSpec]:
+    return [DATASETS[name] for name in HEADLINE_DATASETS]

@@ -1,0 +1,137 @@
+"""Calibrate a DeviceSpec for the host machine from micro-benchmarks.
+
+The paper-device specs in :mod:`repro.hw.device` are set from published
+hardware characteristics plus the paper's anchor measurements. For the
+machine actually running this code we can do better: measure its GEMM
+throughput and copy bandwidth directly, build a ``DeviceSpec``, and check
+that the same roofline formulas that generate Figures 3–5 predict the
+NumPy engine's real prefill latency. The calibration benchmark reports
+predicted-vs-measured TTFT across sequence lengths.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.device import DeviceSpec
+
+
+def _best_of(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_matmul_flops(size: int = 768, repeats: int = 3) -> float:
+    """Achieved fp32 GEMM FLOP/s for a large, square matmul."""
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(size, size)).astype(np.float32)
+    b = rng.normal(size=(size, size)).astype(np.float32)
+    a @ b  # warm the BLAS threads
+    seconds = _best_of(lambda: a @ b, repeats)
+    return 2.0 * size**3 / seconds
+
+
+def measure_small_gemm_flops(rows: int = 16, width: int = 768, repeats: int = 5) -> float:
+    """Achieved FLOP/s for a thin (suffix-like) GEMM of ``rows`` tokens."""
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(rows, width)).astype(np.float32)
+    b = rng.normal(size=(width, width)).astype(np.float32)
+    a @ b
+    seconds = _best_of(lambda: a @ b, repeats)
+    return 2.0 * rows * width * width / seconds
+
+
+def measure_exp_throughput(n: int = 1 << 22, repeats: int = 3) -> float:
+    """np.exp evaluations per second (single-threaded in NumPy)."""
+    x = np.random.default_rng(0).normal(size=n).astype(np.float32)
+    np.exp(x)
+    seconds = _best_of(lambda: np.exp(x), repeats)
+    return n / seconds
+
+
+def measure_copy_bandwidth(nbytes: int = 1 << 26, repeats: int = 3) -> float:
+    """Host memcpy bandwidth (bytes/s) for a large contiguous copy."""
+    src = np.empty(nbytes, dtype=np.uint8)
+    dst = np.empty(nbytes, dtype=np.uint8)
+    np.copyto(dst, src)
+    seconds = _best_of(lambda: np.copyto(dst, src), repeats)
+    return nbytes / seconds
+
+
+@dataclass
+class HostCalibration:
+    spec: DeviceSpec
+    matmul_flops: float
+    small_gemm_flops: float
+    copy_bandwidth: float
+
+
+def calibrate_host(
+    *,
+    gemm_size: int = 768,
+    small_rows: int = 16,
+    overhead_per_layer_s: float = 2e-4,
+) -> HostCalibration:
+    """Build a ``DeviceSpec`` describing this machine.
+
+    ``overhead_per_layer_s`` absorbs the NumPy/Python dispatch cost per
+    transformer layer, which dominates tiny-model latency; the default is
+    a conservative interpreter-loop estimate.
+    """
+    matmul = measure_matmul_flops(gemm_size)
+    small = measure_small_gemm_flops(small_rows, gemm_size)
+    copy = measure_copy_bandwidth()
+    exp_rate = measure_exp_throughput()
+    spec = DeviceSpec(
+        name="this-host",
+        kind="cpu",
+        matmul_flops=matmul,
+        small_gemm_efficiency=min(small / matmul, 1.0),
+        mem_bandwidth=copy * 2,  # copy touches source + destination
+        local_copy_bandwidth=copy,
+        h2d_bandwidth=None,
+        layer_overhead_s=overhead_per_layer_s,
+        base_overhead_s=1e-3,
+        dtype_bytes=4,
+        # Pure-NumPy attention re-reads the (heads, n, n) score matrix for
+        # the mask, the where, and the 4 softmax passes, in and out: ~12
+        # full crossings per layer.
+        attention_pass_factor=12.0,
+        # Softmax exp/divide run single-threaded; roughly 3 transcendental-
+        # grade passes over the score matrix per layer.
+        elementwise_throughput=exp_rate / 3.0,
+    )
+    return HostCalibration(
+        spec=spec, matmul_flops=matmul, small_gemm_flops=small, copy_bandwidth=copy
+    )
+
+
+def predicted_vs_measured(
+    model, lengths: list[int], calibration: HostCalibration
+) -> list[tuple[int, float, float]]:
+    """(tokens, predicted_s, measured_s) for real engine prefills."""
+    from repro.hw.latency import baseline_ttft
+
+    rng = np.random.default_rng(0)
+    rows = []
+    for n in lengths:
+        ids = rng.integers(4, model.config.vocab_size, size=n)
+        # Warm-up then best-of-2 measurement.
+        cache = model.new_cache(capacity=n)
+        model.forward(ids, np.arange(n), cache)
+
+        def run():
+            fresh = model.new_cache(capacity=n)
+            model.forward(ids, np.arange(n), fresh)
+
+        measured = _best_of(run, repeats=2)
+        predicted = baseline_ttft(model.config, n, calibration.spec).total_s
+        rows.append((n, predicted, measured))
+    return rows

@@ -1,0 +1,154 @@
+"""Analytical TTFT / decode latency model.
+
+Each stage is a roofline: ``time = max(FLOPs / throughput, bytes / bandwidth)``
+plus fixed per-layer and per-request overheads. The model exposes exactly the
+three quantities the paper's figures compare:
+
+- :func:`baseline_ttft` — KV-cache prefill of the whole prompt (quadratic in
+  prompt length; Figures 3–5's baseline bars/curves).
+- :func:`cached_ttft` — Prompt Cache: copy cached module KV into place
+  (linear in cached length) plus a prefill of only the uncached suffix
+  (paper §3.4).
+- :func:`decode_step_latency` — per-token decode cost, identical under both
+  systems (the paper's TTST, §5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.device import DeviceSpec
+from repro.llm import flops as F
+from repro.llm.config import ModelConfig
+
+MODULE_STORAGE_KINDS = ("gpu", "cpu")
+
+
+@dataclass(frozen=True)
+class TTFTBreakdown:
+    """Where a first token's latency went; ``total_s`` is what figures plot."""
+
+    compute_s: float
+    memory_s: float
+    copy_s: float
+    overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return max(self.compute_s, self.memory_s) + self.copy_s + self.overhead_s
+
+
+def _overhead(config: ModelConfig, dev: DeviceSpec) -> float:
+    return dev.base_overhead_s + config.n_layers * dev.layer_overhead_s
+
+
+def _prefill_stage(
+    config: ModelConfig, dev: DeviceSpec, n_new: int, n_total: int
+) -> tuple[float, float]:
+    """(compute_s, memory_s) of prefilling ``n_new`` tokens over ``n_total``
+    context. Memory traffic = weights once + activations + new KV writes."""
+    flops = config.n_layers * F.layer_flops(config, n_new, n_total) + F.lm_head_flops(config)
+    compute_s = flops / dev.achieved_flops(n_new)
+    bytes_moved = (
+        F.weight_bytes(config, dev.dtype_bytes)
+        + F.prefill_activation_bytes(
+            config, n_new, dev.dtype_bytes,
+            n_total=n_total, attention_passes=dev.attention_pass_factor,
+        )
+        + F.kv_bytes(config, n_new, dev.dtype_bytes)
+    )
+    memory_s = bytes_moved / dev.mem_bandwidth
+    # Softmax transcendentals are a serial phase after the GEMMs; they only
+    # matter on devices with low elementwise throughput (pure NumPy hosts).
+    exp_elements = config.n_layers * config.n_heads * n_new * n_total
+    elementwise_s = exp_elements / dev.elementwise_throughput
+    return compute_s + elementwise_s, memory_s
+
+
+def baseline_ttft(config: ModelConfig, n_tokens: int, dev: DeviceSpec) -> TTFTBreakdown:
+    """KV-cache baseline: full prefill of an ``n_tokens`` prompt."""
+    compute_s, memory_s = _prefill_stage(config, dev, n_tokens, n_tokens)
+    return TTFTBreakdown(
+        compute_s=compute_s,
+        memory_s=memory_s,
+        copy_s=0.0,
+        overhead_s=_overhead(config, dev),
+    )
+
+
+def module_copy_latency(
+    config: ModelConfig,
+    n_cached_tokens: int,
+    dev: DeviceSpec,
+    storage: str,
+) -> float:
+    """Time to splice ``n_cached_tokens`` of module KV into the prompt cache.
+
+    ``storage`` is where the modules live: ``"gpu"`` (device-local copy) or
+    ``"cpu"`` (host memory; host-to-device over PCIe for GPUs, host-to-host
+    memcpy for CPU inference).
+    """
+    if storage not in MODULE_STORAGE_KINDS:
+        raise ValueError(f"storage must be one of {MODULE_STORAGE_KINDS}")
+    payload = F.kv_bytes(config, n_cached_tokens, dev.dtype_bytes)
+    if dev.kind == "cpu" or storage == "gpu":
+        return payload / dev.local_copy_bandwidth
+    if dev.h2d_bandwidth is None:
+        raise ValueError(f"device {dev.name} has no host-to-device path")
+    return payload / dev.h2d_bandwidth
+
+
+def cached_ttft(
+    config: ModelConfig,
+    n_total: int,
+    n_uncached: int,
+    dev: DeviceSpec,
+    storage: str = "gpu",
+) -> TTFTBreakdown:
+    """Prompt Cache TTFT: module KV copy + suffix-only prefill.
+
+    ``n_total`` is the full prompt length in the schema layout; the cached
+    portion is ``n_total - n_uncached``.
+    """
+    if n_uncached > n_total:
+        raise ValueError("uncached tokens cannot exceed the total prompt length")
+    n_cached = n_total - n_uncached
+    copy_s = module_copy_latency(config, n_cached, dev, storage)
+    # The suffix still attends to the full context; at least one token (the
+    # position producing the first logits) always runs through the model.
+    compute_s, memory_s = _prefill_stage(config, dev, max(n_uncached, 1), n_total)
+    return TTFTBreakdown(
+        compute_s=compute_s,
+        memory_s=memory_s,
+        copy_s=copy_s,
+        overhead_s=_overhead(config, dev),
+    )
+
+
+def decode_step_latency(config: ModelConfig, context_len: int, dev: DeviceSpec) -> float:
+    """One autoregressive step over ``context_len`` cached tokens (TTST).
+
+    Decode is bandwidth-bound on every platform: all weights and the whole
+    KV cache are read to produce one token.
+    """
+    flops = F.decode_step_flops(config, context_len)
+    compute_s = flops / dev.achieved_flops(1)
+    bytes_moved = F.weight_bytes(config, dev.dtype_bytes) + F.kv_bytes(
+        config, context_len, dev.dtype_bytes
+    )
+    memory_s = bytes_moved / dev.mem_bandwidth
+    return max(compute_s, memory_s) + _overhead(config, dev)
+
+
+def speedup(
+    config: ModelConfig,
+    n_total: int,
+    n_uncached: int,
+    dev: DeviceSpec,
+    storage: str = "gpu",
+) -> float:
+    """Baseline TTFT over cached TTFT — the factor the paper headlines."""
+    return (
+        baseline_ttft(config, n_total, dev).total_s
+        / cached_ttft(config, n_total, n_uncached, dev, storage).total_s
+    )

@@ -1,0 +1,50 @@
+"""Memory-copy routes between host and device (paper §5.4).
+
+The paper quotes, for the attention states of 5K tokens: host-to-host
+3.79 ms, host-to-device 5.34 ms, device-to-device 0.23 ms. Those times
+correspond to per-layer payloads (~80 MB for Llama2-7B at fp16); this module
+reproduces them and generalizes to arbitrary payloads and routes.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.hw.device import DeviceSpec
+from repro.llm.config import ModelConfig
+
+
+class Route(str, Enum):
+    """A memcpy path in the two-tier memory hierarchy."""
+
+    HOST_TO_HOST = "h2h"
+    HOST_TO_DEVICE = "h2d"
+    DEVICE_TO_DEVICE = "d2d"
+
+
+# Effective copy bandwidths (B/s) matching the paper's measured §5.4 numbers
+# on the RTX 4090 + i9-13900K testbed.
+ROUTE_BANDWIDTH: dict[Route, float] = {
+    Route.HOST_TO_HOST: 21e9,
+    Route.HOST_TO_DEVICE: 15e9,
+    Route.DEVICE_TO_DEVICE: 350e9,
+}
+
+
+def copy_latency(payload_bytes: int, route: Route) -> float:
+    """Seconds to move ``payload_bytes`` along ``route``."""
+    return payload_bytes / ROUTE_BANDWIDTH[route]
+
+
+def layer_kv_payload_bytes(
+    config: ModelConfig, n_tokens: int, bytes_per_element: int = 2
+) -> int:
+    """One layer's K+V bytes for ``n_tokens`` (the unit the paper timed)."""
+    return 2 * config.kv_dim * n_tokens * bytes_per_element
+
+
+def module_transfer_route(dev: DeviceSpec, storage: str) -> Route:
+    """Which route a cached module travels when spliced into a prompt."""
+    if dev.kind == "cpu":
+        return Route.HOST_TO_HOST
+    return Route.DEVICE_TO_DEVICE if storage == "gpu" else Route.HOST_TO_DEVICE

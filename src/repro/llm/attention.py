@@ -1,0 +1,114 @@
+"""Causal self-attention with explicit position IDs and KV-cache reuse.
+
+The causal mask is derived from position IDs, not array indices:
+``query may attend to key  iff  key_position <= query_position``.
+With contiguous IDs this is the ordinary lower-triangular mask; with
+Prompt Cache's gapped IDs it is exactly the semantics the paper relies on —
+a module encoded alone attends only within itself (the paper's implicit
+per-module mask, §3.3), and uncached suffix tokens attend to every cached
+module that the schema placed before them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.layers import DTYPE, linear, softmax
+from repro.llm.kv import LayerKV
+from repro.llm.positional.alibi import AlibiBias
+from repro.llm.positional.rope import RotaryEmbedding
+
+_NEG_INF = np.float32(-1e9)
+
+
+def split_heads(x: np.ndarray, n_heads: int) -> np.ndarray:
+    """(T, n_heads * head_dim) -> (n_heads, T, head_dim)."""
+    t, width = x.shape
+    return x.reshape(t, n_heads, width // n_heads).transpose(1, 0, 2)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """(n_heads, T, head_dim) -> (T, n_heads * head_dim)."""
+    heads, t, head_dim = x.shape
+    return x.transpose(1, 0, 2).reshape(t, heads * head_dim)
+
+
+def repeat_kv(x: np.ndarray, n_rep: int) -> np.ndarray:
+    """Expand KV heads for grouped-query attention (no copy when n_rep==1)."""
+    if n_rep == 1:
+        return x
+    return np.repeat(x, n_rep, axis=0)
+
+
+def causal_position_mask(
+    q_positions: np.ndarray, k_positions: np.ndarray
+) -> np.ndarray:
+    """Boolean (Tq, Tk) mask, True where attention is allowed."""
+    return np.asarray(k_positions)[None, :] <= np.asarray(q_positions)[:, None]
+
+
+def attention_scores(
+    q: np.ndarray,
+    k: np.ndarray,
+    q_positions: np.ndarray,
+    k_positions: np.ndarray,
+    alibi: AlibiBias | None = None,
+) -> np.ndarray:
+    """Masked, scaled scores (n_heads, Tq, Tk) before softmax."""
+    head_dim = q.shape[-1]
+    scores = q @ k.transpose(0, 2, 1) / np.sqrt(np.float32(head_dim))
+    if alibi is not None:
+        scores = scores + alibi.bias(q_positions, k_positions)
+    allowed = causal_position_mask(q_positions, k_positions)
+    return np.where(allowed[None, :, :], scores, _NEG_INF)
+
+
+def self_attention(
+    x: np.ndarray,
+    *,
+    wq: np.ndarray,
+    wk: np.ndarray,
+    wv: np.ndarray,
+    wo: np.ndarray,
+    bq: np.ndarray | None,
+    bk: np.ndarray | None,
+    bv: np.ndarray | None,
+    bo: np.ndarray | None,
+    n_heads: int,
+    n_kv_heads: int,
+    position_ids: np.ndarray,
+    layer_kv: LayerKV,
+    rope: RotaryEmbedding | None = None,
+    alibi: AlibiBias | None = None,
+    trace: list | None = None,
+) -> np.ndarray:
+    """One attention layer over ``x`` (T, d_model), updating ``layer_kv``.
+
+    New tokens' K/V are appended to ``layer_kv`` (with their position IDs)
+    and attention runs over *all* cached entries — whether they came from an
+    earlier forward pass, a decode step, or a spliced-in prompt module.
+
+    When ``trace`` is a list, the post-softmax attention weights
+    ``(n_heads, Tq, Tk)`` and the key position IDs are appended to it —
+    the introspection hook used by :func:`repro.llm.introspect.attention_trace`.
+    """
+    q = split_heads(linear(x, wq, bq), n_heads)
+    k = split_heads(linear(x, wk, bk), n_kv_heads)
+    v = split_heads(linear(x, wv, bv), n_kv_heads)
+
+    if rope is not None:
+        q = rope.apply(q, position_ids)
+        k = rope.apply(k, position_ids)
+
+    layer_kv.append(k, v, position_ids)
+    keys = repeat_kv(layer_kv.keys, n_heads // n_kv_heads)
+    values = repeat_kv(layer_kv.values, n_heads // n_kv_heads)
+
+    scores = attention_scores(
+        q, keys, position_ids, layer_kv.positions, alibi=alibi
+    )
+    weights = softmax(scores.astype(DTYPE))
+    if trace is not None:
+        trace.append((weights.copy(), layer_kv.positions.copy()))
+    context = weights @ values
+    return linear(merge_heads(context), wo, bo)

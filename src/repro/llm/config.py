@@ -1,0 +1,210 @@
+"""Model architecture configurations.
+
+Two families of configs live here:
+
+- *Runnable* shapes (``tiny``, ``small``, ``base``) used by tests, examples,
+  and measured benchmarks. They execute in the NumPy engine.
+- *Paper* shapes (Llama2-7B/13B/70B, Falcon-1B/7B/40B/180B, MPT-7B/30B,
+  CodeLlama-7B, BERT) whose tensor dimensions match the published models.
+  These drive the analytical latency/memory results (Figures 3–5, Table 2);
+  they are far too large to execute here but every closed-form cost is a
+  pure function of the shapes below.
+
+Table 2 of the paper reports KV bytes/token assuming full multi-head KV
+(no GQA) at fp16; the catalog mirrors that accounting (``n_kv_heads ==
+n_heads``) and treats grouped-query attention as the separate optimization
+the paper defers to future work (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+ARCHITECTURES = ("llama", "falcon", "mpt", "gpt2")
+POSITIONAL_KINDS = ("rope", "alibi", "learned")
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Complete architectural description of a decoder-only transformer."""
+
+    name: str
+    architecture: str  # one of ARCHITECTURES
+    vocab_size: int
+    d_model: int
+    n_layers: int
+    n_heads: int
+    n_kv_heads: int  # == n_heads for MHA; 1 for MQA; in between for GQA
+    d_ff: int
+    max_position: int
+    positional: str  # one of POSITIONAL_KINDS
+    norm: str  # "rmsnorm" | "layernorm"
+    mlp: str  # "swiglu" | "gelu"
+    parallel_block: bool  # Falcon computes attention and MLP in parallel
+    attn_bias: bool = False
+    rope_theta: float = 10000.0
+
+    def __post_init__(self) -> None:
+        if self.architecture not in ARCHITECTURES:
+            raise ValueError(f"unknown architecture {self.architecture!r}")
+        if self.positional not in POSITIONAL_KINDS:
+            raise ValueError(f"unknown positional encoding {self.positional!r}")
+        if self.d_model % self.n_heads:
+            raise ValueError("d_model must be divisible by n_heads")
+        if self.n_heads % self.n_kv_heads:
+            raise ValueError("n_heads must be divisible by n_kv_heads")
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of the key (or value) projection."""
+        return self.n_kv_heads * self.head_dim
+
+    def kv_bytes_per_token(self, bytes_per_element: int = 2) -> int:
+        """Bytes to cache one token's K and V across all layers (Table 2).
+
+        Defaults to fp16 (2 bytes/element) as in the paper's accounting.
+        """
+        return 2 * self.n_layers * self.kv_dim * bytes_per_element
+
+    def with_vocab(self, vocab_size: int) -> "ModelConfig":
+        """Copy with a different vocabulary (to match a trained tokenizer)."""
+        return replace(self, vocab_size=vocab_size)
+
+
+def _llama(name: str, *, d: int, layers: int, heads: int, ff: int,
+           kv_heads: int | None = None, vocab: int = 32000,
+           max_position: int = 4096) -> ModelConfig:
+    return ModelConfig(
+        name=name, architecture="llama", vocab_size=vocab, d_model=d,
+        n_layers=layers, n_heads=heads, n_kv_heads=kv_heads or heads, d_ff=ff,
+        max_position=max_position, positional="rope", norm="rmsnorm",
+        mlp="swiglu", parallel_block=False,
+    )
+
+
+def _falcon(name: str, *, d: int, layers: int, heads: int,
+            kv_heads: int | None = None, vocab: int = 65024,
+            max_position: int = 4096) -> ModelConfig:
+    return ModelConfig(
+        name=name, architecture="falcon", vocab_size=vocab, d_model=d,
+        n_layers=layers, n_heads=heads, n_kv_heads=kv_heads or heads,
+        d_ff=4 * d, max_position=max_position, positional="rope",
+        norm="layernorm", mlp="gelu", parallel_block=True,
+    )
+
+
+def _mpt(name: str, *, d: int, layers: int, heads: int, vocab: int = 50432,
+         max_position: int = 4096) -> ModelConfig:
+    return ModelConfig(
+        name=name, architecture="mpt", vocab_size=vocab, d_model=d,
+        n_layers=layers, n_heads=heads, n_kv_heads=heads, d_ff=4 * d,
+        max_position=max_position, positional="alibi", norm="layernorm",
+        mlp="gelu", parallel_block=False,
+    )
+
+
+def _gpt2(name: str, *, d: int, layers: int, heads: int, vocab: int = 50257,
+          max_position: int = 2048) -> ModelConfig:
+    return ModelConfig(
+        name=name, architecture="gpt2", vocab_size=vocab, d_model=d,
+        n_layers=layers, n_heads=heads, n_kv_heads=heads, d_ff=4 * d,
+        max_position=max_position, positional="learned", norm="layernorm",
+        mlp="gelu", parallel_block=False, attn_bias=True,
+    )
+
+
+# Runnable shapes -------------------------------------------------------------
+
+def tiny_config(architecture: str = "llama", vocab_size: int = 512,
+                max_position: int = 4096) -> ModelConfig:
+    """Smallest functional shape; the whole test suite runs on these."""
+    builders = {"llama": _llama, "falcon": _falcon, "mpt": _mpt, "gpt2": _gpt2}
+    kwargs = dict(d=64, layers=2, heads=4, vocab=vocab_size,
+                  max_position=max_position)
+    if architecture == "llama":
+        kwargs["ff"] = 128
+    return builders[architecture](f"{architecture}-tiny", **kwargs)
+
+
+def small_config(architecture: str = "llama", vocab_size: int = 2048,
+                 max_position: int = 8192) -> ModelConfig:
+    """Measured-benchmark shape: real NumPy wall-clock numbers come from it."""
+    builders = {"llama": _llama, "falcon": _falcon, "mpt": _mpt, "gpt2": _gpt2}
+    kwargs = dict(d=256, layers=4, heads=8, vocab=vocab_size,
+                  max_position=max_position)
+    if architecture == "llama":
+        kwargs["ff"] = 512
+    return builders[architecture](f"{architecture}-small", **kwargs)
+
+
+# Paper shapes ----------------------------------------------------------------
+
+PAPER_MODELS: dict[str, ModelConfig] = {
+    cfg.name: cfg
+    for cfg in [
+        ModelConfig(
+            name="bert-base", architecture="gpt2", vocab_size=30522,
+            d_model=768, n_layers=12, n_heads=12, n_kv_heads=12, d_ff=3072,
+            max_position=512, positional="learned", norm="layernorm",
+            mlp="gelu", parallel_block=False, attn_bias=True,
+        ),
+        _falcon("falcon-1b", d=2048, layers=24, heads=32),
+        _llama("llama2-7b", d=4096, layers=32, heads=32, ff=11008),
+        _llama("codellama-7b", d=4096, layers=32, heads=32, ff=11008,
+               vocab=32016, max_position=16384),
+        _llama("llama2-13b", d=5120, layers=40, heads=40, ff=13824),
+        _mpt("mpt-7b", d=4096, layers=32, heads=32),
+        _mpt("mpt-30b", d=7168, layers=48, heads=64),
+        _falcon("falcon-7b", d=4544, layers=32, heads=71),
+        _falcon("falcon-40b", d=8192, layers=60, heads=128),
+        _llama("llama2-70b", d=8192, layers=80, heads=64, ff=28672),
+        _falcon("falcon-180b", d=14848, layers=80, heads=232),
+    ]
+}
+
+
+# Trained stand-ins ------------------------------------------------------------
+#
+# Table 1 evaluates pretrained Llama2-7B/13B, MPT-7B and Falcon-7B. The
+# offline substitutes are these mini shapes, trained from scratch on the
+# synthetic recall tasks (repro.train); "13b" is a larger shape than "7b"
+# so the size ordering carries over. d_model=128 matters: the ~880-token
+# vocabulary needs enough embedding width for clean induction matching.
+
+TRAINED_MODELS: dict[str, "ModelConfig"] = {}
+
+
+def _register_trained(cfg: ModelConfig) -> ModelConfig:
+    TRAINED_MODELS[cfg.name] = cfg
+    return cfg
+
+
+_register_trained(_llama("llama2-7b-mini", d=128, layers=2, heads=8, ff=256, vocab=1024))
+_register_trained(_llama("llama2-13b-mini", d=160, layers=2, heads=8, ff=320, vocab=1024))
+_register_trained(_mpt("mpt-7b-mini", d=128, layers=2, heads=8, vocab=1024))
+_register_trained(_falcon("falcon-7b-mini", d=128, layers=2, heads=8, vocab=1024))
+
+
+def trained_config(name: str, vocab_size: int | None = None) -> ModelConfig:
+    """Mini shape used for the trained accuracy models (Table 1)."""
+    try:
+        cfg = TRAINED_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trained model {name!r}; known: {sorted(TRAINED_MODELS)}"
+        ) from None
+    return cfg.with_vocab(vocab_size) if vocab_size else cfg
+
+
+def paper_config(name: str) -> ModelConfig:
+    """Look up a paper-shape config by name (e.g. ``"llama2-7b"``)."""
+    try:
+        return PAPER_MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown paper model {name!r}; known: {sorted(PAPER_MODELS)}"
+        ) from None

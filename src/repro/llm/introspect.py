@@ -1,0 +1,92 @@
+"""Attention introspection: where does the model actually look?
+
+Analysis utilities over the engine's attention-trace hook. Used by the
+``attention_probe`` example to demonstrate that the trained recall models
+answer questions with an induction-style head — the final prompt token
+attends to the fact location inside the (cached) document module — and
+that the mechanism survives Prompt Cache's modular encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.llm.kv import KVCache
+from repro.llm.models import TransformerModel
+
+
+@dataclass
+class AttentionTrace:
+    """Per-layer post-softmax attention of one forward pass.
+
+    ``weights[layer]`` has shape (n_heads, Tq, Tk); ``key_positions[layer]``
+    gives the absolute position ID of each key column.
+    """
+
+    weights: list[np.ndarray]
+    key_positions: list[np.ndarray]
+    query_positions: np.ndarray
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.weights)
+
+    def top_attended(
+        self, layer: int, query_index: int = -1, k: int = 3
+    ) -> list[tuple[int, float]]:
+        """(key position ID, max-over-heads weight) of the ``k`` keys the
+        given query attends to most strongly."""
+        per_key = self.weights[layer][:, query_index, :].max(axis=0)
+        order = np.argsort(per_key)[::-1][:k]
+        positions = self.key_positions[layer]
+        return [(int(positions[i]), float(per_key[i])) for i in order]
+
+    def attention_mass_on(
+        self, layer: int, positions: set[int], query_index: int = -1
+    ) -> float:
+        """Fraction of (head-averaged) attention the query spends on the
+        given key position IDs."""
+        mean_weights = self.weights[layer][:, query_index, :].mean(axis=0)
+        mask = np.isin(self.key_positions[layer], list(positions))
+        return float(mean_weights[mask].sum())
+
+
+def attention_trace(
+    model: TransformerModel,
+    token_ids: np.ndarray,
+    position_ids: np.ndarray | None = None,
+    cache: KVCache | None = None,
+) -> tuple[np.ndarray, AttentionTrace]:
+    """Forward pass that also returns the full attention map.
+
+    ``cache`` may be pre-populated (e.g. by Prompt Cache module splicing);
+    the trace then shows new tokens attending into the cached states.
+    Returns (logits, trace).
+    """
+    token_ids = np.asarray(token_ids)
+    if position_ids is None:
+        start = len(cache) if cache is not None else 0
+        position_ids = np.arange(start, start + len(token_ids))
+    position_ids = np.asarray(position_ids)
+    if cache is None:
+        cache = model.new_cache(capacity=len(token_ids))
+    raw: list = []
+    logits = model.forward(token_ids, position_ids, cache, trace=raw)
+    return logits, AttentionTrace(
+        weights=[w for w, _ in raw],
+        key_positions=[p for _, p in raw],
+        query_positions=position_ids,
+    )
+
+
+def induction_score(
+    trace: AttentionTrace, fact_positions: set[int], query_index: int = -1
+) -> float:
+    """How strongly (max over layers) the query token attends into the
+    fact span — the retrieval signature of a trained recall model."""
+    return max(
+        trace.attention_mass_on(layer, fact_positions, query_index)
+        for layer in range(trace.n_layers)
+    )

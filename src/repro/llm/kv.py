@@ -1,0 +1,232 @@
+"""Key/value attention-state containers.
+
+Two pieces of the paper live here:
+
+- Every cached key/value carries its **position ID** (paper §3.3): cached
+  module states sit at schema-assigned absolute positions, and the suffix
+  prefill needs those IDs for causal masking and ALiBi bias.
+- **Buffered concatenation** (paper §4.2): assembling a prompt's KV from
+  cached modules would, with naive ``np.concatenate``, allocate a fresh
+  buffer per module. :class:`LayerKV` preallocates one buffer and copies
+  module states into it; appends reuse spare capacity and grow
+  geometrically. :func:`buffered_concat` exposes the same trick for raw
+  arrays, with an allocation counter used by the concat ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.llm.config import ModelConfig
+from repro.llm.layers import DTYPE
+
+# Module-level counter of buffer allocations, for the Abl-3 concat bench.
+_ALLOCATION_COUNT = 0
+
+
+def allocation_count() -> int:
+    return _ALLOCATION_COUNT
+
+
+def reset_allocation_count() -> None:
+    global _ALLOCATION_COUNT
+    _ALLOCATION_COUNT = 0
+
+
+def _alloc(shape: tuple[int, ...], dtype=DTYPE) -> np.ndarray:
+    global _ALLOCATION_COUNT
+    _ALLOCATION_COUNT += 1
+    return np.empty(shape, dtype=dtype)
+
+
+class LayerKV:
+    """Growable KV buffer for one transformer layer.
+
+    Keys/values have shape ``(n_kv_heads, T, head_dim)`` and ``positions``
+    is the ``(T,)`` int array of absolute position IDs — contiguous for
+    ordinary KV-cache decoding, gapped under Prompt Cache.
+    """
+
+    def __init__(
+        self,
+        n_kv_heads: int,
+        head_dim: int,
+        capacity: int = 64,
+    ) -> None:
+        self.n_kv_heads = n_kv_heads
+        self.head_dim = head_dim
+        self._keys = _alloc((n_kv_heads, capacity, head_dim))
+        self._values = _alloc((n_kv_heads, capacity, head_dim))
+        self._positions = np.empty(capacity, dtype=np.int64)
+        self._length = 0
+
+    @classmethod
+    def from_arrays(
+        cls, keys: np.ndarray, values: np.ndarray, positions: np.ndarray
+    ) -> "LayerKV":
+        """Wrap existing (n_kv_heads, T, head_dim) arrays without copying headroom."""
+        n_kv_heads, length, head_dim = keys.shape
+        kv = cls(n_kv_heads, head_dim, capacity=max(length, 1))
+        kv.append(keys, values, positions)
+        return kv
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def keys(self) -> np.ndarray:
+        """View (no copy) of the live keys, shape (n_kv_heads, len, head_dim)."""
+        return self._keys[:, : self._length, :]
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values[:, : self._length, :]
+
+    @property
+    def positions(self) -> np.ndarray:
+        return self._positions[: self._length]
+
+    def reserve(self, total: int) -> None:
+        """Ensure capacity for ``total`` tokens, growing geometrically."""
+        capacity = self._keys.shape[1]
+        if total <= capacity:
+            return
+        new_capacity = max(total, 2 * capacity)
+        for name in ("_keys", "_values"):
+            old = getattr(self, name)
+            grown = _alloc((self.n_kv_heads, new_capacity, self.head_dim))
+            grown[:, : self._length, :] = old[:, : self._length, :]
+            setattr(self, name, grown)
+        positions = np.empty(new_capacity, dtype=np.int64)
+        positions[: self._length] = self._positions[: self._length]
+        self._positions = positions
+
+    def append(
+        self, keys: np.ndarray, values: np.ndarray, positions: np.ndarray
+    ) -> None:
+        """Append new tokens' KV states (the per-step cache update)."""
+        added = keys.shape[1]
+        if values.shape[1] != added or len(positions) != added:
+            raise ValueError("keys, values and positions must agree on length")
+        self.reserve(self._length + added)
+        end = self._length + added
+        self._keys[:, self._length : end, :] = keys
+        self._values[:, self._length : end, :] = values
+        self._positions[self._length : end] = positions
+        self._length = end
+
+    def copy(self) -> "LayerKV":
+        dup = LayerKV(self.n_kv_heads, self.head_dim, capacity=max(self._length, 1))
+        dup.append(self.keys, self.values, self.positions)
+        return dup
+
+    def nbytes(self) -> int:
+        """Bytes held by live entries (excluding spare capacity)."""
+        return int(self.keys.nbytes + self.values.nbytes + self.positions.nbytes)
+
+
+class KVCache:
+    """Whole-model KV cache: one :class:`LayerKV` per transformer layer."""
+
+    def __init__(self, layers: list[LayerKV]) -> None:
+        self.layers = layers
+
+    @classmethod
+    def empty(cls, config: ModelConfig, capacity: int = 64) -> "KVCache":
+        return cls(
+            [
+                LayerKV(config.n_kv_heads, config.head_dim, capacity=capacity)
+                for _ in range(config.n_layers)
+            ]
+        )
+
+    def __len__(self) -> int:
+        """Number of cached tokens (identical across layers)."""
+        return len(self.layers[0]) if self.layers else 0
+
+    def copy(self) -> "KVCache":
+        return KVCache([layer.copy() for layer in self.layers])
+
+    def nbytes(self) -> int:
+        return sum(layer.nbytes() for layer in self.layers)
+
+    def reserve(self, total: int) -> None:
+        for layer in self.layers:
+            layer.reserve(total)
+
+
+def buffered_concat(arrays: list[np.ndarray], axis: int = 1) -> np.ndarray:
+    """Concatenate with a single preallocated buffer (paper §4.2).
+
+    Equivalent to ``np.concatenate`` but performs exactly one allocation,
+    which the concat ablation bench contrasts with pairwise concatenation's
+    ``len(arrays) - 1`` intermediate buffers.
+    """
+    if not arrays:
+        raise ValueError("nothing to concatenate")
+    first = arrays[0]
+    total = sum(a.shape[axis] for a in arrays)
+    shape = list(first.shape)
+    shape[axis] = total
+    out = _alloc(tuple(shape), dtype=first.dtype)
+    offset = 0
+    index: list[slice] = [slice(None)] * first.ndim
+    for a in arrays:
+        index[axis] = slice(offset, offset + a.shape[axis])
+        out[tuple(index)] = a
+        offset += a.shape[axis]
+    return out
+
+
+def naive_concat(arrays: list[np.ndarray], axis: int = 1) -> np.ndarray:
+    """Pairwise concatenation (the default PyTorch-style behaviour the
+    paper's buffered operator replaces); counts every intermediate buffer."""
+    if not arrays:
+        raise ValueError("nothing to concatenate")
+    out = arrays[0]
+    for a in arrays[1:]:
+        joined = _alloc(
+            tuple(
+                out.shape[i] + a.shape[i] if i == axis % out.ndim else out.shape[i]
+                for i in range(out.ndim)
+            ),
+            dtype=out.dtype,
+        )
+        index: list[slice] = [slice(None)] * out.ndim
+        index[axis] = slice(0, out.shape[axis])
+        joined[tuple(index)] = out
+        index[axis] = slice(out.shape[axis], None)
+        joined[tuple(index)] = a
+        out = joined
+    return out
+
+
+@dataclass
+class ModuleKV:
+    """Encoded attention states of one prompt module (all layers).
+
+    ``keys[i]``/``values[i]`` are the layer-``i`` tensors of shape
+    ``(n_kv_heads, T, head_dim)``; ``positions`` is the shared ``(T,)``
+    absolute position-ID array assigned by the schema layout.
+    """
+
+    keys: list[np.ndarray]
+    values: list[np.ndarray]
+    positions: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.positions.shape[0])
+
+    def nbytes(self) -> int:
+        tensors = sum(k.nbytes + v.nbytes for k, v in zip(self.keys, self.values))
+        return int(tensors + self.positions.nbytes)
+
+    def slice(self, start: int, stop: int) -> "ModuleKV":
+        """Token-range view (used for parameter-slot surgery)."""
+        return ModuleKV(
+            keys=[k[:, start:stop, :] for k in self.keys],
+            values=[v[:, start:stop, :] for v in self.values],
+            positions=self.positions[start:stop],
+        )

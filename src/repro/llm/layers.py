@@ -1,0 +1,86 @@
+"""Primitive neural-network layers as pure functions over NumPy arrays.
+
+The engine is functional: parameters are plain ``np.ndarray`` values held in
+dicts, and every layer is a stateless function. This keeps the hot path
+vectorized (guides: avoid Python loops over elements) and makes the
+bit-exactness tests trivial — identical inputs produce identical outputs.
+
+All computation is float32. fp16 appears only in *storage* accounting
+(Table 2); NumPy fp16 arithmetic would be both slow and needlessly lossy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DTYPE = np.float32
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """``x @ weight.T (+ bias)`` with weight stored (out_features, in_features)."""
+    out = x @ weight.T
+    if bias is not None:
+        out += bias
+    return out
+
+
+def rms_norm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Root-mean-square normalization (Llama family)."""
+    variance = np.mean(np.square(x), axis=-1, keepdims=True)
+    return (x / np.sqrt(variance + eps)) * weight
+
+
+def layer_norm(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Standard LayerNorm (Falcon / MPT / GPT-2 families)."""
+    mean = np.mean(x, axis=-1, keepdims=True)
+    variance = np.mean(np.square(x - mean), axis=-1, keepdims=True)
+    return (x - mean) / np.sqrt(variance + eps) * weight + bias
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU/swish activation: ``x * sigmoid(x)``."""
+    return x / (1.0 + np.exp(-x))
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """GELU (tanh approximation, matching common inference kernels)."""
+    c = np.sqrt(2.0 / np.pi).astype(DTYPE)
+    return 0.5 * x * (1.0 + np.tanh(c * (x + 0.044715 * x**3)))
+
+
+def swiglu_mlp(
+    x: np.ndarray,
+    gate_weight: np.ndarray,
+    up_weight: np.ndarray,
+    down_weight: np.ndarray,
+) -> np.ndarray:
+    """Llama-style gated MLP: ``down(silu(gate(x)) * up(x))``."""
+    return linear(silu(linear(x, gate_weight)) * linear(x, up_weight), down_weight)
+
+
+def gelu_mlp(
+    x: np.ndarray,
+    up_weight: np.ndarray,
+    up_bias: np.ndarray | None,
+    down_weight: np.ndarray,
+    down_bias: np.ndarray | None,
+) -> np.ndarray:
+    """Classic two-matrix MLP with GELU (Falcon / MPT / GPT-2)."""
+    return linear(gelu(linear(x, up_weight, up_bias)), down_weight, down_bias)
+
+
+def embed(token_ids: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Token-embedding lookup; ``table`` is (vocab, d_model)."""
+    return table[token_ids]
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)

@@ -1,0 +1,174 @@
+"""Decoder-only transformer models over NumPy parameters.
+
+One generic :class:`TransformerModel` covers the paper's three evaluated
+architecture families (plus GPT-2-style learned positions), differing only
+in the knobs carried by :class:`~repro.llm.config.ModelConfig`:
+
+============  ========  ===========  =========  ==============
+family        norm      positional   MLP        block layout
+============  ========  ===========  =========  ==============
+llama         RMSNorm   RoPE         SwiGLU     sequential
+falcon        LayerNorm RoPE         GELU       parallel
+mpt           LayerNorm ALiBi        GELU       sequential
+gpt2          LayerNorm learned      GELU       sequential
+============  ========  ===========  =========  ==============
+
+The forward pass is single-sequence (no batch axis): Prompt Cache is a
+prefill-stage transformation and all paper results are per-request TTFT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.attention import self_attention
+from repro.llm.config import ModelConfig
+from repro.llm.kv import KVCache
+from repro.llm.layers import (
+    embed,
+    gelu_mlp,
+    layer_norm,
+    linear,
+    rms_norm,
+    swiglu_mlp,
+)
+from repro.llm.positional import (
+    AlibiBias,
+    LearnedPositionalEmbedding,
+    RotaryEmbedding,
+)
+
+
+class TransformerModel:
+    """A config + parameter dict, exposing a KV-cache forward pass."""
+
+    def __init__(self, config: ModelConfig, params: dict[str, np.ndarray]) -> None:
+        self.config = config
+        self.params = params
+        self.rope = (
+            RotaryEmbedding(config.head_dim, config.max_position, config.rope_theta)
+            if config.positional == "rope"
+            else None
+        )
+        self.alibi = (
+            AlibiBias(config.n_heads, config.max_position)
+            if config.positional == "alibi"
+            else None
+        )
+        self.learned_pos = (
+            LearnedPositionalEmbedding(params["pos.weight"])
+            if config.positional == "learned"
+            else None
+        )
+
+    # -- parameter access ----------------------------------------------------
+
+    def _p(self, name: str) -> np.ndarray:
+        return self.params[name]
+
+    def _maybe(self, name: str) -> np.ndarray | None:
+        return self.params.get(name)
+
+    def _norm(self, x: np.ndarray, prefix: str) -> np.ndarray:
+        if self.config.norm == "rmsnorm":
+            return rms_norm(x, self._p(f"{prefix}.weight"))
+        return layer_norm(x, self._p(f"{prefix}.weight"), self._p(f"{prefix}.bias"))
+
+    def _mlp(self, x: np.ndarray, i: int) -> np.ndarray:
+        if self.config.mlp == "swiglu":
+            return swiglu_mlp(
+                x,
+                self._p(f"layers.{i}.mlp.gate"),
+                self._p(f"layers.{i}.mlp.up"),
+                self._p(f"layers.{i}.mlp.down"),
+            )
+        return gelu_mlp(
+            x,
+            self._p(f"layers.{i}.mlp.up"),
+            self._maybe(f"layers.{i}.mlp.up_bias"),
+            self._p(f"layers.{i}.mlp.down"),
+            self._maybe(f"layers.{i}.mlp.down_bias"),
+        )
+
+    def _attention(
+        self,
+        x: np.ndarray,
+        i: int,
+        position_ids: np.ndarray,
+        cache: KVCache,
+        trace: list | None = None,
+    ) -> np.ndarray:
+        cfg = self.config
+        return self_attention(
+            x,
+            wq=self._p(f"layers.{i}.attn.wq"),
+            wk=self._p(f"layers.{i}.attn.wk"),
+            wv=self._p(f"layers.{i}.attn.wv"),
+            wo=self._p(f"layers.{i}.attn.wo"),
+            bq=self._maybe(f"layers.{i}.attn.bq"),
+            bk=self._maybe(f"layers.{i}.attn.bk"),
+            bv=self._maybe(f"layers.{i}.attn.bv"),
+            bo=self._maybe(f"layers.{i}.attn.bo"),
+            n_heads=cfg.n_heads,
+            n_kv_heads=cfg.n_kv_heads,
+            position_ids=position_ids,
+            layer_kv=cache.layers[i],
+            rope=self.rope,
+            alibi=self.alibi,
+            trace=trace,
+        )
+
+    # -- forward ---------------------------------------------------------------
+
+    def forward(
+        self,
+        token_ids: np.ndarray,
+        position_ids: np.ndarray,
+        cache: KVCache,
+        trace: list | None = None,
+    ) -> np.ndarray:
+        """Run ``token_ids`` (T,) at ``position_ids`` (T,), appending K/V to
+        ``cache``. Returns logits of shape (T, vocab).
+
+        ``cache`` may already hold states — from an earlier chunk of this
+        prompt, previous decode steps, or Prompt Cache module splicing; the
+        new tokens attend to everything whose position precedes theirs.
+
+        ``trace``, when a list, collects per-layer post-softmax attention
+        weights (see :mod:`repro.llm.introspect`).
+        """
+        token_ids = np.asarray(token_ids)
+        position_ids = np.asarray(position_ids)
+        if token_ids.shape != position_ids.shape:
+            raise ValueError("token_ids and position_ids must have equal shape")
+
+        hidden = embed(token_ids, self._p("embed.weight"))
+        if self.learned_pos is not None:
+            hidden = self.learned_pos.apply(hidden, position_ids)
+
+        for i in range(self.config.n_layers):
+            normed = self._norm(hidden, f"layers.{i}.attn_norm")
+            attn_out = self._attention(normed, i, position_ids, cache, trace)
+            if self.config.parallel_block:
+                # Falcon layout: attention and MLP both read the same
+                # normalized input and are summed into the residual.
+                hidden = hidden + attn_out + self._mlp(normed, i)
+            else:
+                hidden = hidden + attn_out
+                hidden = hidden + self._mlp(
+                    self._norm(hidden, f"layers.{i}.mlp_norm"), i
+                )
+
+        hidden = self._norm(hidden, "final_norm")
+        # Weight-tied LM head: logits share the embedding matrix.
+        return hidden @ self._p("embed.weight").T
+
+    def new_cache(self, capacity: int = 64) -> KVCache:
+        return KVCache.empty(self.config, capacity=capacity)
+
+
+def build_model(config: ModelConfig, seed: int = 0) -> TransformerModel:
+    """Construct a model with deterministic seeded initialization."""
+    from repro.llm.weights import init_params
+
+    return TransformerModel(config, init_params(config, seed=seed))

@@ -1,0 +1,26 @@
+"""Position-encoding schemes, all supporting *discontinuous* position IDs.
+
+Prompt Cache assigns each prompt module an absolute position range inside
+its schema; a prompt that imports a subset of modules therefore presents the
+model with position IDs that have gaps (paper §3.3). Each scheme here takes
+explicit position-ID arrays rather than assuming ``0..n-1``, mirroring the
+~20-line per-model adaptations the paper describes (§4.2):
+
+- :class:`RotaryEmbedding` (Llama, Falcon) — cos/sin lookup tables indexed
+  by position ID.
+- :class:`AlibiBias` (MPT, Bloom) — linear bias recomputed from the actual
+  query/key position IDs instead of a fixed lower-triangular matrix.
+- :class:`LearnedPositionalEmbedding` (BERT, GPT-2) — plain table lookup,
+  which needs no adaptation at all.
+"""
+
+from repro.llm.positional.rope import RotaryEmbedding
+from repro.llm.positional.alibi import AlibiBias, alibi_slopes
+from repro.llm.positional.learned import LearnedPositionalEmbedding
+
+__all__ = [
+    "RotaryEmbedding",
+    "AlibiBias",
+    "alibi_slopes",
+    "LearnedPositionalEmbedding",
+]

@@ -1,0 +1,60 @@
+"""ALiBi linear attention bias driven by explicit position IDs.
+
+ALiBi (Press et al., 2022) adds ``-slope_h * distance`` to attention scores.
+Stock implementations materialize a fixed lower-triangular distance matrix;
+for Prompt Cache the distance must come from the *assigned* position IDs —
+the adaptation the paper describes as a bias lookup table (§4.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.llm.layers import DTYPE
+
+
+def alibi_slopes(n_heads: int) -> np.ndarray:
+    """Per-head slopes from the ALiBi paper's geometric recipe.
+
+    For ``n`` a power of two the slopes are ``2^(-8i/n)``; otherwise the
+    closest power of two is used and interleaved, matching the reference
+    implementation.
+    """
+
+    def power_of_two_slopes(n: int) -> list[float]:
+        start = 2.0 ** (-(2.0 ** -(math.log2(n) - 3)))
+        return [start * (start**i) for i in range(n)]
+
+    if math.log2(n_heads).is_integer():
+        slopes = power_of_two_slopes(n_heads)
+    else:
+        closest = 2 ** math.floor(math.log2(n_heads))
+        slopes = power_of_two_slopes(closest)
+        extra = power_of_two_slopes(2 * closest)[0::2]
+        slopes += extra[: n_heads - closest]
+    return np.asarray(slopes, dtype=DTYPE)
+
+
+class AlibiBias:
+    """Computes the additive attention bias for arbitrary position IDs."""
+
+    def __init__(self, n_heads: int, max_position: int) -> None:
+        self.n_heads = n_heads
+        self.max_position = max_position
+        self.slopes = alibi_slopes(n_heads)
+
+    def bias(self, q_positions: np.ndarray, k_positions: np.ndarray) -> np.ndarray:
+        """Bias of shape (n_heads, Tq, Tk): ``slope * (k_pos - q_pos)``.
+
+        Keys at or before the query (``k_pos <= q_pos``) receive a
+        non-positive bias growing with distance; causal masking is applied
+        separately in the attention kernel.
+        """
+        q_positions = np.asarray(q_positions)
+        k_positions = np.asarray(k_positions)
+        distance = (
+            k_positions[None, :].astype(DTYPE) - q_positions[:, None].astype(DTYPE)
+        )  # (Tq, Tk), <= 0 for attendable keys
+        return self.slopes[:, None, None] * distance[None, :, :]

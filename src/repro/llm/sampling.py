@@ -1,0 +1,54 @@
+"""Token samplers for the decode loop.
+
+The paper's accuracy experiments use deterministic greedy sampling so that
+baseline and cached runs are directly comparable (§5.3); greedy is therefore
+the default everywhere. Temperature/top-k/top-p samplers round out the
+engine for the qualitative examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.llm.layers import softmax
+
+
+class GreedySampler:
+    """Always the arg-max token; deterministic by construction."""
+
+    def __call__(self, logits: np.ndarray) -> int:
+        return int(np.argmax(logits))
+
+
+@dataclass
+class TemperatureSampler:
+    """Softmax sampling at a temperature, with optional top-k / top-p cuts."""
+
+    temperature: float = 1.0
+    top_k: int | None = None
+    top_p: float | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.temperature <= 0:
+            raise ValueError("temperature must be positive; use GreedySampler for argmax")
+        self._rng = np.random.default_rng(self.seed)
+
+    def __call__(self, logits: np.ndarray) -> int:
+        scaled = logits / np.float32(self.temperature)
+        if self.top_k is not None and self.top_k < scaled.shape[-1]:
+            cutoff = np.partition(scaled, -self.top_k)[-self.top_k]
+            scaled = np.where(scaled < cutoff, np.float32(-1e9), scaled)
+        probs = softmax(scaled)
+        if self.top_p is not None:
+            order = np.argsort(probs)[::-1]
+            cumulative = np.cumsum(probs[order])
+            keep = cumulative <= self.top_p
+            keep[0] = True  # always keep the most likely token
+            mask = np.zeros_like(probs, dtype=bool)
+            mask[order[keep]] = True
+            probs = np.where(mask, probs, 0.0)
+            probs = probs / probs.sum()
+        return int(self._rng.choice(probs.shape[-1], p=probs))

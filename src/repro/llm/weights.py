@@ -1,0 +1,84 @@
+"""Deterministic parameter initialization and (de)serialization.
+
+The paper reuses pretrained checkpoints; offline we substitute seeded random
+initialization (GPT-2-style: normal(0, 0.02), residual projections scaled by
+``1/sqrt(2 * n_layers)``). Latency and memory results depend only on shapes;
+for accuracy experiments the training substrate (:mod:`repro.llm.train`)
+turns these random weights into models that genuinely solve the synthetic
+tasks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.llm.config import ModelConfig
+from repro.llm.layers import DTYPE
+
+
+def init_params(config: ModelConfig, seed: int = 0) -> dict[str, np.ndarray]:
+    """Seeded random parameters for ``config``; same seed, same weights."""
+    rng = np.random.default_rng(seed)
+    std = 0.02
+    residual_std = std / np.sqrt(2.0 * config.n_layers)
+
+    def normal(shape: tuple[int, ...], scale: float = std) -> np.ndarray:
+        return rng.normal(0.0, scale, size=shape).astype(DTYPE)
+
+    d, ff = config.d_model, config.d_ff
+    kv_dim = config.kv_dim
+    params: dict[str, np.ndarray] = {
+        "embed.weight": normal((config.vocab_size, d)),
+        "final_norm.weight": np.ones(d, dtype=DTYPE),
+    }
+    if config.norm == "layernorm":
+        params["final_norm.bias"] = np.zeros(d, dtype=DTYPE)
+    if config.positional == "learned":
+        params["pos.weight"] = normal((config.max_position, d))
+
+    for i in range(config.n_layers):
+        prefix = f"layers.{i}"
+        params[f"{prefix}.attn_norm.weight"] = np.ones(d, dtype=DTYPE)
+        if config.norm == "layernorm":
+            params[f"{prefix}.attn_norm.bias"] = np.zeros(d, dtype=DTYPE)
+        params[f"{prefix}.attn.wq"] = normal((d, d))
+        params[f"{prefix}.attn.wk"] = normal((kv_dim, d))
+        params[f"{prefix}.attn.wv"] = normal((kv_dim, d))
+        params[f"{prefix}.attn.wo"] = normal((d, d), residual_std)
+        if config.attn_bias:
+            params[f"{prefix}.attn.bq"] = np.zeros(d, dtype=DTYPE)
+            params[f"{prefix}.attn.bk"] = np.zeros(kv_dim, dtype=DTYPE)
+            params[f"{prefix}.attn.bv"] = np.zeros(kv_dim, dtype=DTYPE)
+            params[f"{prefix}.attn.bo"] = np.zeros(d, dtype=DTYPE)
+
+        if not config.parallel_block:
+            params[f"{prefix}.mlp_norm.weight"] = np.ones(d, dtype=DTYPE)
+            if config.norm == "layernorm":
+                params[f"{prefix}.mlp_norm.bias"] = np.zeros(d, dtype=DTYPE)
+        if config.mlp == "swiglu":
+            params[f"{prefix}.mlp.gate"] = normal((ff, d))
+            params[f"{prefix}.mlp.up"] = normal((ff, d))
+            params[f"{prefix}.mlp.down"] = normal((d, ff), residual_std)
+        else:
+            params[f"{prefix}.mlp.up"] = normal((ff, d))
+            params[f"{prefix}.mlp.down"] = normal((d, ff), residual_std)
+            if config.attn_bias:
+                params[f"{prefix}.mlp.up_bias"] = np.zeros(ff, dtype=DTYPE)
+                params[f"{prefix}.mlp.down_bias"] = np.zeros(d, dtype=DTYPE)
+
+    return params
+
+
+def param_count(params: dict[str, np.ndarray]) -> int:
+    return sum(int(p.size) for p in params.values())
+
+
+def save_params(params: dict[str, np.ndarray], path: str | Path) -> None:
+    np.savez_compressed(Path(path), **params)
+
+
+def load_params(path: str | Path) -> dict[str, np.ndarray]:
+    with np.load(Path(path)) as data:
+        return {name: data[name] for name in data.files}

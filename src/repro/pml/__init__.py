@@ -1,0 +1,47 @@
+"""Prompt Markup Language: schemas, prompts, chat templates, compiler.
+
+The user-facing interface of Prompt Cache (paper §3.2). Schemas declare
+reusable prompt modules; prompts derive from schemas by importing modules,
+supplying parameter arguments, and adding new text. The Python-to-PML
+compiler lets prompt programs skip hand-written markup entirely.
+"""
+
+from repro.pml.ast import (
+    ImportNode,
+    ModuleNode,
+    ParamNode,
+    PromptNode,
+    RoleNode,
+    SchemaNode,
+    TextNode,
+    UnionNode,
+)
+from repro.pml.chat import (
+    ChatTemplate,
+    FALCON_TEMPLATE,
+    LLAMA2_TEMPLATE,
+    MPT_TEMPLATE,
+    PLAIN_TEMPLATE,
+    TEMPLATES,
+    resolve_roles,
+    template_for_architecture,
+)
+from repro.pml.compiler import Param, PromptFunction, emit, prompt_function
+from repro.pml.errors import ParseError, PMLError, SchemaMismatchError, ValidationError
+from repro.pml.lint import Diagnostic, lint_schema
+from repro.pml.parser import parse_prompt, parse_schema
+from repro.pml.prompt import NewText, ResolvedPrompt, Selection, resolve
+from repro.pml.schema import Schema
+
+__all__ = [
+    "Schema", "resolve", "ResolvedPrompt", "Selection", "NewText",
+    "parse_schema", "parse_prompt",
+    "TextNode", "ParamNode", "ModuleNode", "UnionNode", "RoleNode",
+    "SchemaNode", "PromptNode", "ImportNode",
+    "ChatTemplate", "TEMPLATES", "LLAMA2_TEMPLATE", "MPT_TEMPLATE",
+    "FALCON_TEMPLATE", "PLAIN_TEMPLATE", "resolve_roles",
+    "template_for_architecture",
+    "Param", "PromptFunction", "emit", "prompt_function",
+    "PMLError", "ParseError", "ValidationError", "SchemaMismatchError",
+    "Diagnostic", "lint_schema",
+]

@@ -1,0 +1,117 @@
+"""AST node types for PML schemas and prompts.
+
+Schema side (paper §3.2): a schema is a named sequence of text, modules,
+unions, parameters, and chat-role wrappers. Prompt side (§3.2.1): a prompt
+names its schema, imports modules (optionally supplying parameter
+arguments and selecting nested modules), and interleaves new uncached text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# Tag names with built-in meaning; modules cannot shadow them.
+RESERVED_TAGS = frozenset(
+    {"schema", "prompt", "module", "union", "param", "system", "user",
+     "assistant", "scaffold"}
+)
+
+CHAT_ROLES = ("system", "user", "assistant")
+
+
+@dataclass
+class TextNode:
+    """Verbatim text. In a schema: anonymous module content, always
+    included. In a prompt: new, uncached text (paper Fig 2 ④)."""
+
+    text: str
+
+
+@dataclass
+class ParamNode:
+    """A ``<param name=... len=.../>`` placeholder inside a module.
+
+    Encoded as ``len`` ``<unk>`` tokens whose positions are recorded for
+    runtime substitution (paper §3.3).
+    """
+
+    name: str
+    length: int
+    # Scaffolding for buffers: a param may carry default text used when the
+    # prompt supplies no argument (empty string = blank buffer).
+    default: str = ""
+
+
+@dataclass
+class ModuleNode:
+    """A reusable prompt module. ``anonymous`` modules are synthesized from
+    bare schema text and are always part of every derived prompt."""
+
+    name: str
+    children: list["SchemaChild"] = field(default_factory=list)
+    anonymous: bool = False
+
+
+@dataclass
+class UnionNode:
+    """Mutually exclusive modules sharing a start position (paper §3.2.3)."""
+
+    members: list[ModuleNode] = field(default_factory=list)
+
+
+@dataclass
+class RoleNode:
+    """``<system>/<user>/<assistant>`` chat-template wrapper (§3.2.3)."""
+
+    role: str
+    children: list["SchemaChild"] = field(default_factory=list)
+
+
+@dataclass
+class SchemaNode:
+    """Root of a schema document."""
+
+    name: str
+    children: list["SchemaChild"] = field(default_factory=list)
+    # Names listed in <scaffold modules="a,b"/> declarations (§3.3): module
+    # sets additionally encoded together to share an attention span.
+    scaffolds: list[tuple[str, ...]] = field(default_factory=list)
+
+
+SchemaChild = Union[TextNode, ParamNode, ModuleNode, UnionNode, RoleNode]
+
+
+@dataclass
+class ImportNode:
+    """A module import inside a prompt: ``<miami/>`` or
+    ``<trip-plan duration="3 days"><paris/></trip-plan>``."""
+
+    name: str
+    args: dict[str, str] = field(default_factory=dict)
+    children: list["PromptChild"] = field(default_factory=list)
+
+
+@dataclass
+class PromptNode:
+    """Root of a prompt document: ``<prompt schema="...">...</prompt>``."""
+
+    schema: str
+    children: list["PromptChild"] = field(default_factory=list)
+
+
+PromptChild = Union[TextNode, ImportNode]
+
+
+def iter_modules(children: list[SchemaChild]):
+    """Yield every (possibly nested) named module under ``children``."""
+    for child in children:
+        if isinstance(child, ModuleNode):
+            yield child
+            yield from iter_modules(child.children)
+        elif isinstance(child, UnionNode):
+            for member in child.members:
+                yield member
+                yield from iter_modules(member.children)
+        elif isinstance(child, RoleNode):
+            yield from iter_modules(child.children)

@@ -1,0 +1,121 @@
+"""LLM-specific chat templates for the PML role tags (paper §3.2.3).
+
+Schemas use ``<system>``, ``<user>``, ``<assistant>`` instead of hard-coding
+any one model's conversation format; at schema-load time the role wrappers
+are compiled into the plain-text framing the target LLM was tuned on —
+e.g. Llama2's ``<s>[INST] <<SYS>>...<</SYS>> ... [/INST]``.
+
+Compiling happens *before* layout, so the framing text becomes part of the
+surrounding anonymous modules and is cached like any other schema text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pml.ast import RoleNode, SchemaNode, TextNode
+
+
+@dataclass(frozen=True)
+class ChatTemplate:
+    """Per-role framing strings for one model family."""
+
+    name: str
+    system_prefix: str
+    system_suffix: str
+    user_prefix: str
+    user_suffix: str
+    assistant_prefix: str
+    assistant_suffix: str
+
+    def framing(self, role: str) -> tuple[str, str]:
+        return {
+            "system": (self.system_prefix, self.system_suffix),
+            "user": (self.user_prefix, self.user_suffix),
+            "assistant": (self.assistant_prefix, self.assistant_suffix),
+        }[role]
+
+
+LLAMA2_TEMPLATE = ChatTemplate(
+    name="llama2",
+    system_prefix="<s>[INST] <<SYS>>\n",
+    system_suffix="\n<</SYS>>\n\n",
+    user_prefix="",
+    user_suffix=" [/INST]",
+    assistant_prefix=" ",
+    assistant_suffix=" </s>",
+)
+
+# MPT-chat follows the ChatML convention.
+MPT_TEMPLATE = ChatTemplate(
+    name="mpt",
+    system_prefix="<|im_start|>system\n",
+    system_suffix="<|im_end|>\n",
+    user_prefix="<|im_start|>user\n",
+    user_suffix="<|im_end|>\n",
+    assistant_prefix="<|im_start|>assistant\n",
+    assistant_suffix="<|im_end|>\n",
+)
+
+FALCON_TEMPLATE = ChatTemplate(
+    name="falcon",
+    system_prefix="",
+    system_suffix="\n",
+    user_prefix="User: ",
+    user_suffix="\n",
+    assistant_prefix="Assistant: ",
+    assistant_suffix="\n",
+)
+
+# Identity framing: role tags contribute nothing (base, non-chat models).
+PLAIN_TEMPLATE = ChatTemplate(
+    name="plain",
+    system_prefix="", system_suffix="\n",
+    user_prefix="", user_suffix="\n",
+    assistant_prefix="", assistant_suffix="\n",
+)
+
+TEMPLATES: dict[str, ChatTemplate] = {
+    t.name: t for t in (LLAMA2_TEMPLATE, MPT_TEMPLATE, FALCON_TEMPLATE, PLAIN_TEMPLATE)
+}
+
+
+def template_for_architecture(architecture: str) -> ChatTemplate:
+    """Default template for each engine architecture family."""
+    return {
+        "llama": LLAMA2_TEMPLATE,
+        "mpt": MPT_TEMPLATE,
+        "falcon": FALCON_TEMPLATE,
+        "gpt2": PLAIN_TEMPLATE,
+    }.get(architecture, PLAIN_TEMPLATE)
+
+
+def resolve_roles(schema: SchemaNode, template: ChatTemplate) -> SchemaNode:
+    """Replace every RoleNode with its framing text around its children."""
+
+    def resolve_children(children: list) -> list:
+        out: list = []
+        for child in children:
+            if isinstance(child, RoleNode):
+                prefix, suffix = template.framing(child.role)
+                if prefix:
+                    out.append(TextNode(prefix))
+                out.extend(resolve_children(child.children))
+                if suffix:
+                    out.append(TextNode(suffix))
+            elif hasattr(child, "children"):
+                child.children = resolve_children(child.children)
+                out.append(child)
+            elif hasattr(child, "members"):
+                for member in child.members:
+                    member.children = resolve_children(member.children)
+                out.append(child)
+            else:
+                out.append(child)
+        return out
+
+    return SchemaNode(
+        name=schema.name,
+        children=resolve_children(schema.children),
+        scaffolds=list(schema.scaffolds),
+    )

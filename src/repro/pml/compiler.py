@@ -1,0 +1,314 @@
+"""Python-to-PML compiler (paper §3.2.4).
+
+Prompt programs written as plain Python functions compile into PML schemas,
+so users never hand-write markup:
+
+- ``emit("...")`` with a string literal → schema text (anonymous module
+  content inside whatever construct encloses it);
+- ``emit(arg)`` where ``arg`` is a ``Param``-annotated function argument →
+  a ``<param>`` placeholder;
+- ``if cond: ...`` → a ``<module>`` (included when the condition holds);
+- ``if/elif/else`` chains → a ``<union>`` of modules (choose-one);
+- a call to another ``@prompt_function`` → a nested ``<module>``;
+- the function docstring → leading schema text.
+
+The same function also *builds prompts*: calling
+``fn.build_prompt(dest="miami", duration="3 days")`` re-evaluates the
+branch conditions against the given arguments and emits the matching
+``<prompt>`` document, supplying parameter values — which is how a prompt
+program reuses its cached modules at runtime.
+
+Example::
+
+    @prompt_function
+    def travel(dest, duration: Param(8)):
+        \"\"\"You are a travel planner.\"\"\"
+        if dest == "miami":
+            emit("Miami: beaches, nightlife, art deco.")
+        elif dest == "paris":
+            emit("Paris: museums, cafes, architecture.")
+        emit("Plan a trip lasting ")
+        emit(duration)
+
+    schema_pml = travel.to_pml()
+    prompt_pml = travel.build_prompt(dest="paris", duration="3 days")
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import re
+import textwrap
+from dataclasses import dataclass
+
+from repro.pml.ast import ModuleNode, ParamNode, SchemaNode, TextNode, UnionNode
+from repro.pml.errors import ValidationError
+from repro.pml.schema import Schema
+
+
+@dataclass(frozen=True)
+class Param:
+    """Annotation marking a function argument as a PML parameter with a
+    maximum token length (the ``len`` attribute, paper §3.2.2)."""
+
+    length: int
+
+
+def emit(_text_or_param) -> None:
+    """Marker function; only meaningful inside ``@prompt_function`` bodies."""
+    raise RuntimeError(
+        "emit() is a compile-time marker — call schema.to_pml() / "
+        "build_prompt() on the decorated function instead of invoking it"
+    )
+
+
+def _slug(value: object) -> str:
+    text = re.sub(r"[^A-Za-z0-9]+", "-", str(value)).strip("-").lower()
+    return text or "value"
+
+
+@dataclass
+class _Branch:
+    """One compiled conditional branch: a module plus its guard."""
+
+    module: ModuleNode
+    # Compiled expression evaluated against build_prompt kwargs; None for
+    # a bare `else` (selected when no earlier branch matched).
+    condition: object | None
+    source: str
+
+
+class PromptFunction:
+    """A compiled prompt program: schema + prompt builder."""
+
+    def __init__(self, fn, name: str | None = None) -> None:
+        self.fn = fn
+        self.name = name or fn.__name__.replace("_", "-")
+        self._params = self._collect_params(fn)
+        self._branches: list[list[_Branch]] = []  # one list per if-chain
+        self._nested: list[PromptFunction] = []
+        self._slots: list[ModuleNode] = []  # implicit modules for top-level params
+        self._param_home: dict[str, str | None] = {}  # param -> module name
+        root_children = self._compile(fn)
+        self.schema = Schema.from_node(
+            SchemaNode(name=self.name, children=root_children)
+        )
+
+    # -- compilation -----------------------------------------------------------
+
+    @staticmethod
+    def _collect_params(fn) -> dict[str, Param]:
+        params: dict[str, Param] = {}
+        signature = inspect.signature(fn)
+        for arg_name, parameter in signature.parameters.items():
+            annotation = parameter.annotation
+            if isinstance(annotation, str):
+                # `from __future__ import annotations` stringifies them.
+                try:
+                    annotation = eval(  # noqa: S307 - trusted module source
+                        annotation, fn.__globals__, {"Param": Param}
+                    )
+                except Exception:
+                    continue
+            if isinstance(annotation, Param):
+                params[arg_name] = annotation
+        return params
+
+    def _compile(self, fn) -> list:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+        fn_def = tree.body[0]
+        if not isinstance(fn_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            raise ValidationError("@prompt_function must decorate a function")
+        body = list(fn_def.body)
+        children: list = []
+        if (
+            body
+            and isinstance(body[0], ast.Expr)
+            and isinstance(body[0].value, ast.Constant)
+            and isinstance(body[0].value.value, str)
+        ):
+            children.append(TextNode(body[0].value.value))
+            body = body[1:]
+        children.extend(self._compile_block(body, current_module=None))
+        return children
+
+    def _compile_block(self, statements: list, current_module: str | None) -> list:
+        out: list = []
+        for stmt in statements:
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                out.extend(self._compile_call(stmt.value, current_module))
+            elif isinstance(stmt, ast.If):
+                out.append(self._compile_if(stmt, current_module))
+            elif isinstance(stmt, (ast.Pass, ast.Return)):
+                continue
+            elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # stray docstring/comment-like constant
+            else:
+                raise ValidationError(
+                    f"prompt programs support emit(), if/elif/else, and nested "
+                    f"prompt-function calls; found {type(stmt).__name__} at line "
+                    f"{stmt.lineno}"
+                )
+        return out
+
+    def _compile_call(self, call: ast.Call, current_module: str | None) -> list:
+        callee = call.func
+        if isinstance(callee, ast.Name) and callee.id == "emit":
+            if len(call.args) != 1:
+                raise ValidationError("emit() takes exactly one argument")
+            arg = call.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                return [TextNode(arg.value)]
+            if isinstance(arg, ast.Name) and arg.id in self._params:
+                param = ParamNode(name=arg.id, length=self._params[arg.id].length)
+                if current_module is None:
+                    # PML requires <param> inside a <module>; wrap top-level
+                    # parameters in an implicit single-param module.
+                    slot = ModuleNode(name=f"{_slug(arg.id)}-slot", children=[param])
+                    self._slots.append(slot)
+                    self._param_home[arg.id] = slot.name
+                    return [slot]
+                self._param_home[arg.id] = current_module
+                return [param]
+            raise ValidationError(
+                "emit() accepts a string literal or a Param-annotated argument"
+            )
+        if isinstance(callee, ast.Name):
+            nested = self._lookup_prompt_function(callee.id)
+            if nested is not None:
+                self._nested.append(nested)
+                module = ModuleNode(
+                    name=nested.name,
+                    children=[c for c in nested.schema.root.children],
+                )
+                for arg_name, home in nested._param_home.items():
+                    self._param_home.setdefault(arg_name, home)
+                for arg_name, p in nested._params.items():
+                    self._params.setdefault(arg_name, p)
+                return [module]
+        raise ValidationError(
+            f"unsupported call in prompt program at line {call.lineno}; only "
+            "emit() and @prompt_function calls are allowed"
+        )
+
+    def _lookup_prompt_function(self, name: str) -> "PromptFunction | None":
+        candidate = self.fn.__globals__.get(name)
+        return candidate if isinstance(candidate, PromptFunction) else None
+
+    def _compile_if(self, stmt: ast.If, current_module: str | None):
+        branches: list[_Branch] = []
+        node: ast.stmt | None = stmt
+        while isinstance(node, ast.If):
+            module_name = self._branch_name(node.test)
+            module = ModuleNode(
+                name=module_name,
+                children=self._compile_block(node.body, current_module=module_name),
+            )
+            condition_src = ast.unparse(node.test)
+            branches.append(
+                _Branch(
+                    module=module,
+                    condition=compile(condition_src, "<prompt-program>", "eval"),
+                    source=condition_src,
+                )
+            )
+            rest = node.orelse
+            if len(rest) == 1 and isinstance(rest[0], ast.If):
+                node = rest[0]
+            elif rest:
+                else_name = f"{module_name.rsplit('-', 1)[0]}-otherwise"
+                branches.append(
+                    _Branch(
+                        module=ModuleNode(
+                            name=else_name,
+                            children=self._compile_block(
+                                rest, current_module=else_name
+                            ),
+                        ),
+                        condition=None,
+                        source="<else>",
+                    )
+                )
+                node = None
+            else:
+                node = None
+        self._branches.append(branches)
+        if len(branches) == 1:
+            return branches[0].module
+        return UnionNode(members=[b.module for b in branches])
+
+    def _branch_name(self, test: ast.expr) -> str:
+        # `dest == "miami"` -> "dest-miami"; `flag` -> "flag"; otherwise slug
+        # of the expression source.
+        if (
+            isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+            and len(test.comparators) == 1
+            and isinstance(test.comparators[0], ast.Constant)
+        ):
+            return f"{_slug(test.left.id)}-{_slug(test.comparators[0].value)}"
+        if isinstance(test, ast.Name):
+            return _slug(test.id)
+        return _slug(ast.unparse(test))
+
+    # -- outputs ---------------------------------------------------------------
+
+    def to_pml(self) -> str:
+        """The compiled schema as PML text."""
+        return self.schema.to_pml()
+
+    def build_prompt(self, *, extra_text: str = "", **kwargs) -> str:
+        """Evaluate branch conditions against ``kwargs`` and produce the
+        matching ``<prompt>`` document (imports + parameter arguments)."""
+        imports: list[str] = []
+        for chain in self._branches:
+            chosen = self._choose_branch(chain, kwargs)
+            if chosen is not None:
+                imports.append(self._import_tag(chosen.module, kwargs))
+        for nested in self._nested:
+            imports.append(self._import_tag(nested.schema_module(), kwargs))
+        for slot in self._slots:
+            imports.append(self._import_tag(slot, kwargs))
+        body = "".join(imports) + escape_prompt_text(extra_text)
+        return f'<prompt schema="{self.name}">{body}</prompt>'
+
+    def schema_module(self) -> ModuleNode:
+        """This function viewed as a module (when nested in a caller)."""
+        return ModuleNode(name=self.name, children=self.schema.root.children)
+
+    @staticmethod
+    def _choose_branch(chain: list[_Branch], kwargs: dict) -> _Branch | None:
+        fallback = None
+        for branch in chain:
+            if branch.condition is None:
+                fallback = branch
+                continue
+            try:
+                if eval(branch.condition, {"__builtins__": {}}, dict(kwargs)):
+                    return branch
+            except NameError:
+                continue  # argument not supplied: branch not selectable
+        return fallback
+
+    def _import_tag(self, module: ModuleNode, kwargs: dict) -> str:
+        args = []
+        for child in module.children:
+            if isinstance(child, ParamNode) and child.name in kwargs:
+                value = str(kwargs[child.name]).replace('"', "&quot;")
+                args.append(f' {child.name}="{value}"')
+        return f"<{module.name}{''.join(args)}/>"
+
+
+def escape_prompt_text(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;")
+
+
+def prompt_function(fn=None, *, name: str | None = None):
+    """Decorator compiling a Python prompt program into a PML schema."""
+    if fn is None:
+        return lambda f: PromptFunction(f, name=name)
+    return PromptFunction(fn, name=name)

@@ -1,0 +1,25 @@
+"""Error types raised while parsing or validating PML documents."""
+
+from __future__ import annotations
+
+
+class PMLError(Exception):
+    """Base class for all PML problems."""
+
+
+class ParseError(PMLError):
+    """Malformed PML markup, with source position."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ValidationError(PMLError):
+    """Structurally well-formed but semantically invalid PML."""
+
+
+class SchemaMismatchError(PMLError):
+    """A prompt references modules/parameters its schema does not define,
+    or violates the schema's structure (paper §3.4's alignment check)."""

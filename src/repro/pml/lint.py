@@ -1,0 +1,175 @@
+"""Schema linter: authoring diagnostics for PML schemas.
+
+Schemas are written by humans (or compiled from prompt programs) and have
+real performance consequences: oversized modules blow memory budgets,
+single-member unions waste nothing but signal confusion, unused parameters
+bloat position space, and semantically dependent modules silently lose
+cross-attention (the §3.3 masking effect). The linter surfaces all of this
+before any encoding happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.llm.config import ModelConfig
+from repro.pml.ast import ModuleNode, ParamNode, UnionNode
+from repro.pml.schema import Schema
+
+if TYPE_CHECKING:  # real import is deferred: cache.layout imports pml
+    from repro.cache.layout import SchemaLayout
+
+SEVERITIES = ("error", "warning", "info")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    severity: str  # one of SEVERITIES
+    code: str
+    message: str
+    module: str | None = None
+
+    def __str__(self) -> str:
+        where = f" [{self.module}]" if self.module else ""
+        return f"{self.severity}:{self.code}{where}: {self.message}"
+
+
+def lint_schema(
+    schema: Schema,
+    tokenizer,
+    model_config: ModelConfig | None = None,
+    memory_budget_bytes: int | None = None,
+) -> list[Diagnostic]:
+    """All diagnostics for ``schema``, most severe first."""
+    from repro.cache.layout import layout_schema
+
+    layout = layout_schema(schema, tokenizer)
+    diagnostics: list[Diagnostic] = []
+    diagnostics += _check_position_budget(layout, model_config)
+    diagnostics += _check_memory_budget(layout, model_config, memory_budget_bytes)
+    diagnostics += _check_empty_modules(layout)
+    diagnostics += _check_single_member_unions(schema)
+    diagnostics += _check_param_slack(schema, layout)
+    diagnostics += _check_tiny_modules(layout)
+    order = {severity: i for i, severity in enumerate(SEVERITIES)}
+    return sorted(diagnostics, key=lambda d: (order[d.severity], d.code, d.module or ""))
+
+
+def _check_position_budget(layout: "SchemaLayout", config) -> list[Diagnostic]:
+    if config is None:
+        return []
+    out = []
+    if layout.total_length >= config.max_position:
+        out.append(
+            Diagnostic(
+                "error", "position-overflow",
+                f"schema needs {layout.total_length} positions but "
+                f"{config.name} supports {config.max_position}",
+            )
+        )
+    elif layout.total_length >= 0.9 * config.max_position:
+        out.append(
+            Diagnostic(
+                "warning", "position-pressure",
+                f"schema uses {layout.total_length}/{config.max_position} "
+                "positions; little room for prompt text and generation",
+            )
+        )
+    return out
+
+
+def _check_memory_budget(layout, config, budget) -> list[Diagnostic]:
+    if config is None:
+        return []
+    out = []
+    total_tokens = sum(len(m.token_ids) for m in layout.modules.values())
+    total_bytes = total_tokens * config.kv_bytes_per_token()
+    if budget is not None and total_bytes > budget:
+        out.append(
+            Diagnostic(
+                "error", "memory-overflow",
+                f"encoding every module costs {total_bytes / 1e9:.2f} GB at "
+                f"fp16, over the {budget / 1e9:.2f} GB budget",
+            )
+        )
+    for module in layout.modules.values():
+        nbytes = len(module.token_ids) * config.kv_bytes_per_token()
+        if budget is not None and nbytes > budget / 2:
+            out.append(
+                Diagnostic(
+                    "warning", "module-dominates-budget",
+                    f"one module uses {nbytes / 1e9:.2f} GB, over half the budget",
+                    module=module.name,
+                )
+            )
+    return out
+
+
+def _check_empty_modules(layout: "SchemaLayout") -> list[Diagnostic]:
+    return [
+        Diagnostic(
+            "warning", "empty-module",
+            "module has no tokens; importing it is a no-op", module=name,
+        )
+        for name, module in layout.modules.items()
+        if len(module.token_ids) == 0
+    ]
+
+
+def _check_single_member_unions(schema: Schema) -> list[Diagnostic]:
+    out = []
+
+    def walk(children):
+        for child in children:
+            if isinstance(child, UnionNode):
+                if len(child.members) == 1:
+                    out.append(
+                        Diagnostic(
+                            "info", "single-member-union",
+                            "a union with one member is just a module",
+                            module=child.members[0].name,
+                        )
+                    )
+                for member in child.members:
+                    walk(member.children)
+            elif isinstance(child, ModuleNode):
+                walk(child.children)
+
+    walk(schema.root.children)
+    return out
+
+
+def _check_param_slack(schema: Schema, layout: "SchemaLayout") -> list[Diagnostic]:
+    """Parameters whose reserved length dwarfs their default hint."""
+    out = []
+    for module in layout.modules.values():
+        for slot in module.params.values():
+            if slot.length > 64:
+                out.append(
+                    Diagnostic(
+                        "info", "large-param",
+                        f"parameter {slot.name!r} reserves {slot.length} "
+                        "positions; oversized buffers waste position space",
+                        module=module.name,
+                    )
+                )
+    return out
+
+
+def _check_tiny_modules(layout: "SchemaLayout") -> list[Diagnostic]:
+    """Modules so small that caching saves less than the splice overhead."""
+    out = []
+    for name, module in layout.modules.items():
+        if module.anonymous:
+            continue
+        if 0 < len(module.token_ids) <= 4:
+            out.append(
+                Diagnostic(
+                    "info", "tiny-module",
+                    f"module has only {len(module.token_ids)} tokens; caching "
+                    "overhead may exceed the prefill it saves",
+                    module=name,
+                )
+            )
+    return out

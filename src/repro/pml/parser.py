@@ -1,0 +1,231 @@
+"""Recursive-descent parser turning PML token streams into ASTs.
+
+Two entry points: :func:`parse_schema` and :func:`parse_prompt`. Both share
+the token cursor; the grammar differs only in which tags are allowed where.
+"""
+
+from __future__ import annotations
+
+from repro.pml.ast import (
+    CHAT_ROLES,
+    RESERVED_TAGS,
+    ImportNode,
+    ModuleNode,
+    ParamNode,
+    PromptNode,
+    RoleNode,
+    SchemaNode,
+    TextNode,
+    UnionNode,
+)
+from repro.pml.errors import ParseError
+from repro.pml.lexer import Lexer, Token
+
+
+class _Cursor:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> Token | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            last = self._tokens[-1] if self._tokens else None
+            raise ParseError(
+                "unexpected end of document",
+                last.line if last else 1,
+                last.column if last else 1,
+            )
+        self._index += 1
+        return token
+
+
+def _error(token: Token, message: str) -> ParseError:
+    return ParseError(message, token.line, token.column)
+
+
+def _skip_blank(text: str) -> bool:
+    """Whitespace-only text between structural tags is layout noise."""
+    return not text.strip()
+
+
+# -- schema grammar ------------------------------------------------------------
+
+
+def parse_schema(source: str) -> SchemaNode:
+    """Parse a ``<schema name="...">`` document into a :class:`SchemaNode`."""
+    cursor = _Cursor(Lexer(source).tokens())
+    root = _next_structural(cursor)
+    if root is None or root.kind != "open" or root.name != "schema":
+        raise ParseError("a schema document must have a single <schema> root", 1, 1)
+    name = root.attrs.get("name", "")
+    if not name:
+        raise _error(root, "<schema> requires a name attribute")
+    node = SchemaNode(name=name)
+    if not root.self_closing:
+        node.children, node.scaffolds = _parse_schema_children(cursor, "schema")
+    _expect_end(cursor)
+    return node
+
+
+def _parse_schema_children(
+    cursor: _Cursor, parent: str
+) -> tuple[list, list[tuple[str, ...]]]:
+    children: list = []
+    scaffolds: list[tuple[str, ...]] = []
+    while True:
+        token = cursor.next()
+        if token.kind == "close":
+            if token.name != parent:
+                raise _error(token, f"mismatched </{token.name}>; open tag is <{parent}>")
+            return children, scaffolds
+        if token.kind == "text":
+            if not _skip_blank(token.text):
+                children.append(TextNode(token.text))
+            continue
+        # open tag
+        if token.name == "module":
+            children.append(_parse_module(cursor, token))
+        elif token.name == "union":
+            children.append(_parse_union(cursor, token))
+        elif token.name == "param":
+            children.append(_parse_param(token))
+        elif token.name in CHAT_ROLES:
+            role = RoleNode(role=token.name)
+            if not token.self_closing:
+                role.children, nested_scaffolds = _parse_schema_children(
+                    cursor, token.name
+                )
+                scaffolds.extend(nested_scaffolds)
+            children.append(role)
+        elif token.name == "scaffold":
+            names = tuple(
+                n.strip() for n in token.attrs.get("modules", "").split(",") if n.strip()
+            )
+            if len(names) < 2:
+                raise _error(token, "<scaffold> requires modules=\"a,b,...\" with 2+ names")
+            if not token.self_closing:
+                raise _error(token, "<scaffold> must be self-closing")
+            scaffolds.append(names)
+        else:
+            raise _error(
+                token,
+                f"unexpected <{token.name}> in a schema; expected module/union/"
+                "param/scaffold or a chat-role tag",
+            )
+
+
+def _parse_module(cursor: _Cursor, open_token: Token) -> ModuleNode:
+    name = open_token.attrs.get("name", "")
+    if not name:
+        raise _error(open_token, "<module> requires a name attribute")
+    if name in RESERVED_TAGS:
+        raise _error(open_token, f"module name {name!r} shadows a reserved tag")
+    module = ModuleNode(name=name)
+    if not open_token.self_closing:
+        module.children, scaffolds = _parse_schema_children(cursor, "module")
+        if scaffolds:
+            raise _error(open_token, "<scaffold> must appear at schema top level")
+    return module
+
+
+def _parse_union(cursor: _Cursor, open_token: Token) -> UnionNode:
+    if open_token.self_closing:
+        raise _error(open_token, "<union> cannot be empty")
+    union = UnionNode()
+    while True:
+        token = cursor.next()
+        if token.kind == "close":
+            if token.name != "union":
+                raise _error(token, f"mismatched </{token.name}> inside <union>")
+            if not union.members:
+                raise _error(open_token, "<union> cannot be empty")
+            return union
+        if token.kind == "text":
+            if _skip_blank(token.text):
+                continue
+            raise _error(token, "bare text is not allowed inside <union>; wrap it in a <module>")
+        if token.name != "module":
+            raise _error(token, "<union> may contain only <module> children")
+        union.members.append(_parse_module(cursor, token))
+
+
+def _parse_param(token: Token) -> ParamNode:
+    name = token.attrs.get("name", "")
+    if not name:
+        raise _error(token, "<param> requires a name attribute")
+    raw_len = token.attrs.get("len", "")
+    try:
+        length = int(raw_len)
+    except ValueError:
+        raise _error(token, f"<param> len must be an integer, got {raw_len!r}") from None
+    if length < 1:
+        raise _error(token, "<param> len must be >= 1")
+    if not token.self_closing:
+        raise _error(token, "<param> must be self-closing")
+    return ParamNode(name=name, length=length, default=token.attrs.get("default", ""))
+
+
+# -- prompt grammar --------------------------------------------------------------
+
+
+def parse_prompt(source: str) -> PromptNode:
+    """Parse a ``<prompt schema="...">`` document into a :class:`PromptNode`."""
+    cursor = _Cursor(Lexer(source).tokens())
+    root = _next_structural(cursor)
+    if root is None or root.kind != "open" or root.name != "prompt":
+        raise ParseError("a prompt document must have a single <prompt> root", 1, 1)
+    schema = root.attrs.get("schema", "")
+    if not schema:
+        raise _error(root, "<prompt> requires a schema attribute")
+    node = PromptNode(schema=schema)
+    if not root.self_closing:
+        node.children = _parse_prompt_children(cursor, "prompt")
+    _expect_end(cursor)
+    return node
+
+
+def _parse_prompt_children(cursor: _Cursor, parent: str) -> list:
+    children: list = []
+    while True:
+        token = cursor.next()
+        if token.kind == "close":
+            if token.name != parent:
+                raise _error(token, f"mismatched </{token.name}>; open tag is <{parent}>")
+            return children
+        if token.kind == "text":
+            if not _skip_blank(token.text):
+                children.append(TextNode(token.text))
+            continue
+        if token.name in RESERVED_TAGS:
+            raise _error(
+                token, f"<{token.name}> is a schema-side tag; prompts import modules by name"
+            )
+        node = ImportNode(name=token.name, args=dict(token.attrs))
+        if not token.self_closing:
+            node.children = _parse_prompt_children(cursor, token.name)
+        children.append(node)
+
+
+# -- shared ----------------------------------------------------------------------
+
+
+def _next_structural(cursor: _Cursor) -> Token | None:
+    """Skip leading whitespace text; return the first real token."""
+    while True:
+        token = cursor.peek()
+        if token is None:
+            return None
+        if token.kind == "text" and _skip_blank(token.text):
+            cursor.next()
+            continue
+        return cursor.next()
+
+
+def _expect_end(cursor: _Cursor) -> None:
+    trailing = _next_structural(cursor)
+    if trailing is not None:
+        raise _error(trailing, "content after the document root")

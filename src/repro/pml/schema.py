@@ -1,0 +1,174 @@
+"""Schema object: validated PML schema with module lookup and serialization.
+
+A :class:`Schema` wraps a parsed :class:`~repro.pml.ast.SchemaNode` and
+provides what the cache layers need: a global module registry, parent
+links for nested modules, union membership, scaffold sets, and a canonical
+PML serialization (used by the Python-to-PML compiler round-trip tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pml.ast import (
+    ModuleNode,
+    ParamNode,
+    RoleNode,
+    SchemaNode,
+    TextNode,
+    UnionNode,
+    iter_modules,
+)
+from repro.pml.chat import ChatTemplate, resolve_roles
+from repro.pml.errors import ValidationError
+from repro.pml.parser import parse_schema
+
+
+@dataclass
+class Schema:
+    """A validated schema ready for layout and encoding."""
+
+    root: SchemaNode
+    modules: dict[str, ModuleNode] = field(default_factory=dict)
+    parents: dict[str, str | None] = field(default_factory=dict)
+    union_of: dict[str, int] = field(default_factory=dict)  # module -> union index
+
+    @property
+    def name(self) -> str:
+        return self.root.name
+
+    @property
+    def scaffolds(self) -> list[tuple[str, ...]]:
+        return self.root.scaffolds
+
+    @classmethod
+    def parse(cls, source: str, template: ChatTemplate | None = None) -> "Schema":
+        """Parse, optionally compile chat-role tags, and validate."""
+        root = parse_schema(source)
+        if template is not None:
+            root = resolve_roles(root, template)
+        return cls.from_node(root)
+
+    @classmethod
+    def from_node(cls, root: SchemaNode) -> "Schema":
+        schema = cls(root=root)
+        schema._index()
+        schema._validate()
+        return schema
+
+    # -- indexing / validation ------------------------------------------------
+
+    def _index(self) -> None:
+        union_counter = 0
+
+        def walk(children: list, parent: str | None) -> None:
+            nonlocal union_counter
+            for child in children:
+                if isinstance(child, ModuleNode):
+                    self._register(child, parent)
+                    walk(child.children, child.name)
+                elif isinstance(child, UnionNode):
+                    index = union_counter
+                    union_counter += 1
+                    for member in child.members:
+                        self._register(member, parent)
+                        self.union_of[member.name] = index
+                        walk(member.children, member.name)
+                elif isinstance(child, RoleNode):
+                    walk(child.children, parent)
+
+        walk(self.root.children, None)
+
+    def _register(self, module: ModuleNode, parent: str | None) -> None:
+        if module.name in self.modules:
+            raise ValidationError(
+                f"duplicate module name {module.name!r} in schema {self.name!r}"
+            )
+        self.modules[module.name] = module
+        self.parents[module.name] = parent
+
+    def _validate(self) -> None:
+        for module in self.modules.values():
+            seen_params: set[str] = set()
+            for child in module.children:
+                if isinstance(child, ParamNode):
+                    if child.name in seen_params:
+                        raise ValidationError(
+                            f"duplicate parameter {child.name!r} in module "
+                            f"{module.name!r}"
+                        )
+                    seen_params.add(child.name)
+        for names in self.root.scaffolds:
+            for name in names:
+                if name not in self.modules:
+                    raise ValidationError(
+                        f"scaffold references unknown module {name!r}"
+                    )
+        if any(isinstance(c, ParamNode) for c in self.root.children):
+            raise ValidationError(
+                "<param> must appear inside a <module>, not at schema top level"
+            )
+
+    # -- queries ----------------------------------------------------------------
+
+    def module(self, name: str) -> ModuleNode:
+        try:
+            return self.modules[name]
+        except KeyError:
+            raise KeyError(
+                f"schema {self.name!r} has no module {name!r}; "
+                f"known: {sorted(self.modules)}"
+            ) from None
+
+    def params_of(self, name: str) -> dict[str, ParamNode]:
+        return {
+            child.name: child
+            for child in self.module(name).children
+            if isinstance(child, ParamNode)
+        }
+
+    def ancestors(self, name: str) -> list[str]:
+        """Chain of enclosing module names, innermost first."""
+        chain: list[str] = []
+        parent = self.parents.get(name)
+        while parent is not None:
+            chain.append(parent)
+            parent = self.parents.get(parent)
+        return chain
+
+    def in_same_union(self, a: str, b: str) -> bool:
+        ua, ub = self.union_of.get(a), self.union_of.get(b)
+        return ua is not None and ua == ub
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_pml(self) -> str:
+        """Canonical PML text (round-trips through :func:`parse_schema`)."""
+        parts = [f'<schema name="{self.name}">']
+        for names in self.root.scaffolds:
+            parts.append(f'<scaffold modules="{",".join(names)}"/>')
+        parts.extend(_serialize(child) for child in self.root.children)
+        parts.append("</schema>")
+        return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;")
+
+
+def _serialize(node) -> str:
+    if isinstance(node, TextNode):
+        return _escape(node.text)
+    if isinstance(node, ParamNode):
+        default = f' default="{_escape(node.default)}"' if node.default else ""
+        return f'<param name="{node.name}" len="{node.length}"{default}/>'
+    if isinstance(node, ModuleNode):
+        body = "".join(_serialize(c) for c in node.children)
+        return f'<module name="{node.name}">{body}</module>'
+    if isinstance(node, UnionNode):
+        body = "".join(_serialize(m) for m in node.members)
+        return f"<union>{body}</union>"
+    if isinstance(node, RoleNode):
+        body = "".join(_serialize(c) for c in node.children)
+        return f"<{node.role}>{body}</{node.role}>"
+    raise TypeError(f"cannot serialize {type(node).__name__}")

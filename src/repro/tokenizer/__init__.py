@@ -1,0 +1,29 @@
+"""Tokenizer substrate: from-scratch byte-level BPE with special tokens.
+
+The paper's prototype sits on HuggingFace tokenizers; this package provides
+the equivalent functionality offline:
+
+- :class:`SpecialTokens` / :class:`Vocab` — id/token bookkeeping with the
+  ``<s>``, ``</s>``, ``<unk>``, ``<pad>`` specials Prompt Cache relies on
+  (``<unk>`` is the parameter-placeholder token, paper §3.3).
+- :class:`BPETokenizer` — a trainable, deterministic byte-level BPE encoder
+  with guaranteed byte round-trip (every byte is in the base vocabulary).
+- :class:`WhitespaceTokenizer` — a trivial word-level tokenizer used by
+  fast unit tests where BPE training would be noise.
+- :func:`default_tokenizer` — a process-wide tokenizer trained once on the
+  seeded synthetic corpus so that all examples/benchmarks share token ids.
+"""
+
+from repro.tokenizer.vocab import SpecialTokens, Vocab
+from repro.tokenizer.bpe import BPETokenizer, train_bpe
+from repro.tokenizer.whitespace import WhitespaceTokenizer
+from repro.tokenizer.default import default_tokenizer
+
+__all__ = [
+    "SpecialTokens",
+    "Vocab",
+    "BPETokenizer",
+    "train_bpe",
+    "WhitespaceTokenizer",
+    "default_tokenizer",
+]

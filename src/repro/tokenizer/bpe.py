@@ -1,0 +1,241 @@
+"""Byte-level byte-pair-encoding tokenizer, trainable and deterministic.
+
+The base vocabulary always contains all 256 single bytes, so ``decode ∘
+encode`` is the identity on arbitrary text regardless of training corpus —
+the round-trip invariant the property tests rely on.
+
+Training is classic BPE (Sennrich et al.): count adjacent symbol pairs over
+a pre-tokenized corpus and repeatedly merge the most frequent pair. Ties are
+broken by byte order so two trainings on the same corpus are identical.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.tokenizer.vocab import SpecialTokens
+
+# Words keep their leading whitespace attached (GPT-2 style) so that
+# tokenization is invariant to where a text is split into chunks.
+_PRETOKEN_RE = re.compile(rb"\s*\S+|\s+$|\s+(?=\s)")
+
+_NUM_SPECIALS = 4  # pad, unk, bos, eos occupy ids 0..3
+
+
+class BPETokenizer:
+    """Encoder/decoder over a trained merge table.
+
+    Ids are laid out as ``[specials (4)] [single bytes (256)] [merges...]``,
+    so the id space is stable: special ids never move and byte ids are
+    ``4 + byte_value`` in every tokenizer.
+    """
+
+    def __init__(
+        self,
+        merges: list[tuple[int, int]],
+        specials: SpecialTokens | None = None,
+    ) -> None:
+        self.specials = specials or SpecialTokens()
+        # symbol id -> bytes it spells; first 256 entries are single bytes.
+        self._symbols: list[bytes] = [bytes([b]) for b in range(256)]
+        # (left symbol id, right symbol id) -> (rank, merged symbol id)
+        self._merge_table: dict[tuple[int, int], tuple[int, int]] = {}
+        for rank, (left, right) in enumerate(merges):
+            merged = len(self._symbols)
+            self._symbols.append(self._symbols[left] + self._symbols[right])
+            self._merge_table[(left, right)] = (rank, merged)
+        self._special_ids = {
+            tok: i for i, tok in enumerate(self.specials.as_list())
+        }
+        self._special_re = re.compile(
+            "(" + "|".join(re.escape(t) for t in self.specials.as_list()) + ")"
+        )
+        self._word_cache: dict[bytes, list[int]] = {}
+
+    # -- vocabulary ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return _NUM_SPECIALS + len(self._symbols)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self)
+
+    @property
+    def pad_id(self) -> int:
+        return self._special_ids[self.specials.pad]
+
+    @property
+    def unk_id(self) -> int:
+        return self._special_ids[self.specials.unk]
+
+    @property
+    def bos_id(self) -> int:
+        return self._special_ids[self.specials.bos]
+
+    @property
+    def eos_id(self) -> int:
+        return self._special_ids[self.specials.eos]
+
+    def merges(self) -> list[tuple[int, int]]:
+        """The trained merge list in rank order (a copy)."""
+        ordered = sorted(self._merge_table.items(), key=lambda kv: kv[1][0])
+        return [pair for pair, _ in ordered]
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode(self, text: str, *, add_bos: bool = False, add_eos: bool = False) -> list[int]:
+        """Tokenize ``text`` into ids.
+
+        Literal occurrences of special-token strings (``<s>``, ``<unk>``, …)
+        are mapped to their special ids — chat templates and parameter
+        placeholders rely on this.
+        """
+        ids: list[int] = [self.bos_id] if add_bos else []
+        for chunk in self._special_re.split(text):
+            if not chunk:
+                continue
+            special = self._special_ids.get(chunk)
+            if special is not None:
+                ids.append(special)
+                continue
+            data = chunk.encode("utf-8")
+            for match in _PRETOKEN_RE.finditer(data):
+                ids.extend(self._encode_word(match.group()))
+        if add_eos:
+            ids.append(self.eos_id)
+        return ids
+
+    def _encode_word(self, word: bytes) -> list[int]:
+        cached = self._word_cache.get(word)
+        if cached is not None:
+            return cached
+        # Start from single-byte symbols; greedily apply the lowest-rank
+        # merge present until no trained merge applies.
+        symbols = [b for b in word]
+        while len(symbols) > 1:
+            best_rank = None
+            best_idx = -1
+            for i in range(len(symbols) - 1):
+                entry = self._merge_table.get((symbols[i], symbols[i + 1]))
+                if entry is not None and (best_rank is None or entry[0] < best_rank):
+                    best_rank = entry[0]
+                    best_idx = i
+            if best_rank is None:
+                break
+            merged = self._merge_table[(symbols[best_idx], symbols[best_idx + 1])][1]
+            symbols[best_idx : best_idx + 2] = [merged]
+        ids = [s + _NUM_SPECIALS for s in symbols]
+        if len(self._word_cache) < 65536:
+            self._word_cache[word] = ids
+        return ids
+
+    # -- decoding -----------------------------------------------------------
+
+    def decode(self, ids: Iterable[int], *, skip_specials: bool = False) -> str:
+        """Reconstruct text from ids (lossless for non-special ids)."""
+        parts: list[bytes] = []
+        specials = self.specials.as_list()
+        for idx in ids:
+            if idx < _NUM_SPECIALS:
+                if not skip_specials:
+                    parts.append(specials[idx].encode("utf-8"))
+                continue
+            sym = idx - _NUM_SPECIALS
+            if not 0 <= sym < len(self._symbols):
+                raise IndexError(f"token id {idx} outside vocabulary of size {len(self)}")
+            parts.append(self._symbols[sym])
+        return b"".join(parts).decode("utf-8", errors="replace")
+
+    def token_of(self, idx: int) -> str:
+        """Printable form of a single token id (debugging aid)."""
+        if idx < _NUM_SPECIALS:
+            return self.specials.as_list()[idx]
+        return self._symbols[idx - _NUM_SPECIALS].decode("utf-8", errors="replace")
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        payload = {"merges": self.merges(), "specials": self.specials.as_list()}
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BPETokenizer":
+        payload = json.loads(Path(path).read_text())
+        pad, unk, bos, eos = payload["specials"]
+        return cls(
+            merges=[tuple(m) for m in payload["merges"]],
+            specials=SpecialTokens(pad=pad, unk=unk, bos=bos, eos=eos),
+        )
+
+
+def train_bpe(
+    corpus: Iterable[str],
+    vocab_size: int,
+    specials: SpecialTokens | None = None,
+) -> BPETokenizer:
+    """Train a byte-level BPE tokenizer to ``vocab_size`` total ids.
+
+    ``vocab_size`` must cover the 4 specials plus the 256 byte symbols; the
+    remainder becomes learned merges. Training is deterministic: pair counts
+    tie-break on the merged byte string.
+    """
+    num_merges = vocab_size - _NUM_SPECIALS - 256
+    if num_merges < 0:
+        raise ValueError(
+            f"vocab_size must be at least {_NUM_SPECIALS + 256}, got {vocab_size}"
+        )
+
+    word_counts: Counter[bytes] = Counter()
+    for text in corpus:
+        data = text.encode("utf-8")
+        for match in _PRETOKEN_RE.finditer(data):
+            word_counts[match.group()] += 1
+
+    # Each word is a mutable symbol-id sequence; symbols grow as we merge.
+    words: list[list[int]] = [list(w) for w in word_counts]
+    counts = list(word_counts.values())
+    symbols: list[bytes] = [bytes([b]) for b in range(256)]
+    merges: list[tuple[int, int]] = []
+
+    pair_counts: Counter[tuple[int, int]] = Counter()
+    for word, count in zip(words, counts):
+        for pair in zip(word, word[1:]):
+            pair_counts[pair] += count
+
+    for _ in range(num_merges):
+        if not pair_counts:
+            break
+        # Max count; ties broken toward the lexicographically smallest merged
+        # byte string (negated bytes make "smaller" compare as "larger").
+        best = max(
+            pair_counts.items(),
+            key=lambda kv: (kv[1], tuple(-b for b in symbols[kv[0][0]] + symbols[kv[0][1]])),
+        )[0]
+        if pair_counts[best] < 2:
+            break  # nothing left worth merging
+        merged_id = len(symbols)
+        symbols.append(symbols[best[0]] + symbols[best[1]])
+        merges.append(best)
+        # Apply the merge in place and update pair counts incrementally.
+        for word, count in zip(words, counts):
+            i = 0
+            while i < len(word) - 1:
+                if word[i] == best[0] and word[i + 1] == best[1]:
+                    if i > 0:
+                        pair_counts[(word[i - 1], word[i])] -= count
+                        pair_counts[(word[i - 1], merged_id)] += count
+                    if i + 2 < len(word):
+                        pair_counts[(word[i + 1], word[i + 2])] -= count
+                        pair_counts[(merged_id, word[i + 2])] += count
+                    word[i : i + 2] = [merged_id]
+                else:
+                    i += 1
+        del pair_counts[best]
+        pair_counts = +pair_counts  # drop non-positive entries
+
+    return BPETokenizer(merges=merges, specials=specials)

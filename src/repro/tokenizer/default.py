@@ -1,0 +1,26 @@
+"""Process-wide default tokenizer.
+
+Benchmarks, examples, and the synthetic dataset suite must agree on token
+ids, so they all share one BPE tokenizer trained on the seeded synthetic
+corpus. Training is deterministic, hence so are the resulting ids.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.tokenizer.bpe import BPETokenizer, train_bpe
+
+_DEFAULT_VOCAB_SIZE = 2048
+
+
+@lru_cache(maxsize=4)
+def default_tokenizer(vocab_size: int = _DEFAULT_VOCAB_SIZE) -> BPETokenizer:
+    """The shared tokenizer, trained once per process and memoized.
+
+    Imported lazily from :mod:`repro.datasets.corpus` to keep the tokenizer
+    package free of dataset dependencies.
+    """
+    from repro.datasets.corpus import training_corpus
+
+    return train_bpe(training_corpus(), vocab_size=vocab_size)

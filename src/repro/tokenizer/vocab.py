@@ -1,0 +1,85 @@
+"""Vocabulary and special-token bookkeeping shared by all tokenizers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SpecialTokens:
+    """Reserved tokens occupying the first ids of every vocabulary.
+
+    ``unk`` doubles as the parameter-placeholder token in Prompt Cache
+    schemas (paper §3.3): parameter slots are encoded as runs of ``<unk>``
+    whose attention states are later overwritten by real arguments.
+    """
+
+    pad: str = "<pad>"
+    unk: str = "<unk>"
+    bos: str = "<s>"
+    eos: str = "</s>"
+
+    def as_list(self) -> list[str]:
+        return [self.pad, self.unk, self.bos, self.eos]
+
+
+@dataclass
+class Vocab:
+    """Bidirectional token/id mapping.
+
+    Ids are dense and assigned in insertion order; special tokens always come
+    first so their ids are stable across differently-trained tokenizers.
+    """
+
+    specials: SpecialTokens = field(default_factory=SpecialTokens)
+
+    def __post_init__(self) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        for tok in self.specials.as_list():
+            self.add(tok)
+
+    def add(self, token: str) -> int:
+        """Insert ``token`` if absent; return its id either way."""
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        idx = len(self._id_to_token)
+        self._token_to_id[token] = idx
+        self._id_to_token.append(token)
+        return idx
+
+    def id_of(self, token: str) -> int:
+        """Id of ``token``, or the ``<unk>`` id when unknown."""
+        return self._token_to_id.get(token, self.unk_id)
+
+    def token_of(self, idx: int) -> str:
+        if not 0 <= idx < len(self._id_to_token):
+            raise IndexError(f"token id {idx} outside vocabulary of size {len(self)}")
+        return self._id_to_token[idx]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[self.specials.pad]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[self.specials.unk]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[self.specials.bos]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[self.specials.eos]
+
+    def tokens(self) -> list[str]:
+        """All tokens in id order (a copy)."""
+        return list(self._id_to_token)

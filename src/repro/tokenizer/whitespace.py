@@ -1,0 +1,52 @@
+"""Word-level tokenizer for fast unit tests.
+
+Splits on whitespace and grows its vocabulary on first sight of each word.
+Not suitable for real workloads (unbounded vocabulary, lossy whitespace) but
+ideal where tests need stable small token sequences without BPE training.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.tokenizer.vocab import SpecialTokens, Vocab
+
+
+class WhitespaceTokenizer:
+    """Open-vocabulary word tokenizer; decode joins with single spaces."""
+
+    def __init__(self, specials: SpecialTokens | None = None) -> None:
+        self.vocab = Vocab(specials or SpecialTokens())
+        self.specials = self.vocab.specials
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    @property
+    def pad_id(self) -> int:
+        return self.vocab.pad_id
+
+    @property
+    def unk_id(self) -> int:
+        return self.vocab.unk_id
+
+    @property
+    def bos_id(self) -> int:
+        return self.vocab.bos_id
+
+    @property
+    def eos_id(self) -> int:
+        return self.vocab.eos_id
+
+    def encode(self, text: str, *, add_bos: bool = False, add_eos: bool = False) -> list[int]:
+        ids = [self.vocab.bos_id] if add_bos else []
+        ids.extend(self.vocab.add(word) for word in text.split())
+        if add_eos:
+            ids.append(self.vocab.eos_id)
+        return ids
+
+    def decode(self, ids: Iterable[int], *, skip_specials: bool = False) -> str:
+        specials = set(self.specials.as_list()) if skip_specials else set()
+        words = (self.vocab.token_of(i) for i in ids)
+        return " ".join(w for w in words if w not in specials)

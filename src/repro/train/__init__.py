@@ -1,0 +1,28 @@
+"""Training substrate: NumPy autograd + trainer for task-capable tiny models.
+
+The paper evaluates pretrained checkpoints; offline we substitute tiny
+models trained from scratch on the synthetic tasks (DESIGN.md §2), so the
+Table 1 accuracy comparison measures real retrieval behaviour rather than
+noise. The autograd engine, differentiable model, optimizer and task
+generators all live here; nothing in the inference path depends on them.
+"""
+
+from repro.train.autograd import Tensor, cross_entropy_logits
+from repro.train.model import TrainableModel
+from repro.train.optim import Adam, cosine_schedule
+from repro.train.tasks import Batch, make_batch, qa_example, summarization_example
+from repro.train.trainer import (
+    TrainConfig,
+    TrainReport,
+    load_or_train,
+    recall_accuracy,
+    train_model,
+)
+
+__all__ = [
+    "Tensor", "cross_entropy_logits",
+    "TrainableModel", "Adam", "cosine_schedule",
+    "Batch", "make_batch", "qa_example", "summarization_example",
+    "TrainConfig", "TrainReport", "train_model", "load_or_train",
+    "recall_accuracy",
+]

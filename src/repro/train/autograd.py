@@ -1,0 +1,368 @@
+"""Minimal reverse-mode automatic differentiation over NumPy arrays.
+
+The paper assumes pretrained checkpoints; offline we must *make* models
+that can answer the synthetic tasks, which needs gradients. This is a
+small, dependency-free tape-based autograd: a :class:`Tensor` wraps an
+``np.ndarray``, records its parents and a backward closure, and
+``backward()`` walks the topologically-sorted tape.
+
+Only the operations the transformer needs are implemented; each op's
+gradient is verified against central finite differences in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Tensor:
+    """An array plus (optionally) its gradient tape entry."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        parents: tuple = (),
+        backward=None,
+    ) -> None:
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad or any(p.requires_grad for p in parents)
+        self._parents = parents if self.requires_grad else ()
+        self._backward = backward if self.requires_grad else None
+
+    # -- tape -------------------------------------------------------------------
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Accumulate gradients into every ``requires_grad`` ancestor."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without a gradient needs a scalar output")
+            grad = np.ones_like(self.data)
+        order: list[Tensor] = []
+        seen: set[int] = set()
+
+        def topo(node: "Tensor") -> None:
+            if id(node) in seen or not node.requires_grad:
+                return
+            seen.add(id(node))
+            for parent in node._parents:
+                topo(parent)
+            order.append(node)
+
+        topo(self)
+        grads: dict[int, np.ndarray] = {id(self): np.asarray(grad, dtype=np.float32)}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.grad is None:
+                node.grad = node_grad.copy()
+            else:
+                node.grad += node_grad
+            if node._backward is None:
+                continue
+            for parent, parent_grad in node._backward(node_grad):
+                if not parent.requires_grad:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] += parent_grad
+                else:
+                    grads[key] = np.asarray(parent_grad, dtype=np.float32)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- shape helpers ------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    # -- operators ------------------------------------------------------------------
+
+    def __add__(self, other):
+        return add(self, _wrap(other))
+
+    __radd__ = __add__
+
+    def __mul__(self, other):
+        return mul(self, _wrap(other))
+
+    __rmul__ = __mul__
+
+    def __sub__(self, other):
+        return add(self, mul(_wrap(other), _wrap(-1.0)))
+
+    def __rsub__(self, other):
+        return add(_wrap(other), mul(self, _wrap(-1.0)))
+
+    def __neg__(self):
+        return mul(self, _wrap(-1.0))
+
+    def __truediv__(self, other):
+        other = _wrap(other)
+        return mul(self, power(other, -1.0))
+
+    def __matmul__(self, other):
+        return matmul(self, _wrap(other))
+
+    def __pow__(self, exponent: float):
+        return power(self, exponent)
+
+    def __getitem__(self, index):
+        return getitem(self, index)
+
+    def sum(self, axis=None, keepdims=False):
+        return reduce_sum(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        return reduce_mean(self, axis=axis, keepdims=keepdims)
+
+    def reshape(self, *shape):
+        return reshape(self, shape if len(shape) > 1 else shape[0])
+
+    def transpose(self, *axes):
+        return transpose(self, axes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.data.shape}, grad={self.requires_grad})"
+
+
+def _wrap(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` back down to ``shape`` (reverse of NumPy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+# -- primitive ops -------------------------------------------------------------------
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data + b.data
+
+    def backward(grad):
+        return ((a, _unbroadcast(grad, a.data.shape)), (b, _unbroadcast(grad, b.data.shape)))
+
+    return Tensor(out_data, parents=(a, b), backward=backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data * b.data
+
+    def backward(grad):
+        return (
+            (a, _unbroadcast(grad * b.data, a.data.shape)),
+            (b, _unbroadcast(grad * a.data, b.data.shape)),
+        )
+
+    return Tensor(out_data, parents=(a, b), backward=backward)
+
+
+def power(a: Tensor, exponent: float) -> Tensor:
+    out_data = a.data**exponent
+
+    def backward(grad):
+        return ((a, grad * exponent * a.data ** (exponent - 1.0)),)
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data @ b.data
+
+    def backward(grad):
+        grad_a = grad @ np.swapaxes(b.data, -1, -2)
+        grad_b = np.swapaxes(a.data, -1, -2) @ grad
+        return (
+            (a, _unbroadcast(grad_a, a.data.shape)),
+            (b, _unbroadcast(grad_b, b.data.shape)),
+        )
+
+    return Tensor(out_data, parents=(a, b), backward=backward)
+
+
+def reduce_sum(a: Tensor, axis=None, keepdims=False) -> Tensor:
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad):
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis)
+        return ((a, np.broadcast_to(g, a.data.shape).copy()),)
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def reduce_mean(a: Tensor, axis=None, keepdims=False) -> Tensor:
+    count = a.data.size if axis is None else a.data.shape[axis]
+    return reduce_sum(a, axis=axis, keepdims=keepdims) * (1.0 / count)
+
+
+def reshape(a: Tensor, shape) -> Tensor:
+    out_data = a.data.reshape(shape)
+
+    def backward(grad):
+        return ((a, grad.reshape(a.data.shape)),)
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def transpose(a: Tensor, axes) -> Tensor:
+    axes = tuple(axes)
+    out_data = a.data.transpose(axes)
+    inverse = tuple(np.argsort(axes))
+
+    def backward(grad):
+        return ((a, grad.transpose(inverse)),)
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def getitem(a: Tensor, index) -> Tensor:
+    out_data = a.data[index]
+
+    def backward(grad):
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        return ((a, full),)
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        pieces = []
+        for t, start, stop in zip(tensors, offsets, offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            pieces.append((t, grad[tuple(index)]))
+        return tuple(pieces)
+
+    return Tensor(out_data, parents=tuple(tensors), backward=backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    out_data = np.exp(a.data)
+
+    def backward(grad):
+        return ((a, grad * out_data),)
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    out_data = np.tanh(a.data)
+
+    def backward(grad):
+        return ((a, grad * (1.0 - out_data**2)),)
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad):
+        return ((a, grad * out_data * (1.0 - out_data)),)
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def embedding(table: Tensor, token_ids: np.ndarray) -> Tensor:
+    """Row gather with scatter-add backward (the embedding lookup)."""
+    token_ids = np.asarray(token_ids)
+    out_data = table.data[token_ids]
+
+    def backward(grad):
+        full = np.zeros_like(table.data)
+        np.add.at(full, token_ids.reshape(-1), grad.reshape(-1, table.data.shape[-1]))
+        return ((table, full),)
+
+    return Tensor(out_data, parents=(table,), backward=backward)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        return ((a, out_data * (grad - dot)),)
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def add_constant(a: Tensor, constant: np.ndarray) -> Tensor:
+    """Add a non-differentiable array (attention masks, ALiBi bias)."""
+    out_data = a.data + constant
+
+    def backward(grad):
+        return ((a, grad),)
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def mul_constant(a: Tensor, constant) -> Tensor:
+    out_data = a.data * constant
+
+    def backward(grad):
+        return ((a, grad * constant),)
+
+    return Tensor(out_data, parents=(a,), backward=backward)
+
+
+def cross_entropy_logits(
+    logits: Tensor, targets: np.ndarray, weights: np.ndarray | None = None
+) -> Tensor:
+    """Mean cross-entropy over ``targets`` (flattened last axis = vocab).
+
+    ``weights`` (same shape as ``targets``) selects/weights positions —
+    the trainer uses it to supervise only answer tokens.
+    """
+    flat_logits = logits.data.reshape(-1, logits.data.shape[-1])
+    flat_targets = np.asarray(targets).reshape(-1)
+    if weights is None:
+        flat_weights = np.ones(flat_targets.shape[0], dtype=np.float32)
+    else:
+        flat_weights = np.asarray(weights, dtype=np.float32).reshape(-1)
+    total_weight = max(float(flat_weights.sum()), 1e-8)
+
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=-1))
+    log_probs = shifted[np.arange(flat_targets.shape[0]), flat_targets] - log_z
+    loss_value = -(flat_weights * log_probs).sum() / total_weight
+
+    def backward(grad):
+        probs = np.exp(shifted) / np.exp(shifted).sum(axis=-1, keepdims=True)
+        probs[np.arange(flat_targets.shape[0]), flat_targets] -= 1.0
+        probs *= (flat_weights / total_weight)[:, None]
+        return ((logits, (grad * probs).reshape(logits.data.shape)),)
+
+    return Tensor(np.float32(loss_value), parents=(logits,), backward=backward)

@@ -1,0 +1,106 @@
+"""Differentiable layers mirroring :mod:`repro.llm.layers` exactly.
+
+Shapes are batched — ``x`` is (B, T, d), attention heads are
+(B, H, T, head_dim) — but the arithmetic (constants, epsilons, op order)
+matches the inference engine so trained parameters drop straight into
+:class:`repro.llm.models.TransformerModel`; the equivalence test checks the
+two forwards agree to float tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.train import autograd as ag
+from repro.train.autograd import Tensor
+
+_NEG_INF = np.float32(-1e9)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    out = x @ weight.transpose(1, 0)
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def rms_norm(x: Tensor, weight: Tensor, eps: float = 1e-6) -> Tensor:
+    variance = (x * x).mean(axis=-1, keepdims=True)
+    return x * ((variance + eps) ** -0.5) * weight
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    return centered * ((variance + eps) ** -0.5) * weight + bias
+
+
+def silu(x: Tensor) -> Tensor:
+    return x * ag.sigmoid(x)
+
+
+def gelu(x: Tensor) -> Tensor:
+    c = float(np.sqrt(2.0 / np.pi).astype(np.float32))
+    inner = ag.mul_constant(x + x * x * x * 0.044715, c)
+    return x * (ag.tanh(inner) + 1.0) * 0.5
+
+
+def swiglu_mlp(x: Tensor, gate: Tensor, up: Tensor, down: Tensor) -> Tensor:
+    return linear(silu(linear(x, gate)) * linear(x, up), down)
+
+
+def gelu_mlp(
+    x: Tensor,
+    up: Tensor,
+    up_bias: Tensor | None,
+    down: Tensor,
+    down_bias: Tensor | None,
+) -> Tensor:
+    return linear(gelu(linear(x, up, up_bias)), down, down_bias)
+
+
+def split_heads(x: Tensor, n_heads: int) -> Tensor:
+    """(B, T, H*hd) -> (B, H, T, hd)."""
+    b, t, width = x.shape
+    return x.reshape((b, t, n_heads, width // n_heads)).transpose(0, 2, 1, 3)
+
+
+def merge_heads(x: Tensor) -> Tensor:
+    """(B, H, T, hd) -> (B, T, H*hd)."""
+    b, h, t, hd = x.shape
+    return x.transpose(0, 2, 1, 3).reshape((b, t, h * hd))
+
+
+def rope_apply(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+    """Rotate (B, H, T, hd) by constant per-position cos/sin of shape (T, hd)."""
+    half = x.shape[-1] // 2
+    first = x[..., :half]
+    second = x[..., half:]
+    rotated = ag.concat([-second, first], axis=-1)
+    return x * Tensor(cos) + rotated * Tensor(sin)
+
+
+def causal_attention(
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    mask: np.ndarray,
+    alibi_bias: np.ndarray | None = None,
+) -> Tensor:
+    """Scores -> bias -> mask -> softmax -> context, as in the engine.
+
+    ``mask`` is a boolean (T, T) array, True where attention is allowed;
+    masked positions are *replaced* with -1e9 (same as the inference
+    kernel's ``np.where``), implemented as multiply+add so it stays
+    differentiable where allowed.
+    """
+    head_dim = q.shape[-1]
+    scores = q @ k.transpose(0, 1, 3, 2)
+    scores = ag.mul_constant(scores, float(1.0 / np.sqrt(np.float32(head_dim))))
+    if alibi_bias is not None:
+        scores = ag.add_constant(scores, alibi_bias)
+    keep = mask.astype(np.float32)
+    scores = ag.mul_constant(scores, keep)
+    scores = ag.add_constant(scores, (1.0 - keep) * _NEG_INF)
+    return ag.softmax(scores, axis=-1) @ v

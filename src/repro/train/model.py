@@ -1,0 +1,145 @@
+"""Differentiable transformer forward sharing the inference param layout.
+
+``forward`` consumes the exact parameter dict produced by
+:func:`repro.llm.weights.init_params` (wrapped in autograd Tensors), so a
+trained parameter set drops directly into the inference engine. The math
+mirrors :class:`repro.llm.models.TransformerModel` — verified to float
+tolerance by ``tests/test_train_model.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.config import ModelConfig
+from repro.llm.positional.alibi import AlibiBias
+from repro.llm.positional.rope import RotaryEmbedding
+from repro.train import autograd as ag
+from repro.train import functional as F
+from repro.train.autograd import Tensor
+
+
+class TrainableModel:
+    """Config + Tensor parameters + differentiable batched forward."""
+
+    def __init__(self, config: ModelConfig, params: dict[str, np.ndarray]) -> None:
+        self.config = config
+        self.params: dict[str, Tensor] = {
+            name: Tensor(value, requires_grad=True) for name, value in params.items()
+        }
+        self._rope = (
+            RotaryEmbedding(config.head_dim, config.max_position, config.rope_theta)
+            if config.positional == "rope"
+            else None
+        )
+        self._alibi = (
+            AlibiBias(config.n_heads, config.max_position)
+            if config.positional == "alibi"
+            else None
+        )
+
+    # -- parameter plumbing -----------------------------------------------------
+
+    def trainable(self) -> dict[str, Tensor]:
+        return self.params
+
+    def export_params(self) -> dict[str, np.ndarray]:
+        """Plain arrays for the inference engine / serialization."""
+        return {name: tensor.data.copy() for name, tensor in self.params.items()}
+
+    def zero_grad(self) -> None:
+        for tensor in self.params.values():
+            tensor.zero_grad()
+
+    def _p(self, name: str) -> Tensor:
+        return self.params[name]
+
+    def _maybe(self, name: str) -> Tensor | None:
+        return self.params.get(name)
+
+    def _norm(self, x: Tensor, prefix: str) -> Tensor:
+        if self.config.norm == "rmsnorm":
+            return F.rms_norm(x, self._p(f"{prefix}.weight"))
+        return F.layer_norm(x, self._p(f"{prefix}.weight"), self._p(f"{prefix}.bias"))
+
+    def _mlp(self, x: Tensor, i: int) -> Tensor:
+        if self.config.mlp == "swiglu":
+            return F.swiglu_mlp(
+                x,
+                self._p(f"layers.{i}.mlp.gate"),
+                self._p(f"layers.{i}.mlp.up"),
+                self._p(f"layers.{i}.mlp.down"),
+            )
+        return F.gelu_mlp(
+            x,
+            self._p(f"layers.{i}.mlp.up"),
+            self._maybe(f"layers.{i}.mlp.up_bias"),
+            self._p(f"layers.{i}.mlp.down"),
+            self._maybe(f"layers.{i}.mlp.down_bias"),
+        )
+
+    # -- forward --------------------------------------------------------------------
+
+    def forward(self, token_ids: np.ndarray, position_ids: np.ndarray | None = None) -> Tensor:
+        """Batched forward: ``token_ids`` (B, T) -> logits Tensor (B, T, V)."""
+        token_ids = np.atleast_2d(np.asarray(token_ids))
+        batch, seq = token_ids.shape
+        if position_ids is None:
+            position_ids = np.arange(seq)
+        position_ids = np.asarray(position_ids)
+        cfg = self.config
+
+        hidden = ag.embedding(self._p("embed.weight"), token_ids)
+        if cfg.positional == "learned":
+            hidden = hidden + ag.embedding(self._p("pos.weight"), position_ids)
+
+        cos = sin = None
+        if self._rope is not None:
+            cos = self._rope._cos[position_ids]
+            sin = self._rope._sin[position_ids]
+        alibi_bias = (
+            self._alibi.bias(position_ids, position_ids)[None, :, :, :]
+            if self._alibi is not None
+            else None
+        )
+        mask = position_ids[None, :] <= position_ids[:, None]
+
+        for i in range(cfg.n_layers):
+            normed = self._norm(hidden, f"layers.{i}.attn_norm")
+            attn_out = self._attention(normed, i, cos, sin, mask, alibi_bias)
+            if cfg.parallel_block:
+                hidden = hidden + attn_out + self._mlp(normed, i)
+            else:
+                hidden = hidden + attn_out
+                hidden = hidden + self._mlp(self._norm(hidden, f"layers.{i}.mlp_norm"), i)
+
+        hidden = self._norm(hidden, "final_norm")
+        return hidden @ self._p("embed.weight").transpose(1, 0)
+
+    def _attention(
+        self, x: Tensor, i: int, cos, sin, mask: np.ndarray, alibi_bias
+    ) -> Tensor:
+        cfg = self.config
+        q = F.split_heads(
+            F.linear(x, self._p(f"layers.{i}.attn.wq"), self._maybe(f"layers.{i}.attn.bq")),
+            cfg.n_heads,
+        )
+        k = F.split_heads(
+            F.linear(x, self._p(f"layers.{i}.attn.wk"), self._maybe(f"layers.{i}.attn.bk")),
+            cfg.n_kv_heads,
+        )
+        v = F.split_heads(
+            F.linear(x, self._p(f"layers.{i}.attn.wv"), self._maybe(f"layers.{i}.attn.bv")),
+            cfg.n_kv_heads,
+        )
+        if cos is not None:
+            q = F.rope_apply(q, cos, sin)
+            k = F.rope_apply(k, cos, sin)
+        if cfg.n_kv_heads != cfg.n_heads:
+            raise NotImplementedError("GQA training is not needed for the tiny models")
+        context = F.causal_attention(q, k, v, mask, alibi_bias)
+        return F.linear(
+            F.merge_heads(context),
+            self._p(f"layers.{i}.attn.wo"),
+            self._maybe(f"layers.{i}.attn.bo"),
+        )

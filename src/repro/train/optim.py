@@ -1,0 +1,69 @@
+"""Optimizer and schedule for the tiny-model trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.train.autograd import Tensor
+
+
+class Adam:
+    """Standard Adam with bias correction and optional gradient clipping."""
+
+    def __init__(
+        self,
+        params: dict[str, Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        clip_norm: float | None = 1.0,
+    ) -> None:
+        self.params = params
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self.step_count = 0
+        self._m = {name: np.zeros_like(p.data) for name, p in params.items()}
+        self._v = {name: np.zeros_like(p.data) for name, p in params.items()}
+
+    def global_grad_norm(self) -> float:
+        total = 0.0
+        for p in self.params.values():
+            if p.grad is not None:
+                total += float(np.sum(p.grad.astype(np.float64) ** 2))
+        return float(np.sqrt(total))
+
+    def step(self, lr: float | None = None) -> None:
+        lr = self.lr if lr is None else lr
+        self.step_count += 1
+        scale = 1.0
+        if self.clip_norm is not None:
+            norm = self.global_grad_norm()
+            if norm > self.clip_norm:
+                scale = self.clip_norm / (norm + 1e-12)
+        bc1 = 1.0 - self.beta1**self.step_count
+        bc2 = 1.0 - self.beta2**self.step_count
+        for name, p in self.params.items():
+            if p.grad is None:
+                continue
+            grad = p.grad * scale
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            p.data -= lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params.values():
+            p.zero_grad()
+
+
+def cosine_schedule(step: int, total_steps: int, base_lr: float, warmup: int = 20) -> float:
+    """Linear warmup then cosine decay to 10% of base."""
+    if step < warmup:
+        return base_lr * (step + 1) / warmup
+    progress = (step - warmup) / max(total_steps - warmup, 1)
+    return base_lr * (0.1 + 0.9 * 0.5 * (1.0 + np.cos(np.pi * min(progress, 1.0))))

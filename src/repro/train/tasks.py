@@ -1,0 +1,151 @@
+"""Training batches: associative recall over the synthetic corpus.
+
+The accuracy experiments (Table 1) need models that genuinely answer the
+synthetic tasks. We train on exactly the mechanism those tasks exercise —
+retrieve ``the <attr> of <entity> is <value>`` from a document and emit
+``<value>`` after the question — plus the summarization variant (emit every
+fact statement). A 2-layer transformer learns this with induction-style
+attention; the skill then transfers to the evaluation datasets, whose
+documents come from the same distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.corpus import SyntheticCorpus
+
+# Mirrors the datasets' directives in miniature (training uses short docs).
+QA_PREFIX = "the question is :"
+SUM_PREFIX = "begin the summary now :"
+
+# Half of QA examples interleave an eval-style directive between document
+# and completion, so the trained retrieval survives the LongBench-like
+# instruction text the datasets put there.
+DIRECTIVE_SNIPPET = (
+    "you are given one or more documents above . read them carefully and "
+    "answer with a short phrase ."
+)
+
+
+def qa_bridge(fact) -> str:
+    """Completion-style answer prefix: ends with the fact's own
+    ``<entity> has <attribute>`` pattern so an induction head can fire on
+    the exact bigram it saw in the document (attributes are unique per
+    document, making the match unambiguous)."""
+    return fact.completion()
+
+
+@dataclass
+class Batch:
+    """Padded token batch with next-token targets and loss weights."""
+
+    tokens: np.ndarray  # (B, T) int
+    targets: np.ndarray  # (B, T) int, next token at each position
+    weights: np.ndarray  # (B, T) float, 1.0 where the target is supervised
+
+
+def qa_example(
+    corpus: SyntheticCorpus, rng, tok, doc_words: int
+) -> tuple[list[int], list[tuple[int, int]]]:
+    """(token_ids, answer_spans): document + several QA pairs.
+
+    Asking about every fact in the document densifies supervision — each
+    forward pass trains several retrievals instead of one."""
+    n_facts = int(rng.integers(3, 6))
+    words = int(rng.integers(max(doc_words // 2, 20), doc_words * 2))
+    doc = corpus.document(
+        f"t{rng.integers(1 << 30)}", n_words=words, n_facts=n_facts
+    )
+    order = rng.permutation(len(doc.facts))
+    ids = tok.encode(doc.text)
+    spans: list[tuple[int, int]] = []
+    for index in order:
+        fact = doc.facts[index]
+        # The completion prefix alone (no restated question): restating the
+        # attribute would plant a nearer false induction match
+        # ("tower" -> "does") between the fact and the answer point.
+        if rng.random() < 0.5:
+            ids += tok.encode(f" {DIRECTIVE_SNIPPET}")
+        ids += tok.encode(f" {qa_bridge(fact)}")
+        answer_ids = tok.encode(f" {fact.value} .")
+        spans.append((len(ids), len(ids) + len(answer_ids)))
+        ids += answer_ids
+    return ids, spans
+
+
+def summarization_example(
+    corpus: SyntheticCorpus, rng, tok, doc_words: int
+) -> tuple[list[int], list[tuple[int, int]]]:
+    doc = corpus.document(f"s{rng.integers(1 << 30)}", n_words=doc_words, n_facts=2)
+    prompt_ids = tok.encode(f"{doc.text} {SUM_PREFIX}")
+    answer_ids = tok.encode(" " + " ".join(f.statement() for f in doc.facts))
+    ids = prompt_ids + answer_ids
+    return ids, [(len(prompt_ids), len(ids))]
+
+
+def copy_example(rng, tok, length: int | None = None) -> tuple[list[int], list[tuple[int, int]]]:
+    """A random token block repeated twice; the second half is supervised.
+
+    Pure induction: the fastest way to install the previous-token/copy
+    head circuit that the recall tasks then reuse (curriculum warmup).
+    Block length varies so the learned matching is distance-independent —
+    recall facts sit at arbitrary offsets from the question.
+    """
+    if length is None:
+        length = int(rng.integers(8, 90))
+    vocab = tok.vocab_size
+    block = [int(t) for t in rng.integers(4, vocab, size=length)]
+    ids = block + block
+    return ids, [(length, 2 * length)]
+
+
+def make_batch(
+    corpus: SyntheticCorpus,
+    rng: np.random.Generator,
+    tok,
+    *,
+    batch_size: int = 24,
+    doc_words: int = 60,
+    summarization_fraction: float = 0.25,
+    max_len: int = 320,
+    lm_weight: float = 0.02,
+    copy_fraction: float = 0.25,
+) -> Batch:
+    """A mixed copy/QA/summarization batch, padded to the longest sequence.
+
+    Answer positions get weight 1.0; every other (non-pad) position gets
+    ``lm_weight`` — light background language modelling accelerates the
+    formation of the previous-token heads induction relies on, while
+    keeping the retrieval gradient dominant.
+    """
+    sequences: list[list[int]] = []
+    answer_spans: list[list[tuple[int, int]]] = []
+    for _ in range(batch_size):
+        draw = rng.random()
+        if draw < copy_fraction:
+            ids, spans = copy_example(rng, tok)
+        elif draw < copy_fraction + summarization_fraction:
+            ids, spans = summarization_example(corpus, rng, tok, doc_words)
+        else:
+            ids, spans = qa_example(corpus, rng, tok, doc_words)
+        ids = ids[:max_len]
+        sequences.append(ids)
+        answer_spans.append(
+            [(min(a, len(ids)), min(b, len(ids))) for a, b in spans]
+        )
+
+    longest = max(len(s) for s in sequences)
+    tokens = np.full((batch_size, longest), tok.pad_id, dtype=np.int64)
+    targets = np.full((batch_size, longest), tok.pad_id, dtype=np.int64)
+    weights = np.zeros((batch_size, longest), dtype=np.float32)
+    for row, (ids, spans) in enumerate(zip(sequences, answer_spans)):
+        tokens[row, : len(ids)] = ids
+        targets[row, : len(ids) - 1] = ids[1:]
+        weights[row, : len(ids) - 1] = lm_weight
+        for start, stop in spans:
+            # Position i predicts token i+1, so the span shifts left by one.
+            weights[row, max(start - 1, 0) : stop - 1] = 1.0
+    return Batch(tokens=tokens, targets=targets, weights=weights)

@@ -1,0 +1,151 @@
+"""Training loop producing task-capable tiny models for Table 1.
+
+``train_model`` runs a few hundred Adam steps of associative-recall
+training; ``load_or_train`` memoizes the result to an ``.npz`` so the
+accuracy benchmark pays the training cost once per (architecture, shape).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.corpus import SyntheticCorpus
+from repro.llm.config import ModelConfig
+from repro.llm.models import TransformerModel
+from repro.llm.weights import init_params, load_params, save_params
+from repro.train.autograd import cross_entropy_logits
+from repro.train.model import TrainableModel
+from repro.train.optim import Adam, cosine_schedule
+from repro.train.tasks import make_batch
+
+
+@dataclass
+class TrainConfig:
+    steps: int = 1000
+    batch_size: int = 24
+    lr: float = 2e-3
+    doc_words: int = 60
+    summarization_fraction: float = 0.2
+    copy_warmup_fraction: float = 0.25
+    seed: int = 0
+    log_every: int = 100
+
+
+# Per-model training recipes for the Table 1 stand-ins. The wider 13B-mini
+# needs more steps for its induction circuit to consolidate.
+TRAIN_RECIPES: dict[str, "TrainConfig"] = {}
+
+
+def recipe_for(model_name: str) -> "TrainConfig":
+    return TRAIN_RECIPES.get(model_name, TrainConfig())
+
+
+@dataclass
+class TrainReport:
+    final_loss: float
+    losses: list[float]
+    seconds: float
+
+
+def train_model(
+    config: ModelConfig,
+    tok,
+    train_cfg: TrainConfig | None = None,
+    *,
+    verbose: bool = True,
+) -> tuple[dict[str, np.ndarray], TrainReport]:
+    """Train from seeded init; returns (params, report)."""
+    train_cfg = train_cfg or TrainConfig()
+    rng = np.random.default_rng(train_cfg.seed)
+    corpus = SyntheticCorpus(seed=train_cfg.seed + 1000)
+    model = TrainableModel(config, init_params(config, seed=train_cfg.seed))
+    optimizer = Adam(model.trainable(), lr=train_cfg.lr)
+
+    losses: list[float] = []
+    start = time.perf_counter()
+    warmup_steps = int(train_cfg.steps * train_cfg.copy_warmup_fraction)
+    for step in range(train_cfg.steps):
+        # Two-phase curriculum: pure copy first (installs the induction
+        # circuit quickly), then the recall/summarization mixture.
+        if step < warmup_steps:
+            copy_fraction, sum_fraction = 1.0, 0.0
+        else:
+            copy_fraction = 0.15
+            sum_fraction = train_cfg.summarization_fraction
+        batch = make_batch(
+            corpus, rng, tok,
+            batch_size=train_cfg.batch_size,
+            doc_words=train_cfg.doc_words,
+            summarization_fraction=sum_fraction,
+            copy_fraction=copy_fraction,
+        )
+        logits = model.forward(batch.tokens)
+        loss = cross_entropy_logits(logits, batch.targets, batch.weights)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step(lr=cosine_schedule(step, train_cfg.steps, train_cfg.lr))
+        losses.append(float(loss.data))
+        if verbose and (step % train_cfg.log_every == 0 or step == train_cfg.steps - 1):
+            print(f"[train {config.name}] step {step:4d} loss {losses[-1]:.3f}")
+    report = TrainReport(
+        final_loss=losses[-1],
+        losses=losses,
+        seconds=time.perf_counter() - start,
+    )
+    return model.export_params(), report
+
+
+def load_or_train(
+    config: ModelConfig,
+    tok,
+    cache_dir: str | Path,
+    train_cfg: TrainConfig | None = None,
+) -> dict[str, np.ndarray]:
+    """Memoized training: one ``.npz`` per (name, vocab, steps, seed)."""
+    train_cfg = train_cfg or TrainConfig()
+    cache_dir = Path(cache_dir)
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    tag = f"{config.name}-v{config.vocab_size}-s{train_cfg.steps}-r{train_cfg.seed}"
+    path = cache_dir / f"{tag}.npz"
+    if path.exists():
+        return load_params(path)
+    params, _ = train_model(config, tok, train_cfg)
+    save_params(params, path)
+    return params
+
+
+def recall_accuracy(
+    model: TransformerModel, tok, *, n_probes: int = 20, seed: int = 7
+) -> float:
+    """Fraction of held-out recall probes answered exactly (greedy)."""
+    from repro.llm.generation import generate
+    from repro.train.tasks import qa_bridge
+
+    corpus = SyntheticCorpus(seed=seed + 5000)
+    rng = np.random.default_rng(seed)
+    hits = 0
+    for i in range(n_probes):
+        doc = corpus.document(f"probe{i}", n_words=60, n_facts=3)
+        fact = doc.facts[int(rng.integers(0, len(doc.facts)))]
+        prompt = f"{doc.text} {qa_bridge(fact)}"
+        expected = tok.encode(f" {fact.value}")
+        result = generate(model, tok.encode(prompt), max_new_tokens=len(expected))
+        if result.output_ids[: len(expected)] == expected:
+            hits += 1
+    return hits / n_probes
+
+
+TRAIN_RECIPES.update(
+    {
+        # steps double as weight-cache tags: bumping them forces a retrain
+        # under the current task distribution. The wider/parallel-block
+        # models need longer schedules for the induction circuit to
+        # consolidate.
+        "llama2-13b-mini": TrainConfig(steps=1600),
+        "falcon-7b-mini": TrainConfig(steps=1400),
+    }
+)

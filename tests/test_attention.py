@@ -1,0 +1,92 @@
+"""Attention kernel: position-derived causality, GQA, masking equivalence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm.attention import (
+    attention_scores,
+    causal_position_mask,
+    merge_heads,
+    repeat_kv,
+    split_heads,
+)
+from repro.llm.positional.alibi import AlibiBias
+
+RNG = np.random.default_rng(9)
+
+
+class TestHeadReshaping:
+    def test_split_merge_round_trip(self):
+        x = RNG.normal(size=(5, 12)).astype(np.float32)
+        assert np.array_equal(merge_heads(split_heads(x, 3)), x)
+
+    def test_split_shape(self):
+        x = RNG.normal(size=(7, 8)).astype(np.float32)
+        assert split_heads(x, 2).shape == (2, 7, 4)
+
+    def test_repeat_kv_identity(self):
+        x = RNG.normal(size=(2, 3, 4)).astype(np.float32)
+        assert repeat_kv(x, 1) is x
+
+    def test_repeat_kv_expands_heads(self):
+        x = RNG.normal(size=(2, 3, 4)).astype(np.float32)
+        out = repeat_kv(x, 3)
+        assert out.shape == (6, 3, 4)
+        np.testing.assert_array_equal(out[0], out[1])
+        np.testing.assert_array_equal(out[0], x[0])
+        np.testing.assert_array_equal(out[3], x[1])
+
+
+class TestCausalMask:
+    def test_contiguous_positions_lower_triangular(self):
+        mask = causal_position_mask(np.arange(4), np.arange(4))
+        np.testing.assert_array_equal(mask, np.tril(np.ones((4, 4), dtype=bool)))
+
+    def test_gapped_positions(self):
+        # Query at position 100 sees keys at 5 and 50, not the one at 200.
+        mask = causal_position_mask(np.array([100]), np.array([5, 50, 200]))
+        np.testing.assert_array_equal(mask[0], [True, True, False])
+
+    def test_suffix_sees_all_cached_modules(self):
+        """Prompt Cache's core case: an uncached suffix token positioned
+        after every module attends to all of them despite position gaps."""
+        module_positions = np.array([0, 1, 2, 50, 51, 52, 90, 91])
+        suffix = np.array([200])
+        assert causal_position_mask(suffix, module_positions).all()
+
+    def test_module_isolation_during_encoding(self):
+        """A module's tokens never see positions after them — module B's
+        range is invisible to module A even within one hypothetical pass."""
+        a_positions = np.array([0, 1, 2])
+        b_positions = np.array([10, 11])
+        mask = causal_position_mask(a_positions, b_positions)
+        assert not mask.any()
+
+
+class TestAttentionScores:
+    def test_masked_entries_are_large_negative(self):
+        q = RNG.normal(size=(1, 2, 4)).astype(np.float32)
+        k = RNG.normal(size=(1, 3, 4)).astype(np.float32)
+        scores = attention_scores(q, k, np.array([0, 1]), np.array([0, 1, 2]))
+        assert scores[0, 0, 1] <= -1e8  # future key masked
+        assert scores[0, 0, 2] <= -1e8
+        assert scores[0, 1, 2] <= -1e8
+
+    def test_scaling_by_sqrt_head_dim(self):
+        q = np.ones((1, 1, 16), dtype=np.float32)
+        k = np.ones((1, 1, 16), dtype=np.float32)
+        scores = attention_scores(q, k, np.array([0]), np.array([0]))
+        assert scores[0, 0, 0] == pytest.approx(16 / 4.0)
+
+    def test_alibi_bias_is_added(self):
+        q = RNG.normal(size=(2, 1, 4)).astype(np.float32)
+        k = RNG.normal(size=(2, 3, 4)).astype(np.float32)
+        qpos, kpos = np.array([10]), np.array([0, 5, 10])
+        alibi = AlibiBias(2, 64)
+        plain = attention_scores(q, k, qpos, kpos)
+        biased = attention_scores(q, k, qpos, kpos, alibi=alibi)
+        np.testing.assert_allclose(
+            biased - plain, alibi.bias(qpos, kpos), atol=1e-5
+        )

@@ -1,0 +1,185 @@
+"""Autograd engine: every op's gradient against central finite differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.train import autograd as ag
+from repro.train.autograd import Tensor
+
+RNG = np.random.default_rng(21)
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar-valued fn at x (float64)."""
+    x = x.astype(np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x.astype(np.float32))
+        flat[i] = original - eps
+        minus = fn(x.astype(np.float32))
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, shape, atol=2e-2):
+    """``build(tensor) -> scalar Tensor``; compares autograd vs numerical."""
+    x_data = RNG.normal(size=shape).astype(np.float32)
+
+    def scalar(data):
+        return float(build(Tensor(data)).data)
+
+    x = Tensor(x_data, requires_grad=True)
+    out = build(x)
+    out.backward()
+    numeric = numerical_grad(scalar, x_data.copy())
+    np.testing.assert_allclose(x.grad, numeric, atol=atol, rtol=5e-2)
+
+
+class TestElementwiseGrads:
+    def test_add(self):
+        check_gradient(lambda x: (x + 3.0).sum(), (3, 4))
+
+    def test_mul(self):
+        other = Tensor(RNG.normal(size=(3, 4)).astype(np.float32))
+        check_gradient(lambda x: (x * other).sum(), (3, 4))
+
+    def test_mul_broadcast(self):
+        other = Tensor(RNG.normal(size=(4,)).astype(np.float32))
+        check_gradient(lambda x: (x * other).sum(), (3, 4))
+
+    def test_power(self):
+        check_gradient(lambda x: ((x * x + 1.0) ** 0.5).sum(), (5,))
+
+    def test_exp(self):
+        check_gradient(lambda x: ag.exp(x).sum(), (4,))
+
+    def test_tanh(self):
+        check_gradient(lambda x: ag.tanh(x).sum(), (6,))
+
+    def test_sigmoid(self):
+        check_gradient(lambda x: ag.sigmoid(x).sum(), (6,))
+
+    def test_sub_and_neg(self):
+        check_gradient(lambda x: (2.0 - (-x)).sum(), (4,))
+
+    def test_div(self):
+        denom = Tensor(np.abs(RNG.normal(size=(4,))).astype(np.float32) + 1.0)
+        check_gradient(lambda x: (x / denom).sum(), (4,))
+
+
+class TestMatmulGrads:
+    def test_matmul_2d(self):
+        other = Tensor(RNG.normal(size=(4, 5)).astype(np.float32))
+        check_gradient(lambda x: (x @ other).sum(), (3, 4))
+
+    def test_matmul_right_arg(self):
+        left = Tensor(RNG.normal(size=(3, 4)).astype(np.float32))
+        check_gradient(lambda x: (left @ x).sum(), (4, 5))
+
+    def test_matmul_batched(self):
+        other = Tensor(RNG.normal(size=(2, 4, 5)).astype(np.float32))
+        check_gradient(lambda x: (x @ other).sum(), (2, 3, 4))
+
+    def test_matmul_broadcast_batch(self):
+        # (B, T, d) @ (d, k) — the linear-layer shape.
+        other = Tensor(RNG.normal(size=(4, 5)).astype(np.float32))
+        check_gradient(lambda x: (x @ other).sum(), (2, 3, 4))
+
+
+class TestShapeGrads:
+    def test_reshape(self):
+        check_gradient(lambda x: (x.reshape((6,)) * 2.0).sum(), (2, 3))
+
+    def test_transpose(self):
+        w = Tensor(RNG.normal(size=(3, 2)).astype(np.float32))
+        check_gradient(lambda x: (x.transpose(1, 0) * w).sum(), (2, 3))
+
+    def test_getitem_slice(self):
+        check_gradient(lambda x: x[..., 1:].sum(), (3, 4))
+
+    def test_concat(self):
+        check_gradient(
+            lambda x: ag.concat([x[..., :2], -x[..., 2:]], axis=-1).sum(), (3, 4)
+        )
+
+    def test_sum_axis(self):
+        check_gradient(lambda x: (x.sum(axis=0) ** 2.0).sum(), (3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda x: (x.mean(axis=-1) ** 2.0).sum(), (3, 4))
+
+
+class TestSoftmaxAndLoss:
+    def test_softmax_grad(self):
+        target = Tensor(RNG.normal(size=(3, 5)).astype(np.float32))
+        check_gradient(lambda x: (ag.softmax(x) * target).sum(), (3, 5))
+
+    def test_cross_entropy_matches_manual(self):
+        logits_data = RNG.normal(size=(4, 7)).astype(np.float32)
+        targets = np.array([1, 3, 0, 6])
+
+        def scalar(data):
+            return float(ag.cross_entropy_logits(Tensor(data), targets).data)
+
+        logits = Tensor(logits_data, requires_grad=True)
+        loss = ag.cross_entropy_logits(logits, targets)
+        loss.backward()
+        numeric = numerical_grad(scalar, logits_data.copy())
+        np.testing.assert_allclose(logits.grad, numeric, atol=2e-2)
+
+    def test_cross_entropy_weights_mask_positions(self):
+        logits = Tensor(RNG.normal(size=(1, 3, 5)).astype(np.float32), requires_grad=True)
+        targets = np.array([[1, 2, 3]])
+        weights = np.array([[0.0, 1.0, 0.0]])
+        loss = ag.cross_entropy_logits(logits, targets, weights)
+        loss.backward()
+        # Unweighted positions receive exactly zero gradient.
+        assert np.all(logits.grad[0, 0] == 0)
+        assert np.all(logits.grad[0, 2] == 0)
+        assert np.any(logits.grad[0, 1] != 0)
+
+    def test_embedding_grad_scatter(self):
+        table = Tensor(RNG.normal(size=(10, 4)).astype(np.float32), requires_grad=True)
+        ids = np.array([[2, 2, 5]])
+        out = ag.embedding(table, ids)
+        out.sum().backward()
+        assert np.allclose(table.grad[2], 2.0)  # used twice
+        assert np.allclose(table.grad[5], 1.0)
+        assert np.allclose(table.grad[0], 0.0)
+
+
+class TestTapeMechanics:
+    def test_gradient_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0], dtype=np.float32), requires_grad=True)
+        y = x * x + x  # x used three times
+        y.backward()
+        assert x.grad[0] == pytest.approx(2 * 2.0 + 1.0)
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_no_grad_without_flag(self):
+        x = Tensor(np.ones(3, dtype=np.float32))
+        y = (x * 2).sum()
+        y.backward()
+        assert x.grad is None
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        (x.detach() * 2).sum().backward()
+        assert x.grad is None
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None

@@ -1,0 +1,58 @@
+"""Shared-module batch memory accounting (paper §3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.batch import BatchRequest, batch_footprint, max_batch_size
+from repro.llm.config import paper_config
+
+LLAMA7B = paper_config("llama2-7b")
+
+
+class TestBatchFootprint:
+    def test_paper_example_fifty_percent(self):
+        """§5.4: 100 requests of 2K tokens sharing a 1K module -> ~50%."""
+        requests = [BatchRequest(("shared",), private_tokens=1000)] * 100
+        fp = batch_footprint(LLAMA7B, requests, {"shared": 1000})
+        assert fp.savings_fraction == pytest.approx(0.5, abs=0.01)
+
+    def test_no_sharing_no_savings(self):
+        requests = [
+            BatchRequest((f"m{i}",), private_tokens=100) for i in range(4)
+        ]
+        fp = batch_footprint(LLAMA7B, requests, {f"m{i}": 50 for i in range(4)})
+        assert fp.savings_fraction == 0.0
+
+    def test_partial_overlap(self):
+        requests = [
+            BatchRequest(("sys", "doc_a"), private_tokens=100),
+            BatchRequest(("sys", "doc_b"), private_tokens=100),
+        ]
+        fp = batch_footprint(
+            LLAMA7B, requests, {"sys": 200, "doc_a": 500, "doc_b": 500}
+        )
+        # sys counted once instead of twice.
+        assert 0 < fp.savings_fraction < 0.5
+
+    def test_bytes_scale_with_model(self):
+        requests = [BatchRequest(("m",), private_tokens=10)]
+        small = batch_footprint(paper_config("falcon-1b"), requests, {"m": 100})
+        large = batch_footprint(paper_config("llama2-70b"), requests, {"m": 100})
+        assert large.duplicated_bytes > 10 * small.duplicated_bytes
+
+
+class TestMaxBatchSize:
+    def test_sharing_admits_larger_batches(self):
+        budget = 40 * 10**9  # 40 GB HBM
+        shared = max_batch_size(LLAMA7B, budget, 1000, 1000, shared=True)
+        duplicated = max_batch_size(LLAMA7B, budget, 1000, 1000, shared=False)
+        assert shared > duplicated
+        # With a 50/50 split the asymptotic gain approaches 2x.
+        assert shared >= int(1.8 * duplicated)
+
+    def test_zero_private_tokens(self):
+        assert max_batch_size(LLAMA7B, 10**9, 100, 0, shared=True) == 0
+
+    def test_budget_too_small(self):
+        assert max_batch_size(LLAMA7B, 10, 100, 100, shared=False) == 0

@@ -1,0 +1,102 @@
+"""Benchmark harness: token profiling, modeled TTFT rows, report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    dataset_profile,
+    format_series,
+    format_table,
+    measure_sample,
+    modeled_ttft,
+    scale_profile,
+    time_call,
+    token_profile,
+)
+from repro.cache.engine import PromptCache
+from repro.datasets.suite import build_dataset
+from repro.hw.device import RTX_4090
+from repro.llm.config import paper_config
+from repro.pml import PLAIN_TEMPLATE
+
+LLAMA7B = paper_config("llama2-7b")
+
+
+class TestTokenProfiles:
+    def test_sample_profile_counts(self, tok):
+        sample = build_dataset("narrativeqa", n_samples=1, context_words=100)[0]
+        profile = token_profile(sample, tok)
+        assert profile.cached_tokens > profile.uncached_tokens > 0
+        assert profile.total == profile.cached_tokens + profile.uncached_tokens
+
+    def test_dataset_profile_averages(self, tok):
+        profile = dataset_profile("narrativeqa", tok, context_words=100, n_samples=3)
+        assert profile.dataset == "narrativeqa"
+        assert profile.cached_tokens > 0
+
+    def test_scale_profile_preserves_uncached(self, tok):
+        base = dataset_profile("narrativeqa", tok, context_words=100, n_samples=2)
+        scaled = scale_profile(base, 5000)
+        assert scaled.total == 5000
+        assert scaled.uncached_tokens == base.uncached_tokens
+
+    def test_scale_profile_floor(self, tok):
+        base = dataset_profile("triviaqa", tok, context_words=100, n_samples=1)
+        scaled = scale_profile(base, 1)  # smaller than the uncached part
+        assert scaled.cached_tokens == 0
+
+
+class TestModeledTTFT:
+    def test_speedup_positive(self, tok):
+        profile = scale_profile(
+            dataset_profile("narrativeqa", tok, context_words=100, n_samples=1), 5000
+        )
+        result = modeled_ttft(profile, LLAMA7B, RTX_4090, "gpu")
+        assert result.speedup > 1
+        assert result.baseline_s > result.cached_s
+
+    def test_storage_affects_cached_only(self, tok):
+        profile = scale_profile(
+            dataset_profile("narrativeqa", tok, context_words=100, n_samples=1), 5000
+        )
+        gpu = modeled_ttft(profile, LLAMA7B, RTX_4090, "gpu")
+        cpu = modeled_ttft(profile, LLAMA7B, RTX_4090, "cpu")
+        assert gpu.baseline_s == cpu.baseline_s
+        assert gpu.cached_s < cpu.cached_s
+
+
+class TestMeasure:
+    def test_measure_sample_speedup(self, llama, tok):
+        pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+        sample = build_dataset("narrativeqa", n_samples=1, context_words=150)[0]
+        result = measure_sample(pc, sample)
+        assert result.baseline_s > 0 and result.cached_s > 0
+        assert result.cached_tokens > 0
+
+    def test_time_call_returns_best(self):
+        elapsed = time_call(sum, range(1000), repeats=3)
+        assert 0 <= elapsed < 0.1
+
+
+class TestReports:
+    def test_format_table_alignment(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], ["xyz", 0.001]])
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_note(self):
+        text = format_table("T", ["a"], [[1]], note="context")
+        assert text.endswith("note: context")
+
+    def test_format_series_columns(self):
+        text = format_series("S", "x", [1, 2], {"ys": [10, 20], "zs": [30, 40]})
+        assert "ys" in text and "zs" in text and "40" in text
+
+    def test_float_formatting(self):
+        text = format_table("T", ["v"], [[123.456], [1.234], [0.00123], [0.0]])
+        assert "123" in text
+        assert "1.23" in text
+        assert "0.0012" in text

@@ -1,0 +1,97 @@
+"""CLI: every subcommand drives the library end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+SCHEMA = """
+<schema name="demo">
+intro text for the assistant .
+<module name="doc">atlantis has capital coral .</module>
+</schema>
+"""
+
+
+@pytest.fixture()
+def schema_file(tmp_path):
+    path = tmp_path / "demo.pml"
+    path.write_text(SCHEMA)
+    return path
+
+
+class TestInspect:
+    def test_prints_layout(self, schema_file, capsys):
+        assert main(["inspect", str(schema_file)]) == 0
+        out = capsys.readouterr().out
+        assert "schema 'demo'" in out
+        assert "doc" in out
+        assert "lint" in out
+
+    def test_lint_flags_problems(self, tmp_path, capsys):
+        path = tmp_path / "bad.pml"
+        path.write_text(
+            '<schema name="bad"><module name="t">x</module>'
+            '<union><module name="solo">alone</module></union></schema>'
+        )
+        main(["inspect", str(path)])
+        out = capsys.readouterr().out
+        assert "single-member-union" in out
+        assert "tiny-module" in out
+
+
+class TestServe:
+    def test_serve_inline_prompt(self, schema_file, capsys):
+        code = main([
+            "serve", str(schema_file),
+            '<prompt schema="demo"><doc/> hello</prompt>',
+            "--size", "tiny", "--max-new-tokens", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TTFT" in out and "output:" in out
+
+    def test_serve_with_compare(self, schema_file, capsys):
+        main([
+            "serve", str(schema_file),
+            '<prompt schema="demo"><doc/> hello</prompt>',
+            "--size", "tiny", "--max-new-tokens", "2", "--compare",
+        ])
+        assert "baseline TTFT" in capsys.readouterr().out
+
+    def test_prompt_from_file(self, schema_file, tmp_path, capsys):
+        prompt_file = tmp_path / "p.pml"
+        prompt_file.write_text('<prompt schema="demo"><doc/> q</prompt>')
+        main(["serve", str(schema_file), str(prompt_file), "--size", "tiny",
+              "--max-new-tokens", "2"])
+        assert "output:" in capsys.readouterr().out
+
+
+class TestOthers:
+    def test_tokenize(self, capsys):
+        assert main(["tokenize", "atlantis has capital"]) == 0
+        out = capsys.readouterr().out
+        assert "tokens:" in out
+
+    def test_ttft(self, capsys):
+        assert main([
+            "ttft", "--model", "llama2-7b", "--device", "rtx-4090",
+            "--tokens", "3072", "--uncached", "32",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "narrativeqa" in out and "summarization" in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "rtx-4090" in out and "i9-13900k" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

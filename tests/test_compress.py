@@ -1,0 +1,112 @@
+"""KV compression codecs: fidelity, byte accounting, engine integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.compress import (
+    CODECS,
+    Fp16Codec,
+    IdentityCodec,
+    Int8Codec,
+    codec,
+)
+from repro.cache.engine import PromptCache
+from repro.llm.kv import ModuleKV
+from repro.pml import PLAIN_TEMPLATE
+
+RNG = np.random.default_rng(31)
+
+
+def make_kv(tokens=12, layers=2, heads=2, head_dim=8) -> ModuleKV:
+    shape = (heads, tokens, head_dim)
+    return ModuleKV(
+        keys=[RNG.normal(size=shape).astype(np.float32) for _ in range(layers)],
+        values=[RNG.normal(size=shape).astype(np.float32) for _ in range(layers)],
+        positions=np.arange(tokens),
+    )
+
+
+class TestCodecs:
+    def test_identity_passthrough(self):
+        kv = make_kv()
+        assert IdentityCodec().decode(IdentityCodec().encode(kv)) is kv
+
+    def test_fp16_halves_storage(self):
+        kv = make_kv()
+        stored = Fp16Codec().encode(kv)
+        # Tensor bytes halve; positions stay int64.
+        tensor_bytes = sum(k.nbytes + v.nbytes for k, v in zip(kv.keys, kv.values))
+        assert stored.nbytes() == tensor_bytes // 2 + kv.positions.nbytes
+
+    def test_fp16_round_trip_error_small(self):
+        kv = make_kv()
+        out = Fp16Codec().decode(Fp16Codec().encode(kv))
+        np.testing.assert_allclose(out.keys[0], kv.keys[0], atol=2e-3)
+        np.testing.assert_array_equal(out.positions, kv.positions)
+
+    def test_int8_quarter_storage(self):
+        kv = make_kv(tokens=64, head_dim=64)
+        stored = Int8Codec().encode(kv)
+        tensor_bytes = sum(k.nbytes + v.nbytes for k, v in zip(kv.keys, kv.values))
+        # int8 tensors = 1/4 of fp32; scales add (heads*tokens) fp32 per tensor.
+        assert stored.nbytes() < 0.30 * tensor_bytes + kv.positions.nbytes
+
+    def test_int8_round_trip_error_bounded(self):
+        kv = make_kv()
+        out = Int8Codec().decode(Int8Codec().encode(kv))
+        for layer in range(len(kv.keys)):
+            scale = np.abs(kv.keys[layer]).max()
+            assert np.max(np.abs(out.keys[layer] - kv.keys[layer])) < scale / 100
+        np.testing.assert_array_equal(out.positions, kv.positions)
+
+    def test_int8_handles_zero_tensor(self):
+        kv = make_kv()
+        kv.keys[0][:] = 0.0
+        out = Int8Codec().decode(Int8Codec().encode(kv))
+        np.testing.assert_array_equal(out.keys[0], 0.0)
+
+    def test_registry(self):
+        assert set(CODECS) == {"identity", "fp16", "int8"}
+        assert codec("int8").name == "int8"
+        with pytest.raises(KeyError):
+            codec("int4")
+
+
+SCHEMA = (
+    '<schema name="z"><module name="m">the quick brown fox jumps over the '
+    "lazy dog again</module></schema>"
+)
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("name", ["identity", "fp16", "int8"])
+    def test_serving_works_under_every_codec(self, llama, tok, name):
+        pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE, kv_codec=name)
+        pc.register_schema(SCHEMA)
+        result = pc.serve('<prompt schema="z"><m/> what ?</prompt>', max_new_tokens=4)
+        assert len(result.output_ids) == 4
+
+    def test_fp16_output_matches_identity(self, llama, tok):
+        """fp16 rounding is far below greedy decision boundaries here."""
+        outs = {}
+        for name in ("identity", "fp16"):
+            pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE, kv_codec=name)
+            pc.register_schema(SCHEMA)
+            outs[name] = pc.serve(
+                '<prompt schema="z"><m/> what ?</prompt>', max_new_tokens=6
+            ).output_ids
+        assert outs["identity"] == outs["fp16"]
+
+    def test_compressed_storage_smaller(self, llama, tok):
+        sizes = {}
+        for name in ("identity", "int8"):
+            pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE, kv_codec=name)
+            pc.register_schema(SCHEMA)
+            sizes[name] = pc.store.total_bytes()
+        assert sizes["int8"] < 0.35 * sizes["identity"]
+
+    def test_codec_instance_accepted(self, llama, tok):
+        pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE, kv_codec=Fp16Codec())
+        assert pc.kv_codec.name == "fp16"

@@ -1,0 +1,216 @@
+"""Synthetic corpus and LongBench-like suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CATEGORIES,
+    DATASETS,
+    HEADLINE_DATASETS,
+    SyntheticCorpus,
+    build_dataset,
+    completion_sample,
+    game_codebase,
+    module_name_for,
+    training_corpus,
+)
+from repro.pml import Schema, resolve
+
+
+class TestCorpus:
+    def test_documents_deterministic(self):
+        a = SyntheticCorpus(seed=1).document("d0")
+        b = SyntheticCorpus(seed=1).document("d0")
+        assert a.text == b.text and a.facts == b.facts
+
+    def test_different_seeds_differ(self):
+        a = SyntheticCorpus(seed=1).document("d0")
+        b = SyntheticCorpus(seed=2).document("d0")
+        assert a.text != b.text
+
+    def test_word_count_close_to_target(self):
+        doc = SyntheticCorpus(seed=0).document("d1", n_words=400)
+        assert 300 <= doc.word_count <= 520
+
+    def test_facts_embedded_in_text(self):
+        doc = SyntheticCorpus(seed=0).document("d2", n_facts=3)
+        assert len(doc.facts) == 3
+        for fact in doc.facts:
+            assert fact.statement() in doc.text
+
+    def test_fact_question_answerable(self):
+        doc = SyntheticCorpus(seed=0).document("d3")
+        fact = doc.facts[0]
+        assert fact.value in fact.statement()
+        assert fact.entity in fact.question()
+
+    def test_multi_hop_chain_links(self):
+        rng = np.random.default_rng(0)
+        chain = SyntheticCorpus(seed=0).multi_hop_chain(rng, hops=3)
+        assert chain[0].value == chain[1].entity
+        assert chain[1].value == chain[2].entity
+
+    def test_zh_flavor_uses_different_bank(self):
+        corpus = SyntheticCorpus(seed=0)
+        zh = corpus.document("z", flavor="zh", n_facts=0)
+        assert "the" not in zh.sentences[0]
+
+    def test_training_corpus_nonempty(self):
+        texts = training_corpus()
+        assert len(texts) > 10
+        assert all(isinstance(t, str) and t for t in texts)
+
+
+class TestSuiteStructure:
+    def test_at_least_21_datasets(self):
+        assert len(DATASETS) >= 21  # LongBench has 21
+
+    def test_six_categories(self):
+        assert len(CATEGORIES) == 6
+
+    def test_headline_eight(self):
+        assert len(HEADLINE_DATASETS) == 8
+        for name in HEADLINE_DATASETS:
+            assert DATASETS[name].headline
+
+    def test_metrics_match_table1(self):
+        # Table 1's metric column.
+        assert DATASETS["narrativeqa"].metric == "f1"
+        assert DATASETS["2wikimqa"].metric == "f1"
+        assert DATASETS["musique"].metric == "f1"
+        assert DATASETS["gov_report"].metric == "rougeL"
+        assert DATASETS["qmsum"].metric == "rougeL"
+        assert DATASETS["multi_news"].metric == "rougeL"
+        assert DATASETS["triviaqa"].metric == "f1"
+        assert DATASETS["passage_retrieval_en"].metric == "acc"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            build_dataset("imaginary")
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+class TestEveryDataset:
+    def test_samples_well_formed(self, name):
+        samples = build_dataset(name, n_samples=2, context_words=120)
+        assert len(samples) == 2
+        for s in samples:
+            assert s.dataset == name
+            assert s.documents and all(t for _, t in s.documents)
+            assert s.question and s.answer
+            assert s.metric == DATASETS[name].metric
+
+    def test_pml_round_trip(self, name):
+        """Every sample's schema must parse and its prompt must resolve."""
+        sample = build_dataset(name, n_samples=1, context_words=100)[0]
+        schema = Schema.parse(sample.schema_pml())
+        resolved = resolve(sample.prompt_pml(), schema)
+        assert len(resolved.selections) == len(sample.documents)
+
+    def test_deterministic(self, name):
+        a = build_dataset(name, n_samples=1, context_words=100)[0]
+        b = build_dataset(name, n_samples=1, context_words=100)[0]
+        assert a.question == b.question and a.answer == b.answer
+        assert a.documents == b.documents
+
+
+class TestAnswerability:
+    """The reference answer must be derivable from the documents — the
+    property that makes baseline-vs-cached score comparisons meaningful."""
+
+    @pytest.mark.parametrize("name", ["narrativeqa", "triviaqa", "qasper"])
+    def test_single_hop_answer_in_context(self, name):
+        for s in build_dataset(name, n_samples=3, context_words=150):
+            context = " ".join(t for _, t in s.documents)
+            assert s.answer in context
+
+    def test_multi_hop_chain_recoverable(self):
+        for s in build_dataset("2wikimqa", n_samples=3, context_words=200):
+            context = " ".join(t for _, t in s.documents)
+            assert s.answer in context
+
+    def test_retrieval_target_is_a_real_passage(self):
+        for s in build_dataset("passage_retrieval_en", n_samples=3, context_words=200):
+            index = int(s.answer.split()[-1])
+            assert 0 <= index < len(s.documents)
+
+    def test_summary_facts_all_in_context(self):
+        s = build_dataset("gov_report", n_samples=1, context_words=200)[0]
+        context = " ".join(t for _, t in s.documents)
+        for statement in s.answer.split(" . "):
+            assert statement.strip(" .") in context
+
+
+class TestCodegen:
+    def test_codebase_has_four_files(self):
+        files = game_codebase()
+        assert set(files) == {"unit.py", "map.py", "game.py", "player.py"}
+
+    def test_sources_are_valid_python(self):
+        import ast
+
+        for source in game_codebase().values():
+            ast.parse(source)
+
+    def test_deterministic(self):
+        assert game_codebase(seed=3) == game_codebase(seed=3)
+
+    def test_module_name_mapping(self):
+        assert module_name_for("unit.py") == "file-unit"
+
+    def test_completion_sample_next_line_follows_context(self):
+        context, visible, nxt = completion_sample(seed=1, index=5)
+        assert context.endswith(visible)
+        assert nxt not in ("", None)
+
+
+class TestBM25:
+    def setup_method(self):
+        from repro.datasets.retrieval import BM25Index
+
+        self.index = BM25Index()
+        self.index.add("fox", "the quick brown fox jumps over the lazy dog")
+        self.index.add("paris", "paris has museum basalt and cafes by the seine")
+        self.index.add("ferry", "the harbor ferry crosses the bay every forty minutes")
+
+    def test_exact_topic_ranks_first(self):
+        hits = self.index.search("ferry bay crossing", k=3)
+        assert hits[0].doc_id == "ferry"
+
+    def test_rare_terms_outweigh_common(self):
+        # "the" appears everywhere; "basalt" only in paris.
+        hits = self.index.search("the basalt", k=1)
+        assert hits[0].doc_id == "paris"
+
+    def test_no_match_returns_empty(self):
+        assert self.index.search("zeppelin quantum", k=3) == []
+
+    def test_k_limits_results(self):
+        assert len(self.index.search("the", k=2)) <= 2
+
+    def test_duplicate_doc_rejected(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            self.index.add("fox", "again")
+
+    def test_scores_deterministic(self):
+        a = self.index.search("quick fox", k=3)
+        b = self.index.search("quick fox", k=3)
+        assert [(h.doc_id, h.score) for h in a] == [(h.doc_id, h.score) for h in b]
+
+    def test_retrieval_over_synthetic_pool(self):
+        from repro.datasets.corpus import SyntheticCorpus
+        from repro.datasets.retrieval import BM25Index
+
+        corpus = SyntheticCorpus(seed=3)
+        index = BM25Index()
+        docs = [corpus.document(f"p{i}", n_words=60, n_facts=2) for i in range(6)]
+        for i, doc in enumerate(docs):
+            index.add(f"p{i}", doc.text)
+        # Querying with a document's own fact retrieves that document.
+        target = docs[4].facts[0]
+        hits = index.search(target.completion(), k=1)
+        assert hits and hits[0].doc_id == "p4"

@@ -1,0 +1,80 @@
+"""Grouped-query / multi-query attention: the paper's §6 memory lever.
+
+The engine supports ``n_kv_heads < n_heads``; these tests pin down that
+every correctness property (KV-cache equivalence, prefix equivalence, the
+Table 2 memory accounting) holds under GQA and MQA too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cache.engine import PromptCache
+from repro.llm import build_model, generate, generate_no_cache, tiny_config
+from repro.pml import PLAIN_TEMPLATE
+
+PROMPT = [5, 9, 12, 300, 41, 17, 23]
+
+
+def gqa_config(n_kv_heads: int):
+    return dataclasses.replace(tiny_config("llama", vocab_size=420), n_kv_heads=n_kv_heads)
+
+
+@pytest.fixture(params=[1, 2])  # MQA and 2-group GQA (4 query heads)
+def gqa_model(request):
+    return build_model(gqa_config(request.param), seed=4)
+
+
+class TestGQACorrectness:
+    def test_kv_cache_matches_full_recompute(self, gqa_model):
+        with_cache = generate(gqa_model, PROMPT, max_new_tokens=6)
+        without = generate_no_cache(gqa_model, PROMPT, max_new_tokens=6)
+        assert with_cache.output_ids == without.output_ids
+
+    def test_chunked_prefill(self, gqa_model):
+        ids = np.array(PROMPT)
+        single = gqa_model.forward(ids, np.arange(len(ids)), gqa_model.new_cache())
+        cache = gqa_model.new_cache()
+        gqa_model.forward(ids[:4], np.arange(4), cache)
+        chunked = gqa_model.forward(ids[4:], np.arange(4, len(ids)), cache)
+        np.testing.assert_allclose(single[-1], chunked[-1], atol=1e-4)
+
+    def test_prompt_cache_prefix_equivalence(self, gqa_model, tok):
+        pc = PromptCache(gqa_model, tok, template=PLAIN_TEMPLATE)
+        pc.register_schema(
+            '<schema name="g"><module name="d">the quick brown fox jumps '
+            "over the lazy dog</module></schema>"
+        )
+        prompt = '<prompt schema="g"><d/> continue the story</prompt>'
+        cached = pc.serve(prompt, max_new_tokens=6)
+        baseline = pc.baseline(prompt, max_new_tokens=6)
+        assert cached.output_ids == baseline.output_ids
+
+
+class TestGQAMemory:
+    def test_kv_bytes_shrink_with_fewer_kv_heads(self):
+        mha = tiny_config("llama")
+        mqa = dataclasses.replace(mha, n_kv_heads=1)
+        assert mqa.kv_bytes_per_token() == mha.kv_bytes_per_token() // mha.n_heads
+
+    def test_cache_tensors_match_config(self, gqa_model, tok):
+        pc = PromptCache(gqa_model, tok, template=PLAIN_TEMPLATE)
+        pc.register_schema('<schema name="g"><module name="d">the quick fox</module></schema>')
+        from repro.cache.storage import CacheKey
+
+        kv = pc.store.fetch(CacheKey("g", "d")).entry.kv
+        assert kv.keys[0].shape[0] == gqa_model.config.n_kv_heads
+
+    def test_grouped_kv_cuts_module_storage(self, tok):
+        sizes = {}
+        for kv_heads in (4, 1):
+            model = build_model(gqa_config(kv_heads), seed=4)
+            pc = PromptCache(model, tok, template=PLAIN_TEMPLATE)
+            pc.register_schema(
+                '<schema name="g"><module name="d">the quick brown fox jumps</module></schema>'
+            )
+            sizes[kv_heads] = pc.store.total_bytes()
+        assert sizes[1] < 0.4 * sizes[4]

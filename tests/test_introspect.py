@@ -1,0 +1,79 @@
+"""Attention introspection: trace shapes, masses, cache integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm.introspect import AttentionTrace, attention_trace, induction_score
+
+PROMPT = np.array([5, 9, 12, 300, 41])
+
+
+class TestAttentionTrace:
+    def test_shapes(self, any_model):
+        logits, trace = attention_trace(any_model, PROMPT)
+        assert logits.shape == (5, any_model.config.vocab_size)
+        assert trace.n_layers == any_model.config.n_layers
+        for weights, positions in zip(trace.weights, trace.key_positions):
+            assert weights.shape == (any_model.config.n_heads, 5, 5)
+            np.testing.assert_array_equal(positions, np.arange(5))
+
+    def test_rows_sum_to_one(self, llama):
+        _, trace = attention_trace(llama, PROMPT)
+        for weights in trace.weights:
+            np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_causality_in_weights(self, llama):
+        _, trace = attention_trace(llama, PROMPT)
+        weights = trace.weights[0]
+        # Query i puts (numerically) zero mass on keys after position i.
+        for i in range(4):  # query 4 has no future keys to check
+            assert weights[:, i, i + 1 :].max() < 1e-6
+
+    def test_trace_does_not_change_logits(self, llama):
+        plain = llama.forward(PROMPT, np.arange(5), llama.new_cache())
+        traced, _ = attention_trace(llama, PROMPT)
+        np.testing.assert_array_equal(plain, traced)
+
+    def test_top_attended_ordering(self, llama):
+        _, trace = attention_trace(llama, PROMPT)
+        top = trace.top_attended(0, query_index=-1, k=3)
+        assert len(top) == 3
+        assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_attention_mass_bounds(self, llama):
+        _, trace = attention_trace(llama, PROMPT)
+        everything = trace.attention_mass_on(0, set(range(5)))
+        assert everything == pytest.approx(1.0, abs=1e-5)
+        nothing = trace.attention_mass_on(0, {99})
+        assert nothing == 0.0
+
+    def test_trace_into_prepopulated_cache(self, llama, tok):
+        """New tokens traced against spliced-in module states: key columns
+        cover the cached positions too."""
+        from repro.cache.encoder import encode_module
+        from repro.cache.layout import layout_schema
+        from repro.llm.kv import KVCache, LayerKV
+        from repro.pml import Schema
+
+        layout = layout_schema(
+            Schema.parse('<schema name="s"><module name="m">the quick brown fox</module></schema>'),
+            tok,
+        )
+        kv = encode_module(llama, layout.module("m"))
+        cache = KVCache(
+            [
+                LayerKV.from_arrays(kv.keys[i], kv.values[i], kv.positions)
+                for i in range(llama.config.n_layers)
+            ]
+        )
+        n_cached = len(cache)
+        suffix = np.array(tok.encode(" jumps over"))
+        _, trace = attention_trace(llama, suffix, cache=cache)
+        assert trace.weights[0].shape[-1] == n_cached + len(suffix)
+
+    def test_induction_score_range(self, llama):
+        _, trace = attention_trace(llama, PROMPT)
+        score = induction_score(trace, {0, 1})
+        assert 0.0 <= score <= 1.0

@@ -1,0 +1,181 @@
+"""Position-ID layout (paper §3.3): absolute assignment, unions, params."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.layout import ANONYMOUS_PREFIX, layout_schema
+from repro.pml import Schema
+
+
+def layout(tok, source):
+    return layout_schema(Schema.parse(source), tok)
+
+
+class TestBasicAssignment:
+    def test_sequential_modules_adjacent(self, tok):
+        lo = layout(tok, '<schema name="s"><module name="a">the quick</module><module name="b">brown fox</module></schema>')
+        a, b = lo.module("a"), lo.module("b")
+        assert a.span_start == 0
+        assert b.span_start == a.span_end
+        assert lo.total_length == b.span_end
+
+    def test_starting_position_is_absolute_location(self, tok):
+        """Paper's example: modules of sizes s1, s2 put the third at s1+s2."""
+        lo = layout(tok, '<schema name="s"><module name="a">the quick</module><module name="b">brown</module><module name="c">fox</module></schema>')
+        a, b, c = (lo.module(n) for n in "abc")
+        assert c.span_start == a.span_length + b.span_length
+
+    def test_positions_match_span(self, tok):
+        lo = layout(tok, '<schema name="s"><module name="a">the quick brown fox</module></schema>')
+        a = lo.module("a")
+        np.testing.assert_array_equal(a.positions, np.arange(a.span_start, a.span_end))
+
+    def test_anonymous_text_becomes_module(self, tok):
+        lo = layout(tok, '<schema name="s">intro text<module name="m">body</module></schema>')
+        anon = lo.always_included()
+        assert len(anon) == 1
+        assert anon[0].startswith(ANONYMOUS_PREFIX)
+        assert lo.module(anon[0]).anonymous
+        assert lo.module(anon[0]).span_start == 0
+        assert lo.module("m").span_start == lo.module(anon[0]).span_end
+
+    def test_layout_is_deterministic(self, tok):
+        src = '<schema name="s"><module name="a">the quick</module><module name="b">brown</module></schema>'
+        lo1, lo2 = layout(tok, src), layout(tok, src)
+        for name in lo1.modules:
+            np.testing.assert_array_equal(
+                lo1.module(name).positions, lo2.module(name).positions
+            )
+            np.testing.assert_array_equal(
+                lo1.module(name).token_ids, lo2.module(name).token_ids
+            )
+
+
+class TestUnions:
+    SRC = (
+        '<schema name="s"><union>'
+        '<module name="short">fox</module>'
+        '<module name="long">the quick brown fox jumps over</module>'
+        '</union><module name="after">dog</module></schema>'
+    )
+
+    def test_members_share_start(self, tok):
+        lo = layout(tok, self.SRC)
+        assert lo.module("short").span_start == lo.module("long").span_start == 0
+
+    def test_union_extent_is_largest_member(self, tok):
+        """Paper: "their token sequence size is considered with the size of
+        the largest child"."""
+        lo = layout(tok, self.SRC)
+        assert lo.module("after").span_start == lo.module("long").span_end
+        assert lo.module("long").span_end > lo.module("short").span_end
+
+    def test_union_conserves_positions_vs_flat(self, tok):
+        """A union occupies max(sizes), a flat layout sum(sizes)."""
+        flat = layout(
+            tok,
+            '<schema name="s"><module name="short">fox</module>'
+            '<module name="long">the quick brown fox jumps over</module>'
+            '<module name="after">dog</module></schema>',
+        )
+        union = layout(tok, self.SRC)
+        assert union.total_length < flat.total_length
+
+
+class TestParams:
+    SRC = (
+        '<schema name="s"><module name="m">plan '
+        '<param name="duration" len="5" default="two"/> days</module></schema>'
+    )
+
+    def test_param_reserves_len_unk_tokens(self, tok):
+        lo = layout(tok, self.SRC)
+        m = lo.module("m")
+        slot = m.params["duration"]
+        assert slot.length == 5
+        run = m.token_ids[slot.offset : slot.offset + slot.length]
+        assert (run == tok.unk_id).all()
+
+    def test_param_positions_recorded(self, tok):
+        lo = layout(tok, self.SRC)
+        m = lo.module("m")
+        positions = m.param_positions("duration")
+        assert len(positions) == 5
+        np.testing.assert_array_equal(positions, np.arange(positions[0], positions[0] + 5))
+
+    def test_default_carried(self, tok):
+        lo = layout(tok, self.SRC)
+        assert lo.module("m").params["duration"].default == "two"
+
+    def test_text_after_param_continues(self, tok):
+        lo = layout(tok, self.SRC)
+        m = lo.module("m")
+        # direct positions are contiguous: text, slot, text
+        np.testing.assert_array_equal(m.positions, np.arange(m.span_start, m.span_end))
+
+
+class TestNesting:
+    SRC = (
+        '<schema name="s"><module name="outer">intro '
+        '<module name="inner">nested body</module> outro</module></schema>'
+    )
+
+    def test_nested_module_inside_parent_span(self, tok):
+        lo = layout(tok, self.SRC)
+        outer, inner = lo.module("outer"), lo.module("inner")
+        assert outer.span_start <= inner.span_start
+        assert inner.span_end <= outer.span_end
+
+    def test_parent_direct_positions_skip_nested_range(self, tok):
+        lo = layout(tok, self.SRC)
+        outer, inner = lo.module("outer"), lo.module("inner")
+        overlap = set(map(int, outer.positions)) & set(map(int, inner.positions))
+        assert not overlap
+
+    def test_no_overlaps_except_unions(self, tok):
+        src = (
+            '<schema name="s">sys<module name="a">aa bb</module>'
+            '<union><module name="u1">cc</module><module name="u2">dd ee ff</module></union>'
+            '<module name="b">gg <module name="c">hh</module></module></schema>'
+        )
+        lo = layout(tok, src)
+        schema = Schema.parse(src)
+        names = list(lo.modules)
+        for i, x in enumerate(names):
+            for y in names[i + 1 :]:
+                if schema.in_same_union(x, y):
+                    continue
+                shared = set(map(int, lo.module(x).positions)) & set(
+                    map(int, lo.module(y).positions)
+                )
+                assert not shared, (x, y)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["the quick", "brown fox jumps", "over", "the lazy dog"]),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_total_length_is_sum_of_spans_property(texts):
+    """With no unions, the schema extent equals the sum of module extents."""
+    from tests.conftest import TRAIN_TEXTS
+    from repro.tokenizer.bpe import train_bpe
+
+    tok = _PROPERTY_TOK
+    body = "".join(
+        f'<module name="m{i}">{t}</module>' for i, t in enumerate(texts)
+    )
+    lo = layout_schema(Schema.parse(f'<schema name="s">{body}</schema>'), tok)
+    assert lo.total_length == sum(m.span_length for m in lo.modules.values())
+
+
+from repro.tokenizer.bpe import train_bpe as _tb
+from tests.conftest import TRAIN_TEXTS as _TT
+
+_PROPERTY_TOK = _tb(_TT, vocab_size=320)

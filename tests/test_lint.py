@@ -1,0 +1,94 @@
+"""Schema linter diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.config import paper_config, tiny_config
+from repro.pml import Schema
+from repro.pml.lint import Diagnostic, lint_schema
+
+LLAMA7B = paper_config("llama2-7b")
+
+
+def lint(tok, source, config=None, budget=None):
+    return lint_schema(Schema.parse(source), tok, config, budget)
+
+
+class TestDiagnostics:
+    def test_clean_schema(self, tok):
+        diags = lint(
+            tok,
+            '<schema name="ok"><module name="doc">a perfectly reasonable '
+            "module with enough text to be worth caching here</module></schema>",
+            LLAMA7B,
+        )
+        assert diags == []
+
+    def test_position_overflow_error(self, tok):
+        text = "word " * 600
+        diags = lint(
+            tok,
+            f'<schema name="big"><module name="m">{text}</module></schema>',
+            tiny_config("llama", max_position=512),
+        )
+        assert any(d.code == "position-overflow" and d.severity == "error" for d in diags)
+
+    def test_position_pressure_warning(self, tok):
+        text = "word " * 460  # ~2300 tokens of 2500: over the 90% threshold
+        diags = lint(
+            tok,
+            f'<schema name="tight"><module name="m">{text}</module></schema>',
+            tiny_config("llama", max_position=2500),
+        )
+        assert any(d.code == "position-pressure" for d in diags)
+
+    def test_memory_overflow(self, tok):
+        text = "word " * 200
+        diags = lint(
+            tok,
+            f'<schema name="mem"><module name="m">{text}</module></schema>',
+            LLAMA7B,
+            budget=1000,  # absurdly small on purpose
+        )
+        assert any(d.code == "memory-overflow" and d.severity == "error" for d in diags)
+
+    def test_empty_module(self, tok):
+        diags = lint(tok, '<schema name="e"><module name="void"></module></schema>')
+        assert any(d.code == "empty-module" and d.module == "void" for d in diags)
+
+    def test_single_member_union(self, tok):
+        diags = lint(
+            tok,
+            '<schema name="u"><union><module name="solo">alone here now</module></union></schema>',
+        )
+        assert any(d.code == "single-member-union" for d in diags)
+
+    def test_large_param(self, tok):
+        diags = lint(
+            tok,
+            '<schema name="p"><module name="m">text '
+            '<param name="huge" len="100"/></module></schema>',
+        )
+        assert any(d.code == "large-param" for d in diags)
+
+    def test_tiny_module(self, tok):
+        diags = lint(tok, '<schema name="t"><module name="wee">hi</module></schema>')
+        assert any(d.code == "tiny-module" and d.module == "wee" for d in diags)
+
+    def test_severity_ordering(self, tok):
+        text = "word " * 600
+        diags = lint(
+            tok,
+            f'<schema name="mixed"><module name="m">{text}</module>'
+            '<module name="wee">hi</module></schema>',
+            tiny_config("llama", max_position=512),
+        )
+        severities = [d.severity for d in diags]
+        assert severities == sorted(
+            severities, key=lambda s: ("error", "warning", "info").index(s)
+        )
+
+    def test_str_rendering(self):
+        diag = Diagnostic("warning", "demo-code", "something", module="m")
+        assert str(diag) == "warning:demo-code [m]: something"

@@ -1,0 +1,106 @@
+"""Scoring metrics: normalization, F1, Rouge-L, accuracy."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.metrics import (
+    accuracy,
+    exact_match,
+    normalize_answer,
+    rouge_l,
+    score,
+    token_f1,
+)
+
+
+class TestNormalization:
+    def test_lowercase_and_punctuation(self):
+        assert normalize_answer("The Answer, is: CORAL!") == "answer is coral"
+
+    def test_articles_removed(self):
+        assert normalize_answer("a cat and the dog") == "cat and dog"
+
+    def test_whitespace_squeezed(self):
+        assert normalize_answer("  a   b  ") == "b"  # 'a' is an article
+
+
+class TestTokenF1:
+    def test_perfect_match(self):
+        assert token_f1("coral", "coral") == 100.0
+
+    def test_no_overlap(self):
+        assert token_f1("basalt", "coral") == 0.0
+
+    def test_partial_overlap(self):
+        # prediction has 2 tokens, 1 overlaps; reference has 1 token.
+        f1 = token_f1("coral reef", "coral")
+        assert f1 == pytest.approx(100 * 2 * 0.5 * 1.0 / 1.5)
+
+    def test_case_and_punct_insensitive(self):
+        assert token_f1("Coral!", "coral") == 100.0
+
+    def test_empty_prediction(self):
+        assert token_f1("", "coral") == 0.0
+        assert token_f1("", "") == 100.0
+
+    def test_symmetry_of_sets(self):
+        assert token_f1("x y", "y x") == 100.0
+
+
+class TestRougeL:
+    def test_identical(self):
+        assert rouge_l("the capital is coral", "the capital is coral") == 100.0
+
+    def test_subsequence_order_matters(self):
+        in_order = rouge_l("capital coral harbor", "capital coral harbor basalt")
+        shuffled = rouge_l("harbor capital coral", "capital coral harbor basalt")
+        assert in_order > shuffled > 0
+
+    def test_disjoint(self):
+        assert rouge_l("alpha beta", "gamma delta") == 0.0
+
+    def test_empty(self):
+        assert rouge_l("", "reference") == 0.0
+
+
+class TestAccuracy:
+    def test_substring_containment(self):
+        assert accuracy("i think the answer is passage 3 indeed", "passage 3") == 100.0
+
+    def test_miss(self):
+        assert accuracy("passage 4", "passage 3") == 0.0
+
+    def test_exact_match_stricter(self):
+        assert exact_match("the passage 3", "passage 3") == 100.0  # article dropped
+        assert exact_match("surely passage 3", "passage 3") == 0.0
+
+
+class TestDispatch:
+    def test_known_metrics(self):
+        assert score("f1", "coral", "coral") == 100.0
+        assert score("rougeL", "a b", "a b") == 100.0
+        assert score("acc", "xyz coral", "coral") == 100.0
+        assert score("em", "coral", "coral") == 100.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            score("bleu", "a", "b")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet="abcdef ", max_size=40), st.text(alphabet="abcdef ", max_size=40))
+def test_metric_ranges_property(pred, ref):
+    for name in ("f1", "rougeL", "acc", "em"):
+        value = score(name, pred, ref)
+        assert 0.0 <= value <= 100.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="ghijk ", min_size=1, max_size=40))
+def test_self_score_is_perfect_property(text):
+    if normalize_answer(text):
+        assert token_f1(text, text) == 100.0
+        assert rouge_l(text, text) == 100.0
+        assert exact_match(text, text) == 100.0

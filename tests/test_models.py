@@ -1,0 +1,185 @@
+"""Whole-model forward pass and generation-regime equivalences (Fig 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm import (
+    build_model,
+    generate,
+    generate_no_cache,
+    init_params,
+    load_params,
+    param_count,
+    prefill,
+    save_params,
+    tiny_config,
+)
+from repro.llm.config import ModelConfig, paper_config, small_config
+from repro.llm.sampling import GreedySampler, TemperatureSampler
+
+PROMPT = [5, 9, 12, 300, 41, 17, 23]
+
+
+class TestConfig:
+    def test_rejects_unknown_architecture(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="x", architecture="rnn", vocab_size=10, d_model=8,
+                n_layers=1, n_heads=2, n_kv_heads=2, d_ff=16, max_position=8,
+                positional="rope", norm="rmsnorm", mlp="swiglu",
+                parallel_block=False,
+            )
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="x", architecture="llama", vocab_size=10, d_model=10,
+                n_layers=1, n_heads=3, n_kv_heads=3, d_ff=16, max_position=8,
+                positional="rope", norm="rmsnorm", mlp="swiglu",
+                parallel_block=False,
+            )
+
+    def test_kv_bytes_per_token_llama7b(self):
+        # Table 2 anchor: Llama2-7B caches 0.5 MiB per token at fp16.
+        assert paper_config("llama2-7b").kv_bytes_per_token() == 2 * 32 * 4096 * 2
+
+    def test_paper_catalog_head_dims(self):
+        for cfg in (paper_config(n) for n in ("llama2-70b", "falcon-180b", "mpt-30b")):
+            assert cfg.d_model == cfg.n_heads * cfg.head_dim
+
+    def test_unknown_paper_model(self):
+        with pytest.raises(KeyError):
+            paper_config("gpt-5")
+
+    def test_with_vocab(self):
+        cfg = tiny_config("llama").with_vocab(999)
+        assert cfg.vocab_size == 999
+
+
+class TestForward:
+    def test_logit_shape(self, any_model):
+        cache = any_model.new_cache()
+        logits = any_model.forward(np.array(PROMPT), np.arange(len(PROMPT)), cache)
+        assert logits.shape == (len(PROMPT), any_model.config.vocab_size)
+        assert len(cache) == len(PROMPT)
+
+    def test_deterministic(self, any_model):
+        a = any_model.forward(np.array(PROMPT), np.arange(len(PROMPT)), any_model.new_cache())
+        b = any_model.forward(np.array(PROMPT), np.arange(len(PROMPT)), any_model.new_cache())
+        np.testing.assert_array_equal(a, b)
+
+    def test_chunked_prefill_matches_single_pass(self, any_model):
+        """Feeding a prompt in two chunks through the KV cache must produce
+        the same final logits as one pass — incremental prefill correctness."""
+        ids = np.array(PROMPT)
+        single = any_model.forward(ids, np.arange(len(ids)), any_model.new_cache())
+        cache = any_model.new_cache()
+        any_model.forward(ids[:3], np.arange(3), cache)
+        chunked = any_model.forward(ids[3:], np.arange(3, len(ids)), cache)
+        np.testing.assert_allclose(single[-1], chunked[-1], atol=1e-4)
+
+    def test_shape_mismatch_rejected(self, llama):
+        with pytest.raises(ValueError):
+            llama.forward(np.array([1, 2, 3]), np.array([0, 1]), llama.new_cache())
+
+    def test_causality_future_tokens_do_not_affect_past(self, any_model):
+        """Logits at position i must not change when tokens after i change."""
+        base = np.array(PROMPT)
+        altered = base.copy()
+        altered[-1] = (altered[-1] + 1) % any_model.config.vocab_size
+        la = any_model.forward(base, np.arange(len(base)), any_model.new_cache())
+        lb = any_model.forward(altered, np.arange(len(base)), any_model.new_cache())
+        np.testing.assert_allclose(la[:-1], lb[:-1], atol=1e-5)
+
+
+class TestGenerationRegimes:
+    def test_kv_cache_matches_full_recompute(self, any_model):
+        """Fig 1a vs 1b: greedy outputs must be identical."""
+        with_cache = generate(any_model, PROMPT, max_new_tokens=6)
+        without = generate_no_cache(any_model, PROMPT, max_new_tokens=6)
+        assert with_cache.output_ids == without.output_ids
+
+    def test_stop_ids_halt_generation(self, llama):
+        probe = generate(llama, PROMPT, max_new_tokens=8)
+        first = probe.output_ids[0]
+        stopped = generate(llama, PROMPT, max_new_tokens=8, stop_ids={first})
+        assert stopped.output_ids == [first]
+
+    def test_result_latency_fields(self, llama):
+        result = generate(llama, PROMPT, max_new_tokens=4)
+        assert result.ttft_s > 0
+        assert len(result.step_times_s) == 3  # first token excluded
+        assert result.ttst_s > 0
+
+    def test_prefill_returns_last_logits(self, llama):
+        cache = llama.new_cache()
+        logits = prefill(llama, np.array(PROMPT), cache)
+        assert logits.shape == (llama.config.vocab_size,)
+
+    def test_temperature_sampler_reproducible(self, llama):
+        a = generate(llama, PROMPT, max_new_tokens=5, sampler=TemperatureSampler(0.8, seed=3))
+        b = generate(llama, PROMPT, max_new_tokens=5, sampler=TemperatureSampler(0.8, seed=3))
+        assert a.output_ids == b.output_ids
+
+    def test_greedy_is_argmax(self):
+        logits = np.array([0.1, 5.0, -2.0], dtype=np.float32)
+        assert GreedySampler()(logits) == 1
+
+    def test_top_k_restricts_support(self):
+        sampler = TemperatureSampler(temperature=1.0, top_k=1, seed=0)
+        logits = np.array([0.0, 10.0, 0.0], dtype=np.float32)
+        assert all(sampler(logits) == 1 for _ in range(5))
+
+    def test_top_p_keeps_most_likely(self):
+        sampler = TemperatureSampler(temperature=1.0, top_p=0.01, seed=0)
+        logits = np.array([0.0, 10.0, 0.0], dtype=np.float32)
+        assert sampler(logits) == 1
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            TemperatureSampler(temperature=0.0)
+
+
+class TestWeights:
+    def test_seeded_init_reproducible(self):
+        cfg = tiny_config("llama")
+        a = init_params(cfg, seed=1)
+        b = init_params(cfg, seed=1)
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+
+    def test_different_seeds_differ(self):
+        cfg = tiny_config("llama")
+        a = init_params(cfg, seed=1)
+        b = init_params(cfg, seed=2)
+        assert not np.array_equal(a["embed.weight"], b["embed.weight"])
+
+    def test_save_load_round_trip(self, tmp_path):
+        cfg = tiny_config("mpt")
+        params = init_params(cfg, seed=0)
+        path = tmp_path / "weights.npz"
+        save_params(params, path)
+        loaded = load_params(path)
+        assert set(loaded) == set(params)
+        assert all(np.array_equal(loaded[k], params[k]) for k in params)
+
+    def test_param_count_positive_and_scales(self):
+        small = param_count(init_params(tiny_config("llama"), seed=0))
+        bigger = param_count(init_params(small_config("llama", vocab_size=512), seed=0))
+        assert 0 < small < bigger
+
+    def test_gpt2_has_biases_and_pos_table(self):
+        params = init_params(tiny_config("gpt2"), seed=0)
+        assert "pos.weight" in params
+        assert "layers.0.attn.bq" in params
+
+    def test_llama_has_no_biases(self):
+        params = init_params(tiny_config("llama"), seed=0)
+        assert "layers.0.attn.bq" not in params
+        assert "layers.0.mlp.gate" in params
+
+    def test_falcon_parallel_block_has_single_norm(self):
+        params = init_params(tiny_config("falcon"), seed=0)
+        assert "layers.0.attn_norm.weight" in params
+        assert "layers.0.mlp_norm.weight" not in params

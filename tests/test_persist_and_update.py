@@ -1,0 +1,119 @@
+"""Module persistence to disk + runtime module updates + invalidation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.compress import Int8Codec
+from repro.cache.engine import PromptCache
+from repro.cache.persist import load_store, save_store
+from repro.cache.storage import CacheKey, ModuleCacheStore
+from repro.pml import PLAIN_TEMPLATE
+
+SCHEMA = (
+    '<schema name="lib"><module name="a">the quick brown fox</module>'
+    '<module name="b">jumps over the lazy dog</module></schema>'
+)
+
+
+@pytest.fixture()
+def pc(llama, tok):
+    cache = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+    cache.register_schema(SCHEMA)
+    return cache
+
+
+class TestPersistence:
+    def test_round_trip_raw_entries(self, pc, tmp_path):
+        count = save_store(pc.store, tmp_path)
+        assert count >= 2
+        restored = load_store(tmp_path)
+        for name in ("a", "b"):
+            key = CacheKey("lib", name)
+            original = pc.store.fetch(key).entry.kv
+            loaded = restored.fetch(key).entry.kv
+            np.testing.assert_array_equal(loaded.positions, original.positions)
+            np.testing.assert_array_equal(loaded.keys[0], original.keys[0])
+
+    def test_round_trip_preserves_tier(self, llama, tok, tmp_path):
+        pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE, default_tier="cpu")
+        pc.register_schema(SCHEMA)
+        save_store(pc.store, tmp_path)
+        restored = load_store(tmp_path)
+        assert restored.fetch(CacheKey("lib", "a")).tier == "cpu"
+
+    def test_round_trip_compressed_entries(self, llama, tok, tmp_path):
+        pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE, kv_codec="int8")
+        pc.register_schema(SCHEMA)
+        save_store(pc.store, tmp_path)
+        restored = load_store(tmp_path)
+        stored = restored.fetch(CacheKey("lib", "a")).entry.kv
+        assert stored.codec == "int8"
+        decoded = Int8Codec().decode(stored)
+        reference = Int8Codec().decode(pc.store.fetch(CacheKey("lib", "a")).entry.kv)
+        np.testing.assert_array_equal(decoded.keys[0], reference.keys[0])
+
+    def test_restored_store_serves(self, pc, llama, tok, tmp_path):
+        expected = pc.serve('<prompt schema="lib"><a/><b/> go</prompt>', max_new_tokens=4)
+        save_store(pc.store, tmp_path)
+        fresh = PromptCache(llama, tok, store=load_store(tmp_path), template=PLAIN_TEMPLATE)
+        fresh.register_schema(SCHEMA, eager=False)
+        # No re-encoding happens: the store already holds every module.
+        insertions_before = fresh.store.gpu.stats.insertions
+        result = fresh.serve('<prompt schema="lib"><a/><b/> go</prompt>', max_new_tokens=4)
+        assert fresh.store.gpu.stats.insertions == insertions_before
+        assert result.output_ids == expected.output_ids
+
+
+class TestInvalidation:
+    def test_invalidate_single_module(self, pc):
+        assert pc.invalidate("lib", "a") == 1
+        assert pc.store.fetch(CacheKey("lib", "a")) is None
+        assert pc.store.fetch(CacheKey("lib", "b")) is not None
+
+    def test_invalidate_whole_schema(self, pc):
+        dropped = pc.invalidate("lib")
+        assert dropped >= 2
+        assert pc.store.fetch(CacheKey("lib", "b")) is None
+
+    def test_serving_after_invalidation_re_encodes(self, pc):
+        pc.invalidate("lib", "a")
+        result = pc.serve('<prompt schema="lib"><a/> go</prompt>', max_new_tokens=2)
+        assert result.cached_tokens > 0
+        assert pc.store.fetch(CacheKey("lib", "a")) is not None
+
+
+class TestRuntimeUpdate:
+    def test_update_changes_output(self, pc):
+        before = pc.serve('<prompt schema="lib"><a/> go</prompt>', max_new_tokens=5)
+        pc.update_module_text("lib", "a", "paris museums cafes louvre seine")
+        after = pc.serve('<prompt schema="lib"><a/> go</prompt>', max_new_tokens=5)
+        assert before.output_ids != after.output_ids or (
+            before.cached_tokens != after.cached_tokens
+        )
+
+    def test_update_matches_fresh_registration(self, pc, llama, tok):
+        """Updating in place must equal registering the new text from
+        scratch — greedy outputs agree."""
+        pc.update_module_text("lib", "a", "paris museums cafes louvre seine")
+        updated = pc.serve('<prompt schema="lib"><a/><b/> go</prompt>', max_new_tokens=5)
+
+        fresh = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+        fresh.register_schema(
+            '<schema name="lib"><module name="a">paris museums cafes louvre seine</module>'
+            '<module name="b">jumps over the lazy dog</module></schema>'
+        )
+        reference = fresh.serve('<prompt schema="lib"><a/><b/> go</prompt>', max_new_tokens=5)
+        assert updated.output_ids == reference.output_ids
+
+    def test_unaffected_modules_keep_states_when_layout_stable(self, pc, tok):
+        """Same token count -> b's span is unchanged -> no re-encode of b."""
+        old_text = "the quick brown fox"
+        same_length_text = "the quick brown dog"
+        assert len(tok.encode(old_text)) == len(tok.encode(same_length_text))
+        insertions = pc.store.gpu.stats.insertions
+        pc.update_module_text("lib", "a", same_length_text)
+        pc.serve('<prompt schema="lib"><a/><b/> go</prompt>', max_new_tokens=2)
+        # Exactly one new insertion: the re-encoded module a.
+        assert pc.store.gpu.stats.insertions == insertions + 1

@@ -1,0 +1,121 @@
+"""Python-to-PML compiler (paper §3.2.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pml import Param, Schema, ValidationError, prompt_function, resolve
+from repro.pml.ast import ModuleNode, UnionNode
+from repro.pml.compiler import emit
+
+
+@prompt_function
+def city_guide():
+    """Shared city guidance."""
+    emit("Cities have attractions. ")
+
+
+@prompt_function
+def travel(dest, budget, duration: Param(8)):
+    """You are a travel planner."""
+    if dest == "miami":
+        emit("Miami: beaches, nightlife.")
+    elif dest == "paris":
+        emit("Paris: museums, cafes.")
+    else:
+        emit("Somewhere nice.")
+    if budget:
+        emit("Keep the budget low.")
+    city_guide()
+    emit("Plan a trip lasting ")
+    emit(duration)
+
+
+class TestCompilation:
+    def test_if_elif_else_becomes_union(self):
+        union = next(c for c in travel.schema.root.children if isinstance(c, UnionNode))
+        assert [m.name for m in union.members] == [
+            "dest-miami", "dest-paris", "dest-otherwise",
+        ]
+
+    def test_bare_if_becomes_module(self):
+        assert "budget" in travel.schema.modules
+
+    def test_call_becomes_nested_module(self):
+        assert "city-guide" in travel.schema.modules
+
+    def test_docstring_becomes_leading_text(self):
+        pml = travel.to_pml()
+        assert "You are a travel planner." in pml
+
+    def test_param_gets_len_attribute(self):
+        pml = travel.to_pml()
+        assert '<param name="duration" len="8"/>' in pml
+
+    def test_compiled_schema_is_valid_pml(self):
+        schema = Schema.parse(travel.to_pml())
+        assert "dest-miami" in schema.modules
+
+    def test_function_name_underscores_become_hyphens(self):
+        assert city_guide.name == "city-guide"
+
+
+class TestBuildPrompt:
+    def test_selects_matching_branch(self):
+        prompt = travel.build_prompt(dest="paris", duration="3 days")
+        assert "<dest-paris/>" in prompt
+        assert "miami" not in prompt
+
+    def test_else_branch_when_nothing_matches(self):
+        prompt = travel.build_prompt(dest="tokyo")
+        assert "<dest-otherwise/>" in prompt
+
+    def test_boolean_module_included_when_true(self):
+        assert "<budget/>" in travel.build_prompt(dest="miami", budget=True)
+        assert "<budget/>" not in travel.build_prompt(dest="miami", budget=False)
+
+    def test_parameter_value_supplied(self):
+        prompt = travel.build_prompt(dest="miami", duration="3 days")
+        assert 'duration="3 days"' in prompt
+
+    def test_extra_text_escaped_and_appended(self):
+        prompt = travel.build_prompt(dest="miami", extra_text="a < b")
+        assert "a &lt; b" in prompt
+
+    def test_built_prompt_resolves_against_compiled_schema(self):
+        """The full loop: compile schema, build prompt, resolve — no
+        mismatch errors, correct selections."""
+        schema = Schema.parse(travel.to_pml())
+        prompt = travel.build_prompt(dest="paris", budget=True, duration="2 days")
+        resolved = resolve(prompt, schema)
+        assert "dest-paris" in resolved.selected_names()
+        assert "budget" in resolved.selected_names()
+        assert "duration-slot" in resolved.selected_names()
+
+    def test_calling_decorated_function_directly_fails(self):
+        with pytest.raises(RuntimeError):
+            emit("outside a prompt program")
+
+
+class TestCompilerRejections:
+    def test_loops_rejected(self):
+        with pytest.raises(ValidationError, match="For"):
+
+            @prompt_function
+            def bad():
+                for _ in range(3):
+                    emit("no loops")
+
+    def test_non_literal_emit_rejected(self):
+        with pytest.raises(ValidationError):
+
+            @prompt_function
+            def bad2(x):
+                emit(x)  # x is not Param-annotated
+
+    def test_unknown_call_rejected(self):
+        with pytest.raises(ValidationError, match="unsupported call"):
+
+            @prompt_function
+            def bad3():
+                print("hello")

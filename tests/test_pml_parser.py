@@ -1,0 +1,153 @@
+"""PML parser: schema and prompt grammars."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pml.ast import (
+    ImportNode,
+    ModuleNode,
+    ParamNode,
+    RoleNode,
+    TextNode,
+    UnionNode,
+)
+from repro.pml.errors import ParseError
+from repro.pml.parser import parse_prompt, parse_schema
+
+
+class TestSchemaGrammar:
+    def test_minimal(self):
+        schema = parse_schema('<schema name="s"></schema>')
+        assert schema.name == "s" and schema.children == []
+
+    def test_requires_name(self):
+        with pytest.raises(ParseError):
+            parse_schema("<schema></schema>")
+
+    def test_requires_schema_root(self):
+        with pytest.raises(ParseError):
+            parse_schema('<module name="m">x</module>')
+
+    def test_text_and_module_ordering(self):
+        schema = parse_schema('<schema name="s">intro<module name="m">body</module>outro</schema>')
+        kinds = [type(c).__name__ for c in schema.children]
+        assert kinds == ["TextNode", "ModuleNode", "TextNode"]
+        assert schema.children[0].text == "intro"
+
+    def test_whitespace_between_tags_dropped(self):
+        schema = parse_schema('<schema name="s">\n  <module name="m">x</module>\n</schema>')
+        assert len(schema.children) == 1
+
+    def test_nested_modules(self):
+        schema = parse_schema(
+            '<schema name="s"><module name="outer">a<module name="inner">b</module>c</module></schema>'
+        )
+        outer = schema.children[0]
+        assert isinstance(outer.children[1], ModuleNode)
+        assert outer.children[1].name == "inner"
+
+    def test_union_members(self):
+        schema = parse_schema(
+            '<schema name="s"><union><module name="a">1</module><module name="b">2</module></union></schema>'
+        )
+        union = schema.children[0]
+        assert isinstance(union, UnionNode)
+        assert [m.name for m in union.members] == ["a", "b"]
+
+    def test_union_rejects_bare_text(self):
+        with pytest.raises(ParseError):
+            parse_schema('<schema name="s"><union>loose<module name="a">1</module></union></schema>')
+
+    def test_union_rejects_non_module(self):
+        with pytest.raises(ParseError):
+            parse_schema('<schema name="s"><union><param name="p" len="1"/></union></schema>')
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema('<schema name="s"><union></union></schema>')
+
+    def test_param_attributes(self):
+        schema = parse_schema(
+            '<schema name="s"><module name="m"><param name="p" len="4" default="hi"/></module></schema>'
+        )
+        param = schema.children[0].children[0]
+        assert isinstance(param, ParamNode)
+        assert (param.name, param.length, param.default) == ("p", 4, "hi")
+
+    def test_param_len_validation(self):
+        with pytest.raises(ParseError):
+            parse_schema('<schema name="s"><module name="m"><param name="p" len="zero"/></module></schema>')
+        with pytest.raises(ParseError):
+            parse_schema('<schema name="s"><module name="m"><param name="p" len="0"/></module></schema>')
+
+    def test_param_must_self_close(self):
+        with pytest.raises(ParseError):
+            parse_schema('<schema name="s"><module name="m"><param name="p" len="1">x</param></module></schema>')
+
+    def test_role_tags(self):
+        schema = parse_schema(
+            '<schema name="s"><system>be kind</system><user>hi<module name="doc">d</module></user></schema>'
+        )
+        system, user = schema.children
+        assert isinstance(system, RoleNode) and system.role == "system"
+        assert isinstance(user.children[1], ModuleNode)
+
+    def test_scaffold_declaration(self):
+        schema = parse_schema(
+            '<schema name="s"><scaffold modules="a,b"/><module name="a">1</module><module name="b">2</module></schema>'
+        )
+        assert schema.scaffolds == [("a", "b")]
+
+    def test_scaffold_requires_two_names(self):
+        with pytest.raises(ParseError):
+            parse_schema('<schema name="s"><scaffold modules="a"/></schema>')
+
+    def test_module_cannot_shadow_reserved(self):
+        with pytest.raises(ParseError):
+            parse_schema('<schema name="s"><module name="union">x</module></schema>')
+
+    def test_mismatched_close_tag(self):
+        with pytest.raises(ParseError):
+            parse_schema('<schema name="s"><module name="m">x</union></schema>')
+
+    def test_content_after_root_rejected(self):
+        with pytest.raises(ParseError):
+            parse_schema('<schema name="s"></schema>trailing')
+
+    def test_unknown_tag_in_schema(self):
+        with pytest.raises(ParseError):
+            parse_schema('<schema name="s"><prompt schema="x"/></schema>')
+
+
+class TestPromptGrammar:
+    def test_minimal(self):
+        prompt = parse_prompt('<prompt schema="s"></prompt>')
+        assert prompt.schema == "s"
+
+    def test_requires_schema_attr(self):
+        with pytest.raises(ParseError):
+            parse_prompt("<prompt>x</prompt>")
+
+    def test_imports_and_text(self):
+        prompt = parse_prompt('<prompt schema="s"><miami/>Highlight the surf spots</prompt>')
+        imp, text = prompt.children
+        assert isinstance(imp, ImportNode) and imp.name == "miami"
+        assert isinstance(text, TextNode)
+
+    def test_import_with_args(self):
+        prompt = parse_prompt('<prompt schema="s"><trip-plan duration="3 days"/></prompt>')
+        assert prompt.children[0].args == {"duration": "3 days"}
+
+    def test_nested_imports(self):
+        prompt = parse_prompt('<prompt schema="s"><travel-plan><paris/></travel-plan></prompt>')
+        outer = prompt.children[0]
+        assert outer.children[0].name == "paris"
+
+    def test_reserved_tags_rejected_in_prompts(self):
+        with pytest.raises(ParseError):
+            parse_prompt('<prompt schema="s"><module name="m">x</module></prompt>')
+
+    def test_prompt_root_required(self):
+        with pytest.raises(ParseError):
+            parse_prompt('<schema name="s"></schema>')

@@ -1,0 +1,76 @@
+"""Prompt resolution against a schema (the §3.4 alignment check)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pml import Schema, SchemaMismatchError, resolve
+
+SCHEMA = Schema.parse('''
+<schema name="travel">
+  Intro text.
+  <module name="trip-plan">Plan <param name="duration" len="4"/> days.</module>
+  <union>
+    <module name="miami">Miami.</module>
+    <module name="paris">Paris.<module name="louvre">Louvre.</module></module>
+  </union>
+</schema>
+''')
+
+
+class TestResolve:
+    def test_selections_in_document_order(self):
+        resolved = resolve('<prompt schema="travel"><trip-plan/><miami/></prompt>', SCHEMA)
+        assert resolved.selected_names() == ["trip-plan", "miami"]
+
+    def test_arguments_captured(self):
+        resolved = resolve(
+            '<prompt schema="travel"><trip-plan duration="3 days"/></prompt>', SCHEMA
+        )
+        assert resolved.selections[0].args == {"duration": "3 days"}
+
+    def test_new_text_anchoring(self):
+        resolved = resolve(
+            '<prompt schema="travel">lead <miami/> tail</prompt>', SCHEMA
+        )
+        lead, tail = resolved.texts
+        assert lead.anchor is None
+        assert tail.anchor == "miami"
+
+    def test_nested_import(self):
+        resolved = resolve('<prompt schema="travel"><paris><louvre/></paris></prompt>', SCHEMA)
+        assert resolved.selected_names() == ["paris", "louvre"]
+
+    def test_text_inside_import_anchors_to_module(self):
+        resolved = resolve('<prompt schema="travel"><paris>note</paris></prompt>', SCHEMA)
+        assert resolved.texts[0].anchor == "paris"
+
+
+class TestMismatches:
+    def test_wrong_schema_name(self):
+        with pytest.raises(SchemaMismatchError):
+            resolve('<prompt schema="other"><miami/></prompt>', SCHEMA)
+
+    def test_unknown_module(self):
+        with pytest.raises(SchemaMismatchError, match="atlantis"):
+            resolve('<prompt schema="travel"><atlantis/></prompt>', SCHEMA)
+
+    def test_double_import(self):
+        with pytest.raises(SchemaMismatchError, match="twice"):
+            resolve('<prompt schema="travel"><miami/><miami/></prompt>', SCHEMA)
+
+    def test_union_conflict(self):
+        with pytest.raises(SchemaMismatchError, match="union"):
+            resolve('<prompt schema="travel"><miami/><paris/></prompt>', SCHEMA)
+
+    def test_nested_module_at_top_level(self):
+        with pytest.raises(SchemaMismatchError, match="louvre"):
+            resolve('<prompt schema="travel"><louvre/></prompt>', SCHEMA)
+
+    def test_parent_module_inside_wrong_parent(self):
+        with pytest.raises(SchemaMismatchError):
+            resolve('<prompt schema="travel"><trip-plan><miami/></trip-plan></prompt>', SCHEMA)
+
+    def test_undeclared_argument(self):
+        with pytest.raises(SchemaMismatchError, match="no parameter"):
+            resolve('<prompt schema="travel"><miami style="fancy"/></prompt>', SCHEMA)

@@ -1,0 +1,128 @@
+"""Schema object: validation, lookup, chat templates, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pml import (
+    LLAMA2_TEMPLATE,
+    MPT_TEMPLATE,
+    PLAIN_TEMPLATE,
+    Schema,
+    ValidationError,
+    resolve_roles,
+    template_for_architecture,
+)
+from repro.pml.ast import TextNode
+from repro.pml.parser import parse_schema
+
+TRAVEL = '''
+<schema name="travel">
+  You are a travel planner.
+  <module name="trip-plan">Plan <param name="duration" len="4"/> days.</module>
+  <union>
+    <module name="miami">Miami facts.</module>
+    <module name="paris">Paris facts.<module name="louvre">Louvre facts.</module></module>
+  </union>
+  <scaffold modules="trip-plan,miami"/>
+</schema>
+'''
+
+
+class TestSchemaValidation:
+    def test_indexes_all_modules(self):
+        schema = Schema.parse(TRAVEL)
+        assert set(schema.modules) == {"trip-plan", "miami", "paris", "louvre"}
+
+    def test_parent_links(self):
+        schema = Schema.parse(TRAVEL)
+        assert schema.parents["louvre"] == "paris"
+        assert schema.parents["miami"] is None
+        assert schema.ancestors("louvre") == ["paris"]
+
+    def test_union_membership(self):
+        schema = Schema.parse(TRAVEL)
+        assert schema.in_same_union("miami", "paris")
+        assert not schema.in_same_union("miami", "trip-plan")
+
+    def test_duplicate_module_rejected(self):
+        with pytest.raises(ValidationError):
+            Schema.parse('<schema name="s"><module name="m">a</module><module name="m">b</module></schema>')
+
+    def test_duplicate_param_rejected(self):
+        with pytest.raises(ValidationError):
+            Schema.parse(
+                '<schema name="s"><module name="m"><param name="p" len="1"/>'
+                '<param name="p" len="2"/></module></schema>'
+            )
+
+    def test_scaffold_unknown_module_rejected(self):
+        with pytest.raises(ValidationError):
+            Schema.parse('<schema name="s"><scaffold modules="a,b"/><module name="a">1</module></schema>')
+
+    def test_params_of(self):
+        schema = Schema.parse(TRAVEL)
+        params = schema.params_of("trip-plan")
+        assert list(params) == ["duration"]
+        assert params["duration"].length == 4
+
+    def test_module_lookup_error_lists_known(self):
+        schema = Schema.parse(TRAVEL)
+        with pytest.raises(KeyError, match="miami"):
+            schema.module("atlantis")
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        schema = Schema.parse(TRAVEL)
+        again = Schema.parse(schema.to_pml())
+        assert set(again.modules) == set(schema.modules)
+        assert again.scaffolds == schema.scaffolds
+        assert again.parents == schema.parents
+
+    def test_escapes_special_chars(self):
+        schema = Schema.parse('<schema name="s"><module name="m">a &lt; b &amp; c</module></schema>')
+        again = Schema.parse(schema.to_pml())
+        text = again.module("m").children[0]
+        assert text.text == "a < b & c"
+
+
+class TestChatTemplates:
+    def test_llama2_framing(self):
+        root = parse_schema('<schema name="s"><system>be kind</system></schema>')
+        resolved = resolve_roles(root, LLAMA2_TEMPLATE)
+        texts = [c.text for c in resolved.children if isinstance(c, TextNode)]
+        assert texts[0].startswith("<s>[INST] <<SYS>>")
+        assert any("be kind" in t for t in texts)
+
+    def test_mpt_chatml_framing(self):
+        root = parse_schema('<schema name="s"><user>hello</user></schema>')
+        resolved = resolve_roles(root, MPT_TEMPLATE)
+        texts = [c.text for c in resolved.children if isinstance(c, TextNode)]
+        assert texts[0] == "<|im_start|>user\n"
+
+    def test_modules_survive_role_resolution(self):
+        root = parse_schema('<schema name="s"><user><module name="doc">d</module></user></schema>')
+        resolved = resolve_roles(root, LLAMA2_TEMPLATE)
+        schema = Schema.from_node(resolved)
+        assert "doc" in schema.modules
+
+    def test_roles_inside_modules_resolved(self):
+        root = parse_schema('<schema name="s"><module name="m"><system>sys</system></module></schema>')
+        schema = Schema.from_node(resolve_roles(root, PLAIN_TEMPLATE))
+        texts = [c for c in schema.module("m").children if isinstance(c, TextNode)]
+        assert any("sys" in t.text for t in texts)
+
+    def test_template_per_architecture(self):
+        assert template_for_architecture("llama").name == "llama2"
+        assert template_for_architecture("mpt").name == "mpt"
+        assert template_for_architecture("falcon").name == "falcon"
+        assert template_for_architecture("gpt2").name == "plain"
+        assert template_for_architecture("anything-else").name == "plain"
+
+    def test_layout_rejects_unresolved_roles(self, tok):
+        from repro.cache.layout import layout_schema
+
+        schema = Schema.parse('<schema name="s"><system>sys</system></schema>', template=None)
+        with pytest.raises(ValidationError):
+            layout_schema(schema, tok)

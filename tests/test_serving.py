@@ -1,0 +1,139 @@
+"""Serving simulator: queueing behaviour, cache dynamics, trace synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.device import RTX_4090
+from repro.llm.config import paper_config
+from repro.serving import (
+    SchemaProfile,
+    SimConfig,
+    TraceRequest,
+    longbench_profiles,
+    poisson_arrivals,
+    simulate,
+    sustainable_rate,
+    synthesize_trace,
+)
+
+LLAMA7B = paper_config("llama2-7b")
+
+
+def request(i, arrival, schema="s0", cached=2000, uncached=100, decode=8):
+    return TraceRequest(
+        request_id=i, arrival_s=arrival, schema=schema,
+        cached_tokens=cached, uncached_tokens=uncached, decode_tokens=decode,
+    )
+
+
+def config(mode, capacity=None):
+    return SimConfig(
+        model=LLAMA7B, device=RTX_4090, mode=mode, gpu_capacity_bytes=capacity
+    )
+
+
+class TestTraces:
+    def test_poisson_rate_roughly_matches(self):
+        rng = np.random.default_rng(0)
+        times = poisson_arrivals(5.0, 200.0, rng)
+        assert 800 < len(times) < 1200
+        assert all(t < 200.0 for t in times)
+        assert times == sorted(times)
+
+    def test_trace_deterministic(self):
+        profiles = longbench_profiles()
+        a = synthesize_trace(profiles, 1.0, 60, seed=3)
+        b = synthesize_trace(profiles, 1.0, 60, seed=3)
+        assert a == b
+
+    def test_popularity_skew(self):
+        profiles = longbench_profiles(n_schemas=4)
+        trace = synthesize_trace(profiles, 20.0, 100, seed=0)
+        counts = {p.name: 0 for p in profiles}
+        for r in trace:
+            counts[r.schema] += 1
+        assert counts["schema0"] > counts["schema3"]
+
+    def test_profiles_shape(self):
+        profiles = longbench_profiles(n_schemas=8, context_tokens=4000)
+        assert len(profiles) == 8
+        assert all(p.module_tokens == 4000 for p in profiles)
+
+
+class TestSimulator:
+    def test_fcfs_no_overlap(self):
+        trace = [request(i, 0.1 * i) for i in range(5)]
+        report = simulate(trace, config("baseline"))
+        outcomes = sorted(report.outcomes, key=lambda o: o.start_s)
+        for a, b in zip(outcomes, outcomes[1:]):
+            assert b.start_s >= a.finish_s - 1e-9
+
+    def test_idle_server_starts_immediately(self):
+        trace = [request(0, 5.0)]
+        report = simulate(trace, config("baseline"))
+        assert report.outcomes[0].start_s == pytest.approx(5.0)
+        assert report.outcomes[0].queue_wait_s == pytest.approx(0.0)
+
+    def test_prompt_cache_faster_after_warmup(self):
+        # Same schema hit repeatedly: first request encodes, rest splice.
+        trace = [request(i, float(i) * 100) for i in range(4)]  # no queueing
+        base = simulate(trace, config("baseline"))
+        cached = simulate(trace, config("prompt-cache"))
+        assert cached.encode_events == 1
+        # Warm requests beat the baseline by a wide margin.
+        warm_cached = cached.outcomes[-1].ttft_s
+        warm_base = base.outcomes[-1].ttft_s
+        assert warm_base > 4 * warm_cached
+
+    def test_cold_start_pays_encode(self):
+        trace = [request(0, 0.0)]
+        report = simulate(trace, config("prompt-cache"))
+        assert report.encode_events == 1
+        # encode (full module prefill) + suffix: at least the baseline cost.
+        base = simulate(trace, config("baseline"))
+        assert report.outcomes[0].ttft_s >= base.outcomes[0].ttft_s
+
+    def test_eviction_causes_h2d_fetches(self):
+        # Two schemas, capacity for one module: they keep evicting each
+        # other into host memory; re-fetches pay the h2d path.
+        kv_bytes_one = LLAMA7B.kv_bytes_per_token() * 2100
+        trace = []
+        for i in range(6):
+            trace.append(request(i, float(i) * 50, schema=f"s{i % 2}"))
+        report = simulate(trace, config("prompt-cache", capacity=int(1.5 * kv_bytes_one)))
+        assert report.encode_events == 2  # each schema encoded once
+        assert report.h2d_fetches >= 3  # later hits come from host memory
+
+    def test_unlimited_capacity_no_h2d(self):
+        trace = [request(i, float(i) * 50, schema=f"s{i % 2}") for i in range(6)]
+        report = simulate(trace, config("prompt-cache"))
+        assert report.h2d_fetches == 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(model=LLAMA7B, device=RTX_4090, mode="magic")
+
+    def test_report_metrics(self):
+        trace = [request(i, 0.5 * i) for i in range(10)]
+        report = simulate(trace, config("prompt-cache"))
+        assert 0 < report.throughput_rps
+        assert 0 < report.utilization <= 1.0
+        assert report.ttft_percentile(50) <= report.ttft_percentile(95)
+
+
+class TestSustainableRate:
+    def test_prompt_cache_sustains_higher_load(self):
+        profiles = [
+            SchemaProfile("hot", module_tokens=3000, uncached_mean=80,
+                          decode_mean=8, weight=1.0)
+        ]
+        rates = [0.2, 0.4, 0.8, 1.6]
+        base = sustainable_rate(
+            profiles, config("baseline"), rates=rates, duration_s=60, ttft_slo_s=3.0
+        )
+        cached = sustainable_rate(
+            profiles, config("prompt-cache"), rates=rates, duration_s=60, ttft_slo_s=3.0
+        )
+        assert cached > base

@@ -1,0 +1,226 @@
+"""Two-tier module store: capacity, eviction policies, statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.storage import (
+    CacheKey,
+    CacheTier,
+    ModuleCacheStore,
+    POLICIES,
+    SOLO_VARIANT,
+)
+from repro.hw.allocator import CapacityError
+from repro.llm.kv import ModuleKV
+
+RNG = np.random.default_rng(13)
+
+
+def make_kv(tokens: int) -> ModuleKV:
+    shape = (2, tokens, 4)
+    return ModuleKV(
+        keys=[RNG.normal(size=shape).astype(np.float32)],
+        values=[RNG.normal(size=shape).astype(np.float32)],
+        positions=np.arange(tokens),
+    )
+
+
+def key(name: str, variant: str = SOLO_VARIANT) -> CacheKey:
+    return CacheKey(schema="s", module=name, variant=variant)
+
+
+KV_BYTES = make_kv(10).nbytes()  # all 10-token entries are the same size
+
+
+class TestCacheTier:
+    def test_put_get_round_trip(self):
+        tier = CacheTier("gpu")
+        tier.put(key("a"), make_kv(5))
+        entry = tier.get(key("a"))
+        assert entry is not None and len(entry.kv) == 5
+
+    def test_miss_returns_none_and_counts(self):
+        tier = CacheTier("gpu")
+        assert tier.get(key("ghost")) is None
+        assert tier.stats.misses == 1
+
+    def test_hit_rate(self):
+        tier = CacheTier("gpu")
+        tier.put(key("a"), make_kv(3))
+        tier.get(key("a"))
+        tier.get(key("b"))
+        assert tier.stats.hit_rate == 0.5
+
+    def test_reinsert_replaces(self):
+        tier = CacheTier("gpu")
+        tier.put(key("a"), make_kv(3))
+        tier.put(key("a"), make_kv(7))
+        assert len(tier.get(key("a")).kv) == 7
+        assert len(tier.keys()) == 1
+
+    def test_capacity_enforced_by_eviction(self):
+        tier = CacheTier("gpu", capacity_bytes=2 * KV_BYTES + 10)
+        tier.put(key("a"), make_kv(10))
+        tier.put(key("b"), make_kv(10))
+        tier.put(key("c"), make_kv(10))  # must evict one
+        assert tier.used_bytes <= tier.accountant.capacity_bytes
+        assert tier.stats.evictions == 1
+
+    def test_oversized_entry_rejected(self):
+        tier = CacheTier("gpu", capacity_bytes=10)
+        with pytest.raises(CapacityError):
+            tier.put(key("big"), make_kv(100))
+
+    def test_pinned_entries_survive(self):
+        tier = CacheTier("gpu", capacity_bytes=2 * KV_BYTES + 10)
+        tier.put(key("pin"), make_kv(10), pinned=True)
+        tier.put(key("b"), make_kv(10))
+        tier.put(key("c"), make_kv(10))
+        assert key("pin") in tier
+
+    def test_all_pinned_raises(self):
+        tier = CacheTier("gpu", capacity_bytes=KV_BYTES + 10)
+        tier.put(key("pin"), make_kv(10), pinned=True)
+        with pytest.raises(CapacityError):
+            tier.put(key("b"), make_kv(10))
+
+    def test_variants_are_distinct_keys(self):
+        tier = CacheTier("gpu")
+        tier.put(key("a"), make_kv(3))
+        tier.put(key("a", "scaffold0"), make_kv(4))
+        assert len(tier.keys()) == 2
+
+
+class TestEvictionPolicies:
+    def fill(self, policy: str) -> CacheTier:
+        tier = CacheTier("gpu", capacity_bytes=3 * KV_BYTES + 10, policy=policy)
+        for name in ("a", "b", "c"):
+            tier.put(key(name), make_kv(10))
+        return tier
+
+    def test_lru_evicts_least_recently_used(self):
+        tier = self.fill("lru")
+        tier.get(key("a"))
+        tier.get(key("c"))
+        tier.put(key("d"), make_kv(10))  # b is LRU
+        assert key("b") not in tier and key("a") in tier
+
+    def test_lfu_evicts_least_frequently_used(self):
+        tier = self.fill("lfu")
+        for _ in range(3):
+            tier.get(key("a"))
+        for _ in range(2):
+            tier.get(key("b"))
+        tier.get(key("c"))
+        tier.put(key("d"), make_kv(10))
+        assert key("c") not in tier
+
+    def test_fifo_evicts_oldest_insertion(self):
+        tier = self.fill("fifo")
+        tier.get(key("a"))  # recency must not matter
+        tier.put(key("d"), make_kv(10))
+        assert key("a") not in tier
+
+    def test_size_aware_evicts_largest(self):
+        tier = CacheTier("gpu", capacity_bytes=make_kv(30).nbytes() + 2 * KV_BYTES + 10, policy="size")
+        tier.put(key("small1"), make_kv(10))
+        tier.put(key("huge"), make_kv(30))
+        tier.put(key("small2"), make_kv(10))
+        tier.put(key("newcomer"), make_kv(10))
+        assert key("huge") not in tier
+
+    def test_policy_registry(self):
+        assert set(POLICIES) == {"lru", "lfu", "fifo", "size"}
+
+
+class TestModuleCacheStore:
+    def test_fetch_prefers_gpu(self):
+        store = ModuleCacheStore()
+        store.put(key("a"), make_kv(3), tier="cpu")
+        store.put(key("a"), make_kv(3), tier="gpu")
+        assert store.fetch(key("a")).tier == "gpu"
+
+    def test_fetch_falls_back_to_cpu(self):
+        store = ModuleCacheStore()
+        store.put(key("a"), make_kv(3), tier="cpu")
+        result = store.fetch(key("a"))
+        assert result is not None and result.tier == "cpu"
+
+    def test_gpu_overflow_spills_to_cpu(self):
+        store = ModuleCacheStore(gpu_capacity_bytes=10)
+        store.put(key("big"), make_kv(50), tier="gpu")
+        assert key("big") in store.cpu
+
+    def test_miss_returns_none(self):
+        assert ModuleCacheStore().fetch(key("ghost")) is None
+
+    def test_total_bytes(self):
+        store = ModuleCacheStore()
+        store.put(key("a"), make_kv(10), tier="gpu")
+        store.put(key("b"), make_kv(10), tier="cpu")
+        assert store.total_bytes() == 2 * KV_BYTES
+
+    def test_unknown_tier(self):
+        with pytest.raises(KeyError):
+            ModuleCacheStore().tier("tpu")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("abcdef"), st.integers(min_value=1, max_value=20)),
+        min_size=1,
+        max_size=25,
+    ),
+    st.sampled_from(["lru", "lfu", "fifo", "size"]),
+)
+def test_capacity_never_exceeded_property(operations, policy):
+    """Whatever the access pattern and policy, used bytes stay in budget."""
+    tier = CacheTier("gpu", capacity_bytes=5 * KV_BYTES, policy=policy)
+    for name, tokens in operations:
+        try:
+            tier.put(key(name), make_kv(tokens))
+        except CapacityError:
+            pass  # single oversized entry: allowed to refuse
+        assert tier.used_bytes <= tier.accountant.capacity_bytes
+
+
+class TestDemotionAndPrefetch:
+    def test_gpu_eviction_demotes_to_cpu(self):
+        store = ModuleCacheStore(gpu_capacity_bytes=2 * KV_BYTES + 10)
+        store.put(key("a"), make_kv(10))
+        store.put(key("b"), make_kv(10))
+        store.put(key("c"), make_kv(10))  # evicts one into the CPU tier
+        assert store.gpu.stats.evictions == 1
+        assert len(store.cpu.keys()) == 1
+        evicted = store.cpu.keys()[0]
+        assert store.fetch(evicted).tier == "cpu"
+
+    def test_demotion_can_be_disabled(self):
+        store = ModuleCacheStore(
+            gpu_capacity_bytes=2 * KV_BYTES + 10, demote_on_evict=False
+        )
+        for name in ("a", "b", "c"):
+            store.put(key(name), make_kv(10))
+        assert len(store.cpu.keys()) == 0
+
+    def test_prefetch_promotes_from_cpu(self):
+        store = ModuleCacheStore()
+        store.put(key("cold"), make_kv(5), tier="cpu")
+        assert store.fetch(key("cold")).tier == "cpu"
+        assert store.prefetch([key("cold")]) == 1
+        assert store.fetch(key("cold")).tier == "gpu"
+
+    def test_prefetch_skips_resident_and_missing(self):
+        store = ModuleCacheStore()
+        store.put(key("hot"), make_kv(5), tier="gpu")
+        assert store.prefetch([key("hot"), key("ghost")]) == 0
+
+    def test_prefetch_respects_capacity(self):
+        store = ModuleCacheStore(gpu_capacity_bytes=KV_BYTES + 10)
+        store.gpu.put(key("pinned"), make_kv(10), pinned=True)
+        store.put(key("cold"), make_kv(10), tier="cpu")
+        assert store.prefetch([key("cold")]) == 0

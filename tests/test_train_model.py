@@ -1,0 +1,165 @@
+"""Training substrate: forward equivalence, optimizer, tasks, learning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.corpus import SyntheticCorpus
+from repro.llm import build_model, tiny_config
+from repro.llm.weights import init_params
+from repro.train import (
+    Adam,
+    TrainConfig,
+    TrainableModel,
+    cosine_schedule,
+    cross_entropy_logits,
+    make_batch,
+    train_model,
+)
+from repro.train.tasks import copy_example, qa_example, summarization_example
+from tests.conftest import ARCHITECTURES
+
+
+class TestForwardEquivalence:
+    @pytest.mark.parametrize("arch", ARCHITECTURES)
+    def test_matches_inference_engine(self, arch):
+        """Trained weights must drop into the engine unchanged: the two
+        forwards agree to float tolerance on every architecture."""
+        cfg = tiny_config(arch, vocab_size=300)
+        params = init_params(cfg, seed=5)
+        inference = build_model(cfg, seed=5)
+        trainable = TrainableModel(cfg, params)
+        ids = np.array([7, 40, 3, 250, 11])
+        expected = inference.forward(ids, np.arange(5), inference.new_cache())
+        actual = trainable.forward(ids[None, :]).data[0]
+        np.testing.assert_allclose(actual, expected, atol=5e-4)
+
+    def test_batched_rows_independent(self):
+        cfg = tiny_config("llama", vocab_size=300)
+        trainable = TrainableModel(cfg, init_params(cfg, seed=0))
+        a = np.array([5, 6, 7, 8])
+        b = np.array([9, 10, 11, 12])
+        batched = trainable.forward(np.stack([a, b])).data
+        solo = trainable.forward(a[None, :]).data[0]
+        np.testing.assert_allclose(batched[0], solo, atol=1e-5)
+
+    def test_export_params_copies(self):
+        cfg = tiny_config("llama", vocab_size=300)
+        trainable = TrainableModel(cfg, init_params(cfg, seed=0))
+        exported = trainable.export_params()
+        exported["embed.weight"][:] = 0
+        assert trainable.params["embed.weight"].data.any()
+
+
+class TestOptimizer:
+    def quad_setup(self):
+        x = TrainableModel.__new__(TrainableModel)  # not needed; use raw tensors
+        from repro.train.autograd import Tensor
+
+        param = Tensor(np.array([5.0, -3.0], dtype=np.float32), requires_grad=True)
+        return param
+
+    def test_adam_minimizes_quadratic(self):
+        from repro.train.autograd import Tensor
+
+        param = Tensor(np.array([5.0, -3.0], dtype=np.float32), requires_grad=True)
+        opt = Adam({"p": param}, lr=0.2, clip_norm=None)
+        for _ in range(150):
+            loss = (param * param).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.abs(param.data).max() < 0.05
+
+    def test_gradient_clipping_bounds_update(self):
+        from repro.train.autograd import Tensor
+
+        param = Tensor(np.array([1000.0], dtype=np.float32), requires_grad=True)
+        opt = Adam({"p": param}, lr=0.1, clip_norm=1.0)
+        loss = (param * param).sum()
+        opt.zero_grad()
+        loss.backward()
+        assert opt.global_grad_norm() > 1.0
+        opt.step()  # must not explode
+
+    def test_cosine_schedule_shape(self):
+        base = 1e-3
+        warm = cosine_schedule(0, 100, base, warmup=10)
+        peak = cosine_schedule(10, 100, base, warmup=10)
+        end = cosine_schedule(99, 100, base, warmup=10)
+        assert warm < peak
+        assert peak == pytest.approx(base, rel=0.01)
+        assert end < 0.2 * base
+
+
+class TestTasks:
+    def setup_method(self):
+        from repro.tokenizer.bpe import train_bpe
+        from repro.datasets.corpus import training_corpus
+
+        self.tok = train_bpe(training_corpus(), vocab_size=900)
+        self.corpus = SyntheticCorpus(seed=3)
+        self.rng = np.random.default_rng(0)
+
+    def test_qa_example_spans_cover_answers(self):
+        ids, spans = qa_example(self.corpus, self.rng, self.tok, 40)
+        assert 3 <= len(spans) <= 5  # one per fact (3-5 facts per doc)
+        for start, stop in spans:
+            decoded = self.tok.decode(ids[start:stop])
+            assert decoded.strip().rstrip(".").strip()  # a value word
+
+    def test_qa_answer_matches_completion(self):
+        ids, spans = qa_example(self.corpus, self.rng, self.tok, 40)
+        text = self.tok.decode(ids)
+        # Every "answer by completing : X has Y" is followed by the value
+        # that "X has Y" carries in the document.
+        assert "answer by completing :" in text
+
+    def test_summarization_single_span(self):
+        ids, spans = summarization_example(self.corpus, self.rng, self.tok, 40)
+        assert len(spans) == 1
+        start, stop = spans[0]
+        assert stop == len(ids)
+
+    def test_copy_example_repeats(self):
+        ids, spans = copy_example(self.rng, self.tok, length=12)
+        assert ids[:12] == ids[12:]
+        assert spans == [(12, 24)]
+
+    def test_batch_shapes_and_padding(self):
+        batch = make_batch(self.corpus, self.rng, self.tok, batch_size=4)
+        assert batch.tokens.shape == batch.targets.shape == batch.weights.shape
+        assert batch.tokens.shape[0] == 4
+        # Padded tail positions carry zero weight.
+        row_lengths = (batch.tokens != self.tok.pad_id).sum(axis=1)
+        for row, length in enumerate(row_lengths):
+            assert np.all(batch.weights[row, length:] == 0)
+
+    def test_supervised_targets_are_answers(self):
+        batch = make_batch(
+            self.corpus, self.rng, self.tok, batch_size=2,
+            copy_fraction=0.0, summarization_fraction=0.0,
+        )
+        hot = batch.weights == 1.0
+        assert hot.any()
+        # Supervised targets never include the pad token.
+        assert not np.any(batch.targets[hot] == self.tok.pad_id)
+
+
+class TestLearning:
+    def test_short_training_reduces_loss(self):
+        """30 steps of the real trainer must cut the loss materially (the
+        full 1000-step run is exercised by the Table 1 benchmark)."""
+        from repro.tokenizer.bpe import train_bpe
+        from repro.datasets.corpus import training_corpus
+
+        tok = train_bpe(training_corpus(), vocab_size=900)
+        cfg = tiny_config("llama", vocab_size=tok.vocab_size)
+        _, report = train_model(
+            cfg, tok,
+            TrainConfig(steps=60, batch_size=8, doc_words=20, log_every=1000),
+            verbose=False,
+        )
+        assert report.losses[-1] < 0.9 * report.losses[0]
+        assert report.seconds > 0
