@@ -30,7 +30,7 @@ from repro.llm.generation import GenerationResult, decode_loop, generate
 from repro.llm.kv import KVCache, LayerKV, ModuleKV, buffered_concat
 from repro.llm.models import TransformerModel
 from repro.pml.chat import ChatTemplate, template_for_architecture
-from repro.pml.errors import SchemaMismatchError
+from repro.pml.errors import SchemaMismatchError, UnknownSchemaError
 from repro.pml.parser import parse_prompt
 from repro.pml.prompt import ResolvedPrompt, resolve
 from repro.pml.schema import Schema
@@ -128,6 +128,7 @@ class PromptCache:
         template: ChatTemplate | None = None,
         default_tier: str = "gpu",
         kv_codec=None,
+        promote_on_cpu_hit: bool = False,
     ) -> None:
         from repro.cache.compress import IdentityCodec, codec as codec_by_name
 
@@ -136,6 +137,10 @@ class PromptCache:
         self.store = store or ModuleCacheStore()
         self.template = template or template_for_architecture(model.config.architecture)
         self.default_tier = default_tier
+        # Promote modules served from host memory back into the GPU tier
+        # (the simulator's fetch path and the paper's §3.2.3 prefetch);
+        # keeps hot modules on the fast route when the GPU tier is bounded.
+        self.promote_on_cpu_hit = promote_on_cpu_hit
         if kv_codec is None:
             self.kv_codec = IdentityCodec()
         elif isinstance(kv_codec, str):
@@ -196,6 +201,8 @@ class PromptCache:
         key = CacheKey(registered.layout.schema_name, name, variant)
         found = self.store.fetch(key)
         if found is not None:
+            if found.tier == "cpu" and self.promote_on_cpu_hit:
+                self.store.prefetch([key])
             return self.kv_codec.decode(found.entry.kv), found.tier
         if variant == SOLO_VARIANT:
             kv = encode_module(self.model, registered.layout.module(name))
@@ -228,7 +235,7 @@ class PromptCache:
     ) -> ServeResult:
         """Cached inference for a PML prompt (paper Fig 2, §3.4)."""
         resolved = self._resolve(prompt)
-        registered = self.schemas[resolved.schema.name]
+        registered = self._registered(resolved.schema.name)
         plan = self._plan(resolved, registered)
 
         # Stage 1: splice cached module states together (the memcpy phase).
@@ -292,7 +299,7 @@ class PromptCache:
         plans = []
         for prompt in prompts:
             resolved = self._resolve(prompt)
-            registered = self.schemas[resolved.schema.name]
+            registered = self._registered(resolved.schema.name)
             plan = self._plan(resolved, registered)
             group_key = (
                 resolved.schema.name,
@@ -376,7 +383,7 @@ class PromptCache:
         lazily if their positions shifted (same token count -> no shift ->
         their cached states stay valid and are kept).
         """
-        registered = self.schemas[schema_name]
+        registered = self._registered(schema_name)
         old_layout = registered.layout
         module = registered.schema.module(module_name)
         from repro.pml.ast import TextNode
@@ -423,7 +430,7 @@ class PromptCache:
         """KV-cache baseline over the *same* token content as :meth:`serve`
         (modules inlined, arguments substituted), positions ``0..n-1``."""
         resolved = self._resolve(prompt)
-        registered = self.schemas[resolved.schema.name]
+        registered = self._registered(resolved.schema.name)
         plan = self._plan(resolved, registered)
         sequence: list[int] = []
         for _, chunk in sorted(plan.baseline_chunks, key=lambda c: c[0]):
@@ -440,7 +447,7 @@ class PromptCache:
         """(cached, uncached) token counts for a prompt — what the latency
         benches feed the analytical device model."""
         resolved = self._resolve(prompt)
-        registered = self.schemas[resolved.schema.name]
+        registered = self._registered(resolved.schema.name)
         plan = self._plan(resolved, registered)
         uncached = sum(len(t) for t, _ in plan.uncached)
         cached = sum(
@@ -454,12 +461,14 @@ class PromptCache:
 
     def _resolve(self, prompt: str) -> ResolvedPrompt:
         node = parse_prompt(prompt)
-        if node.schema not in self.schemas:
-            raise SchemaMismatchError(
-                f"schema {node.schema!r} is not registered; "
-                f"known: {sorted(self.schemas)}"
-            )
-        return resolve(node, self.schemas[node.schema].schema)
+        return resolve(node, self._registered(node.schema).schema)
+
+    def _registered(self, schema_name: str) -> RegisteredSchema:
+        """Look up a registered schema, raising the typed error on miss."""
+        try:
+            return self.schemas[schema_name]
+        except KeyError:
+            raise UnknownSchemaError(schema_name, list(self.schemas)) from None
 
     def _plan(self, resolved: ResolvedPrompt, registered: RegisteredSchema) -> _Plan:
         layout = registered.layout

@@ -51,7 +51,7 @@ class GenerationSession:
     def __init__(self, pc: PromptCache, prompt: str) -> None:
         self.pc = pc
         resolved = pc._resolve(prompt)
-        registered = pc.schemas[resolved.schema.name]
+        registered = pc._registered(resolved.schema.name)
         plan = pc._plan(resolved, registered)
         self._cache, _, self._cached_tokens = pc._assemble(
             registered, plan, use_scaffolds=True

@@ -13,6 +13,7 @@ module's independent encoding from its scaffolded encodings.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 
 from repro.hw.allocator import CapacityError, MemoryAccountant
@@ -113,6 +114,7 @@ class CacheTier:
         name: str,
         capacity_bytes: int | None = None,
         policy: EvictionPolicy | str = "lru",
+        lock: threading.RLock | None = None,
     ) -> None:
         self.name = name
         self.accountant = MemoryAccountant(capacity_bytes=capacity_bytes)
@@ -120,66 +122,93 @@ class CacheTier:
         self.entries: dict[CacheKey, CacheEntry] = {}
         self.stats = TierStats()
         self._clock = itertools.count()
+        # Re-entrant so an ``on_evict`` callback may call back into the
+        # tier (or a sibling sharing the lock) from inside ``put``. The
+        # store passes one shared lock to both tiers, making every
+        # cross-tier sequence (demotion, spill, prefetch) atomic.
+        self._lock = lock or threading.RLock()
         # Called with each evicted entry (the store uses it to demote GPU
         # victims into host memory instead of dropping them).
         self.on_evict = None
+        self._evict_listeners: list = []
+
+    def add_evict_listener(self, fn) -> None:
+        """Register an observer called with each evicted entry, *after*
+        ``on_evict`` (so demotion has already happened). Listeners run
+        under the tier lock; they may call back into the store but must
+        not block."""
+        self._evict_listeners.append(fn)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self.entries
+        with self._lock:
+            return key in self.entries
 
     def get(self, key: CacheKey) -> CacheEntry | None:
-        entry = self.entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        entry.last_used_at = next(self._clock)
-        entry.use_count += 1
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self.entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            entry.last_used_at = next(self._clock)
+            entry.use_count += 1
+            self.stats.hits += 1
+            return entry
+
+    def peek(self, key: CacheKey) -> CacheEntry | None:
+        """Look up without touching hit/miss statistics or recency."""
+        with self._lock:
+            return self.entries.get(key)
 
     def put(self, key: CacheKey, kv: ModuleKV, pinned: bool = False) -> CacheEntry:
         """Insert, evicting until the entry fits. Raises
         :class:`CapacityError` if it can never fit (entry > capacity or all
         remaining entries pinned)."""
-        if key in self.entries:
-            self.remove(key)
-        nbytes = kv.nbytes()
-        capacity = self.accountant.capacity_bytes
-        if capacity is not None and nbytes > capacity:
-            raise CapacityError(
-                f"module {key.tag()} ({nbytes} B) exceeds tier {self.name!r} "
-                f"capacity ({capacity} B)"
+        with self._lock:
+            if key in self.entries:
+                self.remove(key)
+            nbytes = kv.nbytes()
+            capacity = self.accountant.capacity_bytes
+            if capacity is not None and nbytes > capacity:
+                raise CapacityError(
+                    f"module {key.tag()} ({nbytes} B) exceeds tier {self.name!r} "
+                    f"capacity ({capacity} B)"
+                )
+            while not self.accountant.would_fit(nbytes):
+                self._evict_one()
+            self.accountant.allocate(key.tag(), nbytes)
+            now = next(self._clock)
+            entry = CacheEntry(
+                key=key, kv=kv, nbytes=nbytes, pinned=pinned,
+                inserted_at=now, last_used_at=now,
             )
-        while not self.accountant.would_fit(nbytes):
-            self._evict_one()
-        self.accountant.allocate(key.tag(), nbytes)
-        now = next(self._clock)
-        entry = CacheEntry(
-            key=key, kv=kv, nbytes=nbytes, pinned=pinned,
-            inserted_at=now, last_used_at=now,
-        )
-        self.entries[key] = entry
-        self.stats.insertions += 1
-        return entry
+            self.entries[key] = entry
+            self.stats.insertions += 1
+            return entry
 
     def remove(self, key: CacheKey) -> None:
-        self.entries.pop(key)
-        self.accountant.release(key.tag())
+        with self._lock:
+            self.entries.pop(key)
+            self.accountant.release(key.tag())
 
     def _evict_one(self) -> None:
-        victim = self.policy.victim(list(self.entries.values()))
-        self.remove(victim.key)
-        self.stats.evictions += 1
-        self.stats.bytes_evicted += victim.nbytes
-        if self.on_evict is not None:
-            self.on_evict(victim)
+        with self._lock:
+            victim = self.policy.victim(list(self.entries.values()))
+            self.remove(victim.key)
+            self.stats.evictions += 1
+            self.stats.bytes_evicted += victim.nbytes
+            if self.on_evict is not None:
+                self.on_evict(victim)
+            for listener in self._evict_listeners:
+                listener(victim)
 
     @property
     def used_bytes(self) -> int:
-        return self.accountant.used_bytes
+        with self._lock:
+            return self.accountant.used_bytes
 
     def keys(self) -> list[CacheKey]:
-        return list(self.entries)
+        with self._lock:
+            return list(self.entries)
 
 
 @dataclass
@@ -203,8 +232,14 @@ class ModuleCacheStore:
         policy: str = "lru",
         demote_on_evict: bool = True,
     ) -> None:
-        self.gpu = CacheTier("gpu", gpu_capacity_bytes, policy)
-        self.cpu = CacheTier("cpu", cpu_capacity_bytes, policy)
+        # One re-entrant lock shared by both tiers: the serving runtime
+        # hits the store from worker threads while the event loop reads
+        # statistics, and GPU eviction re-enters the CPU tier (demotion).
+        # A single lock makes those sequences atomic with no ordering
+        # hazards between tiers.
+        self._lock = threading.RLock()
+        self.gpu = CacheTier("gpu", gpu_capacity_bytes, policy, lock=self._lock)
+        self.cpu = CacheTier("cpu", cpu_capacity_bytes, policy, lock=self._lock)
         if demote_on_evict:
             # GPU victims fall back to abundant host DRAM (paper §4.1);
             # later fetches pay the host-to-device copy instead of a
@@ -232,13 +267,14 @@ class ModuleCacheStore:
             raise
 
     def fetch(self, key: CacheKey) -> FetchResult | None:
-        entry = self.gpu.get(key)
-        if entry is not None:
-            return FetchResult(entry=entry, tier="gpu")
-        entry = self.cpu.get(key)
-        if entry is not None:
-            return FetchResult(entry=entry, tier="cpu")
-        return None
+        with self._lock:
+            entry = self.gpu.get(key)
+            if entry is not None:
+                return FetchResult(entry=entry, tier="gpu")
+            entry = self.cpu.get(key)
+            if entry is not None:
+                return FetchResult(entry=entry, tier="cpu")
+            return None
 
     def __contains__(self, key: CacheKey) -> bool:
         return key in self.gpu or key in self.cpu
@@ -253,15 +289,16 @@ class ModuleCacheStore:
         skipped, and promotion stops silently when the GPU tier is full of
         pinned entries."""
         promoted = 0
-        for key in keys:
-            if key in self.gpu:
-                continue
-            entry = self.cpu.entries.get(key)
-            if entry is None:
-                continue
-            try:
-                self.gpu.put(key, entry.kv, pinned=entry.pinned)
-            except CapacityError:
-                break
-            promoted += 1
+        with self._lock:
+            for key in keys:
+                if key in self.gpu:
+                    continue
+                entry = self.cpu.peek(key)
+                if entry is None:
+                    continue
+                try:
+                    self.gpu.put(key, entry.kv, pinned=entry.pinned)
+                except CapacityError:
+                    break
+                promoted += 1
         return promoted

@@ -4,6 +4,8 @@ Commands
 --------
 inspect    parse a schema file, print its position layout and lint report
 serve      serve a PML prompt against a schema with a seeded engine
+serve-live run the async serving runtime under a seeded open-loop trace
+loadgen    synthesize a serving trace and print its shape
 tokenize   show how the shared tokenizer splits a text
 ttft       modeled TTFT for a paper-shape model on a paper device
 datasets   list the synthetic evaluation suite
@@ -15,6 +17,16 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+
+
+def _positive(kind):
+    def parse(text: str):
+        value = kind(text)
+        if value <= 0:
+            raise argparse.ArgumentTypeError(f"must be > 0, got {text!r}")
+        return value
+
+    return parse
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -37,6 +49,47 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--compare", action="store_true", help="also run the baseline")
 
+    live = sub.add_parser(
+        "serve-live",
+        help="drive the real engine through the async serving runtime",
+    )
+    live.add_argument("--arch", default="llama", choices=["llama", "falcon", "mpt", "gpt2"])
+    live.add_argument("--size", default="tiny", choices=["tiny", "small"])
+    live.add_argument("--schemas", type=_positive(int), default=3,
+                      help="schema pool size")
+    live.add_argument("--module-tokens", type=_positive(int), default=48)
+    live.add_argument("--uncached-tokens", type=_positive(int), default=10)
+    live.add_argument("--decode-tokens", type=_positive(int), default=4)
+    live.add_argument("--rate", type=_positive(float), default=40.0,
+                      help="arrival rate (req/s)")
+    live.add_argument("--duration", type=_positive(float), default=2.0,
+                      help="trace length (s)")
+    live.add_argument("--seed", type=int, default=0)
+    live.add_argument("--max-queue", type=int, default=32)
+    live.add_argument("--delay-budget", type=float, default=1.0,
+                      help="admission queue-delay budget (s)")
+    live.add_argument("--max-batch", type=int, default=4)
+    live.add_argument("--batch-wait", type=float, default=0.01,
+                      help="batcher max-wait (s)")
+    live.add_argument("--deadline", type=float, default=None,
+                      help="per-request deadline (s)")
+    live.add_argument("--gpu-capacity-kb", type=int, default=None,
+                      help="module-store GPU tier budget (forces evictions)")
+    live.add_argument("--format", default="summary",
+                      choices=["summary", "prom", "json"],
+                      help="metrics output format")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="synthesize a seeded serving trace and print its shape"
+    )
+    loadgen.add_argument("--schemas", type=_positive(int), default=4)
+    loadgen.add_argument("--module-tokens", type=_positive(int), default=5000)
+    loadgen.add_argument("--rate", type=_positive(float), default=1.0)
+    loadgen.add_argument("--duration", type=_positive(float), default=60.0)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--jsonl", action="store_true",
+                         help="emit the trace as JSON lines instead of a summary")
+
     tokenize = sub.add_parser("tokenize", help="tokenize text with the shared BPE")
     tokenize.add_argument("text")
 
@@ -57,6 +110,8 @@ def main(argv: list[str] | None = None) -> int:
     return {
         "inspect": _cmd_inspect,
         "serve": _cmd_serve,
+        "serve-live": _cmd_serve_live,
+        "loadgen": _cmd_loadgen,
         "tokenize": _cmd_tokenize,
         "ttft": _cmd_ttft,
         "datasets": _cmd_datasets,
@@ -116,6 +171,121 @@ def _cmd_serve(args) -> int:
         baseline = pc.baseline(prompt, max_new_tokens=args.max_new_tokens)
         print(f"baseline TTFT {1000 * baseline.ttft_s:.1f} ms "
               f"({baseline.ttft_s / result.ttft_s:.1f}x slower)")
+    return 0
+
+
+def _cmd_serve_live(args) -> int:
+    import asyncio
+
+    from repro.cache.engine import PromptCache
+    from repro.cache.storage import ModuleCacheStore
+    from repro.llm import build_model, small_config, tiny_config
+    from repro.pml.chat import PLAIN_TEMPLATE
+    from repro.serving.traces import SchemaProfile, synthesize_trace
+    from repro.server import LiveServer, ServeOptions, build_workload, run_open_loop
+    from repro.tokenizer import default_tokenizer
+
+    tok = default_tokenizer()
+    make = tiny_config if args.size == "tiny" else small_config
+    model = build_model(make(args.arch, vocab_size=tok.vocab_size), seed=args.seed)
+    store = ModuleCacheStore(
+        gpu_capacity_bytes=(
+            args.gpu_capacity_kb * 1024 if args.gpu_capacity_kb else None
+        )
+    )
+    pc = PromptCache(
+        model, tok, store=store, template=PLAIN_TEMPLATE,
+        promote_on_cpu_hit=args.gpu_capacity_kb is not None,
+    )
+
+    profiles = [
+        SchemaProfile(
+            name=f"schema{i}",
+            module_tokens=args.module_tokens,
+            uncached_mean=args.uncached_tokens,
+            decode_mean=args.decode_tokens,
+            weight=1.0 / (i + 1),
+        )
+        for i in range(args.schemas)
+    ]
+    workload = build_workload(profiles, tok, seed=args.seed)
+    workload.register(pc)
+    trace = synthesize_trace(profiles, args.rate, args.duration, seed=args.seed)
+
+    options = ServeOptions(
+        max_queue_depth=args.max_queue,
+        queue_delay_budget_s=args.delay_budget,
+        max_batch=args.max_batch,
+        batch_max_wait_s=args.batch_wait,
+    )
+    server = LiveServer(pc, options)
+
+    async def run():
+        async with server:
+            return await run_open_loop(
+                server, workload, trace, deadline_s=args.deadline
+            )
+
+    report = asyncio.run(run())
+    if args.format == "prom":
+        print(server.prometheus())
+        return 0
+    if args.format == "json":
+        import json
+
+        print(json.dumps(server.snapshot(), indent=2, sort_keys=True))
+        return 0
+    gpu = pc.store.gpu.stats
+    print(f"trace: {len(trace)} requests over {args.duration:.1f}s "
+          f"(rate {args.rate:g}/s, seed {args.seed})")
+    print(f"completed {report.completed}  rejected {report.rejected}  "
+          f"expired {report.expired}  failed {report.failed}")
+    print(f"TTFT p50 {1000 * report.ttft_percentile(50):.1f} ms   "
+          f"p95 {1000 * report.ttft_percentile(95):.1f} ms")
+    print(f"throughput {report.throughput_rps:.1f} req/s over {report.wall_s:.2f}s")
+    print(f"cached token fraction {report.cached_token_fraction:.2f}  "
+          f"store hit-rate {gpu.hit_rate:.2f}  evictions {gpu.evictions}")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    import numpy as np
+
+    from repro.serving.traces import SchemaProfile, synthesize_trace
+
+    profiles = [
+        SchemaProfile(
+            name=f"schema{i}",
+            module_tokens=args.module_tokens,
+            uncached_mean=100,
+            decode_mean=64,
+            weight=1.0 / (i + 1),
+        )
+        for i in range(args.schemas)
+    ]
+    trace = synthesize_trace(profiles, args.rate, args.duration, seed=args.seed)
+    if args.jsonl:
+        for request in trace:
+            print(json.dumps(request.__dict__))
+        return 0
+    print(f"{len(trace)} requests over {args.duration:g}s "
+          f"(target rate {args.rate:g}/s, seed {args.seed})")
+    by_schema: dict[str, int] = {}
+    for request in trace:
+        by_schema[request.schema] = by_schema.get(request.schema, 0) + 1
+    for name in sorted(by_schema):
+        print(f"  {name:<12} {by_schema[name]:>5} requests")
+    if trace:
+        gaps = np.diff([r.arrival_s for r in trace])
+        if len(gaps):
+            print(f"inter-arrival: mean {gaps.mean():.3f}s  p95 "
+                  f"{float(np.percentile(gaps, 95)):.3f}s")
+        cached = np.array([r.cached_tokens for r in trace])
+        uncached = np.array([r.uncached_tokens for r in trace])
+        print(f"tokens/request: cached {cached.mean():.0f}  "
+              f"uncached {uncached.mean():.0f}")
     return 0
 
 

@@ -23,3 +23,21 @@ class ValidationError(PMLError):
 class SchemaMismatchError(PMLError):
     """A prompt references modules/parameters its schema does not define,
     or violates the schema's structure (paper §3.4's alignment check)."""
+
+
+class UnknownSchemaError(SchemaMismatchError):
+    """A prompt (or maintenance call) names a schema that was never
+    registered with the engine. Subclasses :class:`SchemaMismatchError` so
+    existing handlers keep working.
+
+    Carries the offending name and the registered names so callers — the
+    serving runtime in particular — can reject the request with a precise
+    message instead of surfacing an internal ``KeyError``.
+    """
+
+    def __init__(self, schema: str, known: list[str] | None = None) -> None:
+        self.schema = schema
+        self.known = sorted(known or [])
+        super().__init__(
+            f"schema {schema!r} is not registered; known: {self.known}"
+        )

@@ -1,0 +1,51 @@
+"""Live async serving runtime: Prompt Cache under real concurrent load.
+
+Where :mod:`repro.serving` *predicts* serving behaviour with an
+event-driven simulator over the roofline latency model, this package
+*executes* it: an asyncio runtime (:class:`LiveServer`) drives the real
+:class:`repro.cache.engine.PromptCache` with admission control,
+cache-aware batching, deadlines, load shedding, metrics, and a seeded
+load generator whose traces are shared with the simulator — so
+prediction and measurement line up request for request.
+"""
+
+from repro.server.batcher import CacheAwareBatcher
+from repro.server.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    RequestCancelled,
+    ServerClosed,
+    ServerError,
+)
+from repro.server.loadgen import (
+    LiveWorkload,
+    LoadReport,
+    build_workload,
+    run_closed_loop,
+    run_open_loop,
+)
+from repro.server.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.server.request import LiveRequest, TraceRecord
+from repro.server.runtime import LiveServer, ServeOptions
+
+__all__ = [
+    "CacheAwareBatcher",
+    "Counter",
+    "DeadlineExceeded",
+    "Gauge",
+    "Histogram",
+    "LiveRequest",
+    "LiveServer",
+    "LiveWorkload",
+    "LoadReport",
+    "MetricsRegistry",
+    "Overloaded",
+    "RequestCancelled",
+    "ServeOptions",
+    "ServerClosed",
+    "ServerError",
+    "TraceRecord",
+    "build_workload",
+    "run_closed_loop",
+    "run_open_loop",
+]

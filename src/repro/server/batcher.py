@@ -1,0 +1,113 @@
+"""Cache-aware batching: group admitted requests so splices amortize.
+
+``PromptCache.serve_batch`` shares one physical copy of the spliced
+module states across every request in a batch that selects the same
+module sequence (paper §3.4). The batcher therefore groups queued
+requests by ``(schema, max_new_tokens)`` — same schema means the splice
+plan (and usually the paged base cache) is shared; same decode budget
+means one ``serve_batch`` call serves them unmodified.
+
+Latency never waits on batch fill: a group dispatches as soon as it is
+*full* (``max_batch``) or its oldest request has waited ``max_wait_s``.
+The structure is synchronous and clock-parameterised so the policy is
+unit-testable without an event loop.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+from repro.server.request import LiveRequest
+
+BatchKey = tuple[str, int]  # (schema name, max_new_tokens)
+
+
+class CacheAwareBatcher:
+    """FIFO-fair, schema-grouped admission queue feeding the worker."""
+
+    def __init__(self, max_batch: int = 8, max_wait_s: float = 0.02) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self._groups: "OrderedDict[BatchKey, deque[LiveRequest]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return sum(len(g) for g in self._groups.values())
+
+    def put(self, request: LiveRequest) -> None:
+        key = (request.schema, request.max_new_tokens)
+        self._groups.setdefault(key, deque()).append(request)
+
+    def pending_by_schema(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for (schema, _), group in self._groups.items():
+            out[schema] = out.get(schema, 0) + len(group)
+        return out
+
+    # -- dispatch policy ---------------------------------------------------------
+
+    def _take(self, key: BatchKey) -> list[LiveRequest]:
+        group = self._groups[key]
+        batch = [group.popleft() for _ in range(min(self.max_batch, len(group)))]
+        if not group:
+            del self._groups[key]
+        return batch
+
+    def next_batch(self, now: float) -> list[LiveRequest] | None:
+        """The next dispatchable batch, or None if every group should
+        keep waiting. Full groups dispatch immediately; otherwise the
+        group whose head request has exhausted ``max_wait_s`` (oldest
+        head first, so dispatch order is arrival order between groups)."""
+        full = [k for k, g in self._groups.items() if len(g) >= self.max_batch]
+        if full:
+            # Oldest head among the full groups keeps inter-group fairness.
+            key = min(full, key=lambda k: self._groups[k][0].submitted_at)
+            return self._take(key)
+        ripe = [
+            k for k, g in self._groups.items()
+            if now - g[0].submitted_at >= self.max_wait_s
+        ]
+        if ripe:
+            key = min(ripe, key=lambda k: self._groups[k][0].submitted_at)
+            return self._take(key)
+        return None
+
+    def ready_in(self, now: float) -> float | None:
+        """Seconds until some group ripens (0.0 = dispatchable now);
+        None when the queue is empty."""
+        if not self._groups:
+            return None
+        if any(len(g) >= self.max_batch for g in self._groups.values()):
+            return 0.0
+        oldest = min(g[0].submitted_at for g in self._groups.values())
+        return max(0.0, oldest + self.max_wait_s - now)
+
+    # -- queue maintenance -------------------------------------------------------
+
+    def remove_expired(self, now: float) -> list[LiveRequest]:
+        """Pull every queued request whose deadline already passed —
+        deadline expiry *mid-queue*, before any compute is spent on it."""
+        expired: list[LiveRequest] = []
+        for key in list(self._groups):
+            group = self._groups[key]
+            keep = deque(
+                r for r in group
+                if r.deadline_at is None or r.deadline_at > now
+            )
+            if len(keep) != len(group):
+                expired.extend(
+                    r for r in group
+                    if r.deadline_at is not None and r.deadline_at <= now
+                )
+                if keep:
+                    self._groups[key] = keep
+                else:
+                    del self._groups[key]
+        return expired
+
+    def drain(self) -> list[LiveRequest]:
+        """Remove and return everything still queued (shutdown path)."""
+        out = [r for g in self._groups.values() for r in g]
+        self._groups.clear()
+        return out

@@ -1,0 +1,64 @@
+"""Typed failures of the live serving runtime.
+
+Every way a request can fail without being the caller's bug gets its own
+exception type, so clients (and the load generator) can branch on the
+class instead of parsing messages. ``Overloaded`` is the load-shedding
+signal the paper's serving framing calls for: a server protecting its
+tail latency must reject excess work *at admission*, before it consumes
+queue slots and deadline budget.
+"""
+
+from __future__ import annotations
+
+
+class ServerError(Exception):
+    """Base class for live-serving failures."""
+
+
+class ServerClosed(ServerError):
+    """The runtime is not running (never started, stopping, or stopped)."""
+
+
+class Overloaded(ServerError):
+    """Admission control rejected the request.
+
+    Parameters
+    ----------
+    reason:
+        ``"queue_depth"`` (the bounded admission queue is full) or
+        ``"queue_delay"`` (the estimated time to reach the head of the
+        queue exceeds the configured budget).
+    queue_depth:
+        Requests queued at rejection time.
+    estimated_delay_s:
+        The runtime's queue-delay estimate — doubles as a retry-after
+        hint for clients.
+    """
+
+    def __init__(self, reason: str, queue_depth: int, estimated_delay_s: float) -> None:
+        self.reason = reason
+        self.queue_depth = queue_depth
+        self.estimated_delay_s = estimated_delay_s
+        super().__init__(
+            f"server overloaded ({reason}): {queue_depth} queued, "
+            f"estimated delay {estimated_delay_s:.3f}s"
+        )
+
+
+class DeadlineExceeded(ServerError):
+    """The request's deadline passed while it was still queued."""
+
+    def __init__(self, request_id: str, waited_s: float) -> None:
+        self.request_id = request_id
+        self.waited_s = waited_s
+        super().__init__(
+            f"request {request_id} expired after waiting {waited_s:.3f}s in queue"
+        )
+
+
+class RequestCancelled(ServerError):
+    """The client cancelled the request before it ran."""
+
+    def __init__(self, request_id: str) -> None:
+        self.request_id = request_id
+        super().__init__(f"request {request_id} was cancelled")

@@ -1,0 +1,420 @@
+"""The live asyncio serving runtime: admission → batch → serve → stream.
+
+:class:`LiveServer` drives the *real* :class:`repro.cache.engine.PromptCache`
+under concurrent load — the executable counterpart of the event-driven
+simulator in :mod:`repro.serving.simulator`, closing the gap the paper
+leaves open when it positions Prompt Cache "as a foundational component
+for future LLM serving systems" (§6).
+
+Design:
+
+- **Admission control.** ``submit`` is the only entry point. It rejects
+  with :class:`~repro.server.errors.Overloaded` when the bounded queue is
+  full or the estimated queue delay (EWMA of recent per-request service
+  time × queue occupancy) exceeds the configured budget — load shedding
+  happens *before* a request consumes queue slots and deadline budget.
+- **Cache-aware batching.** Admitted requests land in a
+  :class:`~repro.server.batcher.CacheAwareBatcher`; one worker coroutine
+  dispatches schema-grouped batches to ``PromptCache.serve_batch`` so a
+  single splice plan (and the paged base cache) amortizes across the
+  batch. A max-wait timer bounds the latency cost of batch fill.
+- **Single-threaded engine, responsive loop.** The NumPy engine is the
+  serial resource (one model, one machine); batches run one at a time on
+  a thread-pool executor so the event loop keeps admitting, rejecting
+  and expiring requests while a batch computes. The thread-safe
+  :class:`~repro.cache.storage.ModuleCacheStore` is the only state the
+  two threads share.
+- **Observability.** Every lifecycle edge lands in a
+  :class:`~repro.server.metrics.MetricsRegistry` (Prometheus text / JSON
+  snapshots) and a bounded structured trace log. Store evictions are
+  wired in via ``CacheTier.add_evict_listener``.
+
+Per-request first/last-token timestamps are reconstructed from the
+engine's own measured splice/prefill/step times, offset by the request's
+position within its batch — ``serve_batch`` serves batch members
+sequentially over the shared base cache, so the offsets mirror what a
+token-streaming transport would have observed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from dataclasses import dataclass
+from functools import partial
+
+from repro.cache.engine import PromptCache
+from repro.pml.errors import PMLError, UnknownSchemaError
+from repro.pml.parser import parse_prompt
+from repro.server.batcher import CacheAwareBatcher
+from repro.server.errors import DeadlineExceeded, Overloaded, ServerClosed
+from repro.server.metrics import MetricsRegistry
+from repro.server.request import (
+    DONE,
+    EXPIRED,
+    FAILED,
+    LiveRequest,
+    REJECTED,
+    RUNNING,
+    TraceRecord,
+)
+
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+@dataclass(frozen=True)
+class ServeOptions:
+    """Tuning knobs for :class:`LiveServer`."""
+
+    max_queue_depth: int = 64  # bounded admission queue
+    queue_delay_budget_s: float | None = 2.0  # shed when est. delay exceeds
+    max_batch: int = 8
+    batch_max_wait_s: float = 0.02  # latency never waits longer on fill
+    default_max_new_tokens: int = 16
+    default_deadline_s: float | None = None  # relative; None = no deadline
+    initial_service_s: float = 0.05  # EWMA seed before any observation
+    service_time_alpha: float = 0.25  # EWMA smoothing for per-request time
+    trace_log_limit: int = 10_000
+    inline_execution: bool = False  # run the engine on the loop (tests)
+
+
+class LiveServer:
+    """Async serving runtime over one :class:`PromptCache` engine."""
+
+    def __init__(
+        self,
+        pc: PromptCache,
+        options: ServeOptions | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.pc = pc
+        self.options = options or ServeOptions()
+        self.metrics = metrics or MetricsRegistry()
+        self.clock = clock
+        self.batcher = CacheAwareBatcher(
+            max_batch=self.options.max_batch,
+            max_wait_s=self.options.batch_max_wait_s,
+        )
+        self.trace_log: list[TraceRecord] = []
+        self._ids = itertools.count()
+        self._wake: asyncio.Event | None = None
+        self._worker_task: asyncio.Task | None = None
+        self._running = False
+        self._inflight = 0
+        self._service_ewma_s = self.options.initial_service_s
+        self._wire_store_metrics()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> "LiveServer":
+        if self._running:
+            return self
+        self._wake = asyncio.Event()
+        self._running = True
+        self._worker_task = asyncio.create_task(self._worker())
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the worker. With ``drain`` (default) every queued request
+        is served first; otherwise the queue is rejected with
+        :class:`ServerClosed`."""
+        if not self._running:
+            return
+        if drain:
+            await self.join()
+        self._running = False
+        if self._wake is not None:
+            self._wake.set()
+        if self._worker_task is not None:
+            await self._worker_task
+            self._worker_task = None
+        for request in self.batcher.drain():
+            request.finish(FAILED, error=ServerClosed("server stopped"))
+            self._count_outcome("failed")
+            self._record(request)
+
+    async def join(self) -> None:
+        """Wait until the queue and the engine are both idle."""
+        while len(self.batcher) or self._inflight:
+            await asyncio.sleep(0.002)
+
+    async def __aenter__(self) -> "LiveServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop(drain=exc == (None, None, None))
+
+    # -- admission ---------------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.batcher)
+
+    def estimated_queue_delay_s(self) -> float:
+        """EWMA per-request service time × requests ahead in line."""
+        return (len(self.batcher) + self._inflight) * self._service_ewma_s
+
+    async def submit(
+        self,
+        prompt: str,
+        *,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+        request_id: str | None = None,
+    ) -> LiveRequest:
+        """Admit a PML prompt, or raise a typed rejection.
+
+        Raises :class:`ServerClosed`, :class:`UnknownSchemaError` (or
+        another :class:`~repro.pml.errors.PMLError` for malformed PML),
+        or :class:`Overloaded` — all before the request occupies a queue
+        slot.
+        """
+        if not self._running:
+            raise ServerClosed("server is not running")
+        schema = parse_prompt(prompt).schema  # PMLError on malformed input
+        if schema not in self.pc.schemas:
+            raise self._reject(
+                prompt, schema, UnknownSchemaError(schema, list(self.pc.schemas))
+            )
+        depth = len(self.batcher)
+        if depth >= self.options.max_queue_depth:
+            raise self._reject(
+                prompt, schema,
+                Overloaded("queue_depth", depth, self.estimated_queue_delay_s()),
+            )
+        budget = self.options.queue_delay_budget_s
+        estimate = self.estimated_queue_delay_s()
+        if budget is not None and estimate > budget:
+            raise self._reject(
+                prompt, schema, Overloaded("queue_delay", depth, estimate)
+            )
+
+        now = self.clock()
+        deadline_s = deadline_s if deadline_s is not None else self.options.default_deadline_s
+        request = LiveRequest(
+            request_id=request_id or f"req-{next(self._ids)}",
+            prompt=prompt,
+            schema=schema,
+            max_new_tokens=max_new_tokens or self.options.default_max_new_tokens,
+            submitted_at=now,
+            deadline_at=None if deadline_s is None else now + deadline_s,
+        )
+        self.batcher.put(request)
+        self._count_outcome("submitted")
+        self.metrics.gauge("server_queue_depth", "requests queued").set(
+            len(self.batcher)
+        )
+        assert self._wake is not None
+        self._wake.set()
+        return request
+
+    async def serve(self, prompt: str, **kwargs):
+        """Submit and wait — the one-call convenience path."""
+        request = await self.submit(prompt, **kwargs)
+        return await request.wait()
+
+    def _reject(self, prompt: str, schema: str, error: Exception) -> Exception:
+        request = LiveRequest(
+            request_id=f"req-{next(self._ids)}",
+            prompt=prompt,
+            schema=schema,
+            max_new_tokens=0,
+            submitted_at=self.clock(),
+        )
+        request.finish(REJECTED, error=error)
+        request.finished_at = request.submitted_at
+        self._count_outcome("rejected")
+        if isinstance(error, Overloaded):
+            self.metrics.counter(
+                "server_rejections_total", "admission rejections by reason",
+                reason=error.reason,
+            ).inc()
+        else:
+            self.metrics.counter(
+                "server_rejections_total", "admission rejections by reason",
+                reason="unknown_schema",
+            ).inc()
+        self._record(request)
+        return error
+
+    # -- worker ------------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        assert self._wake is not None
+        while self._running:
+            now = self.clock()
+            for request in self.batcher.remove_expired(now):
+                self._expire(request, now)
+            batch = self.batcher.next_batch(now)
+            if batch is None:
+                timeout = self.batcher.ready_in(now)
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            await self._run_batch(batch)
+
+    def _expire(self, request: LiveRequest, now: float) -> None:
+        request.finished_at = now
+        request.finish(
+            EXPIRED,
+            error=DeadlineExceeded(request.request_id, now - request.submitted_at),
+        )
+        self._count_outcome("expired")
+        self.metrics.histogram(
+            "server_queue_wait_seconds", "time from submit to dispatch or expiry"
+        ).observe(request.queue_wait_s())
+        self._record(request)
+
+    async def _run_batch(self, batch: list[LiveRequest]) -> None:
+        dispatch_at = self.clock()
+        for request in batch:
+            request.state = RUNNING
+            request.started_at = dispatch_at
+            request.batch_size = len(batch)
+        self._inflight = len(batch)
+        self.metrics.gauge("server_inflight", "requests in the running batch").set(
+            len(batch)
+        )
+        self.metrics.gauge("server_queue_depth", "requests queued").set(
+            len(self.batcher)
+        )
+        prompts = [r.prompt for r in batch]
+        run = partial(
+            self.pc.serve_batch, prompts, max_new_tokens=batch[0].max_new_tokens
+        )
+        try:
+            if self.options.inline_execution:
+                outcome = run()
+            else:
+                outcome = await asyncio.get_running_loop().run_in_executor(None, run)
+        except Exception as exc:  # engine bug or bad prompt that slipped admission
+            finished = self.clock()
+            for request in batch:
+                request.finished_at = finished
+                request.finish(FAILED, error=exc)
+                self._count_outcome("failed")
+                self._record(request)
+            return
+        finally:
+            self._inflight = 0
+            self.metrics.gauge("server_inflight", "requests in the running batch").set(0)
+
+        elapsed = self.clock() - dispatch_at
+        # Reconstruct per-request token timestamps from the engine's own
+        # measurements: batch members are served sequentially over the
+        # shared base cache, so each request's engine time starts where
+        # the previous one ended.
+        offset = 0.0
+        for request, result in zip(batch, outcome.results):
+            engine_s = result.ttft_s + sum(result.step_times_s)
+            request.result = result
+            request.first_token_at = dispatch_at + offset + result.ttft_s
+            request.finished_at = dispatch_at + offset + engine_s
+            offset += engine_s
+            for token in result.output_ids:
+                request.push_token(token)
+            request.finish(DONE)
+            self._observe_done(request, result)
+            self._record(request)
+
+        per_request = elapsed / len(batch)
+        alpha = self.options.service_time_alpha
+        self._service_ewma_s = alpha * per_request + (1 - alpha) * self._service_ewma_s
+        self.metrics.histogram(
+            "server_batch_size", "dispatched batch sizes", buckets=BATCH_SIZE_BUCKETS
+        ).observe(len(batch))
+        self.metrics.histogram(
+            "server_batch_serve_seconds", "engine time per dispatched batch"
+        ).observe(elapsed)
+        self.metrics.gauge(
+            "server_estimated_queue_delay_seconds",
+            "admission-control delay estimate",
+        ).set(self.estimated_queue_delay_s())
+        self.refresh_store_gauges()
+
+    # -- observability -----------------------------------------------------------
+
+    def _count_outcome(self, outcome: str) -> None:
+        self.metrics.counter(
+            "server_requests_total", "requests by terminal outcome", outcome=outcome
+        ).inc()
+
+    def _observe_done(self, request: LiveRequest, result) -> None:
+        self._count_outcome("completed")
+        self.metrics.histogram(
+            "server_ttft_seconds", "submit to first token"
+        ).observe(request.ttft_s() or 0.0)
+        self.metrics.histogram(
+            "server_ttlt_seconds", "submit to last token"
+        ).observe(request.ttlt_s() or 0.0)
+        self.metrics.histogram(
+            "server_queue_wait_seconds", "time from submit to dispatch or expiry"
+        ).observe(request.queue_wait_s())
+        self.metrics.counter(
+            "server_tokens_generated_total", "decoded tokens"
+        ).inc(len(result.output_ids))
+        self.metrics.counter(
+            "server_prompt_tokens_total", "prompt tokens by cache status",
+            status="cached",
+        ).inc(result.cached_tokens)
+        self.metrics.counter(
+            "server_prompt_tokens_total", "prompt tokens by cache status",
+            status="uncached",
+        ).inc(result.uncached_tokens)
+
+    def _record(self, request: LiveRequest) -> None:
+        self.trace_log.append(request.trace())
+        if len(self.trace_log) > self.options.trace_log_limit:
+            del self.trace_log[: len(self.trace_log) - self.options.trace_log_limit]
+
+    def _wire_store_metrics(self) -> None:
+        store = self.pc.store
+        for tier in (store.gpu, store.cpu):
+            counter = self.metrics.counter(
+                "cache_evictions_total", "module-store evictions", tier=tier.name
+            )
+            bytes_counter = self.metrics.counter(
+                "cache_evicted_bytes_total", "bytes evicted from the store",
+                tier=tier.name,
+            )
+
+            def on_evict(entry, _c=counter, _b=bytes_counter):
+                _c.inc()
+                _b.inc(entry.nbytes)
+
+            tier.add_evict_listener(on_evict)
+        self.refresh_store_gauges()
+
+    def refresh_store_gauges(self) -> None:
+        """Mirror the module store's counters into the registry."""
+        for tier in (self.pc.store.gpu, self.pc.store.cpu):
+            stats = tier.stats
+            g = self.metrics.gauge
+            g("cache_tier_hits", "store lookups served", tier=tier.name).set(stats.hits)
+            g("cache_tier_misses", "store lookups missed", tier=tier.name).set(
+                stats.misses
+            )
+            g("cache_tier_hit_rate", "hits / lookups", tier=tier.name).set(
+                stats.hit_rate
+            )
+            g("cache_tier_used_bytes", "resident bytes", tier=tier.name).set(
+                tier.used_bytes
+            )
+            g("cache_tier_insertions", "entries inserted", tier=tier.name).set(
+                stats.insertions
+            )
+
+    def snapshot(self) -> dict:
+        """JSON-ready metrics snapshot (store gauges refreshed first)."""
+        self.refresh_store_gauges()
+        return self.metrics.snapshot()
+
+    def prometheus(self) -> str:
+        """Prometheus text exposition (store gauges refreshed first)."""
+        self.refresh_store_gauges()
+        return self.metrics.to_prometheus()

@@ -95,3 +95,40 @@ class TestOthers:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServeLive:
+    def test_summary_output(self, capsys):
+        assert main([
+            "serve-live", "--rate", "30", "--duration", "0.5", "--seed", "1",
+            "--schemas", "2", "--module-tokens", "24",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out and "TTFT p50" in out
+
+    def test_prometheus_output(self, capsys):
+        assert main([
+            "serve-live", "--rate", "20", "--duration", "0.4", "--seed", "1",
+            "--schemas", "2", "--module-tokens", "24", "--format", "prom",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "server_ttft_seconds_quantile" in out
+        assert "# TYPE server_requests_total counter" in out
+
+
+class TestLoadgen:
+    def test_trace_summary(self, capsys):
+        assert main(["loadgen", "--rate", "2.0", "--duration", "20",
+                     "--schemas", "3", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "requests" in out and "inter-arrival" in out
+
+    def test_jsonl(self, capsys):
+        import json
+
+        assert main(["loadgen", "--rate", "1.0", "--duration", "10",
+                     "--schemas", "2", "--seed", "4", "--jsonl"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert {"arrival_s", "schema"} <= set(first)

@@ -20,7 +20,7 @@ import pytest
 from repro.cache.engine import PromptCache
 from repro.cache.storage import CacheKey, ModuleCacheStore
 from repro.pml import PLAIN_TEMPLATE, SchemaMismatchError
-from repro.pml.errors import PMLError
+from repro.pml.errors import PMLError, UnknownSchemaError
 
 TRAVEL = '''
 <schema name="travel">
@@ -240,6 +240,23 @@ class TestStorageIntegration:
         pc.serve('<prompt schema="travel"><miami/> y</prompt>', max_new_tokens=2)
         assert store.gpu.stats.hits > before
 
+    def test_cpu_hit_promotes_when_enabled(self, llama, tok):
+        store = ModuleCacheStore()
+        pc = PromptCache(llama, tok, store=store, template=PLAIN_TEMPLATE,
+                         default_tier="cpu", promote_on_cpu_hit=True)
+        pc.register_schema(TRAVEL)
+        assert any(k.module == "miami" for k in store.cpu.keys())
+        pc.serve('<prompt schema="travel"><miami/> x</prompt>', max_new_tokens=2)
+        assert any(k.module == "miami" for k in store.gpu.keys())
+
+    def test_cpu_hit_stays_put_by_default(self, llama, tok):
+        store = ModuleCacheStore()
+        pc = PromptCache(llama, tok, store=store, template=PLAIN_TEMPLATE,
+                         default_tier="cpu")
+        pc.register_schema(TRAVEL)
+        pc.serve('<prompt schema="travel"><miami/> x</prompt>', max_new_tokens=2)
+        assert not any(k.module == "miami" for k in store.gpu.keys())
+
 
 class TestServeResult:
     def test_latency_breakdown(self, pc):
@@ -269,6 +286,23 @@ class TestErrors:
     def test_unregistered_schema(self, pc):
         with pytest.raises(SchemaMismatchError, match="not registered"):
             pc.serve('<prompt schema="ghost"><x/></prompt>')
+
+    def test_unregistered_schema_is_typed(self, pc):
+        with pytest.raises(UnknownSchemaError) as err:
+            pc.serve('<prompt schema="ghost"><x/></prompt>')
+        assert err.value.schema == "ghost"
+        assert "travel" in err.value.known
+
+    def test_unregistered_schema_everywhere(self, pc):
+        ghost = '<prompt schema="ghost"><x/></prompt>'
+        with pytest.raises(UnknownSchemaError):
+            pc.serve_batch([ghost])
+        with pytest.raises(UnknownSchemaError):
+            pc.start_session(ghost)
+        with pytest.raises(UnknownSchemaError):
+            pc.update_module_text("ghost", "m", "text")
+        with pytest.raises(UnknownSchemaError):
+            pc.prompt_token_count(ghost)
 
     def test_schema_exceeding_max_position(self, llama, tok):
         huge_text = "word " * 6000  # tiny model allows 4096 positions

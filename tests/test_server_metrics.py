@@ -1,0 +1,150 @@
+"""Metrics registry: instrument math, export formats, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.server.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+    def test_counter_get_or_create_is_same_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", tier="gpu").inc()
+        reg.counter("hits", tier="gpu").inc()
+        reg.counter("hits", tier="cpu").inc()
+        assert reg.counter("hits", tier="gpu").value == 2
+        assert reg.counter("hits", tier="cpu").value == 1
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(10)
+        g.dec(3)
+        g.inc()
+        assert g.value == 8
+
+    def test_kind_collision_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_histogram_count_sum_mean(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("ttft")
+        for v in (0.01, 0.02, 0.03):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.06)
+        assert h.mean == pytest.approx(0.02)
+
+    def test_histogram_percentiles_match_numpy(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("ttft")
+        values = np.linspace(0.001, 1.0, 101)
+        for v in values:
+            h.observe(float(v))
+        for q in (50, 90, 95, 99):
+            assert h.percentile(q) == pytest.approx(float(np.percentile(values, q)))
+
+    def test_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        buckets = dict(h.cumulative_buckets())
+        assert buckets[0.1] == 1
+        assert buckets[1.0] == 3
+        assert buckets[float("inf")] == 4
+
+    def test_empty_histogram_is_quiet(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        assert h.percentile(95) == 0.0
+        assert h.mean == 0.0
+
+
+class TestExport:
+    def test_prometheus_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", "served requests", outcome="done").inc(3)
+        reg.gauge("queue_depth", "queued").set(2)
+        text = reg.to_prometheus()
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{outcome="done"} 3' in text
+        assert "queue_depth 2" in text
+
+    def test_prometheus_histogram_has_buckets_and_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("ttft_seconds", "ttft", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        text = reg.to_prometheus()
+        assert 'ttft_seconds_bucket{le="0.1"} 1' in text
+        assert 'ttft_seconds_bucket{le="+Inf"} 2' in text
+        assert "ttft_seconds_sum" in text
+        assert "ttft_seconds_count 2" in text
+        assert 'ttft_seconds_quantile{quantile="0.95"}' in text
+
+    def test_prometheus_merges_labels_on_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", stage="prefill").observe(0.2)
+        text = reg.to_prometheus()
+        assert 'lat_bucket{stage="prefill",le="+Inf"} 1' in text
+        assert 'lat_quantile{stage="prefill",quantile="0.5"}' in text
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(7)
+        reg.histogram("c").observe(0.25)
+        snap = reg.snapshot()
+        assert snap["counters"]["a"] == 1
+        assert snap["gauges"]["b"] == 7
+        hist = snap["histograms"]["c"]
+        assert hist["count"] == 1
+        assert hist["p95"] == pytest.approx(0.25)
+
+    def test_to_json_round_trips(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        assert json.loads(reg.to_json())["counters"]["a"] == 1
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestConcurrency:
+    def test_parallel_observers_lose_nothing(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.counter("n").inc()
+                reg.histogram("h").observe(0.01)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("n").value == 8000
+        assert reg.histogram("h").count == 8000

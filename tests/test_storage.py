@@ -224,3 +224,73 @@ class TestDemotionAndPrefetch:
         store.gpu.put(key("pinned"), make_kv(10), pinned=True)
         store.put(key("cold"), make_kv(10), tier="cpu")
         assert store.prefetch([key("cold")]) == 0
+
+
+class TestConcurrency:
+    """The store must stay consistent under interleaved async/thread access."""
+
+    def test_threaded_hammer_keeps_accounting_consistent(self):
+        import threading
+
+        # Capacity for ~3 entries so eviction + demotion churn constantly.
+        store = ModuleCacheStore(gpu_capacity_bytes=3 * KV_BYTES + 10)
+        errors: list[Exception] = []
+
+        def work(worker: int) -> None:
+            try:
+                for i in range(200):
+                    k = CacheKey(schema="s", module=f"m{worker}-{i % 8}",
+                                 variant=SOLO_VARIANT)
+                    store.put(k, make_kv(10))
+                    store.fetch(k)
+                    store.prefetch([k])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        for tier in (store.gpu, store.cpu):
+            expected = sum(tier.get(k).nbytes for k in tier.keys())
+            assert tier.used_bytes == expected
+        assert store.gpu.used_bytes <= 3 * KV_BYTES + 10
+
+    def test_evict_listeners_fire_outside_reentrancy_hazard(self):
+        store = ModuleCacheStore(gpu_capacity_bytes=2 * KV_BYTES + 10)
+        seen: list[str] = []
+        # The listener re-enters the store while the evicting tier holds the
+        # lock — the shared RLock must make this safe, not deadlock.
+        store.gpu.add_evict_listener(
+            lambda victim: seen.append(victim.key.module) or store.cpu.keys()
+        )
+        for name in ("a", "b", "c"):
+            store.put(key(name), make_kv(10))
+        assert seen == ["a"]
+        assert any(k.module == "a" for k in store.cpu.keys())  # still demoted
+
+    def test_asyncio_tasks_share_the_store(self):
+        import asyncio
+
+        store = ModuleCacheStore(gpu_capacity_bytes=4 * KV_BYTES + 10)
+
+        async def main():
+            loop = asyncio.get_running_loop()
+
+            def work(worker: int) -> None:
+                for i in range(100):
+                    k = CacheKey(schema="s", module=f"t{worker}-{i % 4}",
+                                 variant=SOLO_VARIANT)
+                    store.put(k, make_kv(10))
+                    store.fetch(k)
+
+            await asyncio.gather(
+                *(loop.run_in_executor(None, work, w) for w in range(4))
+            )
+
+        asyncio.run(main())
+        total = store.gpu.stats.insertions + store.cpu.stats.insertions
+        assert total >= 400
+        assert store.gpu.used_bytes <= 4 * KV_BYTES + 10
