@@ -19,22 +19,37 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cache.layout import ModuleLayout, ParamSlot
-from repro.llm.kv import ModuleKV
+from repro.llm.kv import ModuleKV, tracked_alloc
 from repro.llm.models import TransformerModel
 
 
+def _arena_from_cache(cache, start: int, stop: int, positions) -> ModuleKV:
+    """Copy a token range of a filled KV cache into layer-major arenas."""
+    n_layers = len(cache.layers)
+    first = cache.layers[0]
+    shape = (n_layers, first.n_kv_heads, stop - start, first.head_dim)
+    key_arena = tracked_alloc(shape)
+    value_arena = tracked_alloc(shape)
+    for i, layer in enumerate(cache.layers):
+        key_arena[i] = layer.keys[:, start:stop, :]
+        value_arena[i] = layer.values[:, start:stop, :]
+    return ModuleKV.from_arenas(key_arena, value_arena, positions.copy())
+
+
 def encode_module(model: TransformerModel, layout: ModuleLayout) -> ModuleKV:
-    """Compute one module's KV states in isolation."""
+    """Compute one module's KV states in isolation.
+
+    The result is **arena-backed**: one contiguous
+    ``(n_layers, n_kv_heads, T, head_dim)`` tensor per side, so the splice
+    phase can copy the whole module in one memcpy (see
+    :class:`~repro.llm.kv.ModuleKV`).
+    """
     n = len(layout.token_ids)
     if n == 0:
         return _empty_module_kv(model)
     cache = model.new_cache(capacity=n)
     model.forward(layout.token_ids, layout.positions, cache)
-    return ModuleKV(
-        keys=[layer.keys.copy() for layer in cache.layers],
-        values=[layer.values.copy() for layer in cache.layers],
-        positions=layout.positions.copy(),
-    )
+    return _arena_from_cache(cache, 0, n, layout.positions)
 
 
 def encode_scaffold(
@@ -58,10 +73,8 @@ def encode_scaffold(
     offset = 0
     for layout in ordered:
         n = len(layout.token_ids)
-        out[layout.name] = ModuleKV(
-            keys=[layer.keys[:, offset : offset + n, :].copy() for layer in cache.layers],
-            values=[layer.values[:, offset : offset + n, :].copy() for layer in cache.layers],
-            positions=layout.positions.copy(),
+        out[layout.name] = _arena_from_cache(
+            cache, offset, offset + n, layout.positions
         )
         offset += n
     return out
@@ -82,6 +95,14 @@ def drop_param_slots(
     keep = np.ones(len(module_kv), dtype=bool)
     for slot in slots:
         keep[slot.offset : slot.offset + slot.length] = False
+    if module_kv.is_arena:
+        # One fancy-index over the token axis drops the slots from every
+        # layer at once, keeping the result arena-backed (contiguous).
+        return ModuleKV.from_arenas(
+            module_kv.key_arena[:, :, keep, :],
+            module_kv.value_arena[:, :, keep, :],
+            module_kv.positions[keep],
+        )
     return ModuleKV(
         keys=[k[:, keep, :] for k in module_kv.keys],
         values=[v[:, keep, :] for v in module_kv.values],
@@ -91,9 +112,9 @@ def drop_param_slots(
 
 def _empty_module_kv(model: TransformerModel) -> ModuleKV:
     cfg = model.config
-    shape = (cfg.n_kv_heads, 0, cfg.head_dim)
-    return ModuleKV(
-        keys=[np.empty(shape, dtype=np.float32) for _ in range(cfg.n_layers)],
-        values=[np.empty(shape, dtype=np.float32) for _ in range(cfg.n_layers)],
-        positions=np.empty(0, dtype=np.int64),
+    shape = (cfg.n_layers, cfg.n_kv_heads, 0, cfg.head_dim)
+    return ModuleKV.from_arenas(
+        np.empty(shape, dtype=np.float32),
+        np.empty(shape, dtype=np.float32),
+        np.empty(0, dtype=np.int64),
     )

@@ -18,7 +18,9 @@ pair up cached vs baseline runs.
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,7 +29,7 @@ from repro.cache.encoder import drop_param_slots, encode_module, encode_scaffold
 from repro.cache.layout import ModuleLayout, SchemaLayout, layout_schema
 from repro.cache.storage import CacheKey, ModuleCacheStore, SOLO_VARIANT
 from repro.llm.generation import GenerationResult, decode_loop, generate
-from repro.llm.kv import KVCache, LayerKV, ModuleKV, buffered_concat
+from repro.llm.kv import KVCache, LayerKV, ModuleKV, buffered_concat, tracked_alloc
 from repro.llm.models import TransformerModel
 from repro.pml.chat import ChatTemplate, template_for_architecture
 from repro.pml.errors import SchemaMismatchError, UnknownSchemaError
@@ -104,6 +106,55 @@ class _Plan:
     recompute_tail: tuple[str, int] | None = None
 
 
+@dataclass
+class PlanCacheStats:
+    """Counters for the compiled-plan and spliced-base caches."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    base_hits: int = 0  # serve() reused an already-spliced paged base
+    base_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _CompiledPlan:
+    """Memoized parse → resolve → plan for one canonical prompt source.
+
+    Everything here is a pure function of the prompt text and the schema
+    layout, so entries stay valid until ``register_schema`` /
+    ``invalidate`` / ``update_module_text`` touches the schema.
+    """
+
+    schema_name: str
+    registered: RegisteredSchema
+    plan: _Plan
+    merged_uncached: tuple[np.ndarray, np.ndarray]
+    module_names: frozenset[str]
+    baseline_sequence: list[int] | None = None  # lazy, for baseline()
+
+
+@dataclass
+class _SplicedBase:
+    """A shared, mirrored paged image of one spliced module sequence.
+
+    ``entries`` records each contributing store key with its post-drop
+    token count so a hit can be re-validated against the store (keeping
+    hit statistics, tier occupancy, and CPU-hit promotion identical to
+    the slow path) and rebuilt if any backing entry disappeared.
+    """
+
+    cache: "PagedKVCache"  # noqa: F821 — imported lazily in the fork path
+    entries: list[tuple[CacheKey, int]]
+    cached_tokens: int
+    module_names: frozenset[str]
+
+
 class PromptCache:
     """Modular attention reuse on top of a NumPy transformer.
 
@@ -118,6 +169,14 @@ class PromptCache:
         architecture's native template.
     default_tier:
         Where newly encoded modules are stored (``"gpu"`` or ``"cpu"``).
+    splice_mode:
+        How :meth:`serve` splices cached states: ``"paged"`` (default)
+        forks a shared, mirrored paged base — repeated prompts skip the
+        splice memcpy entirely; ``"arena"`` builds a private flat cache
+        with one layer-major arena copy per side; ``"legacy"`` is the
+        original per-layer buffered-concat path (kept for benchmarking).
+    plan_cache_size / base_cache_size:
+        LRU bounds on the compiled-plan and spliced-base caches.
     """
 
     def __init__(
@@ -129,6 +188,9 @@ class PromptCache:
         default_tier: str = "gpu",
         kv_codec=None,
         promote_on_cpu_hit: bool = False,
+        splice_mode: str = "paged",
+        plan_cache_size: int = 256,
+        base_cache_size: int = 8,
     ) -> None:
         from repro.cache.compress import IdentityCodec, codec as codec_by_name
 
@@ -148,6 +210,21 @@ class PromptCache:
         else:
             self.kv_codec = kv_codec
         self.schemas: dict[str, RegisteredSchema] = {}
+        if splice_mode not in ("paged", "arena", "legacy"):
+            raise ValueError(
+                f"unknown splice_mode {splice_mode!r}; "
+                "expected 'paged', 'arena' or 'legacy'"
+            )
+        self.splice_mode = splice_mode
+        self.plan_cache_size = plan_cache_size
+        self.base_cache_size = base_cache_size
+        self.plan_stats = PlanCacheStats()
+        self._plan_cache: OrderedDict[str, _CompiledPlan] = OrderedDict()
+        self._bases: OrderedDict[tuple, _SplicedBase] = OrderedDict()
+        # Guards the two LRU maps plus paged-base fork/free (page
+        # refcounts are not thread-safe on their own).
+        self._fastpath_lock = threading.RLock()
+        self._plan_listeners: list = []
 
     # -- schema management -----------------------------------------------------
 
@@ -175,9 +252,83 @@ class PromptCache:
             for name in names:
                 registered.scaffold_variants[name] = variant
         self.schemas[schema.name] = registered
+        # (Re-)registration replaces the layout: compiled plans and
+        # spliced bases derived from the old one are stale.
+        self._evict_compiled(schema.name)
         if eager:
             self._encode_all(registered, tier or self.default_tier)
         return schema
+
+    # -- compiled-plan cache -----------------------------------------------------
+
+    def add_plan_cache_listener(self, fn) -> None:
+        """Register an observer called with each plan-cache event:
+        ``"hit"``, ``"miss"`` or ``"invalidation"`` (one call per evicted
+        plan). The serving runtime uses this to export counters."""
+        self._plan_listeners.append(fn)
+
+    def plan_cache_stats(self) -> PlanCacheStats:
+        return self.plan_stats
+
+    def _notify_plan(self, event: str) -> None:
+        for fn in self._plan_listeners:
+            fn(event)
+
+    def _compiled(self, prompt: str) -> _CompiledPlan:
+        """Memoized parse → resolve → plan, keyed by canonical source."""
+        source = prompt.strip()
+        with self._fastpath_lock:
+            entry = self._plan_cache.get(source)
+            if entry is not None:
+                self._plan_cache.move_to_end(source)
+                self.plan_stats.hits += 1
+        if entry is not None:
+            self._notify_plan("hit")
+            return entry
+        resolved = self._resolve(prompt)
+        registered = self._registered(resolved.schema.name)
+        plan = self._plan(resolved, registered)
+        entry = _CompiledPlan(
+            schema_name=resolved.schema.name,
+            registered=registered,
+            plan=plan,
+            merged_uncached=_merge_uncached(plan.uncached),
+            module_names=frozenset(name for _, name in plan.modules),
+        )
+        with self._fastpath_lock:
+            self.plan_stats.misses += 1
+            self._plan_cache[source] = entry
+            while len(self._plan_cache) > self.plan_cache_size:
+                self._plan_cache.popitem(last=False)
+        self._notify_plan("miss")
+        return entry
+
+    def _evict_compiled(
+        self, schema_name: str, module_name: str | None = None
+    ) -> int:
+        """Drop compiled plans and spliced bases touching a schema (or one
+        of its modules). Returns the number of plans invalidated."""
+        with self._fastpath_lock:
+            doomed = [
+                source
+                for source, entry in self._plan_cache.items()
+                if entry.schema_name == schema_name
+                and (module_name is None or module_name in entry.module_names)
+            ]
+            for source in doomed:
+                del self._plan_cache[source]
+            doomed_bases = [
+                key
+                for key, base in self._bases.items()
+                if key[0] == schema_name
+                and (module_name is None or module_name in base.module_names)
+            ]
+            for key in doomed_bases:
+                self._bases.pop(key).cache.free()
+            self.plan_stats.invalidations += len(doomed)
+        for _ in doomed:
+            self._notify_plan("invalidation")
+        return len(doomed)
 
     def _encode_all(self, registered: RegisteredSchema, tier: str) -> None:
         layout = registered.layout
@@ -234,34 +385,47 @@ class PromptCache:
         use_scaffolds: bool = True,
     ) -> ServeResult:
         """Cached inference for a PML prompt (paper Fig 2, §3.4)."""
-        resolved = self._resolve(prompt)
-        registered = self._registered(resolved.schema.name)
-        plan = self._plan(resolved, registered)
+        compiled = self._compiled(prompt)
+        registered, plan = compiled.registered, compiled.plan
+        token_ids, positions = compiled.merged_uncached
 
         # Stage 1: splice cached module states together (the memcpy phase).
+        # In "paged" mode this forks a shared pre-spliced base — on a base
+        # hit there is no memcpy at all, just refcount bumps.
+        release = None
         start = time.perf_counter()
-        cache, tier_tokens, cached_tokens = self._assemble(
-            registered, plan, use_scaffolds=use_scaffolds
-        )
+        if self.splice_mode == "paged":
+            cache, tier_tokens, cached_tokens = self._fork_base(
+                registered, plan, use_scaffolds
+            )
+            release = cache
+        else:
+            cache, tier_tokens, cached_tokens = self._assemble(
+                registered, plan, use_scaffolds=use_scaffolds,
+                extra_capacity=len(token_ids) + max_new_tokens,
+            )
         splice_s = time.perf_counter() - start
 
-        # Stage 2: prefill only the uncached tokens at their schema positions.
-        token_ids, positions = _merge_uncached(plan.uncached)
-        reserve = len(cache) + len(token_ids) + max_new_tokens
-        cache.reserve(reserve)
-        start = time.perf_counter()
-        logits = self.model.forward(token_ids, positions, cache)[-1]
-        suffix_s = time.perf_counter() - start
+        try:
+            # Stage 2: prefill only the uncached tokens at their positions.
+            reserve = len(cache) + len(token_ids) + max_new_tokens
+            cache.reserve(reserve)
+            start = time.perf_counter()
+            logits = self.model.forward(token_ids, positions, cache)[-1]
+            suffix_s = time.perf_counter() - start
 
-        output_ids, step_times = decode_loop(
-            self.model,
-            cache,
-            logits,
-            max_new_tokens=max_new_tokens,
-            next_position=plan.next_position,
-            sampler=sampler,
-            stop_ids=stop_ids,
-        )
+            output_ids, step_times = decode_loop(
+                self.model,
+                cache,
+                logits,
+                max_new_tokens=max_new_tokens,
+                next_position=plan.next_position,
+                sampler=sampler,
+                stop_ids=stop_ids,
+            )
+        finally:
+            if release is not None:
+                self._free_fork(release)
         return ServeResult(
             output_ids=output_ids,
             text=self.tokenizer.decode(output_ids, skip_specials=True),
@@ -294,83 +458,77 @@ class PromptCache:
         tokens extend a private fork (copy-on-write on the boundary page).
         Outputs are identical to serving each prompt alone.
         """
-        from repro.llm.paged import PagedKVCache
+        compiled_plans = [self._compiled(prompt) for prompt in prompts]
 
-        plans = []
-        for prompt in prompts:
-            resolved = self._resolve(prompt)
-            registered = self._registered(resolved.schema.name)
-            plan = self._plan(resolved, registered)
-            group_key = (
-                resolved.schema.name,
-                tuple(
-                    (name, variant)
-                    for _, name, variant in self._variants_for(registered, plan, True)
-                ),
-                plan.recompute_tail,
-            )
-            plans.append((prompt, registered, plan, group_key))
-
-        bases: dict = {}
+        forks: list = []
+        group_keys: set[tuple] = set()
         results: list[ServeResult] = []
-        physical = duplicated = 0
-        for prompt, registered, plan, group_key in plans:
-            start = time.perf_counter()
-            base = bases.get(group_key)
-            if base is None:
-                module_kvs, _ = self._gather_module_kvs(registered, plan, True)
-                base = PagedKVCache.from_module_kvs(self.model.config, module_kvs)
-                bases[group_key] = base
-            cache = base.fork()
-            cached_tokens = len(cache)
-            splice_s = time.perf_counter() - start
-
-            token_ids, positions = _merge_uncached(plan.uncached)
-            start = time.perf_counter()
-            logits = self.model.forward(token_ids, positions, cache)[-1]
-            suffix_s = time.perf_counter() - start
-            output_ids, step_times = decode_loop(
-                self.model, cache, logits,
-                max_new_tokens=max_new_tokens,
-                next_position=plan.next_position,
-                sampler=sampler, stop_ids=stop_ids,
-            )
-            duplicated += cache.logical_bytes()
-            results.append(
-                ServeResult(
-                    output_ids=output_ids,
-                    text=self.tokenizer.decode(output_ids, skip_specials=True),
-                    prompt_tokens=cached_tokens + len(token_ids),
-                    cached_tokens=cached_tokens,
-                    uncached_tokens=len(token_ids),
-                    ttft_s=splice_s + suffix_s,
-                    splice_s=splice_s,
-                    suffix_s=suffix_s,
-                    step_times_s=step_times,
+        duplicated = 0
+        physical = 0
+        try:
+            for compiled in compiled_plans:
+                registered, plan = compiled.registered, compiled.plan
+                start = time.perf_counter()
+                cache, tier_tokens, cached_tokens = self._fork_base(
+                    registered, plan, True
                 )
-            )
-        physical = sum(base.physical_bytes() for base in bases.values())
+                forks.append(cache)
+                group_keys.add(self._base_key(registered, plan, True))
+                splice_s = time.perf_counter() - start
+
+                token_ids, positions = compiled.merged_uncached
+                start = time.perf_counter()
+                logits = self.model.forward(token_ids, positions, cache)[-1]
+                suffix_s = time.perf_counter() - start
+                output_ids, step_times = decode_loop(
+                    self.model, cache, logits,
+                    max_new_tokens=max_new_tokens,
+                    next_position=plan.next_position,
+                    sampler=sampler, stop_ids=stop_ids,
+                )
+                duplicated += cache.logical_bytes()
+                results.append(
+                    ServeResult(
+                        output_ids=output_ids,
+                        text=self.tokenizer.decode(output_ids, skip_specials=True),
+                        prompt_tokens=cached_tokens + len(token_ids),
+                        cached_tokens=cached_tokens,
+                        uncached_tokens=len(token_ids),
+                        ttft_s=splice_s + suffix_s,
+                        splice_s=splice_s,
+                        suffix_s=suffix_s,
+                        step_times_s=step_times,
+                        tier_tokens=tier_tokens,
+                    )
+                )
+            # Measure the memory picture while every fork is still live,
+            # then release them (returning the shared mirrors' leases).
+            with self._fastpath_lock:
+                physical = sum(
+                    self._bases[key].cache.physical_bytes()
+                    for key in group_keys
+                    if key in self._bases
+                )
+        finally:
+            for cache in forks:
+                self._free_fork(cache)
         return BatchServeResult(
             results=results,
             physical_bytes=physical,
             duplicated_bytes=duplicated,
-            shared_groups=len(bases),
+            shared_groups=len(group_keys),
         )
 
     def invalidate(self, schema_name: str, module_name: str | None = None) -> int:
         """Drop cached states for one module (or a whole schema) from every
         tier; the next use re-encodes. Returns the number of entries
-        dropped. This is the eviction half of runtime module updates."""
-        dropped = 0
-        for tier in (self.store.gpu, self.store.cpu):
-            for key in tier.keys():
-                if key.schema != schema_name:
-                    continue
-                if module_name is not None and key.module != module_name:
-                    continue
-                tier.remove(key)
-                dropped += 1
-        return dropped
+        dropped. This is the eviction half of runtime module updates.
+
+        Compiled plans and spliced bases referencing the module are
+        dropped too — serving a stale plan would be a silent correctness
+        bug."""
+        self._evict_compiled(schema_name, module_name)
+        return self.store.remove_matching(schema_name, module_name)
 
     def update_module_text(
         self, schema_name: str, module_name: str, new_text: str
@@ -384,6 +542,9 @@ class PromptCache:
         their cached states stay valid and are kept).
         """
         registered = self._registered(schema_name)
+        # The layout is about to change: every compiled plan and spliced
+        # base for this schema is stale regardless of which modules shift.
+        self._evict_compiled(schema_name)
         old_layout = registered.layout
         module = registered.schema.module(module_name)
         from repro.pml.ast import TextNode
@@ -429,15 +590,17 @@ class PromptCache:
     ) -> GenerationResult:
         """KV-cache baseline over the *same* token content as :meth:`serve`
         (modules inlined, arguments substituted), positions ``0..n-1``."""
-        resolved = self._resolve(prompt)
-        registered = self._registered(resolved.schema.name)
-        plan = self._plan(resolved, registered)
-        sequence: list[int] = []
-        for _, chunk in sorted(plan.baseline_chunks, key=lambda c: c[0]):
-            sequence.extend(chunk)
+        compiled = self._compiled(prompt)
+        if compiled.baseline_sequence is None:
+            sequence: list[int] = []
+            for _, chunk in sorted(
+                compiled.plan.baseline_chunks, key=lambda c: c[0]
+            ):
+                sequence.extend(chunk)
+            compiled.baseline_sequence = sequence
         return generate(
             self.model,
-            sequence,
+            list(compiled.baseline_sequence),
             max_new_tokens=max_new_tokens,
             sampler=sampler,
             stop_ids=stop_ids,
@@ -446,9 +609,7 @@ class PromptCache:
     def prompt_token_count(self, prompt: str) -> tuple[int, int]:
         """(cached, uncached) token counts for a prompt — what the latency
         benches feed the analytical device model."""
-        resolved = self._resolve(prompt)
-        registered = self._registered(resolved.schema.name)
-        plan = self._plan(resolved, registered)
+        plan = self._compiled(prompt).plan
         uncached = sum(len(t) for t, _ in plan.uncached)
         cached = sum(
             int(np.count_nonzero(_keep_mask(layout))) for layout, _ in plan.modules
@@ -596,6 +757,22 @@ class PromptCache:
             for mod, name in plan.modules
         ]
 
+    def _gather_module_records(
+        self, registered: RegisteredSchema, plan: _Plan, use_scaffolds: bool
+    ) -> list[tuple[CacheKey, ModuleKV, str]]:
+        """(store key, slot-dropped kv, tier served from) per selected
+        module, in document order; encodes on miss."""
+        records: list[tuple[CacheKey, ModuleKV, str]] = []
+        schema_name = registered.layout.schema_name
+        for mod, name, variant in self._variants_for(registered, plan, use_scaffolds):
+            kv, tier = self._ensure_encoded(registered, name, variant, self.default_tier)
+            kv = drop_param_slots(kv, mod, list(mod.params.values()))
+            if plan.recompute_tail is not None and plan.recompute_tail[0] == name:
+                # Fully-cached prompt: skip the tail token being recomputed.
+                kv = kv.slice(0, len(kv) - 1)
+            records.append((CacheKey(schema_name, name, variant), kv, tier))
+        return records
+
     def _gather_module_kvs(
         self, registered: RegisteredSchema, plan: _Plan, use_scaffolds: bool
     ) -> tuple[list[ModuleKV], dict[str, int]]:
@@ -603,26 +780,127 @@ class PromptCache:
         selected module, in document order."""
         module_kvs: list[ModuleKV] = []
         tier_tokens: dict[str, int] = {"gpu": 0, "cpu": 0}
-        for mod, name, variant in self._variants_for(registered, plan, use_scaffolds):
-            kv, tier = self._ensure_encoded(registered, name, variant, self.default_tier)
-            kv = drop_param_slots(kv, mod, list(mod.params.values()))
-            if plan.recompute_tail is not None and plan.recompute_tail[0] == name:
-                # Fully-cached prompt: skip the tail token being recomputed.
-                kv = kv.slice(0, len(kv) - 1)
+        for _, kv, tier in self._gather_module_records(registered, plan, use_scaffolds):
             tier_tokens[tier] += len(kv)
             if len(kv):
                 module_kvs.append(kv)
         return module_kvs, tier_tokens
 
-    def _assemble(
+    def _base_key(
         self, registered: RegisteredSchema, plan: _Plan, use_scaffolds: bool
+    ) -> tuple:
+        """Identity of a spliced base: schema + exact module/variant
+        sequence + the recompute-tail adjustment."""
+        variants = self._variants_for(registered, plan, use_scaffolds)
+        return (
+            registered.layout.schema_name,
+            tuple((name, variant) for _, name, variant in variants),
+            plan.recompute_tail,
+        )
+
+    def _validate_base(self, base: _SplicedBase) -> dict[str, int] | None:
+        """Re-check a spliced base's backing entries against the store.
+
+        Keeps the fast path honest: store hit statistics and tier
+        occupancy are recorded exactly as the slow path would record
+        them, CPU-tier hits still trigger promotion, and a base whose
+        backing entries vanished (capacity eviction) is rebuilt instead
+        of served stale. Returns tier_tokens, or None on any miss.
+        """
+        tier_tokens: dict[str, int] = {"gpu": 0, "cpu": 0}
+        for cache_key, count in base.entries:
+            found = self.store.fetch(cache_key)
+            if found is None:
+                return None
+            if found.tier == "cpu" and self.promote_on_cpu_hit:
+                self.store.prefetch([cache_key])
+            tier_tokens[found.tier] += count
+        return tier_tokens
+
+    def _fork_base(
+        self, registered: RegisteredSchema, plan: _Plan, use_scaffolds: bool
+    ) -> tuple["PagedKVCache", dict[str, int], int]:  # noqa: F821
+        """serve()'s paged splice: fork a shared pre-spliced base.
+
+        On a base hit the "splice" is refcount bumps plus a store
+        re-validation — no tensor copies at all; the fork inherits the
+        base's contiguous mirrors and extends them in place during
+        decode. On a miss the base is built once (arena-backed module
+        states paged in), mirrored, and kept for subsequent requests.
+        """
+        from repro.llm.paged import PagedKVCache
+
+        key = self._base_key(registered, plan, use_scaffolds)
+        with self._fastpath_lock:
+            base = self._bases.get(key)
+            if base is not None:
+                self._bases.move_to_end(key)
+        if base is not None:
+            tier_tokens = self._validate_base(base)
+            if tier_tokens is not None:
+                with self._fastpath_lock:
+                    self.plan_stats.base_hits += 1
+                    cache = base.cache.fork()
+                return cache, tier_tokens, base.cached_tokens
+            with self._fastpath_lock:
+                stale = self._bases.pop(key, None)
+                if stale is not None:
+                    stale.cache.free()
+
+        records = self._gather_module_records(registered, plan, use_scaffolds)
+        tier_tokens = {"gpu": 0, "cpu": 0}
+        entries: list[tuple[CacheKey, int]] = []
+        module_kvs: list[ModuleKV] = []
+        for cache_key, kv, tier in records:
+            tier_tokens[tier] += len(kv)
+            entries.append((cache_key, len(kv)))
+            if len(kv):
+                module_kvs.append(kv)
+        base_cache = PagedKVCache.from_module_kvs(self.model.config, module_kvs)
+        base_cache.materialize()
+        base = _SplicedBase(
+            cache=base_cache,
+            entries=entries,
+            cached_tokens=sum(count for _, count in entries),
+            module_names=frozenset(k.module for k, _ in entries),
+        )
+        with self._fastpath_lock:
+            self.plan_stats.base_misses += 1
+            self._bases[key] = base
+            while len(self._bases) > self.base_cache_size:
+                _, victim = self._bases.popitem(last=False)
+                victim.cache.free()
+            cache = base.cache.fork()
+        return cache, tier_tokens, base.cached_tokens
+
+    def _free_fork(self, cache) -> None:
+        with self._fastpath_lock:
+            cache.free()
+
+    def _assemble(
+        self,
+        registered: RegisteredSchema,
+        plan: _Plan,
+        use_scaffolds: bool,
+        extra_capacity: int = 0,
     ) -> tuple[KVCache, dict[str, int], int]:
-        """Concatenate the selected modules' cached states into a KVCache."""
+        """Concatenate the selected modules' cached states into a KVCache.
+
+        The default path splices layer-major module arenas into one big
+        arena per side — one allocation and one contiguous copy per
+        module, instead of the legacy path's per-layer buffered concats.
+        ``extra_capacity`` reserves room for the suffix + decode tokens so
+        no layer reallocates mid-request.
+        """
         module_kvs, tier_tokens = self._gather_module_kvs(registered, plan, use_scaffolds)
 
         config = self.model.config
         if not module_kvs:
             return KVCache.empty(config), tier_tokens, 0
+
+        if self.splice_mode != "legacy":
+            cache = _arena_splice(config, module_kvs, extra_capacity)
+            return cache, tier_tokens, len(cache)
 
         layers: list[LayerKV] = []
         for i in range(config.n_layers):
@@ -632,6 +910,42 @@ class PromptCache:
             layers.append(LayerKV.from_arrays(keys, values, positions))
         cache = KVCache(layers)
         return cache, tier_tokens, len(cache)
+
+
+def _arena_splice(
+    config, module_kvs: list[ModuleKV], extra_capacity: int = 0
+) -> KVCache:
+    """Splice arena-backed modules with one allocation per side.
+
+    Builds a single ``(n_layers, n_kv_heads, capacity, head_dim)`` arena
+    per side; each module lands with one contiguous copy covering every
+    layer at once, and each layer adopts its slice of the arena (spare
+    capacity included) without further copies.
+    """
+    module_kvs = [kv if kv.is_arena else kv.ensure_arena() for kv in module_kvs]
+    total = sum(len(kv) for kv in module_kvs)
+    capacity = max(total + extra_capacity, 1)
+    shape = (config.n_layers, config.n_kv_heads, capacity, config.head_dim)
+    key_arena = tracked_alloc(shape)
+    value_arena = tracked_alloc(shape)
+    positions = np.empty(capacity, dtype=np.int64)
+    offset = 0
+    for kv in module_kvs:
+        n = len(kv)
+        key_arena[:, :, offset : offset + n, :] = kv.key_arena
+        value_arena[:, :, offset : offset + n, :] = kv.value_arena
+        positions[offset : offset + n] = kv.positions
+        offset += n
+    layers = [
+        LayerKV.adopt(
+            key_arena[i],
+            value_arena[i],
+            positions if i == 0 else positions.copy(),
+            total,
+        )
+        for i in range(config.n_layers)
+    ]
+    return KVCache(layers)
 
 
 def _keep_mask(mod: ModuleLayout) -> np.ndarray:

@@ -282,6 +282,22 @@ class ModuleCacheStore:
     def total_bytes(self) -> int:
         return self.gpu.used_bytes + self.cpu.used_bytes
 
+    def remove_matching(self, schema: str, module: str | None = None) -> int:
+        """Drop every entry of ``schema`` (optionally restricted to one
+        module) from both tiers. Returns the number of entries removed —
+        the storage half of :meth:`PromptCache.invalidate`."""
+        removed = 0
+        with self._lock:
+            for tier in (self.gpu, self.cpu):
+                for key in tier.keys():
+                    if key.schema != schema:
+                        continue
+                    if module is not None and key.module != module:
+                        continue
+                    tier.remove(key)
+                    removed += 1
+        return removed
+
     def prefetch(self, keys: list[CacheKey]) -> int:
         """Promote CPU-resident modules into the GPU tier ahead of use —
         the union-aware prefetching the paper floats in §3.2.3. Returns how

@@ -63,6 +63,36 @@ def attention_scores(
     return np.where(allowed[None, :, :], scores, _NEG_INF)
 
 
+def grouped_scores(q: np.ndarray, k: np.ndarray, n_rep: int) -> np.ndarray:
+    """Scaled scores (n_heads, Tq, Tk) without expanding KV heads.
+
+    For GQA (``n_rep > 1``) the query heads are folded into
+    ``(n_kv_heads, n_rep, Tq, head_dim)`` and matmul broadcasts the
+    un-expanded keys across the group axis. Each 2-D GEMM slice is the
+    same ``q_h @ k_g.T`` product the :func:`repeat_kv` path computes, so
+    the result is bit-identical — minus the ``n_rep×`` key/value copy.
+    """
+    head_dim = q.shape[-1]
+    scale = np.sqrt(np.float32(head_dim))
+    if n_rep == 1:
+        return q @ k.transpose(0, 2, 1) / scale
+    n_heads, tq, _ = q.shape
+    n_kv = k.shape[0]
+    folded = q.reshape(n_kv, n_rep, tq, head_dim)
+    scores = folded @ k[:, None, :, :].transpose(0, 1, 3, 2)
+    return scores.reshape(n_heads, tq, -1) / scale
+
+
+def grouped_context(weights: np.ndarray, v: np.ndarray, n_rep: int) -> np.ndarray:
+    """``weights @ values`` (n_heads, Tq, head_dim) without expanding values."""
+    if n_rep == 1:
+        return weights @ v
+    n_heads, tq, tk = weights.shape
+    n_kv = v.shape[0]
+    context = weights.reshape(n_kv, n_rep, tq, tk) @ v[:, None, :, :]
+    return context.reshape(n_heads, tq, -1)
+
+
 def self_attention(
     x: np.ndarray,
     *,
@@ -101,14 +131,24 @@ def self_attention(
         k = rope.apply(k, position_ids)
 
     layer_kv.append(k, v, position_ids)
-    keys = repeat_kv(layer_kv.keys, n_heads // n_kv_heads)
-    values = repeat_kv(layer_kv.values, n_heads // n_kv_heads)
+    n_rep = n_heads // n_kv_heads
+    k_positions = layer_kv.positions
 
-    scores = attention_scores(
-        q, keys, position_ids, layer_kv.positions, alibi=alibi
-    )
-    weights = softmax(scores.astype(DTYPE))
+    scores = grouped_scores(q, layer_kv.keys, n_rep)
+    if alibi is not None:
+        scores = scores + alibi.bias(position_ids, k_positions)
+    if q.shape[1] == 1 and bool((k_positions <= position_ids[0]).all()):
+        # Decode fast path: a single query token whose position is at or
+        # after every cached key — the causal mask is all-True, so the
+        # np.where would be an elementwise identity. Skip building it.
+        pass
+    else:
+        allowed = causal_position_mask(position_ids, k_positions)
+        scores = np.where(allowed[None, :, :], scores, _NEG_INF)
+    if scores.dtype != DTYPE:
+        scores = scores.astype(DTYPE)
+    weights = softmax(scores)
     if trace is not None:
-        trace.append((weights.copy(), layer_kv.positions.copy()))
-    context = weights @ values
+        trace.append((weights.copy(), k_positions.copy()))
+    context = grouped_context(weights, layer_kv.values, n_rep)
     return linear(merge_heads(context), wo, bo)

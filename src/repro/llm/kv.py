@@ -41,6 +41,16 @@ def _alloc(shape: tuple[int, ...], dtype=DTYPE) -> np.ndarray:
     return np.empty(shape, dtype=dtype)
 
 
+def tracked_alloc(shape: tuple[int, ...], dtype=DTYPE) -> np.ndarray:
+    """Allocate an uninitialized buffer, counted by :func:`allocation_count`.
+
+    The paged store and the splice fast path route their buffer
+    allocations through here so the concat/splice benches can compare
+    allocation behaviour across code paths with one counter.
+    """
+    return _alloc(shape, dtype=dtype)
+
+
 class LayerKV:
     """Growable KV buffer for one transformer layer.
 
@@ -70,6 +80,34 @@ class LayerKV:
         n_kv_heads, length, head_dim = keys.shape
         kv = cls(n_kv_heads, head_dim, capacity=max(length, 1))
         kv.append(keys, values, positions)
+        return kv
+
+    @classmethod
+    def adopt(
+        cls,
+        keys: np.ndarray,
+        values: np.ndarray,
+        positions: np.ndarray,
+        length: int,
+    ) -> "LayerKV":
+        """Take ownership of preallocated buffers **without copying**.
+
+        ``keys``/``values`` are (n_kv_heads, capacity, head_dim) buffers
+        whose first ``length`` tokens are valid; ``positions`` is the
+        matching (capacity,) int64 buffer. Appends write into the spare
+        capacity in place; growth beyond it reallocates privately. This is
+        the splice fast path: one arena allocation serves every layer.
+        """
+        n_kv_heads, capacity, head_dim = keys.shape
+        if not (0 <= length <= capacity):
+            raise ValueError(f"length {length} outside buffer capacity {capacity}")
+        kv = cls.__new__(cls)
+        kv.n_kv_heads = n_kv_heads
+        kv.head_dim = head_dim
+        kv._keys = keys
+        kv._values = values
+        kv._positions = positions
+        kv._length = length
         return kv
 
     def __len__(self) -> int:
@@ -210,11 +248,56 @@ class ModuleKV:
     ``keys[i]``/``values[i]`` are the layer-``i`` tensors of shape
     ``(n_kv_heads, T, head_dim)``; ``positions`` is the shared ``(T,)``
     absolute position-ID array assigned by the schema layout.
+
+    When the module was encoded through the splice fast path, the
+    per-layer tensors are views into one contiguous **layer-major arena**
+    of shape ``(n_layers, n_kv_heads, T, head_dim)`` (``key_arena`` /
+    ``value_arena``), so splicing can copy a whole module — every layer —
+    with a single memcpy instead of ``n_layers`` slice copies.
     """
 
     keys: list[np.ndarray]
     values: list[np.ndarray]
     positions: np.ndarray
+    key_arena: np.ndarray | None = None
+    value_arena: np.ndarray | None = None
+
+    @classmethod
+    def from_arenas(
+        cls, key_arena: np.ndarray, value_arena: np.ndarray, positions: np.ndarray
+    ) -> "ModuleKV":
+        """Build from (n_layers, n_kv_heads, T, head_dim) arenas; the
+        per-layer lists become zero-copy views."""
+        return cls(
+            keys=list(key_arena),
+            values=list(value_arena),
+            positions=positions,
+            key_arena=key_arena,
+            value_arena=value_arena,
+        )
+
+    @property
+    def is_arena(self) -> bool:
+        return self.key_arena is not None
+
+    def ensure_arena(self) -> "ModuleKV":
+        """Return an arena-backed equivalent (self when already one).
+
+        Stacking costs one allocation + copy per tensor; codecs that
+        rebuild per-layer arrays (fp16/int8) land here on decode.
+        """
+        if self.is_arena:
+            return self
+        n_layers = len(self.keys)
+        if n_layers == 0:
+            return self
+        head_shape = self.keys[0].shape
+        key_arena = _alloc((n_layers, *head_shape), dtype=self.keys[0].dtype)
+        value_arena = _alloc((n_layers, *head_shape), dtype=self.values[0].dtype)
+        for i in range(n_layers):
+            key_arena[i] = self.keys[i]
+            value_arena[i] = self.values[i]
+        return ModuleKV.from_arenas(key_arena, value_arena, self.positions)
 
     def __len__(self) -> int:
         return int(self.positions.shape[0])
@@ -225,6 +308,12 @@ class ModuleKV:
 
     def slice(self, start: int, stop: int) -> "ModuleKV":
         """Token-range view (used for parameter-slot surgery)."""
+        if self.is_arena:
+            return ModuleKV.from_arenas(
+                self.key_arena[:, :, start:stop, :],
+                self.value_arena[:, :, start:stop, :],
+                self.positions[start:stop],
+            )
         return ModuleKV(
             keys=[k[:, start:stop, :] for k in self.keys],
             values=[v[:, start:stop, :] for v in self.values],

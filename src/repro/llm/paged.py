@@ -23,15 +23,19 @@ demonstrated end-to-end with bit-identical outputs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.llm.config import ModelConfig
-from repro.llm.kv import ModuleKV
-from repro.llm.layers import DTYPE
+from repro.llm.kv import ModuleKV, tracked_alloc
 
 PAGE_TOKENS = 16
+
+# Spare capacity (tokens) built into a freshly gathered mirror so the
+# first decode steps extend in place instead of growing immediately.
+_MIRROR_HEADROOM = 64
 
 
 @dataclass
@@ -40,6 +44,7 @@ class PoolStats:
     pages_freed: int = 0
     peak_live_pages: int = 0
     cow_copies: int = 0
+    mirror_gathers: int = 0
 
 
 class PagePool:
@@ -71,9 +76,9 @@ class PagePool:
             return page
         page = len(self._keys)
         shape = (self.n_kv_heads, self.page_tokens, self.head_dim)
-        self._keys.append(np.zeros(shape, dtype=DTYPE))
-        self._values.append(np.zeros(shape, dtype=DTYPE))
-        self._positions.append(np.zeros(self.page_tokens, dtype=np.int64))
+        self._keys.append(tracked_alloc(shape))
+        self._values.append(tracked_alloc(shape))
+        self._positions.append(np.empty(self.page_tokens, dtype=np.int64))
         self._used.append(0)
         self._refcounts.append(1)
         self.stats.pages_allocated += 1
@@ -137,13 +142,73 @@ class PagePool:
         )
 
 
+class _Mirror:
+    """Shared contiguous image of a paged sequence, with spare capacity.
+
+    The attention kernel wants flat ``(n_kv_heads, T, head_dim)`` arrays;
+    re-gathering the page table on every decode step is O(T) per step. A
+    mirror is gathered once and then *extended in place*: appends write the
+    new tokens at the tail, O(added) per step.
+
+    Several forks of one sequence share a single mirror. Exactly one of
+    them may hold the **lease** — the right to extend the image in place.
+    The lease is taken lazily by the first sharer that appends while the
+    image tail matches its own length, and released (with the tail
+    truncated back to the shared prefix) when that sequence is freed, so
+    the next fork of the same base extends the same buffers with zero
+    prefix copies. Sharers that cannot take the lease fall back to a
+    private mirror seeded by one contiguous memcpy of the shared prefix.
+
+    Invariant: for every sequence S referencing this mirror,
+    ``mirror[:S._mirror_len]`` equals S's first ``_mirror_len`` tokens and
+    ``S._mirror_len <= self.length`` — in-place writes only ever land at
+    offsets >= every sharer's prefix.
+    """
+
+    __slots__ = (
+        "keys", "values", "positions", "length",
+        "lease", "lease_start", "fork_high_water", "lock",
+    )
+
+    def __init__(
+        self, n_kv_heads: int, head_dim: int, capacity: int, length: int
+    ) -> None:
+        self.keys = tracked_alloc((n_kv_heads, capacity, head_dim))
+        self.values = tracked_alloc((n_kv_heads, capacity, head_dim))
+        self.positions = np.empty(capacity, dtype=np.int64)
+        self.length = length
+        self.lease: "PagedLayerKV | None" = None
+        self.lease_start = length
+        self.fork_high_water = length
+        # Serializes lease transitions and tail writes when forks decode
+        # from different server worker threads.
+        self.lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self.keys.shape[1]
+
+    def grow(self, total: int) -> None:
+        if total <= self.capacity:
+            return
+        new_capacity = max(total, 2 * self.capacity)
+        for name in ("keys", "values"):
+            old = getattr(self, name)
+            buf = tracked_alloc((old.shape[0], new_capacity, old.shape[2]))
+            buf[:, : self.length] = old[:, : self.length]
+            setattr(self, name, buf)
+        positions = np.empty(new_capacity, dtype=np.int64)
+        positions[: self.length] = self.positions[: self.length]
+        self.positions = positions
+
+
 class PagedLayerKV:
     """LayerKV-compatible store backed by a page table.
 
-    ``keys``/``values``/``positions`` materialize contiguous arrays on
-    demand (gather over the page table); results are memoized until the
-    next mutation, so a decode step costs one gather, not one per layer
-    access.
+    Pages remain the source of truth (they are what ``fork()`` shares and
+    what copy-on-write protects); ``keys``/``values``/``positions`` are
+    served from a contiguous :class:`_Mirror` that is gathered lazily on
+    first access and extended in place afterwards.
     """
 
     def __init__(self, pool: PagePool) -> None:
@@ -152,7 +217,8 @@ class PagedLayerKV:
         self.head_dim = pool.head_dim
         self._table: list[int] = []
         self._length = 0
-        self._cache: tuple | None = None
+        self._mirror: _Mirror | None = None
+        self._mirror_len = 0
 
     def __len__(self) -> int:
         return self._length
@@ -167,7 +233,6 @@ class PagedLayerKV:
         added = keys.shape[1]
         if values.shape[1] != added or len(positions) != added:
             raise ValueError("keys, values and positions must agree on length")
-        self._cache = None
         offset = 0
         while offset < added:
             tail_used = self._length % self.pool.page_tokens
@@ -190,6 +255,46 @@ class PagedLayerKV:
             )
             offset += wrote
             self._length += wrote
+        if self._mirror is not None:
+            self._extend_mirror(keys, values, positions)
+
+    def _extend_mirror(self, keys, values, positions) -> None:
+        mirror = self._mirror
+        added = keys.shape[1]
+        with mirror.lock:
+            if mirror.lease is None and mirror.length == self._mirror_len:
+                mirror.lease = self
+                mirror.lease_start = self._mirror_len
+            holds_lease = mirror.lease is self
+        if holds_lease:
+            # We own the tail: extend the shared image in place.
+            mirror.grow(mirror.length + added)
+            end = mirror.length + added
+            mirror.keys[:, mirror.length : end] = keys
+            mirror.values[:, mirror.length : end] = values
+            mirror.positions[mirror.length : end] = positions
+            mirror.length = end
+            self._mirror_len = end
+            return
+        # Another sequence is extending the shared image — seed a private
+        # mirror with one contiguous memcpy of the shared prefix.
+        prefix = self._mirror_len
+        total = prefix + added
+        fresh = _Mirror(
+            self.n_kv_heads, self.head_dim,
+            capacity=max(total + _MIRROR_HEADROOM, 1), length=total,
+        )
+        fresh.keys[:, :prefix] = mirror.keys[:, :prefix]
+        fresh.values[:, :prefix] = mirror.values[:, :prefix]
+        fresh.positions[:prefix] = mirror.positions[:prefix]
+        fresh.keys[:, prefix:total] = keys
+        fresh.values[:, prefix:total] = values
+        fresh.positions[prefix:total] = positions
+        fresh.lease = self
+        fresh.lease_start = prefix
+        fresh.fork_high_water = prefix
+        self._mirror = fresh
+        self._mirror_len = total
 
     def reserve(self, total: int) -> None:
         """Interface parity with LayerKV; pages allocate lazily."""
@@ -201,48 +306,67 @@ class PagedLayerKV:
         sibling._length = self._length
         for page in sibling._table:
             self.pool.retain(page)
+        if self._mirror is not None:
+            sibling._mirror = self._mirror
+            sibling._mirror_len = self._mirror_len
+            with self._mirror.lock:
+                self._mirror.fork_high_water = max(
+                    self._mirror.fork_high_water, self._mirror_len
+                )
         return sibling
 
     def free(self) -> None:
+        mirror = self._mirror
+        if mirror is not None:
+            with mirror.lock:
+                if mirror.lease is self:
+                    # Hand the image back: truncate our private tail so
+                    # the next fork of the same base can extend in place
+                    # from the shared prefix (no live sharer's prefix
+                    # extends past this point).
+                    mirror.lease = None
+                    mirror.length = max(mirror.lease_start, mirror.fork_high_water)
+        self._mirror = None
+        self._mirror_len = 0
         for page in self._table:
             self.pool.release(page)
         self._table = []
         self._length = 0
-        self._cache = None
 
     # -- materialized views --------------------------------------------------------
 
-    def _materialize(self):
-        if self._cache is None:
-            if not self._table:
-                shape = (self.n_kv_heads, 0, self.head_dim)
-                empty = np.empty(shape, dtype=DTYPE)
-                self._cache = (empty, empty.copy(), np.empty(0, dtype=np.int64))
-            else:
-                parts = []
-                remaining = self._length
-                for page in self._table:
-                    upto = min(self.pool.page_tokens, remaining)
-                    parts.append(self.pool.page_views(page, upto))
-                    remaining -= upto
-                self._cache = (
-                    np.concatenate([p[0] for p in parts], axis=1),
-                    np.concatenate([p[1] for p in parts], axis=1),
-                    np.concatenate([p[2] for p in parts]),
-                )
-        return self._cache
+    def _ensure_mirror(self) -> _Mirror:
+        mirror = self._mirror
+        if mirror is not None:
+            return mirror
+        capacity = max(self._length + _MIRROR_HEADROOM, 1)
+        mirror = _Mirror(self.n_kv_heads, self.head_dim, capacity, self._length)
+        offset = 0
+        remaining = self._length
+        for page in self._table:
+            upto = min(self.pool.page_tokens, remaining)
+            k, v, p = self.pool.page_views(page, upto)
+            mirror.keys[:, offset : offset + upto] = k
+            mirror.values[:, offset : offset + upto] = v
+            mirror.positions[offset : offset + upto] = p
+            offset += upto
+            remaining -= upto
+        self.pool.stats.mirror_gathers += 1
+        self._mirror = mirror
+        self._mirror_len = self._length
+        return mirror
 
     @property
     def keys(self) -> np.ndarray:
-        return self._materialize()[0]
+        return self._ensure_mirror().keys[:, : self._length]
 
     @property
     def values(self) -> np.ndarray:
-        return self._materialize()[1]
+        return self._ensure_mirror().values[:, : self._length]
 
     @property
     def positions(self) -> np.ndarray:
-        return self._materialize()[2]
+        return self._ensure_mirror().positions[: self._length]
 
     def nbytes(self) -> int:
         """This sequence's *logical* bytes (shared pages fully charged)."""
@@ -296,6 +420,16 @@ class PagedKVCache:
 
     def fork(self) -> "PagedKVCache":
         return PagedKVCache([layer.fork() for layer in self.layers], self.pools)
+
+    def materialize(self) -> None:
+        """Pre-gather every layer's contiguous mirror.
+
+        Called once when a shared base is built so that subsequent forks
+        inherit the mirrors and the serving fast path never re-gathers —
+        the first fork to decode extends the shared image in place.
+        """
+        for layer in self.layers:
+            layer._ensure_mirror()
 
     def free(self) -> None:
         for layer in self.layers:

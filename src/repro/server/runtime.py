@@ -388,10 +388,35 @@ class LiveServer:
                 _b.inc(entry.nbytes)
 
             tier.add_evict_listener(on_evict)
+        self._wire_plan_cache_metrics()
         self.refresh_store_gauges()
+
+    def _wire_plan_cache_metrics(self) -> None:
+        """Export the engine's compiled-plan cache events as counters."""
+        add_listener = getattr(self.pc, "add_plan_cache_listener", None)
+        if add_listener is None:  # stub engines in tests
+            return
+        counters = {
+            event: self.metrics.counter(
+                "plan_cache_events_total",
+                "compiled-plan cache hits/misses/invalidations",
+                event=event,
+            )
+            for event in ("hit", "miss", "invalidation")
+        }
+        add_listener(lambda event: counters[event].inc())
 
     def refresh_store_gauges(self) -> None:
         """Mirror the module store's counters into the registry."""
+        stats_fn = getattr(self.pc, "plan_cache_stats", None)
+        if stats_fn is not None:
+            stats = stats_fn()
+            self.metrics.gauge(
+                "plan_cache_hit_rate", "compiled-plan hits / lookups"
+            ).set(stats.hit_rate)
+            self.metrics.gauge(
+                "plan_cache_base_hits", "serves that reused a spliced base"
+            ).set(stats.base_hits)
         for tier in (self.pc.store.gpu, self.pc.store.cpu):
             stats = tier.stats
             g = self.metrics.gauge

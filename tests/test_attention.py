@@ -90,3 +90,67 @@ class TestAttentionScores:
         np.testing.assert_allclose(
             biased - plain, alibi.bias(qpos, kpos), atol=1e-5
         )
+
+
+class TestGroupedBroadcastPaths:
+    """The GQA broadcast matmul must match the np.repeat expansion exactly:
+    each 2-D GEMM slice sees identical operands, so results are bit-equal."""
+
+    def scores_via_repeat(self, q, k, n_rep):
+        head_dim = q.shape[-1]
+        expanded = repeat_kv(k, n_rep)
+        return q @ expanded.transpose(0, 2, 1) / np.sqrt(np.float32(head_dim))
+
+    @pytest.mark.parametrize("n_rep", [2, 4])
+    @pytest.mark.parametrize("tq,tk", [(1, 7), (5, 5), (9, 23)])
+    def test_grouped_scores_bit_equal_to_repeat(self, n_rep, tq, tk):
+        from repro.llm.attention import grouped_scores
+
+        n_kv, head_dim = 3, 8
+        q = RNG.normal(size=(n_kv * n_rep, tq, head_dim)).astype(np.float32)
+        k = RNG.normal(size=(n_kv, tk, head_dim)).astype(np.float32)
+        got = grouped_scores(q, k, n_rep)
+        want = self.scores_via_repeat(q, k, n_rep)
+        assert got.tobytes() == want.tobytes()
+
+    @pytest.mark.parametrize("n_rep", [2, 4])
+    def test_grouped_context_bit_equal_to_repeat(self, n_rep):
+        from repro.llm.attention import grouped_context
+
+        n_kv, tq, tk, head_dim = 3, 5, 11, 8
+        weights = RNG.normal(size=(n_kv * n_rep, tq, tk)).astype(np.float32)
+        v = RNG.normal(size=(n_kv, tk, head_dim)).astype(np.float32)
+        got = grouped_context(weights, v, n_rep)
+        want = weights @ repeat_kv(v, n_rep)
+        assert got.tobytes() == want.tobytes()
+
+    def test_n_rep_one_passthrough(self):
+        from repro.llm.attention import grouped_context, grouped_scores
+
+        q = RNG.normal(size=(4, 3, 8)).astype(np.float32)
+        k = RNG.normal(size=(4, 6, 8)).astype(np.float32)
+        got = grouped_scores(q, k, 1)
+        want = q @ k.transpose(0, 2, 1) / np.sqrt(np.float32(8))
+        assert got.tobytes() == want.tobytes()
+        w = RNG.normal(size=(4, 3, 6)).astype(np.float32)
+        v = RNG.normal(size=(4, 6, 8)).astype(np.float32)
+        assert grouped_context(w, v, 1).tobytes() == (w @ v).tobytes()
+
+
+class TestDecodeMaskSkip:
+    """A single query token at/after every cached key needs no mask; the
+    fast path must be invisible (np.where with an all-True mask is the
+    identity)."""
+
+    def test_all_true_mask_is_identity(self):
+        scores = RNG.normal(size=(2, 1, 9)).astype(np.float32)
+        allowed = causal_position_mask(np.array([20]), np.arange(9))
+        assert allowed.all()
+        masked = np.where(allowed[None, :, :], scores, np.float32(-1e9))
+        assert masked.tobytes() == scores.tobytes()
+
+    def test_gapped_future_key_still_masked(self):
+        # A cached key *after* the query position must not be attendable,
+        # so the fast-path condition (all keys <= query) is required.
+        allowed = causal_position_mask(np.array([5]), np.array([1, 2, 9]))
+        assert not allowed.all()

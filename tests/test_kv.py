@@ -162,3 +162,89 @@ class TestModuleKV:
         kv = self.make(6)
         expected = 3 * 2 * (2 * 6 * 4 * 4) + 6 * 8
         assert kv.nbytes() == expected
+
+
+class TestConcatProperty:
+    """Paper §4.2: the buffered operator must be a drop-in replacement —
+    bit-for-bit equal to both pairwise and one-shot concatenation."""
+
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=9), min_size=1, max_size=6),
+        heads=st.integers(min_value=1, max_value=4),
+        head_dim=st.integers(min_value=1, max_value=8),
+        axis=st.sampled_from([0, 1, 2]),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_three_concats_bit_equal(self, sizes, heads, head_dim, axis, seed):
+        rng = np.random.default_rng(seed)
+        arrays = []
+        for n in sizes:
+            shape = [heads, 5, head_dim]
+            shape[axis] = n
+            arrays.append(rng.normal(size=shape).astype(np.float32))
+        reference = np.concatenate(arrays, axis=axis)
+        buffered = buffered_concat(arrays, axis=axis)
+        naive = naive_concat(arrays, axis=axis)
+        assert buffered.tobytes() == reference.tobytes()
+        assert naive.tobytes() == reference.tobytes()
+
+
+class TestLayerKVAdopt:
+    def test_adopt_shares_buffers_without_copy(self):
+        keys = rand_block(2, 8, 4)
+        values = rand_block(2, 8, 4)
+        positions = np.arange(8)
+        kv = LayerKV.adopt(keys, values, positions, length=5)
+        assert len(kv) == 5
+        assert kv.keys.base is keys  # view, not a copy
+        np.testing.assert_array_equal(kv.keys, keys[:, :5, :])
+
+    def test_adopt_appends_into_spare_capacity(self):
+        keys = rand_block(2, 8, 4)
+        values = rand_block(2, 8, 4)
+        kv = LayerKV.adopt(keys, values, np.arange(8), length=5)
+        reset_allocation_count()
+        kv.append(rand_block(2, 2, 4), rand_block(2, 2, 4), np.array([5, 6]))
+        assert allocation_count() == 0  # wrote in place
+        assert len(kv) == 7
+
+    def test_adopt_rejects_bad_length(self):
+        keys = rand_block(2, 4, 4)
+        with pytest.raises(ValueError):
+            LayerKV.adopt(keys, keys.copy(), np.arange(4), length=9)
+
+
+class TestModuleKVArena:
+    def make_arena(self, layers=3, tokens=6):
+        rng = np.random.default_rng(7)
+        shape = (layers, 2, tokens, 4)
+        return ModuleKV.from_arenas(
+            rng.normal(size=shape).astype(np.float32),
+            rng.normal(size=shape).astype(np.float32),
+            np.arange(10, 10 + tokens),
+        )
+
+    def test_from_arenas_layers_are_views(self):
+        kv = self.make_arena()
+        assert kv.is_arena
+        assert kv.keys[1].base is kv.key_arena
+        np.testing.assert_array_equal(kv.keys[1], kv.key_arena[1])
+
+    def test_slice_stays_arena_backed(self):
+        kv = self.make_arena()
+        part = kv.slice(2, 5)
+        assert part.is_arena
+        np.testing.assert_array_equal(part.keys[0], kv.keys[0][:, 2:5, :])
+
+    def test_ensure_arena_stacks_per_layer_lists(self):
+        flat = ModuleKV(
+            keys=[rand_block(2, 6, 4) for _ in range(3)],
+            values=[rand_block(2, 6, 4) for _ in range(3)],
+            positions=np.arange(6),
+        )
+        assert not flat.is_arena
+        arena = flat.ensure_arena()
+        assert arena.is_arena
+        for i in range(3):
+            np.testing.assert_array_equal(arena.keys[i], flat.keys[i])

@@ -394,3 +394,24 @@ class TestIntegration:
         assert pc.store.gpu.stats.hit_rate > 0
         snap = server.snapshot()
         assert snap["gauges"]['cache_tier_hits{tier="gpu"}'] > 0
+
+    def test_plan_cache_counters_reach_metrics(self, llama, tok):
+        pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+        pc.register_schema(self.SCHEMA)
+
+        async def main():
+            async with LiveServer(
+                pc, ServeOptions(queue_delay_budget_s=None)
+            ) as server:
+                await server.serve(self.PROMPT, max_new_tokens=1)
+                await server.serve(self.PROMPT, max_new_tokens=1)
+                return server, server.prometheus()
+
+        server, prom = run(main())
+        snap = server.snapshot()
+        c = snap["counters"]
+        assert c['plan_cache_events_total{event="miss"}'] == 1
+        assert c['plan_cache_events_total{event="hit"}'] == 1
+        assert c['plan_cache_events_total{event="invalidation"}'] == 0
+        assert snap["gauges"]["plan_cache_hit_rate"] == 0.5
+        assert 'plan_cache_events_total{event="hit"} 1' in prom

@@ -1,0 +1,270 @@
+"""The three-level splice fast path: compiled plans, spliced bases, mirrors.
+
+Correctness contracts:
+
+- The ``"paged"``/``"arena"`` splice modes produce output token IDs
+  byte-identical to the ``"legacy"`` per-layer buffered-concat path.
+- Compiled plans are memoized but never served stale: ``register_schema``,
+  ``invalidate`` and ``update_module_text`` evict affected entries.
+- A spliced-base hit records the same store statistics, tier occupancy
+  and CPU-hit promotion as the slow path, and skips the splice memcpy.
+- The paged mirror is extended in place during decode; freeing a request
+  hands the lease back so the next fork also skips the gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.engine import PromptCache
+from repro.cache.storage import CacheKey, ModuleCacheStore
+from repro.llm.kv import allocation_count, reset_allocation_count
+from repro.pml import PLAIN_TEMPLATE
+
+DOC = (
+    '<schema name="doc"><module name="d">the quick brown fox jumps over the '
+    'lazy dog again and again</module></schema>'
+)
+
+TWO_MODULES = (
+    '<schema name="duo2">'
+    '<module name="a">the quick brown fox jumps over the lazy dog</module>'
+    '<module name="b">plan a trip lasting three days focus on food</module>'
+    '</schema>'
+)
+
+PROMPT = '<prompt schema="doc"><d/> plan a trip</prompt>'
+
+
+def make_pc(model, tok, **kwargs):
+    pc = PromptCache(model, tok, template=PLAIN_TEMPLATE, **kwargs)
+    pc.register_schema(DOC)
+    return pc
+
+
+class TestPlanCache:
+    def test_repeat_serves_hit(self, llama, tok):
+        pc = make_pc(llama, tok)
+        pc.serve(PROMPT, max_new_tokens=2)
+        assert pc.plan_stats.misses == 1
+        pc.serve(PROMPT, max_new_tokens=2)
+        assert pc.plan_stats.hits == 1
+        assert pc.plan_stats.misses == 1
+
+    def test_whitespace_canonicalization(self, llama, tok):
+        pc = make_pc(llama, tok)
+        pc.serve(PROMPT, max_new_tokens=1)
+        pc.serve(f"  {PROMPT}\n", max_new_tokens=1)
+        assert pc.plan_stats.hits == 1
+
+    def test_baseline_and_token_count_share_plans(self, llama, tok):
+        pc = make_pc(llama, tok)
+        pc.prompt_token_count(PROMPT)
+        assert pc.plan_stats.misses == 1
+        pc.baseline(PROMPT, max_new_tokens=1)
+        pc.serve(PROMPT, max_new_tokens=1)
+        assert pc.plan_stats.misses == 1
+        assert pc.plan_stats.hits == 2
+
+    def test_lru_bound(self, llama, tok):
+        pc = make_pc(llama, tok, plan_cache_size=2)
+        for text in ("one", "two", "three"):
+            pc.prompt_token_count(f'<prompt schema="doc"><d/> {text}</prompt>')
+        assert len(pc._plan_cache) == 2
+
+    def test_update_module_text_evicts_plans(self, llama, tok):
+        pc = make_pc(llama, tok)
+        pc.serve(PROMPT, max_new_tokens=4)
+        pc.update_module_text("doc", "d", "the capital of atlantis is coral city")
+        assert pc.plan_stats.invalidations >= 1
+        updated = pc.serve(PROMPT, max_new_tokens=4)
+        assert pc.plan_stats.misses >= 2  # re-planned, not served stale
+        # The updated module genuinely flows through: same content as a
+        # freshly built engine over the new text.
+        fresh = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+        fresh.register_schema(
+            '<schema name="doc"><module name="d">the capital of atlantis is '
+            "coral city</module></schema>"
+        )
+        assert updated.output_ids == fresh.serve(PROMPT, max_new_tokens=4).output_ids
+
+    def test_invalidate_evicts_plans(self, llama, tok):
+        pc = make_pc(llama, tok)
+        pc.serve(PROMPT, max_new_tokens=1)
+        assert pc.invalidate("doc", "d") >= 0
+        assert pc.plan_stats.invalidations == 1
+        pc.serve(PROMPT, max_new_tokens=1)
+        assert pc.plan_stats.misses == 2
+
+    def test_invalidate_other_module_keeps_plans(self, llama, tok):
+        pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+        pc.register_schema(TWO_MODULES)
+        pc.prompt_token_count('<prompt schema="duo2"><a/> q</prompt>')
+        pc.invalidate("duo2", "b")  # plan does not reference module b
+        assert pc.plan_stats.invalidations == 0
+        pc.prompt_token_count('<prompt schema="duo2"><a/> q</prompt>')
+        assert pc.plan_stats.hits == 1
+
+    def test_reregister_evicts_plans(self, llama, tok):
+        pc = make_pc(llama, tok)
+        pc.serve(PROMPT, max_new_tokens=1)
+        pc.register_schema(DOC)
+        assert pc.plan_stats.invalidations == 1
+
+    def test_listener_sees_events(self, llama, tok):
+        pc = make_pc(llama, tok)
+        events: list[str] = []
+        pc.add_plan_cache_listener(events.append)
+        pc.serve(PROMPT, max_new_tokens=1)
+        pc.serve(PROMPT, max_new_tokens=1)
+        pc.invalidate("doc")
+        assert events == ["miss", "hit", "invalidation"]
+
+
+class TestSpliceModeEquivalence:
+    @pytest.mark.parametrize("mode", ["paged", "arena"])
+    def test_outputs_byte_identical_to_legacy(self, any_model, tok, mode):
+        legacy = make_pc(any_model, tok, splice_mode="legacy")
+        fast = make_pc(any_model, tok, splice_mode=mode)
+        for prompt in (PROMPT, '<prompt schema="doc"><d/> what happened ?</prompt>'):
+            want = legacy.serve(prompt, max_new_tokens=8)
+            got = fast.serve(prompt, max_new_tokens=8)
+            assert got.output_ids == want.output_ids
+            # Repeat: the base-hit path must also be identical.
+            again = fast.serve(prompt, max_new_tokens=8)
+            assert again.output_ids == want.output_ids
+
+    def test_invalid_mode_rejected(self, llama, tok):
+        with pytest.raises(ValueError):
+            PromptCache(llama, tok, template=PLAIN_TEMPLATE, splice_mode="warp")
+
+    def test_multi_module_equivalence(self, llama, tok):
+        legacy = PromptCache(llama, tok, template=PLAIN_TEMPLATE, splice_mode="legacy")
+        fast = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+        for pc in (legacy, fast):
+            pc.register_schema(TWO_MODULES)
+        prompt = '<prompt schema="duo2"><a/><b/> what now ?</prompt>'
+        assert (
+            fast.serve(prompt, max_new_tokens=6).output_ids
+            == legacy.serve(prompt, max_new_tokens=6).output_ids
+        )
+
+
+class TestSplicedBase:
+    def test_base_hit_skips_splice_allocations(self, llama, tok):
+        pc = make_pc(llama, tok)
+        pc.serve(PROMPT, max_new_tokens=2)  # builds + mirrors the base
+        assert pc.plan_stats.base_misses == 1
+        reset_allocation_count()
+        pc.serve(PROMPT, max_new_tokens=2)
+        assert pc.plan_stats.base_hits == 1
+        # The fork shares pages and mirrors; decode extends in place. No
+        # per-module, per-layer splice copies remain on the hot path.
+        n_layers = llama.config.n_layers
+        assert allocation_count() <= n_layers
+
+    def test_base_hit_still_counts_store_hits(self, llama, tok):
+        pc = make_pc(llama, tok)
+        hits_before = pc.store.gpu.stats.hits
+        pc.serve(PROMPT, max_new_tokens=1)
+        pc.serve(PROMPT, max_new_tokens=1)
+        # Each serve re-validates the module against the store: two lookups.
+        assert pc.store.gpu.stats.hits == hits_before + 2
+
+    def test_base_rebuilt_after_store_eviction(self, llama, tok):
+        store = ModuleCacheStore(demote_on_evict=False)
+        pc = PromptCache(llama, tok, store=store, template=PLAIN_TEMPLATE)
+        pc.register_schema(DOC)
+        first = pc.serve(PROMPT, max_new_tokens=3)
+        # Simulate capacity eviction behind the engine's back.
+        store.gpu.remove(CacheKey("doc", "d", "solo"))
+        second = pc.serve(PROMPT, max_new_tokens=3)
+        assert pc.plan_stats.base_misses == 2  # stale base was rebuilt
+        assert second.output_ids == first.output_ids
+
+    def test_cpu_tier_tokens_and_promotion(self, llama, tok):
+        pc = PromptCache(
+            llama, tok, template=PLAIN_TEMPLATE, promote_on_cpu_hit=True
+        )
+        pc.register_schema(DOC, tier="cpu")
+        first = pc.serve(PROMPT, max_new_tokens=1)
+        assert first.tier_tokens["cpu"] > 0
+        # The CPU hit promoted the module; the next serve is a GPU hit.
+        second = pc.serve(PROMPT, max_new_tokens=1)
+        assert second.tier_tokens["gpu"] > 0
+        assert second.tier_tokens["cpu"] == 0
+
+    def test_base_lru_bound_frees_pages(self, llama, tok):
+        pc = PromptCache(
+            llama, tok, template=PLAIN_TEMPLATE, base_cache_size=1
+        )
+        pc.register_schema(TWO_MODULES)
+        pc.serve('<prompt schema="duo2"><a/> q</prompt>', max_new_tokens=1)
+        base_a = next(iter(pc._bases.values()))
+        pc.serve('<prompt schema="duo2"><b/> q</prompt>', max_new_tokens=1)
+        assert len(pc._bases) == 1
+        # The evicted base released every page it held.
+        assert all(len(layer) == 0 for layer in base_a.cache.layers)
+
+
+class TestServeBatchTierTokens:
+    def test_batch_results_fill_tier_tokens(self, llama, tok):
+        pc = make_pc(llama, tok)
+        batch = pc.serve_batch(
+            [PROMPT, '<prompt schema="doc"><d/> another ?</prompt>'],
+            max_new_tokens=2,
+        )
+        for result in batch:
+            assert result.tier_tokens["gpu"] > 0
+            assert result.tier_tokens["gpu"] == result.cached_tokens
+
+
+class TestMirrorLease:
+    def test_decode_extends_in_place(self, llama, tok):
+        pc = make_pc(llama, tok)
+        pc.serve(PROMPT, max_new_tokens=4)
+        base = next(iter(pc._bases.values()))
+        gathers = base.cache.pools[0].stats.mirror_gathers
+        pc.serve(PROMPT, max_new_tokens=4)
+        # The second request reused the base's mirrors: no new gathers.
+        assert base.cache.pools[0].stats.mirror_gathers == gathers
+
+    def test_lease_returns_after_free(self, llama, tok):
+        pc = make_pc(llama, tok)
+        pc.serve(PROMPT, max_new_tokens=3)
+        base = next(iter(pc._bases.values()))
+        for layer in base.cache.layers:
+            mirror = layer._mirror
+            assert mirror is not None
+            assert mirror.lease is None  # request freed -> lease returned
+            assert mirror.length == layer._mirror_len  # truncated to base
+
+    def test_concurrent_forks_stay_isolated(self, llama, tok):
+        pc = make_pc(llama, tok)
+        pc.serve(PROMPT, max_new_tokens=1)
+        with pc._fastpath_lock:
+            base = next(iter(pc._bases.values()))
+            fork_a = base.cache.fork()
+            fork_b = base.cache.fork()
+        start = base.cached_tokens
+        ids = np.array(tok.encode(" what happened ?"))
+        pos_a = np.arange(start, start + len(ids))
+        la = pc.model.forward(ids, pos_a, fork_a)
+        before = np.array(fork_a.layers[0].keys)
+        other = np.array(tok.encode(" plan a trip now"))
+        lb = pc.model.forward(other, np.arange(start, start + len(other)), fork_b)
+        # fork_b's appends (private mirror fallback) left fork_a intact.
+        np.testing.assert_array_equal(fork_a.layers[0].keys, before)
+        assert not np.allclose(la[-1], lb[-1])
+        fork_a.free()
+        fork_b.free()
+
+
+class TestSessionStillWorks:
+    def test_session_on_arena_cache(self, llama, tok):
+        pc = make_pc(llama, tok)
+        session = pc.start_session(PROMPT)
+        first = session.send("tell me more", max_new_tokens=3)
+        second = session.send("and then ?", max_new_tokens=3)
+        assert first.output_ids and second.output_ids
