@@ -1,0 +1,80 @@
+"""Static analysis and runtime sanitizers for the serving hot path.
+
+Where :mod:`repro.pml.lint` lints user-authored schemas, this package
+lints — and dynamically audits — the reproduction's own code:
+
+- :mod:`repro.analysis.engine` — a small pluggable AST rule engine with
+  per-line ``# noqa`` suppressions and a committed findings baseline;
+- :mod:`repro.analysis.rules` — the shipped rules: ``guarded-by``,
+  ``async-hygiene``, ``no-bare-broad-except``, ``kv-contract``;
+- :mod:`repro.analysis.contracts` — the :func:`shape_contract` decorator
+  the ``kv-contract`` rule cross-checks (runtime-enforced when
+  sanitizers are on);
+- :mod:`repro.analysis.sanitize` — ``REPRO_SANITIZE=1`` runtime
+  sanitizers: the paged-KV refcount/lease auditor and the splice-plan
+  validator.
+
+Run it with ``python -m repro.analysis`` or ``repro analyze``.
+"""
+
+from repro.analysis.contracts import (
+    ContractViolation,
+    enforce_contracts,
+    shape_contract,
+)
+from repro.analysis.engine import (
+    Finding,
+    Rule,
+    SourceModule,
+    analyze_paths,
+    load_baseline,
+    new_findings,
+    write_baseline,
+)
+from repro.analysis.rules import (
+    AsyncHygieneRule,
+    BroadExceptRule,
+    DEFAULT_RULES,
+    GuardedByRule,
+    KVContractRule,
+    default_rules,
+)
+from repro.analysis.sanitize import (
+    PageAuditor,
+    SanitizerError,
+    active_auditor,
+    assert_quiescent,
+    install_sanitizers,
+    sanitizers_enabled,
+    uninstall_sanitizers,
+    validate_layout,
+    validate_plan,
+)
+
+__all__ = [
+    "AsyncHygieneRule",
+    "BroadExceptRule",
+    "ContractViolation",
+    "DEFAULT_RULES",
+    "Finding",
+    "GuardedByRule",
+    "KVContractRule",
+    "PageAuditor",
+    "Rule",
+    "SanitizerError",
+    "SourceModule",
+    "active_auditor",
+    "analyze_paths",
+    "assert_quiescent",
+    "default_rules",
+    "enforce_contracts",
+    "install_sanitizers",
+    "load_baseline",
+    "new_findings",
+    "sanitizers_enabled",
+    "shape_contract",
+    "uninstall_sanitizers",
+    "validate_layout",
+    "validate_plan",
+    "write_baseline",
+]

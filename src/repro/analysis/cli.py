@@ -1,0 +1,146 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro analyze``.
+
+Default invocation analyzes ``src/`` against the committed baseline
+(``analysis-baseline.json`` at the repository root) and exits non-zero
+only on findings the baseline does not cover — so CI blocks regressions
+while accepted legacy findings age out as they are fixed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import (
+    analyze_paths,
+    fingerprints,
+    load_baseline,
+    new_findings,
+    write_baseline,
+)
+from repro.analysis.rules import default_rules
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def _repo_root() -> Path:
+    """Nearest ancestor holding the package's ``src`` dir (cwd fallback)."""
+    here = Path(__file__).resolve()
+    for ancestor in here.parents:
+        if (ancestor / "src" / "repro").is_dir():
+            return ancestor
+    return Path.cwd()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="AST lint engine for the repository's own source",
+    )
+    add_arguments(parser)
+    return parser
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the analyze options to ``parser`` (shared with ``repro``'s
+    ``analyze`` subcommand)."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to analyze (default: the repo's src/)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"baseline file (default: <repo>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--error-on-new", action="store_true",
+        help="exit non-zero on findings missing from the baseline (default "
+             "behaviour; flag kept for explicit CI invocations)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on ANY finding, baselined or not",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="accept current findings: rewrite the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list available rules and exit"
+    )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        help="output format",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run(build_parser().parse_args(argv))
+
+
+def run(args: argparse.Namespace) -> int:
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.name:<24} {rule.description}")
+        return 0
+    if args.rules:
+        wanted = {name.strip() for name in args.rules.split(",") if name.strip()}
+        unknown = wanted - {rule.name for rule in rules}
+        if unknown:
+            print(f"unknown rules: {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        rules = [rule for rule in rules if rule.name in wanted]
+
+    root = _repo_root()
+    paths = args.paths or [root / "src"]
+    baseline_path = args.baseline or root / DEFAULT_BASELINE
+    report = analyze_paths(paths, rules, root=root)
+    for error in report.parse_errors:
+        print(f"parse error: {error}", file=sys.stderr)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, report.findings)
+        print(
+            f"baseline: accepted {len(report.findings)} finding(s) into "
+            f"{baseline_path}"
+        )
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    fresh = new_findings(report.findings, baseline)
+    failing = report.findings if args.strict else fresh
+
+    if args.format == "json":
+        payload = {
+            "files_scanned": report.files_scanned,
+            "findings": [
+                {
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "line": finding.line,
+                    "col": finding.col,
+                    "message": finding.message,
+                    "fingerprint": fp,
+                    "baselined": fp in baseline,
+                }
+                for finding, fp in zip(report.findings, fingerprints(report.findings))
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for finding in failing:
+            print(finding)
+        baselined = len(report.findings) - len(fresh)
+        print(
+            f"analyzed {report.files_scanned} file(s): "
+            f"{len(report.findings)} finding(s), {baselined} baselined, "
+            f"{len(fresh)} new"
+        )
+    return 1 if (failing or report.parse_errors) else 0

@@ -1,0 +1,242 @@
+"""Pluggable AST lint engine for the repository's own source.
+
+The PML schema linter (:mod:`repro.pml.lint`) checks *user* inputs; this
+engine checks *us*. It walks Python sources, hands each parsed module to
+a set of :class:`Rule` objects, and reports :class:`Finding`\\ s with
+
+- **per-line suppressions** — ``# noqa`` silences every rule on that
+  line, ``# noqa: rule-a, rule-b`` silences the named rules (a
+  justification after the rule list is encouraged and ignored);
+- **a committed baseline** — known findings are fingerprinted into a
+  JSON file so CI can fail on *new* findings only, letting rules land
+  before the codebase is fully clean.
+
+Fingerprints hash the rule, the file, and the stripped source line (plus
+an occurrence index for identical lines), so findings survive unrelated
+line drift but a genuinely new violation always counts as new.
+
+Rules are small classes over :class:`SourceModule`; registration is a
+list, not magic — see :data:`repro.analysis.rules.DEFAULT_RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+import tokenize
+from collections import Counter
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceModule",
+    "analyze_paths",
+    "load_baseline",
+    "new_findings",
+    "write_baseline",
+]
+
+_NOQA = re.compile(r"#\s*noqa(?::\s*(?P<rules>[\w\-, ]*))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str  # repository-relative, POSIX separators
+    line: int  # 1-indexed
+    col: int
+    message: str
+    snippet: str = ""  # stripped source line, used for fingerprinting
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+def fingerprints(findings: list[Finding]) -> list[str]:
+    """Stable identity per finding; duplicates on identical lines get an
+    occurrence index so the baseline can hold exactly N of them."""
+    seen: Counter[tuple[str, str, str]] = Counter()
+    out = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.snippet)
+        occurrence = seen[key]
+        seen[key] += 1
+        digest = hashlib.sha1(
+            f"{finding.rule}|{finding.path}|{finding.snippet}|{occurrence}".encode()
+        ).hexdigest()[:16]
+        out.append(digest)
+    return out
+
+
+class SourceModule:
+    """A parsed source file plus the suppression map rules consult."""
+
+    def __init__(self, path: Path, relpath: str, text: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        # line number -> set of suppressed rule names ("*" = all rules)
+        self._suppressions: dict[int, set[str]] = {}
+        self._scan_suppressions()
+
+    def _scan_suppressions(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(StringIO(self.text).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _NOQA.search(token.string)
+                if not match:
+                    continue
+                rules = match.group("rules")
+                if rules is None or not rules.strip():
+                    names = {"*"}
+                else:
+                    # Each entry is a rule name, optionally followed by a
+                    # justification: "# noqa: guarded-by - caller holds it".
+                    names = {
+                        name.strip().split()[0]
+                        for name in rules.split(",")
+                        if name.strip()
+                    }
+                self._suppressions.setdefault(token.start[0], set()).update(names)
+        except tokenize.TokenError:
+            # An untokenizable tail gets no further suppressions; the
+            # parse above already succeeded so rules still run.
+            pass
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        names = self._suppressions.get(line, ())
+        return "*" in names or rule in names
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST | int, message: str, col: int = 0) -> Finding:
+        line = node if isinstance(node, int) else node.lineno
+        if not isinstance(node, int):
+            col = node.col_offset
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=line,
+            col=col,
+            message=message,
+            snippet=self.line_text(line),
+        )
+
+
+class Rule:
+    """One check over a :class:`SourceModule`.
+
+    Subclasses set ``name``/``description`` and implement :meth:`check`
+    yielding findings; the engine applies suppressions afterwards, so
+    rules never need to consult them.
+    """
+
+    name = "rule"
+    description = ""
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class AnalysisReport:
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+
+def _iter_sources(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def analyze_paths(
+    paths: list[Path], rules: list[Rule], root: Path | None = None
+) -> AnalysisReport:
+    """Run ``rules`` over every ``*.py`` under ``paths``.
+
+    ``root`` anchors the repository-relative paths used in findings and
+    fingerprints (defaults to the current directory), so baselines are
+    stable no matter where the analyzer is invoked from.
+    """
+    root = (root or Path.cwd()).resolve()
+    report = AnalysisReport()
+    for file_path in _iter_sources(paths):
+        resolved = file_path.resolve()
+        try:
+            relpath = resolved.relative_to(root).as_posix()
+        except ValueError:
+            relpath = file_path.as_posix()
+        try:
+            module = SourceModule(file_path, relpath, file_path.read_text())
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.parse_errors.append(f"{relpath}: {exc}")
+            continue
+        report.files_scanned += 1
+        for rule in rules:
+            for finding in rule.check(module):
+                if not module.suppressed(finding.line, finding.rule):
+                    report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
+
+
+# -- baseline ------------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Fingerprint set from a committed baseline file ({} when absent)."""
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text())
+    return {entry["fingerprint"] for entry in data.get("findings", [])}
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    entries = [
+        {
+            "fingerprint": fp,
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding, fp in zip(findings, fingerprints(findings))
+    ]
+    payload = {
+        "comment": (
+            "Accepted pre-existing findings for repro.analysis; regenerate "
+            "with `python -m repro.analysis --write-baseline`. New code "
+            "must not add entries — fix or justify with `# noqa: <rule>`."
+        ),
+        "findings": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def new_findings(findings: list[Finding], baseline: set[str]) -> list[Finding]:
+    """Findings whose fingerprints are not covered by the baseline."""
+    return [
+        finding
+        for finding, fp in zip(findings, fingerprints(findings))
+        if fp not in baseline
+    ]

@@ -1,0 +1,311 @@
+"""Runtime sanitizers for the paged-KV and splice invariants.
+
+Static rules catch lock-discipline regressions; these sanitizers catch
+the *dynamic* invariants the paper's §3.2–3.4 machinery depends on:
+
+- :class:`PageAuditor` shadows every :class:`~repro.llm.paged.PagePool`'s
+  refcounts in an independent ledger and raises :class:`SanitizerError`
+  on **double release**, **retain of a freed page**, and **in-place
+  mirror extension without holding the lease** (or below a forked
+  sharer's prefix — the write would corrupt a sibling's tokens).
+  :meth:`PageAuditor.expect_balanced` turns "every fork must be freed"
+  into an assertion for tests, and :func:`assert_quiescent` checks a
+  pool has zero live pages at end of test.
+- A **splice-plan validator** re-derives the position-ID invariants of
+  every compiled plan: selected modules occupy disjoint, monotonically
+  increasing position sets; uncached work only lands on parameter slots,
+  free gaps, or the recompute tail; and at registration, union members
+  share their start position and ``<unk>`` parameter slots sit inside
+  their module's span.
+
+Everything here is **off by default** and costs nothing until
+:func:`install_sanitizers` runs — the hot modules hold a module-global
+hook that is ``None`` in production. Set ``REPRO_SANITIZE=1`` and the
+test suite (via ``tests/conftest.py``) or your own entry point installs
+them for the whole run.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.analysis.contracts import enforce_contracts
+
+__all__ = [
+    "PageAuditor",
+    "SanitizerError",
+    "active_auditor",
+    "assert_quiescent",
+    "install_sanitizers",
+    "sanitizers_enabled",
+    "uninstall_sanitizers",
+    "validate_layout",
+    "validate_plan",
+]
+
+_ENV_FLAG = "REPRO_SANITIZE"
+
+
+class SanitizerError(AssertionError):
+    """A runtime invariant of the paged/splice machinery was violated."""
+
+
+def sanitizers_enabled() -> bool:
+    """True when the environment opts into sanitized runs."""
+    return os.environ.get(_ENV_FLAG, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+class PageAuditor:
+    """Independent refcount/lease ledger for every live page pool.
+
+    The ledger never trusts the pool's own counts: hooks fire *before*
+    the pool mutates, so a buggy release is caught at the faulting call,
+    with the page id in hand, instead of as corruption three requests
+    later when the recycled page is rewritten under a live reader.
+    """
+
+    def __init__(self) -> None:
+        # pool -> {page index -> expected refcount}; weak keys so pools
+        # dropped by tests don't pin the ledger.
+        self._pools: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self.errors_raised = 0
+
+    # -- pool ledger ----------------------------------------------------------
+
+    def _ledger(self, pool) -> dict[int, int]:
+        ledger = self._pools.get(pool)
+        if ledger is None:
+            # Pool predates the auditor (install mid-run): seed lazily
+            # from its current counts as pages are first touched.
+            ledger = {}
+            self._pools[pool] = ledger
+        return ledger
+
+    def _expected(self, pool, page: int) -> int:
+        ledger = self._ledger(pool)
+        if page not in ledger:
+            ledger[page] = pool.refcount(page) if page < len(pool._refcounts) else 0
+        return ledger[page]
+
+    def _fail(self, message: str):
+        self.errors_raised += 1
+        raise SanitizerError(message)
+
+    def on_allocate(self, pool, page: int) -> None:
+        self._ledger(pool)[page] = 1
+
+    def on_retain(self, pool, page: int) -> None:
+        expected = self._expected(pool, page)
+        if expected <= 0:
+            self._fail(
+                f"retain of freed page {page}: the page was fully released "
+                "and may already be recycled into another sequence"
+            )
+        self._ledger(pool)[page] = expected + 1
+
+    def on_release(self, pool, page: int) -> None:
+        expected = self._expected(pool, page)
+        if expected <= 0:
+            self._fail(
+                f"double release of page {page}: refcount already zero — a "
+                "sequence freed pages it no longer owns"
+            )
+        self._ledger(pool)[page] = expected - 1
+
+    # -- mirror lease ---------------------------------------------------------
+
+    def on_inplace_extend(self, layer, mirror) -> None:
+        """Called by the lease holder right before writing the shared tail."""
+        if mirror.lease is not layer:
+            self._fail(
+                "in-place mirror extension without holding the lease: "
+                f"lease is owned by {mirror.lease!r}"
+            )
+        if mirror.length < mirror.fork_high_water:
+            self._fail(
+                f"in-place mirror extension at offset {mirror.length} below "
+                f"the fork high-water mark {mirror.fork_high_water}: the "
+                "write would overwrite a forked sharer's prefix"
+            )
+
+    # -- balance / quiescence -------------------------------------------------
+
+    def live_pages(self, pool) -> int:
+        ledger = self._pools.get(pool)
+        if ledger is None:
+            return pool.live_pages
+        return sum(1 for count in ledger.values() if count > 0)
+
+    @contextmanager
+    def expect_balanced(self, *pools):
+        """Assert no net page leak across the ``with`` body.
+
+        Every fork/allocation inside the region must be matched by a
+        release before it exits — the end-of-test discipline for code
+        that borrows pages (``serve`` forks, batch forks, sessions).
+        """
+        before = {pool: self.live_pages(pool) for pool in pools}
+        yield self
+        for pool, baseline in before.items():
+            live = self.live_pages(pool)
+            if live > baseline:
+                self._fail(
+                    f"page leak: pool holds {live} live pages, expected "
+                    f"{baseline} — {live - baseline} page(s) were never "
+                    "released (a fork was dropped without free())"
+                )
+
+
+def assert_quiescent(*pools) -> None:
+    """Raise if any pool still holds live pages (end-of-test check)."""
+    for pool in pools:
+        if pool.live_pages:
+            nonzero = [
+                page
+                for page in range(len(pool._refcounts))
+                if pool._refcounts[page] > 0
+            ]
+            raise SanitizerError(
+                f"pool not quiescent: {pool.live_pages} live page(s) with "
+                f"nonzero refcounts {nonzero[:8]}{'…' if len(nonzero) > 8 else ''}"
+            )
+
+
+# -- splice-plan validation ---------------------------------------------------
+
+
+def validate_layout(schema, layout) -> None:
+    """Schema-layout invariants, checked at registration time.
+
+    Union members share their start position (paper §3.2.3) and every
+    parameter's ``<unk>`` slot positions sit inside its module's span.
+    """
+    from repro.pml.ast import ModuleNode, UnionNode
+
+    def walk(children):
+        for child in children:
+            if isinstance(child, UnionNode):
+                starts = {
+                    layout.module(member.name).span_start
+                    for member in child.members
+                    if member.name in layout.modules
+                }
+                if len(starts) > 1:
+                    raise SanitizerError(
+                        f"union members of schema {schema.name!r} disagree on "
+                        f"start positions {sorted(starts)}; members must "
+                        "share their start (paper §3.2.3)"
+                    )
+                for member in child.members:
+                    walk(member.children)
+            elif isinstance(child, ModuleNode):
+                walk(child.children)
+
+    walk(schema.root.children)
+    for name, module in layout.modules.items():
+        for slot in module.params.values():
+            positions = module.param_positions(slot.name)
+            if len(positions) and (
+                positions.min() < module.span_start
+                or positions.max() >= module.span_end
+            ):
+                raise SanitizerError(
+                    f"parameter {slot.name!r} of module {name!r} has slot "
+                    f"positions outside the module span "
+                    f"[{module.span_start}, {module.span_end})"
+                )
+
+
+def validate_plan(plan, layout) -> None:
+    """Position-ID invariants of one compiled serve plan.
+
+    Selected modules' direct positions are strictly increasing and
+    pairwise disjoint; uncached tokens only land on parameter slots, the
+    recompute tail, or positions no cached token occupies.
+    """
+    occupied: set[int] = set()
+    slot_positions: set[int] = set()
+    for module, name in plan.modules:
+        positions = module.positions
+        if len(positions) > 1 and not np.all(np.diff(positions) > 0):
+            raise SanitizerError(
+                f"module {name!r} has non-monotonic position IDs; cached "
+                "states must keep document order (paper §3.3)"
+            )
+        as_set = set(map(int, positions))
+        overlap = occupied & as_set
+        if overlap:
+            raise SanitizerError(
+                f"module {name!r} overlaps previously selected modules at "
+                f"positions {sorted(overlap)[:8]}; selected modules must be "
+                "disjoint"
+            )
+        occupied |= as_set
+        for slot in module.params.values():
+            slot_positions.update(map(int, module.param_positions(slot.name)))
+
+    allowed_tail: set[int] = set()
+    if plan.recompute_tail is not None:
+        name, index = plan.recompute_tail
+        allowed_tail.add(int(layout.module(name).positions[index]))
+    cached = (occupied - slot_positions) - allowed_tail
+    for token_ids, positions in plan.uncached:
+        clash = cached & set(map(int, positions))
+        if clash:
+            raise SanitizerError(
+                f"uncached tokens collide with cached positions "
+                f"{sorted(clash)[:8]}; suffix text must land on parameter "
+                "slots or free positions"
+            )
+
+
+# -- installation -------------------------------------------------------------
+
+_ACTIVE: PageAuditor | None = None
+
+
+def active_auditor() -> PageAuditor | None:
+    return _ACTIVE
+
+
+def install_sanitizers() -> PageAuditor:
+    """Wire the auditor + validators into the hot modules; returns the
+    auditor. Idempotent — re-installing returns the active auditor."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        return _ACTIVE
+    from repro.cache import engine as cache_engine
+    from repro.llm import paged
+
+    auditor = PageAuditor()
+    paged.set_page_auditor(auditor)
+    cache_engine.set_plan_validator(validate_plan)
+    cache_engine.set_layout_validator(validate_layout)
+    enforce_contracts(True)
+    _ACTIVE = auditor
+    return auditor
+
+
+def uninstall_sanitizers() -> None:
+    global _ACTIVE
+    if _ACTIVE is None:
+        return
+    from repro.cache import engine as cache_engine
+    from repro.llm import paged
+
+    paged.set_page_auditor(None)
+    cache_engine.set_plan_validator(None)
+    cache_engine.set_layout_validator(None)
+    enforce_contracts(False)
+    _ACTIVE = None
+
+
+def install_if_enabled() -> PageAuditor | None:
+    """Install when ``REPRO_SANITIZE`` opts in; the conftest entry point."""
+    if sanitizers_enabled():
+        return install_sanitizers()
+    return None

@@ -37,6 +37,25 @@ from repro.pml.parser import parse_prompt
 from repro.pml.prompt import ResolvedPrompt, resolve
 from repro.pml.schema import Schema
 
+# Optional splice sanitizers (repro.analysis.sanitize). None in
+# production; installed validators see every compiled plan and layout.
+_PLAN_VALIDATOR = None
+_LAYOUT_VALIDATOR = None
+
+
+def set_plan_validator(fn) -> None:
+    """Install (or clear) a ``validator(plan, layout)`` run on every
+    freshly compiled serve plan."""
+    global _PLAN_VALIDATOR
+    _PLAN_VALIDATOR = fn
+
+
+def set_layout_validator(fn) -> None:
+    """Install (or clear) a ``validator(schema, layout)`` run at schema
+    registration and module update."""
+    global _LAYOUT_VALIDATOR
+    _LAYOUT_VALIDATOR = fn
+
 
 @dataclass
 class RegisteredSchema:
@@ -218,12 +237,12 @@ class PromptCache:
         self.splice_mode = splice_mode
         self.plan_cache_size = plan_cache_size
         self.base_cache_size = base_cache_size
-        self.plan_stats = PlanCacheStats()
-        self._plan_cache: OrderedDict[str, _CompiledPlan] = OrderedDict()
-        self._bases: OrderedDict[tuple, _SplicedBase] = OrderedDict()
-        # Guards the two LRU maps plus paged-base fork/free (page
-        # refcounts are not thread-safe on their own).
+        # Guards the two LRU maps, their stats, and paged-base fork/free
+        # (page refcounts are not thread-safe on their own).
         self._fastpath_lock = threading.RLock()
+        self.plan_stats = PlanCacheStats()  # guarded-by: _fastpath_lock
+        self._plan_cache: OrderedDict[str, _CompiledPlan] = OrderedDict()  # guarded-by: _fastpath_lock
+        self._bases: OrderedDict[tuple, _SplicedBase] = OrderedDict()  # guarded-by: _fastpath_lock
         self._plan_listeners: list = []
 
     # -- schema management -----------------------------------------------------
@@ -245,6 +264,8 @@ class PromptCache:
                 f"schema {schema.name!r} needs {layout.total_length} positions "
                 f"but the model supports {self.model.config.max_position}"
             )
+        if _LAYOUT_VALIDATOR is not None:
+            _LAYOUT_VALIDATOR(schema, layout)
         registered = RegisteredSchema(schema=schema, layout=layout)
         for i, names in enumerate(schema.scaffolds):
             variant = f"scaffold{i}"
@@ -268,7 +289,8 @@ class PromptCache:
         self._plan_listeners.append(fn)
 
     def plan_cache_stats(self) -> PlanCacheStats:
-        return self.plan_stats
+        with self._fastpath_lock:
+            return self.plan_stats
 
     def _notify_plan(self, event: str) -> None:
         for fn in self._plan_listeners:
@@ -551,6 +573,8 @@ class PromptCache:
 
         module.children = [TextNode(new_text)]
         new_layout = layout_schema(registered.schema, self.tokenizer)
+        if _LAYOUT_VALIDATOR is not None:
+            _LAYOUT_VALIDATOR(registered.schema, new_layout)
         # Keep cached states whose position assignment is unchanged.
         for name in list(old_layout.modules):
             if name == module_name:
@@ -702,13 +726,16 @@ class PromptCache:
             recompute_tail = (mod.name, last)
             uncached.append((mod.token_ids[last : last + 1], mod.positions[last : last + 1]))
 
-        return _Plan(
+        plan = _Plan(
             modules=modules,
             uncached=uncached,
             baseline_chunks=baseline_chunks,
             next_position=max(tail, self._max_position(uncached, occupied)),
             recompute_tail=recompute_tail,
         )
+        if _PLAN_VALIDATOR is not None:
+            _PLAN_VALIDATOR(plan, layout)
+        return plan
 
     @staticmethod
     def _max_position(uncached, occupied) -> int:

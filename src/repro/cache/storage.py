@@ -117,27 +117,28 @@ class CacheTier:
         lock: threading.RLock | None = None,
     ) -> None:
         self.name = name
-        self.accountant = MemoryAccountant(capacity_bytes=capacity_bytes)
         self.policy = POLICIES[policy] if isinstance(policy, str) else policy
-        self.entries: dict[CacheKey, CacheEntry] = {}
-        self.stats = TierStats()
-        self._clock = itertools.count()
         # Re-entrant so an ``on_evict`` callback may call back into the
         # tier (or a sibling sharing the lock) from inside ``put``. The
         # store passes one shared lock to both tiers, making every
         # cross-tier sequence (demotion, spill, prefetch) atomic.
         self._lock = lock or threading.RLock()
+        self.accountant = MemoryAccountant(capacity_bytes=capacity_bytes)  # guarded-by: _lock
+        self.entries: dict[CacheKey, CacheEntry] = {}  # guarded-by: _lock
+        self.stats = TierStats()  # guarded-by: _lock
+        self._clock = itertools.count()  # guarded-by: _lock
         # Called with each evicted entry (the store uses it to demote GPU
         # victims into host memory instead of dropping them).
-        self.on_evict = None
-        self._evict_listeners: list = []
+        self.on_evict = None  # guarded-by: _lock
+        self._evict_listeners: list = []  # guarded-by: _lock
 
     def add_evict_listener(self, fn) -> None:
         """Register an observer called with each evicted entry, *after*
         ``on_evict`` (so demotion has already happened). Listeners run
         under the tier lock; they may call back into the store but must
         not block."""
-        self._evict_listeners.append(fn)
+        with self._lock:
+            self._evict_listeners.append(fn)
 
     def __contains__(self, key: CacheKey) -> bool:
         with self._lock:
@@ -258,13 +259,19 @@ class ModuleCacheStore:
     def put(
         self, key: CacheKey, kv: ModuleKV, tier: str = "gpu", pinned: bool = False
     ) -> CacheEntry:
-        """Store in ``tier``, spilling to CPU if the GPU tier cannot fit it."""
-        try:
-            return self.tier(tier).put(key, kv, pinned=pinned)
-        except CapacityError:
-            if tier == "gpu":
-                return self.cpu.put(key, kv, pinned=pinned)
-            raise
+        """Store in ``tier``, spilling to CPU if the GPU tier cannot fit it.
+
+        The whole attempt-then-spill sequence runs under the shared lock
+        so a concurrent ``fetch`` never observes the entry missing from
+        both tiers mid-spill.
+        """
+        with self._lock:
+            try:
+                return self.tier(tier).put(key, kv, pinned=pinned)
+            except CapacityError:
+                if tier == "gpu":
+                    return self.cpu.put(key, kv, pinned=pinned)
+                raise
 
     def fetch(self, key: CacheKey) -> FetchResult | None:
         with self._lock:

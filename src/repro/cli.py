@@ -3,6 +3,7 @@
 Commands
 --------
 inspect    parse a schema file, print its position layout and lint report
+analyze    run the repo's own AST lint rules (repro.analysis) over src/
 serve      serve a PML prompt against a schema with a seeded engine
 serve-live run the async serving runtime under a seeded open-loop trace
 loadgen    synthesize a serving trace and print its shape
@@ -39,6 +40,15 @@ def _build_parser() -> argparse.ArgumentParser:
     inspect = sub.add_parser("inspect", help="layout + lint a schema file")
     inspect.add_argument("schema", type=Path)
     inspect.add_argument("--model", default="llama2-7b", help="paper model for budgets")
+
+    from repro.analysis.cli import add_arguments as add_analyze_arguments
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="lint the repo's own source: guarded-by, async-hygiene, "
+             "broad-except, kv-contract",
+    )
+    add_analyze_arguments(analyze)
 
     serve = sub.add_parser("serve", help="serve a prompt against a schema")
     serve.add_argument("schema", type=Path)
@@ -109,6 +119,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     return {
         "inspect": _cmd_inspect,
+        "analyze": _cmd_analyze,
         "serve": _cmd_serve,
         "serve-live": _cmd_serve_live,
         "loadgen": _cmd_loadgen,
@@ -145,6 +156,12 @@ def _cmd_inspect(args) -> int:
     else:
         print("\nlint: clean")
     return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis.cli import run
+
+    return run(args)
 
 
 def _cmd_serve(args) -> int:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.contracts import shape_contract
 from repro.llm.config import ModelConfig
 from repro.llm.layers import DTYPE
 
@@ -73,6 +74,7 @@ class LayerKV:
         self._length = 0
 
     @classmethod
+    @shape_contract(keys="(n_kv_heads, T, head_dim)", values="(n_kv_heads, T, head_dim)")
     def from_arrays(
         cls, keys: np.ndarray, values: np.ndarray, positions: np.ndarray
     ) -> "LayerKV":
@@ -83,6 +85,10 @@ class LayerKV:
         return kv
 
     @classmethod
+    @shape_contract(
+        keys="(n_kv_heads, capacity, head_dim)",
+        values="(n_kv_heads, capacity, head_dim)",
+    )
     def adopt(
         cls,
         keys: np.ndarray,
@@ -141,6 +147,7 @@ class LayerKV:
         positions[: self._length] = self._positions[: self._length]
         self._positions = positions
 
+    @shape_contract(keys="(n_kv_heads, T, head_dim)", values="(n_kv_heads, T, head_dim)")
     def append(
         self, keys: np.ndarray, values: np.ndarray, positions: np.ndarray
     ) -> None:
@@ -263,6 +270,10 @@ class ModuleKV:
     value_arena: np.ndarray | None = None
 
     @classmethod
+    @shape_contract(
+        key_arena="(n_layers, n_kv_heads, T, head_dim)",
+        value_arena="(n_layers, n_kv_heads, T, head_dim)",
+    )
     def from_arenas(
         cls, key_arena: np.ndarray, value_arena: np.ndarray, positions: np.ndarray
     ) -> "ModuleKV":

@@ -28,10 +28,22 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.contracts import shape_contract
 from repro.llm.config import ModelConfig
 from repro.llm.kv import ModuleKV, tracked_alloc
 
 PAGE_TOKENS = 16
+
+# Optional refcount/lease auditor (repro.analysis.sanitize). None in
+# production: each hook site is a single is-None check.
+_AUDITOR = None
+
+
+def set_page_auditor(auditor) -> None:
+    """Install (or clear, with ``None``) the sanitizer auditor that
+    shadows page refcounts and mirror-lease transitions."""
+    global _AUDITOR
+    _AUDITOR = auditor
 
 # Spare capacity (tokens) built into a freshly gathered mirror so the
 # first decode steps extend in place instead of growing immediately.
@@ -73,6 +85,8 @@ class PagePool:
             page = self._free.pop()
             self._used[page] = 0
             self._refcounts[page] = 1
+            if _AUDITOR is not None:
+                _AUDITOR.on_allocate(self, page)
             return page
         page = len(self._keys)
         shape = (self.n_kv_heads, self.page_tokens, self.head_dim)
@@ -83,12 +97,18 @@ class PagePool:
         self._refcounts.append(1)
         self.stats.pages_allocated += 1
         self.stats.peak_live_pages = max(self.stats.peak_live_pages, self.live_pages)
+        if _AUDITOR is not None:
+            _AUDITOR.on_allocate(self, page)
         return page
 
     def retain(self, page: int) -> None:
+        if _AUDITOR is not None:
+            _AUDITOR.on_retain(self, page)
         self._refcounts[page] += 1
 
     def release(self, page: int) -> None:
+        if _AUDITOR is not None:
+            _AUDITOR.on_release(self, page)
         self._refcounts[page] -= 1
         if self._refcounts[page] == 0:
             self._free.append(page)
@@ -229,6 +249,7 @@ class PagedLayerKV:
 
     # -- mutation ---------------------------------------------------------------
 
+    @shape_contract(keys="(n_kv_heads, T, head_dim)", values="(n_kv_heads, T, head_dim)")
     def append(self, keys, values, positions) -> None:
         added = keys.shape[1]
         if values.shape[1] != added or len(positions) != added:
@@ -258,6 +279,7 @@ class PagedLayerKV:
         if self._mirror is not None:
             self._extend_mirror(keys, values, positions)
 
+    @shape_contract(keys="(n_kv_heads, T, head_dim)", values="(n_kv_heads, T, head_dim)")
     def _extend_mirror(self, keys, values, positions) -> None:
         mirror = self._mirror
         added = keys.shape[1]
@@ -268,6 +290,8 @@ class PagedLayerKV:
             holds_lease = mirror.lease is self
         if holds_lease:
             # We own the tail: extend the shared image in place.
+            if _AUDITOR is not None:
+                _AUDITOR.on_inplace_extend(self, mirror)
             mirror.grow(mirror.length + added)
             end = mirror.length + added
             mirror.keys[:, mirror.length : end] = keys

@@ -115,6 +115,15 @@ class LoadReport:
     failed: int = 0
     wall_s: float = 0.0
     records: list[TraceRecord] = field(default_factory=list)
+    # Failure detail: exception type name -> count. A load run must never
+    # lose the *reason* a request failed — "failed: 3" with no cause is
+    # how engine bugs hide inside benchmark noise.
+    failures: dict[str, int] = field(default_factory=dict)
+
+    def record_failure(self, exc: BaseException) -> None:
+        self.failed += 1
+        name = type(exc).__name__
+        self.failures[name] = self.failures.get(name, 0) + 1
 
     @property
     def offered(self) -> int:
@@ -171,8 +180,8 @@ async def run_open_loop(
             report.completed += 1
         except DeadlineExceeded:
             report.expired += 1
-        except Exception:
-            report.failed += 1
+        except Exception as exc:
+            report.record_failure(exc)
         report.records.append(request.trace())
 
     for item in sorted(trace, key=lambda r: r.arrival_s):
@@ -236,8 +245,8 @@ async def run_closed_loop(
                 report.completed += 1
             except DeadlineExceeded:
                 report.expired += 1
-            except Exception:
-                report.failed += 1
+            except Exception as exc:
+                report.record_failure(exc)
             report.records.append(request.trace())
             if think_time_s:
                 await asyncio.sleep(think_time_s)

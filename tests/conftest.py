@@ -1,12 +1,28 @@
 """Shared fixtures: one tokenizer and one tiny model per architecture,
-built once per session so the suite stays fast."""
+built once per session so the suite stays fast.
+
+With ``REPRO_SANITIZE=1`` in the environment the whole suite runs under
+the runtime sanitizers (:mod:`repro.analysis.sanitize`): page
+refcount/lease auditing, splice-plan validation, and shape-contract
+enforcement — any violation fails the offending test at the faulting
+call."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.analysis.sanitize import install_if_enabled, uninstall_sanitizers
 from repro.llm import build_model, tiny_config
 from repro.tokenizer.bpe import train_bpe
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitizers():
+    """Install the REPRO_SANITIZE sanitizers for the whole session."""
+    auditor = install_if_enabled()
+    yield auditor
+    if auditor is not None:
+        uninstall_sanitizers()
 
 TRAIN_TEXTS = [
     "the quick brown fox jumps over the lazy dog " * 4,

@@ -1,0 +1,173 @@
+"""The AST lint engine: suppressions, baseline, CLI, repo self-check."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as analyze_main
+from repro.analysis.engine import (
+    SourceModule,
+    analyze_paths,
+    fingerprints,
+    load_baseline,
+    new_findings,
+    write_baseline,
+)
+from repro.analysis.rules import BroadExceptRule, default_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SWALLOW = """\
+def f():
+    try:
+        pass
+    except Exception:
+        pass
+"""
+
+
+def module_of(text: str, name: str = "mod.py") -> SourceModule:
+    return SourceModule(Path(name), name, text)
+
+
+class TestSuppressions:
+    def test_bare_noqa_suppresses_every_rule(self):
+        src = SWALLOW.replace("except Exception:", "except Exception:  # noqa")
+        module = module_of(src)
+        assert module.suppressed(4, "no-bare-broad-except")
+        assert module.suppressed(4, "anything-else")
+
+    def test_named_noqa_suppresses_only_named_rules(self):
+        src = SWALLOW.replace(
+            "except Exception:", "except Exception:  # noqa: no-bare-broad-except"
+        )
+        module = module_of(src)
+        assert module.suppressed(4, "no-bare-broad-except")
+        assert not module.suppressed(4, "guarded-by")
+
+    def test_justification_after_rule_name_still_matches(self):
+        src = SWALLOW.replace(
+            "except Exception:",
+            "except Exception:  # noqa: no-bare-broad-except - best effort probe",
+        )
+        module = module_of(src)
+        assert module.suppressed(4, "no-bare-broad-except")
+
+    def test_engine_drops_suppressed_findings(self, tmp_path):
+        clean = SWALLOW.replace("except Exception:", "except Exception:  # noqa")
+        (tmp_path / "a.py").write_text(SWALLOW)
+        (tmp_path / "b.py").write_text(clean)
+        report = analyze_paths([tmp_path], [BroadExceptRule()], root=tmp_path)
+        assert [finding.path for finding in report.findings] == ["a.py"]
+
+
+class TestBaseline:
+    def test_roundtrip_covers_findings(self, tmp_path):
+        (tmp_path / "a.py").write_text(SWALLOW)
+        report = analyze_paths([tmp_path], [BroadExceptRule()], root=tmp_path)
+        assert len(report.findings) == 1
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, report.findings)
+        baseline = load_baseline(baseline_path)
+        assert new_findings(report.findings, baseline) == []
+
+    def test_new_finding_not_covered(self, tmp_path):
+        (tmp_path / "a.py").write_text(SWALLOW)
+        report = analyze_paths([tmp_path], [BroadExceptRule()], root=tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, report.findings)
+        # A second, distinct violation appears.
+        (tmp_path / "b.py").write_text(SWALLOW)
+        report = analyze_paths([tmp_path], [BroadExceptRule()], root=tmp_path)
+        fresh = new_findings(report.findings, load_baseline(baseline_path))
+        assert [finding.path for finding in fresh] == ["b.py"]
+
+    def test_fingerprint_survives_line_drift(self, tmp_path):
+        (tmp_path / "a.py").write_text(SWALLOW)
+        before = analyze_paths([tmp_path], [BroadExceptRule()], root=tmp_path)
+        (tmp_path / "a.py").write_text("import os\n\n\n" + SWALLOW)
+        after = analyze_paths([tmp_path], [BroadExceptRule()], root=tmp_path)
+        assert fingerprints(before.findings) == fingerprints(after.findings)
+        assert before.findings[0].line != after.findings[0].line
+
+    def test_identical_lines_fingerprint_per_occurrence(self, tmp_path):
+        (tmp_path / "a.py").write_text(SWALLOW + "\n\n" + SWALLOW.replace("def f", "def g"))
+        report = analyze_paths([tmp_path], [BroadExceptRule()], root=tmp_path)
+        assert len(report.findings) == 2
+        prints = fingerprints(report.findings)
+        assert len(set(prints)) == 2
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        rc = analyze_main([str(tmp_path), "--baseline", str(tmp_path / "b.json")])
+        assert rc == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_new_finding_exits_nonzero(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(SWALLOW)
+        rc = analyze_main([str(tmp_path), "--baseline", str(tmp_path / "b.json"),
+                           "--error-on-new"])
+        assert rc == 1
+        assert "no-bare-broad-except" in capsys.readouterr().out
+
+    def test_write_baseline_then_pass_then_strict_fails(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(SWALLOW)
+        baseline = str(tmp_path / "b.json")
+        assert analyze_main([str(tmp_path), "--baseline", baseline,
+                             "--write-baseline"]) == 0
+        assert analyze_main([str(tmp_path), "--baseline", baseline]) == 0
+        assert analyze_main([str(tmp_path), "--baseline", baseline, "--strict"]) == 1
+        capsys.readouterr()
+
+    def test_json_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(SWALLOW)
+        rc = analyze_main([str(tmp_path), "--baseline", str(tmp_path / "b.json"),
+                           "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "no-bare-broad-except"
+        assert payload["findings"][0]["baselined"] is False
+
+    def test_rules_filter_and_unknown_rule(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(SWALLOW)
+        rc = analyze_main([str(tmp_path), "--baseline", str(tmp_path / "b.json"),
+                           "--rules", "guarded-by"])
+        assert rc == 0  # broad-except rule not selected
+        assert analyze_main(["--rules", "nope"]) == 2
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert analyze_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in ("guarded-by", "async-hygiene", "no-bare-broad-except",
+                     "kv-contract"):
+            assert name in out
+
+    def test_parse_error_reported_and_fails(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        rc = analyze_main([str(tmp_path), "--baseline", str(tmp_path / "b.json")])
+        assert rc == 1
+        assert "parse error" in capsys.readouterr().err
+
+
+class TestRepoSelfCheck:
+    """Acceptance: the analyzer is clean on the repo's own source."""
+
+    def test_src_passes_against_committed_baseline(self, capsys):
+        assert analyze_main([]) == 0
+        capsys.readouterr()
+
+    def test_committed_baseline_exists_and_is_minimal(self):
+        baseline = REPO_ROOT / "analysis-baseline.json"
+        assert baseline.exists(), "commit analysis-baseline.json at the repo root"
+        entries = json.loads(baseline.read_text())["findings"]
+        # The baseline is a debt ledger, not a dumping ground.
+        assert len(entries) <= 8

@@ -1,0 +1,324 @@
+"""REPRO_SANITIZE runtime sanitizers: the auditor catches deliberate
+refcount/lease abuse, the plan/layout validators accept every real plan
+and reject tampered ones, and shape contracts flag mis-ranked tensors."""
+
+from __future__ import annotations
+
+import os
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.contracts import (
+    ContractViolation,
+    contracts_enforced,
+    enforce_contracts,
+    shape_contract,
+)
+from repro.analysis.sanitize import (
+    SanitizerError,
+    assert_quiescent,
+    install_sanitizers,
+    sanitizers_enabled,
+    uninstall_sanitizers,
+    validate_layout,
+    validate_plan,
+)
+from repro.cache.engine import PromptCache
+from repro.cache.layout import layout_schema
+from repro.llm.paged import PagePool, PagedLayerKV
+from repro.pml import PLAIN_TEMPLATE
+from repro.pml.schema import Schema
+
+RNG = np.random.default_rng(17)
+
+
+def block(tokens, heads=2, head_dim=4):
+    return RNG.normal(size=(heads, tokens, head_dim)).astype(np.float32)
+
+
+@pytest.fixture
+def auditor():
+    """Install sanitizers for one test; restore the prior state after.
+
+    Under ``REPRO_SANITIZE=1`` the conftest session fixture already
+    installed them — then this is a no-op passthrough."""
+    already = sanitize.active_auditor()
+    installed = install_sanitizers()
+    installed.errors_raised = 0  # per-test delta, even on a session auditor
+    yield installed
+    if already is None:
+        uninstall_sanitizers()
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("", False), ("off", False), ("maybe", False),
+    ])
+    def test_parsing(self, monkeypatch, value, expected):
+        monkeypatch.setitem(os.environ, "REPRO_SANITIZE", value)
+        assert sanitizers_enabled() is expected
+
+    def test_unset_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert sanitizers_enabled() is False
+
+    def test_install_is_idempotent(self, auditor):
+        assert install_sanitizers() is auditor
+        assert sanitize.active_auditor() is auditor
+
+
+class TestPageAuditor:
+    def test_double_release_raises(self, auditor):
+        pool = PagePool(2, 4)
+        page = pool.allocate()
+        pool.release(page)
+        with pytest.raises(SanitizerError, match="double release"):
+            pool.release(page)
+        assert auditor.errors_raised == 1
+
+    def test_retain_after_free_raises(self, auditor):
+        pool = PagePool(2, 4)
+        page = pool.allocate()
+        pool.release(page)
+        with pytest.raises(SanitizerError, match="retain of freed page"):
+            pool.retain(page)
+
+    def test_balanced_fork_free_passes(self, auditor):
+        pool = PagePool(2, 4)
+        layer = PagedLayerKV(pool)
+        with auditor.expect_balanced(pool):
+            layer.append(block(5), block(5), np.arange(5))
+            sibling = layer.fork()
+            sibling.append(block(3), block(3), np.arange(5, 8))
+            sibling.free()
+            layer.free()
+        assert_quiescent(pool)
+
+    def test_leaked_fork_raises(self, auditor):
+        pool = PagePool(2, 4)
+        layer = PagedLayerKV(pool)
+        with pytest.raises(SanitizerError, match="page leak"):
+            with auditor.expect_balanced(pool):
+                layer.append(block(5), block(5), np.arange(5))
+                layer.fork()  # dropped without free()
+                layer.free()
+        # The fork's pages are still live — quiescence also fails.
+        with pytest.raises(SanitizerError, match="not quiescent"):
+            assert_quiescent(pool)
+
+    def test_normal_lifecycle_is_silent(self, auditor):
+        pool = PagePool(2, 4)
+        layer = PagedLayerKV(pool)
+        layer.append(block(9), block(9), np.arange(9))
+        sibling = layer.fork()
+        sibling.append(block(2), block(2), np.arange(9, 11))
+        layer.free()
+        sibling.free()
+        assert_quiescent(pool)
+        assert auditor.errors_raised == 0
+
+
+class TestMirrorLease:
+    def test_extend_without_lease_raises(self, auditor):
+        holder = object()
+        mirror = SimpleNamespace(lease=holder, length=4, fork_high_water=0)
+        with pytest.raises(SanitizerError, match="without holding the lease"):
+            auditor.on_inplace_extend(object(), mirror)
+
+    def test_extend_below_high_water_raises_via_real_append(self, auditor):
+        pool = PagePool(2, 4)
+        layer = PagedLayerKV(pool)
+        layer.append(block(5), block(5), np.arange(5))
+        _ = layer.keys  # materialize the mirror
+        layer.append(block(2), block(2), np.arange(5, 7))  # takes the lease
+        mirror = layer._mirror
+        assert mirror.lease is layer
+        # Simulate a fork bookkeeping bug: the high-water mark claims a
+        # sharer's prefix extends past the image length.
+        mirror.fork_high_water = mirror.length + 3
+        with pytest.raises(SanitizerError, match="fork high-water"):
+            layer.append(block(1), block(1), np.arange(7, 8))
+        layer.free()
+
+    def test_leased_decode_extension_is_clean(self, auditor):
+        pool = PagePool(2, 4)
+        layer = PagedLayerKV(pool)
+        layer.append(block(5), block(5), np.arange(5))
+        _ = layer.keys
+        for step in range(5, 9):  # in-place decode appends
+            layer.append(block(1), block(1), np.arange(step, step + 1))
+        assert layer._mirror.lease is layer
+        layer.free()
+        assert auditor.errors_raised == 0
+
+
+def stub_module(positions, params=None, slots=None):
+    module = SimpleNamespace(
+        positions=np.asarray(positions),
+        params=params or {},
+    )
+    module.param_positions = lambda name: np.asarray((slots or {})[name])
+    return module
+
+
+def stub_plan(modules, uncached=(), recompute_tail=None):
+    return SimpleNamespace(
+        modules=modules, uncached=list(uncached), recompute_tail=recompute_tail
+    )
+
+
+class TestPlanValidator:
+    def test_disjoint_monotonic_plan_passes(self):
+        plan = stub_plan(
+            [(stub_module([0, 1, 2]), "a"), (stub_module([5, 6]), "b")],
+            uncached=[(np.array([9]), np.array([7]))],
+        )
+        validate_plan(plan, layout=None)
+
+    def test_non_monotonic_positions_raise(self):
+        plan = stub_plan([(stub_module([0, 2, 1]), "a")])
+        with pytest.raises(SanitizerError, match="non-monotonic"):
+            validate_plan(plan, layout=None)
+
+    def test_overlapping_modules_raise(self):
+        plan = stub_plan(
+            [(stub_module([0, 1, 2]), "a"), (stub_module([2, 3]), "b")]
+        )
+        with pytest.raises(SanitizerError, match="overlaps"):
+            validate_plan(plan, layout=None)
+
+    def test_uncached_collision_with_cached_raises(self):
+        plan = stub_plan(
+            [(stub_module([0, 1, 2]), "a")],
+            uncached=[(np.array([9]), np.array([1]))],
+        )
+        with pytest.raises(SanitizerError, match="collide"):
+            validate_plan(plan, layout=None)
+
+    def test_uncached_on_param_slot_is_allowed(self):
+        slot = SimpleNamespace(name="p")
+        module = stub_module(
+            [0, 1, 2], params={"p": slot}, slots={"p": [1]}
+        )
+        plan = stub_plan(
+            [(module, "a")], uncached=[(np.array([9]), np.array([1]))]
+        )
+        validate_plan(plan, layout=None)
+
+
+UNION_SCHEMA = (
+    '<schema name="cities"><union>'
+    '<module name="miami">miami beaches nightlife surf</module>'
+    '<module name="paris">paris museums cafes architecture louvre</module>'
+    '</union></schema>'
+)
+
+
+class TestLayoutValidator:
+    def test_real_union_layout_passes(self, tok):
+        schema = Schema.parse(UNION_SCHEMA)
+        layout = layout_schema(schema, tok)
+        validate_layout(schema, layout)
+
+    def test_tampered_union_start_raises(self, tok):
+        schema = Schema.parse(UNION_SCHEMA)
+        layout = layout_schema(schema, tok)
+        layout.module("paris").span_start += 7
+        with pytest.raises(SanitizerError, match="disagree on"):
+            validate_layout(schema, layout)
+
+    def test_slot_positions_outside_span_raise(self, tok):
+        schema = Schema.parse(
+            '<schema name="p"><module name="m">greet '
+            '<param name="who" len="2" default="you"/> warmly</module></schema>'
+        )
+        layout = layout_schema(schema, tok)
+        validate_layout(schema, layout)  # sane as laid out
+        layout.module("m").span_end = 1
+        with pytest.raises(SanitizerError, match="outside the module span"):
+            validate_layout(schema, layout)
+
+
+class TestShapeContracts:
+    def test_not_enforced_no_check(self):
+        @shape_contract(keys="(h, T, d)", values="(h, T, d)")
+        def f(keys, values):
+            return keys.shape
+
+        was_on = contracts_enforced()
+        enforce_contracts(False)
+        try:
+            assert f(np.zeros((2, 3)), np.zeros(4)) == (2, 3)  # wrong ranks pass
+        finally:
+            enforce_contracts(was_on)
+
+    def test_enforced_wrong_rank_raises(self, auditor):
+        @shape_contract(keys="(h, T, d)", values="(h, T, d)")
+        def f(keys, values):
+            return True
+
+        assert contracts_enforced()
+        assert f(np.zeros((2, 3, 4)), np.zeros((2, 3, 4)))
+        with pytest.raises(ContractViolation, match="'values'"):
+            f(np.zeros((2, 3, 4)), np.zeros((3, 4)))
+
+    def test_none_and_scalars_skipped(self, auditor):
+        @shape_contract(keys="(h, T, d)")
+        def f(keys=None):
+            return keys
+
+        assert f() is None
+        assert f(keys=None) is None
+
+    def test_unknown_parameter_rejected_at_decoration(self):
+        with pytest.raises(TypeError, match="not in its signature"):
+            @shape_contract(nope="(a, b)")
+            def f(keys):
+                return keys
+
+    def test_real_append_under_contracts(self, auditor):
+        pool = PagePool(2, 4)
+        layer = PagedLayerKV(pool)
+        with pytest.raises(ContractViolation):
+            layer.append(block(5)[0], block(5)[0], np.arange(5))  # rank 2
+        layer.append(block(5), block(5), np.arange(5))
+        layer.free()
+
+
+DOC = (
+    '<schema name="doc"><module name="d">the quick brown fox jumps over the '
+    'lazy dog again and again</module></schema>'
+)
+PROMPT = '<prompt schema="doc"><d/> plan a trip</prompt>'
+
+
+class TestEndToEnd:
+    def test_sanitized_serve_matches_unsanitized(self, llama, tok, auditor):
+        pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+        pc.register_schema(DOC)
+        sanitized = pc.serve(PROMPT, max_new_tokens=4)
+
+        uninstall_sanitizers()
+        try:
+            pc_plain = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+            pc_plain.register_schema(DOC)
+            plain = pc_plain.serve(PROMPT, max_new_tokens=4)
+        finally:
+            install_sanitizers()
+
+        assert sanitized.output_ids == plain.output_ids
+        assert auditor.errors_raised == 0
+
+    def test_union_registration_validated_live(self, llama, tok, auditor):
+        pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+        pc.register_schema(UNION_SCHEMA)  # layout validator runs clean
+        out = pc.serve(
+            '<prompt schema="cities"><miami/> plan a trip</prompt>',
+            max_new_tokens=2,
+        )
+        assert len(out.output_ids) >= 1
+        assert auditor.errors_raised == 0
