@@ -2,7 +2,7 @@
 
 from repro.cache.batch import BatchFootprint, BatchRequest, batch_footprint, max_batch_size
 from repro.cache.compress import CODECS, Fp16Codec, IdentityCodec, Int8Codec, KVCodec
-from repro.cache.persist import load_store, save_store
+from repro.cache.persist import SaveReport, load_store, save_store
 from repro.cache.engine import (
     BatchServeResult,
     PromptCache,
@@ -33,7 +33,7 @@ __all__ = [
     "GenerationSession", "Turn", "SessionResult", "start_session",
     "BatchRequest", "BatchFootprint", "batch_footprint", "max_batch_size",
     "KVCodec", "IdentityCodec", "Fp16Codec", "Int8Codec", "CODECS",
-    "save_store", "load_store",
+    "save_store", "load_store", "SaveReport",
     "encode_module", "encode_scaffold", "drop_param_slots",
     "SchemaLayout", "ModuleLayout", "ParamSlot", "layout_schema",
     "ModuleCacheStore", "CacheTier", "CacheKey", "CacheEntry",

@@ -5,12 +5,21 @@ those states to survive restarts. ``save_store``/``load_store`` round-trip
 a :class:`~repro.cache.storage.ModuleCacheStore`'s solo-variant entries
 through ``.npz`` files (one per module, scales/int8 payloads included when
 a codec produced them).
+
+Integrity: ``index.json`` records a SHA-256 per payload file. A restore
+verifies each file against its recorded digest and **skips** corrupt,
+truncated, or missing files with a warning instead of raising mid-load —
+one bad file costs one module (a re-encode), not the whole snapshot.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
+from zipfile import BadZipFile
 
 import numpy as np
 
@@ -21,17 +30,54 @@ from repro.llm.kv import ModuleKV
 _INDEX = "index.json"
 
 
+@dataclass
+class SaveReport:
+    """What a snapshot actually contains. ``skipped`` counts entries that
+    hold non-persistable payloads (simulator stand-ins) — a nonzero value
+    means the snapshot is partial, which operators need to know before
+    trusting a restore."""
+
+    saved: int = 0
+    skipped: int = 0
+    skipped_keys: list[str] = field(default_factory=list)
+
+    @property
+    def partial(self) -> bool:
+        return self.skipped > 0
+
+    def summary(self) -> str:
+        if not self.skipped:
+            return f"saved {self.saved} module(s)"
+        return (
+            f"saved {self.saved} module(s); skipped {self.skipped} "
+            f"non-persistable entr{'y' if self.skipped == 1 else 'ies'} "
+            f"({', '.join(self.skipped_keys)})"
+        )
+
+
 def _entry_path(directory: Path, key: CacheKey) -> Path:
     safe = f"{key.schema}__{key.module}__{key.variant}".replace("/", "_")
     return directory / f"{safe}.npz"
 
 
-def save_store(store: ModuleCacheStore, directory: str | Path) -> int:
-    """Write every entry of both tiers to ``directory``; returns a count."""
+def _sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def save_store(store: ModuleCacheStore, directory: str | Path) -> SaveReport:
+    """Write every entry of both tiers to ``directory``.
+
+    Returns a :class:`SaveReport`; check ``report.partial`` to detect
+    entries (simulator stand-ins) that could not be serialized.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     index: list[dict] = []
-    count = 0
+    report = SaveReport()
     for tier_name in ("gpu", "cpu"):
         tier = store.tier(tier_name)
         for key, entry in tier.entries.items():
@@ -46,12 +92,16 @@ def save_store(store: ModuleCacheStore, directory: str | Path) -> int:
                 kind = "raw"
             elif isinstance(payload, CompressedModuleKV):
                 arrays = {"positions": payload.positions}
-                for field, tensors in payload.payload.items():
+                for field_name, tensors in payload.payload.items():
                     for i, tensor in enumerate(tensors):
-                        arrays[f"{field}{i}"] = tensor
+                        arrays[f"{field_name}{i}"] = tensor
                 np.savez_compressed(path, **arrays)
                 kind = payload.codec
-            else:  # pragma: no cover - simulator stand-ins are not persisted
+            else:
+                # Simulator stand-ins carry no tensors; record the gap so
+                # a partial snapshot is distinguishable from a full one.
+                report.skipped += 1
+                report.skipped_keys.append(key.tag())
                 continue
             index.append(
                 {
@@ -59,43 +109,77 @@ def save_store(store: ModuleCacheStore, directory: str | Path) -> int:
                     "variant": key.variant, "tier": tier_name,
                     "kind": kind, "file": path.name,
                     "pinned": entry.pinned,
+                    "sha256": _sha256(path),
                 }
             )
-            count += 1
+            report.saved += 1
     (directory / _INDEX).write_text(json.dumps(index, indent=1))
-    return count
+    if report.partial:
+        warnings.warn(f"partial snapshot: {report.summary()}", stacklevel=2)
+    return report
+
+
+def _warn_skip(record: dict, reason: str) -> None:
+    warnings.warn(
+        f"skipping {record['file']} "
+        f"({record['schema']}/{record['module']}/{record['variant']}): {reason}",
+        stacklevel=3,
+    )
 
 
 def load_store(
     directory: str | Path, store: ModuleCacheStore | None = None
 ) -> ModuleCacheStore:
-    """Rebuild a store from :func:`save_store` output."""
+    """Rebuild a store from :func:`save_store` output.
+
+    Corrupt, truncated, or missing payload files are skipped with a
+    warning (the module simply re-encodes on first use); only a missing
+    or unreadable ``index.json`` raises.
+    """
     directory = Path(directory)
     store = store or ModuleCacheStore()
     index = json.loads((directory / _INDEX).read_text())
     for record in index:
         key = CacheKey(record["schema"], record["module"], record["variant"])
-        with np.load(directory / record["file"]) as data:
-            positions = data["positions"]
-            if record["kind"] == "raw":
-                n_layers = sum(1 for name in data.files if name.startswith("keys"))
-                kv = ModuleKV(
-                    keys=[data[f"keys{i}"] for i in range(n_layers)],
-                    values=[data[f"values{i}"] for i in range(n_layers)],
-                    positions=positions,
+        path = directory / record["file"]
+        if not path.exists():
+            _warn_skip(record, "payload file missing")
+            continue
+        expected = record.get("sha256")
+        if expected is not None:
+            actual = _sha256(path)
+            if actual != expected:
+                _warn_skip(
+                    record, f"checksum mismatch (expected {expected[:12]}…, got {actual[:12]}…)"
                 )
-            else:
-                payload: dict[str, list[np.ndarray]] = {}
-                fields = [n for n in data.files if n != "positions"]
-                # Layer order must survive the archive: sort by (field, i).
-                fields.sort(
-                    key=lambda n: (n.rstrip("0123456789"), int(n[len(n.rstrip("0123456789")):]))
-                )
-                for name in fields:
-                    field = name.rstrip("0123456789")
-                    payload.setdefault(field, []).append(data[name])
-                kv = CompressedModuleKV(
-                    codec=record["kind"], payload=payload, positions=positions
-                )
+                continue
+        try:
+            with np.load(path) as data:
+                positions = data["positions"]
+                if record["kind"] == "raw":
+                    n_layers = sum(1 for name in data.files if name.startswith("keys"))
+                    kv = ModuleKV(
+                        keys=[data[f"keys{i}"] for i in range(n_layers)],
+                        values=[data[f"values{i}"] for i in range(n_layers)],
+                        positions=positions,
+                    )
+                else:
+                    payload: dict[str, list[np.ndarray]] = {}
+                    fields = [n for n in data.files if n != "positions"]
+                    # Layer order must survive the archive: sort by (field, i).
+                    fields.sort(
+                        key=lambda n: (n.rstrip("0123456789"), int(n[len(n.rstrip("0123456789")):]))
+                    )
+                    for name in fields:
+                        field_name = name.rstrip("0123456789")
+                        payload.setdefault(field_name, []).append(data[name])
+                    kv = CompressedModuleKV(
+                        codec=record["kind"], payload=payload, positions=positions
+                    )
+        except (OSError, ValueError, KeyError, BadZipFile) as exc:
+            # A pre-checksum snapshot (no sha256 field) can still present
+            # a truncated or garbled archive; degrade to a skip.
+            _warn_skip(record, f"unreadable archive ({type(exc).__name__}: {exc})")
+            continue
         store.put(key, kv, tier=record["tier"], pinned=record["pinned"])
     return store

@@ -248,6 +248,17 @@ class ModuleCacheStore:
             self.gpu.on_evict = lambda entry: self.cpu.put(
                 entry.key, entry.kv, pinned=entry.pinned
             )
+        # Optional get-or-fetch hook: called on a full (both-tier) miss
+        # with the CacheKey, *outside* the store lock — it may block on a
+        # network round-trip. Returning a KV object installs it (default
+        # GPU tier, spilling as usual) and the fetch succeeds; returning
+        # None falls through to the ordinary miss (re-encode upstream).
+        # The cluster's PeerFetcher plugs in here.
+        self._miss_fetcher = None
+
+    def set_miss_fetcher(self, fn) -> None:
+        """Install (or clear, with ``None``) the both-tier-miss hook."""
+        self._miss_fetcher = fn
 
     def tier(self, name: str) -> CacheTier:
         if name == "gpu":
@@ -281,7 +292,30 @@ class ModuleCacheStore:
             entry = self.cpu.get(key)
             if entry is not None:
                 return FetchResult(entry=entry, tier="cpu")
+        # Full miss: give the get-or-fetch hook a chance to pull the
+        # entry from elsewhere (a cluster peer). Deliberately outside the
+        # lock — the hook may block on I/O, and it re-enters ``put``.
+        fetcher = self._miss_fetcher
+        if fetcher is None:
             return None
+        kv = fetcher(key)
+        if kv is None:
+            return None
+        self.put(key, kv, tier="gpu")
+        with self._lock:
+            # peek: the local miss was already counted above, and the
+            # entry's recency is fresh from ``put``.
+            for tier in (self.gpu, self.cpu):
+                entry = tier.peek(key)
+                if entry is not None:
+                    return FetchResult(entry=entry, tier=tier.name)
+        return None  # evicted in the gap; treat as a miss
+
+    def peek(self, key: CacheKey) -> CacheEntry | None:
+        """Both-tier lookup without touching statistics, recency, or the
+        miss fetcher — what a peer exporter serves from."""
+        with self._lock:
+            return self.gpu.peek(key) or self.cpu.peek(key)
 
     def __contains__(self, key: CacheKey) -> bool:
         return key in self.gpu or key in self.cpu

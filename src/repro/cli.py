@@ -6,7 +6,9 @@ inspect    parse a schema file, print its position layout and lint report
 analyze    run the repo's own AST lint rules (repro.analysis) over src/
 serve      serve a PML prompt against a schema with a seeded engine
 serve-live run the async serving runtime under a seeded open-loop trace
-loadgen    synthesize a serving trace and print its shape
+serve-cluster  run N sharded workers behind the cache-affinity router
+loadgen    synthesize a serving trace and print its shape (``--cluster N``
+           previews its placement across a worker ring)
 tokenize   show how the shared tokenizer splits a text
 ttft       modeled TTFT for a paper-shape model on a paper device
 datasets   list the synthetic evaluation suite
@@ -89,6 +91,30 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=["summary", "prom", "json"],
                       help="metrics output format")
 
+    cluster = sub.add_parser(
+        "serve-cluster",
+        help="drive N sharded workers behind the consistent-hash router",
+    )
+    cluster.add_argument("--workers", type=_positive(int), default=2)
+    cluster.add_argument("--arch", default="llama", choices=["llama", "falcon", "mpt", "gpt2"])
+    cluster.add_argument("--size", default="tiny", choices=["tiny", "small"])
+    cluster.add_argument("--schemas", type=_positive(int), default=3)
+    cluster.add_argument("--module-tokens", type=_positive(int), default=48)
+    cluster.add_argument("--uncached-tokens", type=_positive(int), default=10)
+    cluster.add_argument("--decode-tokens", type=_positive(int), default=4)
+    cluster.add_argument("--rate", type=_positive(float), default=40.0)
+    cluster.add_argument("--duration", type=_positive(float), default=2.0)
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--max-queue", type=int, default=32)
+    cluster.add_argument("--max-batch", type=int, default=4)
+    cluster.add_argument("--batch-wait", type=float, default=0.01)
+    cluster.add_argument("--spill-depth", type=_positive(int), default=8,
+                         help="home queue depth beyond which requests spill")
+    cluster.add_argument("--vnodes", type=_positive(int), default=64)
+    cluster.add_argument("--deadline", type=float, default=None)
+    cluster.add_argument("--format", default="summary",
+                         choices=["summary", "prom", "json"])
+
     loadgen = sub.add_parser(
         "loadgen", help="synthesize a seeded serving trace and print its shape"
     )
@@ -99,6 +125,10 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument("--jsonl", action="store_true",
                          help="emit the trace as JSON lines instead of a summary")
+    loadgen.add_argument("--cluster", type=_positive(int), default=None, metavar="N",
+                         help="preview the trace's placement across an "
+                              "N-worker consistent-hash ring")
+    loadgen.add_argument("--vnodes", type=_positive(int), default=64)
 
     tokenize = sub.add_parser("tokenize", help="tokenize text with the shared BPE")
     tokenize.add_argument("text")
@@ -122,6 +152,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "serve": _cmd_serve,
         "serve-live": _cmd_serve_live,
+        "serve-cluster": _cmd_serve_cluster,
         "loadgen": _cmd_loadgen,
         "tokenize": _cmd_tokenize,
         "ttft": _cmd_ttft,
@@ -191,6 +222,34 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _install_drain_handlers(loop, stop) -> list:
+    """SIGTERM/SIGINT → graceful drain: ``stop(drain=True)`` finishes
+    accepted work while new submissions are refused (the load loop sees
+    ``ServerClosed`` and settles what is in flight). Returns the signals
+    actually hooked so the caller can unhook them."""
+    import signal
+
+    hooked = []
+    stopping: list = []
+
+    def trigger() -> None:
+        if not stopping:  # second signal: drain already underway
+            stopping.append(loop.create_task(stop(True)))
+
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, trigger)
+        except (NotImplementedError, RuntimeError):  # non-POSIX loop
+            continue
+        hooked.append(sig)
+    return hooked
+
+
+def _remove_drain_handlers(loop, hooked) -> None:
+    for sig in hooked:
+        loop.remove_signal_handler(sig)
+
+
 def _cmd_serve_live(args) -> int:
     import asyncio
 
@@ -238,10 +297,15 @@ def _cmd_serve_live(args) -> int:
     server = LiveServer(pc, options)
 
     async def run():
-        async with server:
-            return await run_open_loop(
-                server, workload, trace, deadline_s=args.deadline
-            )
+        loop = asyncio.get_running_loop()
+        hooked = _install_drain_handlers(loop, server.stop)
+        try:
+            async with server:
+                return await run_open_loop(
+                    server, workload, trace, deadline_s=args.deadline
+                )
+        finally:
+            _remove_drain_handlers(loop, hooked)
 
     report = asyncio.run(run())
     if args.format == "prom":
@@ -262,6 +326,100 @@ def _cmd_serve_live(args) -> int:
     print(f"throughput {report.throughput_rps:.1f} req/s over {report.wall_s:.2f}s")
     print(f"cached token fraction {report.cached_token_fraction:.2f}  "
           f"store hit-rate {gpu.hit_rate:.2f}  evictions {gpu.evictions}")
+    return 0
+
+
+def _cmd_serve_cluster(args) -> int:
+    import asyncio
+    import json
+
+    from repro.cluster import ClusterRouter, ClusterWorker
+    from repro.cluster.loadgen import run_cluster_open_loop
+    from repro.llm import build_model, small_config, tiny_config
+    from repro.pml.chat import PLAIN_TEMPLATE
+    from repro.server import ServeOptions, build_workload
+    from repro.serving.traces import SchemaProfile, synthesize_trace
+    from repro.tokenizer import default_tokenizer
+
+    tok = default_tokenizer()
+    make = tiny_config if args.size == "tiny" else small_config
+    # One set of weights shared read-only by every in-process worker:
+    # identical engines guarantee byte-identical outputs on failover.
+    model = build_model(make(args.arch, vocab_size=tok.vocab_size), seed=args.seed)
+
+    profiles = [
+        SchemaProfile(
+            name=f"schema{i}",
+            module_tokens=args.module_tokens,
+            uncached_mean=args.uncached_tokens,
+            decode_mean=args.decode_tokens,
+            weight=1.0 / (i + 1),  # skewed popularity, like real schema mixes
+        )
+        for i in range(args.schemas)
+    ]
+    workload = build_workload(profiles, tok, seed=args.seed)
+    trace = synthesize_trace(profiles, args.rate, args.duration, seed=args.seed)
+
+    options = ServeOptions(
+        max_queue_depth=args.max_queue,
+        queue_delay_budget_s=None,
+        max_batch=args.max_batch,
+        batch_max_wait_s=args.batch_wait,
+    )
+    workers = [
+        ClusterWorker(f"w{i}", model, tok, template=PLAIN_TEMPLATE, options=options)
+        for i in range(args.workers)
+    ]
+    router = ClusterRouter(
+        workers, vnodes=args.vnodes, spill_queue_depth=args.spill_depth
+    )
+    for source in workload.schema_sources.values():
+        router.register_schema(source)
+
+    async def run():
+        loop = asyncio.get_running_loop()
+        hooked = _install_drain_handlers(loop, router.stop)
+        try:
+            async with router:
+                result = await run_cluster_open_loop(
+                    router, workload, trace, deadline_s=args.deadline
+                )
+                # Snapshot while the workers are still up — post-stop
+                # health would read "dead" even for a clean run.
+                return result, router.snapshot(), router.prometheus()
+        finally:
+            _remove_drain_handlers(loop, hooked)
+
+    report, snap, prom_text = asyncio.run(run())
+    if args.format == "prom":
+        print(prom_text)
+        return 0
+    if args.format == "json":
+        print(json.dumps({"report": {
+            "completed": report.completed, "rejected": report.rejected,
+            "expired": report.expired, "failed": report.failed,
+            "failures": report.failures, "wall_s": report.wall_s,
+        }, **snap}, indent=2, sort_keys=True, default=str))
+        return 0
+    gauges = snap["router"]["gauges"]
+    print(f"cluster: {args.workers} worker(s), {len(trace)} requests over "
+          f"{args.duration:.1f}s (rate {args.rate:g}/s, seed {args.seed})")
+    print(f"completed {report.completed}  rejected {report.rejected}  "
+          f"expired {report.expired}  failed {report.failed}")
+    print(f"TTFT p50 {1000 * report.ttft_percentile(50):.1f} ms   "
+          f"p95 {1000 * report.ttft_percentile(95):.1f} ms   "
+          f"throughput {report.throughput_rps:.1f} req/s")
+    counters = snap["router"]["counters"]
+    placed = {k: v for k, v in counters.items() if k.startswith("cluster_requests_total")}
+    for series in sorted(placed):
+        print(f"  {series} = {placed[series]:g}")
+    hits = gauges.get('cluster_peer_fetch_total{outcome="hit"}', 0.0)
+    misses = gauges.get('cluster_peer_fetch_total{outcome="miss"}', 0.0)
+    avoided = gauges.get("cluster_reencode_avoided_tokens_total", 0.0)
+    print(f"peer fetches: {hits:g} hit / {misses:g} miss; "
+          f"re-encode avoided {avoided:g} tokens")
+    shares = ", ".join(f"{n}={s:.2f}" for n, s in sorted(snap["ring"].items()))
+    print(f"ring ownership: {shares}")
     return 0
 
 
@@ -286,6 +444,23 @@ def _cmd_loadgen(args) -> int:
     if args.jsonl:
         for request in trace:
             print(json.dumps(request.__dict__))
+        return 0
+    if args.cluster is not None:
+        from repro.cluster.ring import HashRing
+
+        ring = HashRing([f"w{i}" for i in range(args.cluster)], vnodes=args.vnodes)
+        placement: dict[str, int] = {}
+        for request in trace:
+            # The loadgen workload imports one "context" module per
+            # schema, so the routing key matches the router's.
+            home = ring.node_for(f"{request.schema}|context")
+            placement[home] = placement.get(home, 0) + 1
+        shares = ring.ownership_share()
+        print(f"placement preview across {args.cluster} worker(s), "
+              f"{args.vnodes} vnodes:")
+        for name in sorted(shares):
+            print(f"  {name:<6} {placement.get(name, 0):>5} requests "
+                  f"(key-space share {shares[name]:.2f})")
         return 0
     print(f"{len(trace)} requests over {args.duration:g}s "
           f"(target rate {args.rate:g}/s, seed {args.seed})")

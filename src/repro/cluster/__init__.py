@@ -1,0 +1,42 @@
+"""repro.cluster — multi-worker sharded serving over a module-KV plane.
+
+Layer 7 of the repo: N :class:`ClusterWorker`\\ s (each a full
+:class:`~repro.server.runtime.LiveServer` with its own module store)
+behind a :class:`ClusterRouter` that places requests by cache affinity
+on a consistent-hash ring, and a binary distribution plane
+(:mod:`~repro.cluster.wire`, :class:`CacheExporter`,
+:class:`PeerFetcher`) that moves encoded module KV between workers so a
+module encoded anywhere is paid for once, cluster-wide — the paper's
+§3.3 encode-once economics stretched across machines.
+"""
+
+from repro.cluster.exporter import CacheExporter
+from repro.cluster.fetcher import FetchFailed, PeerFetcher
+from repro.cluster.health import (
+    DEAD,
+    DRAINING,
+    HealthEvent,
+    HeartbeatMonitor,
+    UP,
+    WorkerHealth,
+)
+from repro.cluster.ring import HashRing
+from repro.cluster.router import ClusterRouter, NoWorkerAvailable, routing_key
+from repro.cluster.worker import ClusterWorker
+
+__all__ = [
+    "CacheExporter",
+    "ClusterRouter",
+    "ClusterWorker",
+    "DEAD",
+    "DRAINING",
+    "FetchFailed",
+    "HashRing",
+    "HealthEvent",
+    "HeartbeatMonitor",
+    "NoWorkerAvailable",
+    "PeerFetcher",
+    "UP",
+    "WorkerHealth",
+    "routing_key",
+]

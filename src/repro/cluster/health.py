@@ -1,0 +1,133 @@
+"""Worker health: states, heartbeats, and death detection.
+
+A worker is ``up`` while it heartbeats, ``draining`` once it has been
+asked to stop (it finishes accepted work but takes no new requests), and
+``dead`` when it either reported its own shutdown or missed enough
+heartbeats. The router treats ``up`` as routable, ``draining`` as
+fetchable-but-not-routable (its exporter still serves module KV until
+the drain completes), and ``dead`` as gone — dead workers leave the hash
+ring and their in-flight requests fail over.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+UP = "up"
+DRAINING = "draining"
+DEAD = "dead"
+
+_STATES = (UP, DRAINING, DEAD)
+
+
+@dataclass
+class WorkerHealth:
+    """Last known liveness picture of one worker."""
+
+    name: str
+    state: str = UP
+    last_beat_at: float = 0.0
+    queue_depth: int = 0
+    beats: int = 0
+
+    @property
+    def routable(self) -> bool:
+        return self.state == UP
+
+    @property
+    def fetchable(self) -> bool:
+        return self.state in (UP, DRAINING)
+
+
+@dataclass
+class HealthEvent:
+    """One observed state transition, kept for operators and tests."""
+
+    at: float
+    worker: str
+    old_state: str
+    new_state: str
+    reason: str = ""
+
+
+class HeartbeatMonitor:
+    """Tracks per-worker heartbeats; flags workers that stop beating.
+
+    Single-loop discipline: ``beat``/``sweep`` are called from the
+    router's event loop (workers post beats via ``call_soon_threadsafe``
+    when they live on another loop), so no lock is needed.
+    """
+
+    def __init__(
+        self,
+        heartbeat_interval_s: float = 0.05,
+        miss_limit: int = 4,
+        clock=time.monotonic,
+    ) -> None:
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.miss_limit = miss_limit
+        self.clock = clock
+        self.workers: dict[str, WorkerHealth] = {}
+        self.events: list[HealthEvent] = []
+
+    def register(self, name: str) -> WorkerHealth:
+        health = WorkerHealth(name=name, last_beat_at=self.clock())
+        self.workers[name] = health
+        return health
+
+    def beat(self, name: str, state: str = UP, queue_depth: int = 0) -> None:
+        """Record one heartbeat. A beat from a ``dead`` worker does not
+        resurrect it — the router already rebalanced; rejoin is explicit."""
+        if state not in _STATES:
+            raise ValueError(f"unknown health state {state!r}")
+        health = self.workers.get(name)
+        if health is None:
+            health = self.register(name)
+        if health.state == DEAD:
+            return
+        if state != health.state:
+            self._transition(health, state, reason="self-reported")
+        health.last_beat_at = self.clock()
+        health.queue_depth = queue_depth
+        health.beats += 1
+
+    def declare_dead(self, name: str, reason: str = "declared") -> bool:
+        health = self.workers.get(name)
+        if health is None or health.state == DEAD:
+            return False
+        self._transition(health, DEAD, reason=reason)
+        return True
+
+    def sweep(self, now: float | None = None) -> list[str]:
+        """Mark workers whose heartbeats stopped as dead; returns the
+        newly-dead names (the router's rebalance trigger)."""
+        now = self.clock() if now is None else now
+        deadline = self.heartbeat_interval_s * self.miss_limit
+        newly_dead: list[str] = []
+        for health in self.workers.values():
+            if health.state == DEAD:
+                continue
+            if now - health.last_beat_at > deadline:
+                self._transition(health, DEAD, reason="missed heartbeats")
+                newly_dead.append(health.name)
+        return newly_dead
+
+    def state(self, name: str) -> str:
+        health = self.workers.get(name)
+        return DEAD if health is None else health.state
+
+    def routable(self) -> list[str]:
+        return [h.name for h in self.workers.values() if h.routable]
+
+    def _transition(self, health: WorkerHealth, state: str, reason: str) -> None:
+        self.events.append(
+            HealthEvent(
+                at=self.clock(),
+                worker=health.name,
+                old_state=health.state,
+                new_state=state,
+                reason=reason,
+            )
+        )
+        health.state = state

@@ -1,0 +1,102 @@
+"""Open-loop load generation against a :class:`ClusterRouter`.
+
+Mirrors :func:`repro.server.loadgen.run_open_loop` but drives the whole
+cluster through the router's ``serve`` (placement + failover included),
+so a run measures end-to-end cluster behaviour: affinity routing, load
+spill, peer fetches, and — when the harness kills a worker mid-trace —
+zero-loss failover.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.cluster.router import ClusterRouter, NoWorkerAvailable
+from repro.server.errors import DeadlineExceeded, Overloaded
+from repro.server.loadgen import LiveWorkload, LoadReport
+from repro.server.request import TraceRecord
+from repro.serving.traces import TraceRequest
+
+
+async def run_cluster_open_loop(
+    router: ClusterRouter,
+    workload: LiveWorkload,
+    trace: list[TraceRequest],
+    *,
+    time_scale: float = 1.0,
+    deadline_s: float | None = None,
+    clock=None,
+) -> LoadReport:
+    """Fire the trace's arrivals at the router on schedule.
+
+    Rejections (:class:`Overloaded`) and total cluster loss
+    (:class:`NoWorkerAvailable`) are tallied, not raised; every request
+    the cluster *accepted* must land in ``completed`` (or ``expired`` /
+    ``failed`` with a reason) — the zero-loss audit the failover test
+    asserts on.
+    """
+    loop = asyncio.get_running_loop()
+    clock = clock or loop.time
+    report = LoadReport()
+    start = clock()
+    pending: list[asyncio.Task] = []
+
+    async def fire(item: TraceRequest) -> None:
+        prompt, max_new = workload.prompt_for_trace(item)
+        submitted_at = clock()
+        try:
+            result = await router.serve(
+                prompt, max_new_tokens=max_new, deadline_s=deadline_s
+            )
+        except Overloaded:
+            report.rejected += 1
+            return
+        except DeadlineExceeded:
+            report.expired += 1
+            return
+        except NoWorkerAvailable as exc:
+            if router.closed:
+                # Raced into a drain: the request was never accepted, so
+                # it is shed, not lost.
+                report.rejected += 1
+            else:
+                report.record_failure(exc)
+            return
+        except Exception as exc:
+            report.record_failure(exc)
+            return
+        finished_at = clock()
+        report.submitted += 1
+        report.completed += 1
+        report.records.append(
+            TraceRecord(
+                request_id=f"trace-{item.request_id}",
+                schema=item.schema,
+                state="done",
+                submitted_at=submitted_at,
+                queue_wait_s=0.0,
+                # Router-side wall time: includes placement, queueing,
+                # any failover re-placement, and the engine itself.
+                ttft_s=(finished_at - submitted_at) - sum(result.step_times_s),
+                ttlt_s=finished_at - submitted_at,
+                cached_tokens=result.cached_tokens,
+                uncached_tokens=result.uncached_tokens,
+                output_tokens=len(result.output_ids),
+                batch_size=0,
+            )
+        )
+
+    for item in sorted(trace, key=lambda r: r.arrival_s):
+        delay = (start + item.arrival_s * time_scale) - clock()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if router.closed:
+            # Draining (SIGTERM mid-trace): stop offering load, but let
+            # everything already accepted settle into the report below.
+            break
+        pending.append(asyncio.create_task(fire(item)))
+
+    if pending:
+        await asyncio.gather(*pending)
+    report.wall_s = clock() - start
+    return report

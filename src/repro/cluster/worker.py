@@ -1,0 +1,209 @@
+"""One cluster worker: a serving engine plus its distribution-plane ends.
+
+A :class:`ClusterWorker` owns a private :class:`PromptCache` (own
+module store, own metrics registry) wrapped in a
+:class:`~repro.server.runtime.LiveServer`, an exporter serving its
+encoded modules to peers, and a fetcher pulling missing modules *from*
+peers. The glue is the store's get-or-fetch hook: when the engine misses
+a module in the local store, the hook asks the key's likely holders for
+the encoded states before falling back to a local re-encode. A
+successful peer fetch books the avoided prefill in
+``cluster_reencode_avoided_tokens_total`` — the cluster's headline win.
+
+Threading shape: the engine runs batches on the server's executor
+thread, so the miss hook fires *off* the event loop; it bridges back
+with ``run_coroutine_threadsafe`` and blocks (bounded) on the transfer.
+The loop stays free to run the fetch, the exporter, and heartbeats. If
+the engine ever runs inline on the loop (``inline_execution=True``), the
+hook detects it and declines rather than deadlock.
+
+Workers share the (read-only) model weights in-process but never share
+stores — the point is to exercise the cross-store distribution plane.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.cache.engine import PromptCache
+from repro.cache.storage import CacheKey, ModuleCacheStore
+from repro.cluster.exporter import CacheExporter
+from repro.cluster.fetcher import FetchFailed, PeerFetcher
+from repro.cluster.health import DEAD, DRAINING, UP
+from repro.server.metrics import MetricsRegistry
+from repro.server.runtime import LiveServer, ServeOptions
+
+
+class ClusterWorker:
+    """A named serving worker participating in the module-KV plane."""
+
+    def __init__(
+        self,
+        name: str,
+        model,
+        tokenizer,
+        template=None,
+        options: ServeOptions | None = None,
+        store: ModuleCacheStore | None = None,
+        kv_codec=None,
+        exporter_host: str = "127.0.0.1",
+        exporter_port: int = 0,
+        fetcher: PeerFetcher | None = None,
+        max_fetch_peers: int = 3,
+        fetch_budget_s: float = 10.0,
+        heartbeat_interval_s: float = 0.05,
+    ) -> None:
+        self.name = name
+        self.metrics = MetricsRegistry()
+        self.store = store or ModuleCacheStore()
+        self.pc = PromptCache(
+            model, tokenizer, store=self.store, template=template, kv_codec=kv_codec
+        )
+        self.server = LiveServer(self.pc, options, metrics=self.metrics)
+        self.exporter = CacheExporter(
+            self.store,
+            metrics=self.metrics,
+            host=exporter_host,
+            port=exporter_port,
+            health_snapshot=self._health_snapshot,
+            stats_snapshot=lambda: self.server.snapshot(),
+        )
+        self.fetcher = fetcher or PeerFetcher(metrics=self.metrics)
+        self.max_fetch_peers = max_fetch_peers
+        self.fetch_budget_s = fetch_budget_s
+        self.heartbeat_interval_s = heartbeat_interval_s
+        # Installed by the router: key -> [(peer name, (host, port))] in
+        # preference order, self excluded. None = no distribution plane.
+        self.peer_resolver = None
+        # Called every heartbeat with (name, state, queue_depth).
+        self.heartbeat_sink = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: int | None = None
+        self._heartbeat_task: asyncio.Task | None = None
+        self._killed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        if self._killed or not self.server._running and self._loop is not None:
+            return DEAD
+        if self.server.draining:
+            return DRAINING
+        return UP
+
+    async def start(self) -> "ClusterWorker":
+        self._loop = asyncio.get_running_loop()
+        self._loop_thread = threading.get_ident()
+        await self.exporter.start()
+        await self.server.start()
+        self.store.set_miss_fetcher(self._miss_fetch)
+        self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
+        self._beat()
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful stop: drain accepted work (exporter keeps serving the
+        KV plane throughout, so rebalanced keys can still warm up from
+        us), then leave."""
+        self._beat(state=DRAINING if drain else DEAD)
+        await self.server.stop(drain=drain)
+        await self._teardown()
+
+    async def kill(self) -> None:
+        """Abrupt death (test harness / induced failure): queued requests
+        fail immediately with ``ServerClosed`` — their routers fail them
+        over — and the exporter vanishes mid-conversation."""
+        self._killed = True
+        await self.exporter.stop()
+        await self.server.stop(drain=False)
+        await self._teardown()
+
+    async def _teardown(self) -> None:
+        self._killed = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass  # expected: we cancelled it
+            self._heartbeat_task = None
+        self.store.set_miss_fetcher(None)
+        await self.exporter.stop()
+        self._beat(state=DEAD)
+
+    # -- schemas -----------------------------------------------------------------
+
+    def register_schema(self, source, eager: bool = False):
+        """Register a schema on this worker. Default **lazy**: in a
+        cluster, modules are encoded where their requests land (or
+        peer-fetched), not eagerly on every worker — eager-everywhere
+        would duplicate the very prefill work the plane exists to share.
+        """
+        return self.pc.register_schema(source, eager=eager)
+
+    # -- heartbeats ---------------------------------------------------------------
+
+    def _health_snapshot(self) -> dict:
+        return {"state": self.state, "queue_depth": self.server.queue_depth}
+
+    def _beat(self, state: str | None = None) -> None:
+        sink = self.heartbeat_sink
+        if sink is not None:
+            sink(self.name, state or self.state, self.server.queue_depth)
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            self._beat()
+            await asyncio.sleep(self.heartbeat_interval_s)
+
+    # -- the get-or-fetch hook -----------------------------------------------------
+
+    def _miss_fetch(self, key: CacheKey):
+        """Store miss hook (runs on the engine's executor thread)."""
+        loop, resolver = self._loop, self.peer_resolver
+        if loop is None or resolver is None or self._killed:
+            return None
+        if threading.get_ident() == self._loop_thread:
+            # Engine inlined on the event loop: blocking here would
+            # deadlock the very loop that must run the fetch.
+            return None
+        future = asyncio.run_coroutine_threadsafe(self._fetch_from_peers(key), loop)
+        try:
+            return future.result(timeout=self.fetch_budget_s)
+        except (asyncio.TimeoutError, TimeoutError):
+            future.cancel()
+            self._count_plane("budget_exhausted")
+            return None
+        except RuntimeError:
+            # Loop shut down while we were waiting (worker killed).
+            return None
+
+    async def _fetch_from_peers(self, key: CacheKey):
+        candidates = self.peer_resolver(key) if self.peer_resolver else []
+        for peer_name, address in candidates[: self.max_fetch_peers]:
+            try:
+                kv = await self.fetcher.fetch(address, key)
+            except FetchFailed:
+                self._count_plane("peer_unreachable")
+                continue
+            if kv is not None:
+                self.metrics.counter(
+                    "cluster_reencode_avoided_tokens_total",
+                    "module tokens obtained from peers instead of re-encoding",
+                ).inc(len(kv))
+                self.metrics.counter(
+                    "cluster_peer_modules_total",
+                    "modules obtained from each peer",
+                    peer=peer_name,
+                ).inc()
+                return kv
+        return None
+
+    def _count_plane(self, outcome: str) -> None:
+        self.metrics.counter(
+            "cluster_plane_misses_total",
+            "get-or-fetch hook outcomes that fell back to re-encode",
+            outcome=outcome,
+        ).inc()

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.serving.traces import SchemaProfile, TraceRequest
-from repro.server.errors import DeadlineExceeded, Overloaded
+from repro.server.errors import DeadlineExceeded, Overloaded, ServerClosed
 from repro.server.request import TraceRecord
 from repro.server.runtime import LiveServer
 
@@ -196,6 +196,10 @@ async def run_open_loop(
         except Overloaded:
             report.rejected += 1
             continue
+        except ServerClosed:
+            # Draining (SIGTERM mid-trace): stop offering load, but let
+            # everything already accepted settle into the report below.
+            break
         report.submitted += 1
         pending.append(asyncio.create_task(settle(request)))
 

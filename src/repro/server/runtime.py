@@ -102,6 +102,7 @@ class LiveServer:
         self._wake: asyncio.Event | None = None
         self._worker_task: asyncio.Task | None = None
         self._running = False
+        self._draining = False
         self._inflight = 0
         self._service_ewma_s = self.options.initial_service_s
         self._wire_store_metrics()
@@ -113,16 +114,27 @@ class LiveServer:
             return self
         self._wake = asyncio.Event()
         self._running = True
+        self._draining = False
         self._worker_task = asyncio.create_task(self._worker())
         return self
 
+    @property
+    def draining(self) -> bool:
+        """True once a draining stop began: accepted work still completes,
+        but new submissions are refused."""
+        return self._draining
+
     async def stop(self, drain: bool = True) -> None:
-        """Stop the worker. With ``drain`` (default) every queued request
-        is served first; otherwise the queue is rejected with
-        :class:`ServerClosed`."""
+        """Stop the worker. With ``drain`` (default) every accepted request
+        is served first — while new submissions are rejected with
+        :class:`ServerClosed` — otherwise the queue is rejected outright.
+        This is the graceful-shutdown contract SIGTERM handlers rely on:
+        container shutdown finishes in-flight work instead of dropping it.
+        """
         if not self._running:
             return
         if drain:
+            self._draining = True
             await self.join()
         self._running = False
         if self._wake is not None:
@@ -173,6 +185,8 @@ class LiveServer:
         """
         if not self._running:
             raise ServerClosed("server is not running")
+        if self._draining:
+            raise ServerClosed("server is draining; not accepting new requests")
         schema = parse_prompt(prompt).schema  # PMLError on malformed input
         if schema not in self.pc.schemas:
             raise self._reject(

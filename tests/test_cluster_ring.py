@@ -1,0 +1,93 @@
+"""Consistent-hash ring: stability, balance, and failover order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import HashRing
+
+NODES = ["w0", "w1", "w2", "w3"]
+KEYS = [f"schema{i}|context" for i in range(200)]
+
+
+class TestPlacement:
+    def test_deterministic(self):
+        a = HashRing(NODES)
+        b = HashRing(list(reversed(NODES)))  # insertion order is irrelevant
+        for key in KEYS:
+            assert a.node_for(key) == b.node_for(key)
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().node_for("k")
+        assert HashRing().preference_list("k") == []
+
+    def test_every_node_gets_keys(self):
+        ring = HashRing(NODES)
+        owners = {ring.node_for(key) for key in KEYS}
+        assert owners == set(NODES)
+
+    def test_balance_within_reason(self):
+        ring = HashRing(NODES, vnodes=128)
+        counts = {n: 0 for n in NODES}
+        for i in range(4000):
+            counts[ring.node_for(f"key-{i}")] += 1
+        for n, count in counts.items():
+            # 4 nodes → expectation 1000; vnodes keep skew modest.
+            assert 500 < count < 1800, (n, counts)
+
+    def test_ownership_share_sums_to_one(self):
+        ring = HashRing(NODES)
+        shares = ring.ownership_share()
+        assert set(shares) == set(NODES)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        ring = HashRing(["solo"], vnodes=1)
+        assert ring.ownership_share() == {"solo": 1.0}
+
+
+class TestMembershipChanges:
+    def test_remove_moves_only_dead_nodes_keys(self):
+        ring = HashRing(NODES)
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.remove("w2")
+        for key, owner in before.items():
+            if owner == "w2":
+                assert ring.node_for(key) != "w2"
+            else:
+                # The defining consistent-hashing property: survivors'
+                # keys (and their warm caches) stay put.
+                assert ring.node_for(key) == owner
+
+    def test_add_is_idempotent_remove_unknown_is_noop(self):
+        ring = HashRing(NODES)
+        ring.add("w0")
+        assert len(ring) == 4
+        ring.remove("nope")
+        assert len(ring) == 4
+
+    def test_readd_restores_placement(self):
+        ring = HashRing(NODES)
+        before = {key: ring.node_for(key) for key in KEYS}
+        ring.remove("w1")
+        ring.add("w1")
+        assert {key: ring.node_for(key) for key in KEYS} == before
+
+
+class TestPreferenceList:
+    def test_distinct_home_first(self):
+        ring = HashRing(NODES)
+        for key in KEYS[:50]:
+            prefs = ring.preference_list(key)
+            assert prefs[0] == ring.node_for(key)
+            assert len(prefs) == len(set(prefs)) == len(NODES)
+
+    def test_n_limits_length(self):
+        ring = HashRing(NODES)
+        assert len(ring.preference_list("k", n=2)) == 2
+        assert len(ring.preference_list("k", n=99)) == len(NODES)
+
+    def test_failover_order_survives_death(self):
+        ring = HashRing(NODES)
+        prefs = ring.preference_list(KEYS[0])
+        ring.remove(prefs[0])
+        assert ring.node_for(KEYS[0]) == prefs[1]

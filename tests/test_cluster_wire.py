@@ -1,0 +1,155 @@
+"""Wire protocol: xxh64 vectors, framing, and module round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.compress import CompressedModuleKV, Int8Codec
+from repro.cache.storage import CacheKey
+from repro.cluster import wire
+from repro.llm.kv import ModuleKV
+
+
+def make_module_kv(layers=2, heads=2, tokens=5, dim=4, seed=0) -> ModuleKV:
+    rng = np.random.default_rng(seed)
+    shape = (heads, tokens, dim)
+    return ModuleKV(
+        keys=[rng.standard_normal(shape).astype(np.float32) for _ in range(layers)],
+        values=[rng.standard_normal(shape).astype(np.float32) for _ in range(layers)],
+        positions=np.arange(10, 10 + tokens, dtype=np.int64),
+    )
+
+
+class TestXXH64:
+    # Published XXH64 reference vectors.
+    def test_reference_vectors(self):
+        assert wire.xxh64(b"") == 0xEF46DB3751D8E999
+        assert wire.xxh64(b"xxhash") == 3665147885093898016
+        assert wire.xxh64(b"xxhash", seed=20141025) == 13067679811253438005
+
+    @pytest.mark.parametrize("size", [0, 1, 3, 4, 7, 8, 31, 32, 33, 63, 257, 4096])
+    def test_streaming_matches_oneshot(self, size):
+        rng = np.random.default_rng(size)
+        data = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        stream = wire.StreamingXXH64()
+        for start in range(0, size, 13):  # awkward chunk boundary on purpose
+            stream.update(data[start:start + 13])
+        assert stream.digest() == wire.xxh64(data)
+
+    def test_seed_changes_digest(self):
+        assert wire.xxh64(b"abc") != wire.xxh64(b"abc", seed=1)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = wire.pack_frame(wire.MSG_CHUNK, b"abcdef")
+        msg_type, length = wire.unpack_header(frame[: wire.HEADER_SIZE])
+        assert (msg_type, length) == (wire.MSG_CHUNK, 6)
+        assert frame[wire.HEADER_SIZE:] == b"abcdef"
+
+    def test_header_only_pack_matches_full_frame(self):
+        payload = b"xyz"
+        assert (
+            wire.pack_header(wire.MSG_CHUNK, len(payload)) + payload
+            == wire.pack_frame(wire.MSG_CHUNK, payload)
+        )
+
+    def test_bad_magic_and_version(self):
+        good = bytearray(wire.pack_frame(wire.MSG_PING))
+        bad_magic = bytes(b"JUNK") + bytes(good[4:])
+        with pytest.raises(wire.WireError, match="magic"):
+            wire.unpack_header(bad_magic[: wire.HEADER_SIZE])
+        bad_version = bytes(good[:4]) + bytes([99]) + bytes(good[5:])
+        with pytest.raises(wire.WireError, match="version"):
+            wire.unpack_header(bad_version[: wire.HEADER_SIZE])
+
+    def test_oversize_frame_rejected(self):
+        import struct
+
+        header = struct.pack(
+            "!4sBB2xI", wire.MAGIC, wire.VERSION, wire.MSG_CHUNK, 0
+        )
+        # Rewrite length beyond the cap.
+        header = header[:8] + (wire.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+        with pytest.raises(wire.WireError, match="exceeds"):
+            wire.unpack_header(header)
+
+    def test_get_round_trip(self):
+        key = CacheKey("sch", "mod", "solo")
+        frame = wire.pack_get(key)
+        assert wire.key_from_request(frame[wire.HEADER_SIZE:]) == key
+
+
+def assemble(module: wire.WireModule, chunk_size=64) -> bytearray:
+    body = bytearray()
+    for chunk in wire.iter_chunks(module, chunk_size):
+        body.extend(chunk)
+    return body
+
+
+class TestModuleRoundTrip:
+    def test_raw_round_trip(self):
+        kv = make_module_kv()
+        key = CacheKey("s", "m")
+        module = wire.serialize_module(key, kv)
+        assert module.meta["kind"] == "raw"
+        assert module.total_bytes == int(module.meta["total_bytes"])
+        out = wire.deserialize_module(module.meta, assemble(module))
+        assert isinstance(out, ModuleKV)
+        np.testing.assert_array_equal(out.positions, kv.positions)
+        for a, b in zip(out.keys, kv.keys):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(out.values, kv.values):
+            np.testing.assert_array_equal(a, b)
+
+    def test_compressed_round_trip(self):
+        codec = Int8Codec()
+        stored = codec.encode(make_module_kv(seed=3))
+        assert isinstance(stored, CompressedModuleKV)
+        module = wire.serialize_module(CacheKey("s", "m"), stored)
+        assert module.meta["kind"] == stored.codec
+        out = wire.deserialize_module(module.meta, assemble(module))
+        assert isinstance(out, CompressedModuleKV)
+        assert out.codec == stored.codec
+        assert set(out.payload) == set(stored.payload)
+        for field_name, tensors in stored.payload.items():
+            for a, b in zip(out.payload[field_name], tensors):
+                np.testing.assert_array_equal(a, b)
+        # The decoded engine view matches too.
+        np.testing.assert_array_equal(
+            codec.decode(out).keys[0], codec.decode(stored).keys[0]
+        )
+
+    def test_chunking_never_splits_correctness(self):
+        kv = make_module_kv(tokens=17)
+        module = wire.serialize_module(CacheKey("s", "m"), kv)
+        for chunk_size in (1, 7, 64, 1 << 20):
+            out = wire.deserialize_module(module.meta, assemble(module, chunk_size))
+            np.testing.assert_array_equal(out.keys[1], kv.keys[1])
+
+    def test_corruption_detected(self):
+        module = wire.serialize_module(CacheKey("s", "m"), make_module_kv())
+        body = assemble(module)
+        body[len(body) // 2] ^= 0xFF
+        with pytest.raises(wire.WireError, match="checksum"):
+            wire.deserialize_module(module.meta, body)
+
+    def test_truncation_detected(self):
+        module = wire.serialize_module(CacheKey("s", "m"), make_module_kv())
+        body = assemble(module)[:-8]
+        with pytest.raises(wire.WireError, match="declared"):
+            wire.deserialize_module(module.meta, body)
+
+    def test_unserializable_payload(self):
+        with pytest.raises(wire.WireError, match="cannot serialize"):
+            wire.serialize_module(CacheKey("s", "m"), object())
+
+    def test_zero_copy_send_views(self):
+        kv = make_module_kv()
+        module = wire.serialize_module(CacheKey("s", "m"), kv)
+        # The first buffer is a view over the positions tensor itself.
+        assert module.buffers[0].obj is kv.positions or isinstance(
+            module.buffers[0].obj, np.ndarray
+        )
+        assert sum(len(b) for b in module.buffers) == kv.nbytes()

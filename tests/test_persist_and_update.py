@@ -26,8 +26,9 @@ def pc(llama, tok):
 
 class TestPersistence:
     def test_round_trip_raw_entries(self, pc, tmp_path):
-        count = save_store(pc.store, tmp_path)
-        assert count >= 2
+        report = save_store(pc.store, tmp_path)
+        assert report.saved >= 2
+        assert not report.partial
         restored = load_store(tmp_path)
         for name in ("a", "b"):
             key = CacheKey("lib", name)
@@ -117,3 +118,86 @@ class TestRuntimeUpdate:
         pc.serve('<prompt schema="lib"><a/><b/> go</prompt>', max_new_tokens=2)
         # Exactly one new insertion: the re-encoded module a.
         assert pc.store.gpu.stats.insertions == insertions + 1
+
+
+class _StandIn:
+    """Simulator-style payload with sizes but no tensors to persist."""
+
+    def nbytes(self) -> int:
+        return 256
+
+    def __len__(self) -> int:
+        return 4
+
+
+class TestSnapshotIntegrity:
+    def test_index_records_sha256(self, pc, tmp_path):
+        save_store(pc.store, tmp_path)
+        import json
+
+        index = json.loads((tmp_path / "index.json").read_text())
+        assert index
+        for record in index:
+            assert len(record["sha256"]) == 64
+
+    def test_corrupt_file_is_skipped_with_warning(self, pc, tmp_path):
+        save_store(pc.store, tmp_path)
+        victim = _flip_byte(tmp_path, "lib", "a")
+        with pytest.warns(UserWarning, match="checksum mismatch"):
+            restored = load_store(tmp_path)
+        assert restored.fetch(CacheKey("lib", "a")) is None  # skipped
+        assert restored.fetch(CacheKey("lib", "b")) is not None  # survived
+        assert victim.exists()  # we only skip, never delete
+
+    def test_missing_file_is_skipped_with_warning(self, pc, tmp_path):
+        save_store(pc.store, tmp_path)
+        _payload_path(tmp_path, "lib", "a").unlink()
+        with pytest.warns(UserWarning, match="missing"):
+            restored = load_store(tmp_path)
+        assert restored.fetch(CacheKey("lib", "a")) is None
+        assert restored.fetch(CacheKey("lib", "b")) is not None
+
+    def test_truncated_legacy_file_is_skipped(self, pc, tmp_path):
+        """Pre-checksum snapshots (no sha256 in the index) still degrade
+        to a skip when the archive itself is truncated."""
+        import json
+
+        save_store(pc.store, tmp_path)
+        index_path = tmp_path / "index.json"
+        index = json.loads(index_path.read_text())
+        for record in index:
+            record.pop("sha256")
+        index_path.write_text(json.dumps(index))
+        path = _payload_path(tmp_path, "lib", "a")
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.warns(UserWarning, match="unreadable archive"):
+            restored = load_store(tmp_path)
+        assert restored.fetch(CacheKey("lib", "a")) is None
+        assert restored.fetch(CacheKey("lib", "b")) is not None
+
+    def test_save_reports_skipped_stand_ins(self, pc, tmp_path):
+        pc.store.put(CacheKey("lib", "ghost"), _StandIn())
+        with pytest.warns(UserWarning, match="partial snapshot"):
+            report = save_store(pc.store, tmp_path)
+        assert report.saved >= 2
+        assert report.skipped == 1
+        assert report.partial
+        assert "lib/ghost/solo" in report.skipped_keys
+        assert "skipped 1" in report.summary()
+        # The stand-in never lands in the index; a restore is clean.
+        restored = load_store(tmp_path)
+        assert restored.fetch(CacheKey("lib", "ghost")) is None
+
+
+def _payload_path(directory, schema, module, variant="solo"):
+    from repro.cache.persist import _entry_path
+
+    return _entry_path(directory, CacheKey(schema, module, variant))
+
+
+def _flip_byte(directory, schema, module):
+    path = _payload_path(directory, schema, module)
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    return path
