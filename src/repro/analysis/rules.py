@@ -12,7 +12,10 @@ unsanitized):
   caught exception (silent swallows hide engine bugs from operators);
 - :class:`KVContractRule` — functions whose parameters name KV tensors
   must declare their shapes via
-  :func:`repro.analysis.contracts.shape_contract`.
+  :func:`repro.analysis.contracts.shape_contract`;
+- :class:`NoWriteToMappedRule` — no in-place mutation of ``key_arena`` /
+  ``value_arena`` attributes (snapshot-attached modules share those
+  arenas read-only across workers; mutate a private copy instead).
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ __all__ = [
     "DEFAULT_RULES",
     "GuardedByRule",
     "KVContractRule",
+    "NoWriteToMappedRule",
     "default_rules",
 ]
 
@@ -356,8 +360,100 @@ class KVContractRule(Rule):
         return None
 
 
+_ARENA_ATTRS = {"key_arena", "value_arena"}
+_FILL_METHODS = {"fill", "sort", "partition", "put", "itemset"}
+_COPYING_CALLS = {"copy", "ascontiguousarray", "array", "copyto_private", "ensure_arena"}
+
+
+class NoWriteToMappedRule(Rule):
+    """No in-place mutation of arrays reachable from a ``ModuleKV`` arena.
+
+    Snapshot-attached modules expose ``key_arena``/``value_arena`` as
+    views over a read-only file mapping shared by every worker on the
+    host; a subscript store, ``np.copyto`` destination, or ``.fill()``
+    on such an attribute either crashes (read-only map) or corrupts
+    sibling workers (writable map). Mutations must go through an explicit
+    private copy (``.copy()``, ``ensure_arena()`` on a view, …) — the
+    copy call in the expression chain is the copy-on-write guard the rule
+    looks for. Suppress deliberate cases with
+    ``# noqa: no-write-to-mapped``.
+    """
+
+    name = "no-write-to-mapped"
+    description = "in-place writes into (possibly memmap-backed) KV arenas"
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    arena = self._arena_expr(target)
+                    if arena is not None:
+                        findings.append(self._flag(module, node, arena, "subscript store"))
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node))
+        return findings
+
+    def _check_call(self, module: SourceModule, call: ast.Call) -> list[Finding]:
+        fn = call.func
+        # <expr>.key_arena.fill(...) and friends mutate in place.
+        if isinstance(fn, ast.Attribute) and fn.attr in _FILL_METHODS:
+            arena = self._arena_expr(fn.value)
+            if arena is not None:
+                return [self._flag(module, call, arena, f".{fn.attr}() call")]
+        # np.copyto(dst, src) writes its first argument.
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "copyto"
+            and call.args
+        ):
+            arena = self._arena_expr(call.args[0])
+            if arena is not None:
+                return [self._flag(module, call, arena, "np.copyto destination")]
+        return []
+
+    def _arena_expr(self, node: ast.AST) -> str | None:
+        """The arena attribute name when ``node`` writes through one —
+        peeling subscripts/slices — or None. An expression that passed
+        through an explicit copying call (``kv.key_arena.copy()[…]``) is
+        private memory and exempt."""
+        seen = node
+        while True:
+            if isinstance(seen, ast.Subscript):
+                seen = seen.value
+                continue
+            if isinstance(seen, ast.Call):
+                fn = seen.func
+                name = (
+                    fn.attr if isinstance(fn, ast.Attribute)
+                    else fn.id if isinstance(fn, ast.Name) else None
+                )
+                if name in _COPYING_CALLS:
+                    return None  # explicit copy-on-write guard
+                return None  # arbitrary call result: not provably an arena
+            if isinstance(seen, ast.Attribute) and seen.attr in _ARENA_ATTRS:
+                return seen.attr
+            return None
+
+    def _flag(self, module: SourceModule, node: ast.AST, arena: str, how: str) -> Finding:
+        return module.finding(
+            self.name, node,
+            f"in-place write into '{arena}' ({how}): arenas may be "
+            "snapshot-mapped and shared read-only across workers — mutate "
+            "an explicit private copy, or justify with "
+            "'# noqa: no-write-to-mapped'",
+        )
+
+
 def default_rules() -> list[Rule]:
-    return [GuardedByRule(), AsyncHygieneRule(), BroadExceptRule(), KVContractRule()]
+    return [
+        GuardedByRule(),
+        AsyncHygieneRule(),
+        BroadExceptRule(),
+        KVContractRule(),
+        NoWriteToMappedRule(),
+    ]
 
 
 DEFAULT_RULES = default_rules()

@@ -40,6 +40,7 @@ __all__ = [
     "SanitizerError",
     "active_auditor",
     "assert_quiescent",
+    "guard_kv_write",
     "install_sanitizers",
     "sanitizers_enabled",
     "uninstall_sanitizers",
@@ -263,6 +264,35 @@ def validate_plan(plan, layout) -> None:
             )
 
 
+# -- mapped-arena write guard -------------------------------------------------
+
+
+def guard_kv_write(buffer: np.ndarray) -> None:
+    """KV write guard (installed into :mod:`repro.llm.kv` by
+    :func:`install_sanitizers`): reject in-place writes into snapshot-
+    mapped or otherwise read-only arenas.
+
+    A mapped module's pages are shared by every worker attached to the
+    same snapshot; an in-place append would either corrupt siblings
+    (writable mapping) or crash mid-splice (read-only mapping). The guard
+    turns both into a :class:`SanitizerError` at the faulting append with
+    the fix in the message: take a private copy (``ensure_arena`` on a
+    non-arena view, or ``copy()``) before mutating.
+    """
+    from repro.llm.kv import is_mapped_array
+
+    if is_mapped_array(buffer):
+        raise SanitizerError(
+            "in-place write into a snapshot-mapped KV arena: mapped modules "
+            "are shared read-only across attached workers — copy into a "
+            "private arena before appending"
+        )
+    if not buffer.flags.writeable:
+        raise SanitizerError(
+            "in-place write into a read-only KV buffer — copy before mutating"
+        )
+
+
 # -- installation -------------------------------------------------------------
 
 _ACTIVE: PageAuditor | None = None
@@ -279,12 +309,14 @@ def install_sanitizers() -> PageAuditor:
     if _ACTIVE is not None:
         return _ACTIVE
     from repro.cache import engine as cache_engine
+    from repro.llm import kv as kv_mod
     from repro.llm import paged
 
     auditor = PageAuditor()
     paged.set_page_auditor(auditor)
     cache_engine.set_plan_validator(validate_plan)
     cache_engine.set_layout_validator(validate_layout)
+    kv_mod.set_write_guard(guard_kv_write)
     enforce_contracts(True)
     _ACTIVE = auditor
     return auditor
@@ -295,11 +327,13 @@ def uninstall_sanitizers() -> None:
     if _ACTIVE is None:
         return
     from repro.cache import engine as cache_engine
+    from repro.llm import kv as kv_mod
     from repro.llm import paged
 
     paged.set_page_auditor(None)
     cache_engine.set_plan_validator(None)
     cache_engine.set_layout_validator(None)
+    kv_mod.set_write_guard(None)
     enforce_contracts(False)
     _ACTIVE = None
 

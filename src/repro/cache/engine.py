@@ -196,6 +196,14 @@ class PromptCache:
         original per-layer buffered-concat path (kept for benchmarking).
     plan_cache_size / base_cache_size:
         LRU bounds on the compiled-plan and spliced-base caches.
+    encode_workers:
+        Default process-pool width for eager schema encoding; ``0``/``1``
+        keeps the sequential path. Individual ``register_schema`` calls
+        can override with their own ``workers=``.
+    encode_metrics:
+        Optional metrics registry handed to transient
+        :class:`~repro.cache.parallel.ParallelEncoder` instances (the
+        serving runtime injects its own registry here).
     """
 
     def __init__(
@@ -210,6 +218,8 @@ class PromptCache:
         splice_mode: str = "paged",
         plan_cache_size: int = 256,
         base_cache_size: int = 8,
+        encode_workers: int = 0,
+        encode_metrics=None,
     ) -> None:
         from repro.cache.compress import IdentityCodec, codec as codec_by_name
 
@@ -237,6 +247,9 @@ class PromptCache:
         self.splice_mode = splice_mode
         self.plan_cache_size = plan_cache_size
         self.base_cache_size = base_cache_size
+        self.encode_workers = encode_workers
+        self.encode_metrics = encode_metrics
+        self._parallel_encoder = None
         # Guards the two LRU maps, their stats, and paged-base fork/free
         # (page refcounts are not thread-safe on their own).
         self._fastpath_lock = threading.RLock()
@@ -248,14 +261,22 @@ class PromptCache:
     # -- schema management -----------------------------------------------------
 
     def register_schema(
-        self, source: str | Schema, eager: bool = True, tier: str | None = None
+        self,
+        source: str | Schema,
+        eager: bool = True,
+        tier: str | None = None,
+        workers: int | None = None,
     ) -> Schema:
         """Parse, lay out, and (eagerly) encode a schema's modules.
 
         Eager registration mirrors the paper's flow — "Prompt Cache
         populates its cache when a schema is loaded" (Fig 1c) — so the
         first derived prompt already hits warm states. Lazy registration
-        encodes each module on first use instead.
+        encodes each module on first use instead. ``workers`` overrides
+        the engine's ``encode_workers`` for this schema; values above 1
+        fan the independent module encodes across a process pool
+        (:class:`~repro.cache.parallel.ParallelEncoder`) with
+        bit-identical results.
         """
         schema = source if isinstance(source, Schema) else Schema.parse(source, self.template)
         layout = layout_schema(schema, self.tokenizer)
@@ -277,8 +298,15 @@ class PromptCache:
         # spliced bases derived from the old one are stale.
         self._evict_compiled(schema.name)
         if eager:
-            self._encode_all(registered, tier or self.default_tier)
+            self._encode_all(registered, tier or self.default_tier, workers=workers)
         return schema
+
+    def set_parallel_encoder(self, encoder) -> None:
+        """Attach (or detach, with ``None``) a shared
+        :class:`~repro.cache.parallel.ParallelEncoder`, so many schema
+        registrations reuse one warm process pool. The caller owns the
+        encoder's lifetime (``close()``)."""
+        self._parallel_encoder = encoder
 
     # -- compiled-plan cache -----------------------------------------------------
 
@@ -352,8 +380,18 @@ class PromptCache:
             self._notify_plan("invalidation")
         return len(doomed)
 
-    def _encode_all(self, registered: RegisteredSchema, tier: str) -> None:
+    def _encode_all(
+        self, registered: RegisteredSchema, tier: str, workers: int | None = None
+    ) -> None:
         layout = registered.layout
+        workers = self.encode_workers if workers is None else workers
+        encoder = self._parallel_encoder
+        # Any explicit worker count (even 1) routes through the encode
+        # plane — a 1-worker encoder runs sequentially in-process but
+        # still meters warm-up and job durations.
+        if encoder is not None or workers >= 1:
+            self._encode_all_pooled(registered, tier, workers, encoder)
+            return
         for name in layout.order:
             self._ensure_encoded(registered, name, SOLO_VARIANT, tier)
         for i, names in enumerate(registered.scaffold_sets):
@@ -366,6 +404,42 @@ class PromptCache:
                     self.kv_codec.encode(states[n]),
                     tier=tier,
                 )
+
+    def _encode_all_pooled(
+        self, registered: RegisteredSchema, tier: str, workers, encoder
+    ) -> None:
+        """Eager encode through a :class:`ParallelEncoder`.
+
+        Mirrors the sequential path exactly: solo modules already in the
+        store are skipped (``_ensure_encoded`` semantics), scaffold sets
+        are always refreshed, and entries land in the same order.
+        """
+        from repro.cache.parallel import ParallelEncoder
+
+        layout = registered.layout
+        transient = encoder is None
+        if transient:
+            encoder = ParallelEncoder(
+                self.model, workers=workers, metrics=self.encode_metrics
+            )
+        try:
+            present = {
+                name
+                for name in layout.order
+                if CacheKey(layout.schema_name, name, SOLO_VARIANT) in self.store
+            }
+            states = encoder.encode_schema(
+                layout, registered.scaffold_sets, skip_solo=present
+            )
+            for (name, variant), kv in states.items():
+                self.store.put(
+                    CacheKey(layout.schema_name, name, variant),
+                    self.kv_codec.encode(kv),
+                    tier=tier,
+                )
+        finally:
+            if transient:
+                encoder.close()
 
     def _ensure_encoded(
         self, registered: RegisteredSchema, name: str, variant: str, tier: str

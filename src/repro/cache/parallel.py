@@ -1,0 +1,378 @@
+"""Parallel module encoding: fanning §3.3's independent encodes over cores.
+
+The paper's core observation — prompt modules are encoded *in isolation*
+with schema-assigned positions — makes schema warm-up embarrassingly
+parallel: every solo module (and every jointly encoded scaffold set) is
+an independent forward pass. :class:`ParallelEncoder` runs those passes
+on a ``fork``-started process pool and moves the resulting key/value
+arenas back through ``multiprocessing.shared_memory`` segments, so no
+tensor is ever pickled: each worker writes its ``(n_layers, n_kv_heads,
+T, head_dim)`` arenas straight into a segment the parent pre-sized, and
+the parent adopts them with one contiguous copy per side.
+
+Determinism: workers run the exact same :func:`encode_module` /
+:func:`encode_scaffold` code on fork-inherited (byte-identical) weights,
+and results are assembled in schema order regardless of completion
+order — outputs are **bit-identical** to a sequential encode (asserted
+by the bit-equality test matrix and the encode bench).
+
+Fallbacks: ``workers <= 1``, a platform without ``fork``, or a missing
+``shared_memory`` implementation all degrade to the sequential in-process
+path with the same return value.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.encoder import encode_module, encode_scaffold
+from repro.cache.layout import ModuleLayout, SchemaLayout
+from repro.cache.storage import SOLO_VARIANT
+from repro.llm.kv import ModuleKV, tracked_alloc
+from repro.llm.layers import DTYPE
+
+try:
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - CPython always ships it
+    shared_memory = None
+
+
+def fork_available() -> bool:
+    """True when the zero-pickle pool path can run on this platform."""
+    return (
+        shared_memory is not None
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+
+
+# The model the pool workers encode with. Set by the parent immediately
+# before the executor forks its workers, so children inherit it through
+# copy-on-write memory instead of pickling the weights.
+_WORKER_MODEL = None
+
+
+@dataclass(frozen=True)
+class _Target:
+    """Where one module's arenas land: a shared segment plus geometry."""
+
+    name: str
+    variant: str
+    shm_name: str
+    shape: tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class _Job:
+    """One pool task: a solo module or a jointly encoded scaffold set."""
+
+    kind: str  # "module" | "scaffold"
+    layouts: tuple[ModuleLayout, ...]
+    targets: tuple[_Target, ...]
+
+
+@dataclass
+class EncodeReport:
+    """Timing breakdown of one :meth:`ParallelEncoder.encode_schema`."""
+
+    schema: str
+    wall_s: float
+    jobs: int
+    parallel: bool
+    encode_s: list[float] = field(default_factory=list)  # per-job, worker-side
+
+
+def _arena_views(segment, shape) -> tuple[np.ndarray, np.ndarray]:
+    """Key/value array views over one segment (keys first, values after)."""
+    nbytes = int(np.prod(shape)) * np.dtype(DTYPE).itemsize
+    keys = np.ndarray(shape, dtype=DTYPE, buffer=segment.buf, offset=0)
+    values = np.ndarray(shape, dtype=DTYPE, buffer=segment.buf, offset=nbytes)
+    return keys, values
+
+
+def _attach_segment(name: str):
+    """Attach to a parent-owned segment.
+
+    Fork-pool workers share the parent's resource tracker, whose name set
+    dedupes the duplicate registration; the parent's ``unlink`` after
+    collection retires the name exactly once.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _run_job(job: _Job) -> float:
+    """Worker-side: encode and write arenas into the shared segments.
+
+    Returns only the encode duration — the tensors travel through shared
+    memory, never through the result pickle.
+    """
+    model = _WORKER_MODEL
+    start = time.perf_counter()
+    if job.kind == "scaffold":
+        states = encode_scaffold(model, list(job.layouts))
+    else:
+        states = {job.layouts[0].name: encode_module(model, job.layouts[0])}
+    for target in job.targets:
+        kv = states[target.name].ensure_arena()
+        segment = _attach_segment(target.shm_name)
+        try:
+            key_dst, value_dst = _arena_views(segment, target.shape)
+            np.copyto(key_dst, kv.key_arena)
+            np.copyto(value_dst, kv.value_arena)
+        finally:
+            # Views must die before close(): the segment's memoryview
+            # refuses to release while arrays still export its buffer.
+            del key_dst, value_dst
+            segment.close()
+    return time.perf_counter() - start
+
+
+class ParallelEncoder:
+    """Process-pool encode plane for one model.
+
+    One encoder serves any number of ``encode_schema`` calls; the pool is
+    created lazily on first parallel use and torn down by :meth:`close`
+    (or the context manager). The pool is bound to the model captured at
+    creation — fork inheritance means later model swaps are invisible to
+    live workers, so use one encoder per model.
+
+    Parameters
+    ----------
+    model:
+        The :class:`~repro.llm.models.TransformerModel` to encode with.
+    workers:
+        Pool size; ``None`` means ``os.cpu_count()``. ``<= 1`` encodes
+        sequentially in-process (still bit-identical, still metered).
+    metrics:
+        Optional :class:`~repro.server.metrics.MetricsRegistry`; records
+        ``encode_duration_seconds``, ``schema_warmup_seconds``,
+        ``encode_jobs_total`` and the ``encode_pool_workers`` gauge.
+    """
+
+    def __init__(self, model, workers: int | None = None, metrics=None) -> None:
+        self.model = model
+        self.workers = max(1, int(workers if workers is not None else (os.cpu_count() or 1)))
+        self.metrics = metrics
+        self._executor = None
+        self._segments: dict[str, object] = {}
+        self.last_report: EncodeReport | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """True when encodes actually fan out across processes."""
+        return self.workers > 1 and fork_available()
+
+    def __enter__(self) -> "ParallelEncoder":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down and release any leftover segments."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "encode_pool_workers", "live encode pool processes"
+                ).set(0)
+        for name in list(self._segments):
+            self._release_segment(name)
+
+    def _pool(self):
+        global _WORKER_MODEL
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            _WORKER_MODEL = self.model
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            if self.metrics is not None:
+                self.metrics.gauge(
+                    "encode_pool_workers", "live encode pool processes"
+                ).set(self.workers)
+        return self._executor
+
+    # -- encoding ----------------------------------------------------------------
+
+    def encode_schema(
+        self,
+        layout: SchemaLayout,
+        scaffold_sets: list[tuple[str, ...]] | tuple = (),
+        skip_solo: set[str] | frozenset = frozenset(),
+    ) -> dict[tuple[str, str], ModuleKV]:
+        """Encode every module (and scaffold set) of one laid-out schema.
+
+        Returns ``{(module, variant): ModuleKV}`` in schema order —
+        solo variants first (document order), then scaffold variants —
+        exactly the order a sequential ``_encode_all`` produces.
+        ``skip_solo`` names modules whose solo states are already cached
+        (scaffold sets are always refreshed, matching the engine).
+        """
+        start = time.perf_counter()
+        report = EncodeReport(
+            schema=layout.schema_name, wall_s=0.0, jobs=0, parallel=self.parallel
+        )
+        if self.parallel:
+            out = self._encode_parallel(layout, scaffold_sets, skip_solo, report)
+        else:
+            out = self._encode_sequential(layout, scaffold_sets, skip_solo, report)
+        report.wall_s = time.perf_counter() - start
+        self.last_report = report
+        self._record(report)
+        return out
+
+    def _encode_sequential(
+        self, layout, scaffold_sets, skip_solo, report
+    ) -> dict[tuple[str, str], ModuleKV]:
+        out: dict[tuple[str, str], ModuleKV] = {}
+        for name in layout.order:
+            if name in skip_solo:
+                continue
+            step = time.perf_counter()
+            out[(name, SOLO_VARIANT)] = encode_module(self.model, layout.module(name))
+            report.encode_s.append(time.perf_counter() - step)
+            report.jobs += 1
+        for i, names in enumerate(scaffold_sets):
+            step = time.perf_counter()
+            states = encode_scaffold(self.model, [layout.module(n) for n in names])
+            report.encode_s.append(time.perf_counter() - step)
+            report.jobs += 1
+            for n in names:
+                out[(n, f"scaffold{i}")] = states[n]
+        return out
+
+    def _encode_parallel(
+        self, layout, scaffold_sets, skip_solo, report
+    ) -> dict[tuple[str, str], ModuleKV]:
+        jobs: list[_Job] = []
+        inline: list[tuple[str, str]] = []  # empty modules: no segment needed
+        for name in layout.order:
+            if name in skip_solo:
+                continue
+            mod = layout.module(name)
+            if len(mod.token_ids) == 0:
+                inline.append((name, SOLO_VARIANT))
+                continue
+            jobs.append(
+                _Job(
+                    kind="module",
+                    layouts=(mod,),
+                    targets=(self._make_target(name, SOLO_VARIANT, mod),),
+                )
+            )
+        for i, names in enumerate(scaffold_sets):
+            variant = f"scaffold{i}"
+            mods = tuple(layout.module(n) for n in names)
+            jobs.append(
+                _Job(
+                    kind="scaffold",
+                    layouts=mods,
+                    targets=tuple(
+                        self._make_target(mod.name, variant, mod) for mod in mods
+                    ),
+                )
+            )
+
+        try:
+            durations = list(self._pool().map(_run_job, jobs))
+        except BaseException:
+            for job in jobs:
+                for target in job.targets:
+                    self._release_segment(target.shm_name)
+            raise
+        report.jobs = len(jobs)
+        report.encode_s = durations
+
+        collected: dict[tuple[str, str], ModuleKV] = {}
+        positions = {
+            (t.name, t.variant): mod.positions
+            for job in jobs
+            for t, mod in zip(job.targets, job.layouts)
+        }
+        for job in jobs:
+            for target in job.targets:
+                collected[(target.name, target.variant)] = self._adopt(
+                    target, positions[(target.name, target.variant)]
+                )
+        for name, variant in inline:
+            collected[(name, variant)] = encode_module(self.model, layout.module(name))
+
+        # Assemble in sequential-encode order (solos in document order,
+        # then scaffold variants) so store insertion order is identical.
+        out: dict[tuple[str, str], ModuleKV] = {}
+        for name in layout.order:
+            if name in skip_solo:
+                continue
+            out[(name, SOLO_VARIANT)] = collected[(name, SOLO_VARIANT)]
+        for i, names in enumerate(scaffold_sets):
+            for n in names:
+                out[(n, f"scaffold{i}")] = collected[(n, f"scaffold{i}")]
+        return out
+
+    # -- shared-memory plumbing ---------------------------------------------------
+
+    def _make_target(self, name: str, variant: str, mod: ModuleLayout) -> _Target:
+        shape = (
+            self.model.config.n_layers,
+            self.model.config.n_kv_heads,
+            len(mod.token_ids),
+            self.model.config.head_dim,
+        )
+        nbytes = 2 * int(np.prod(shape)) * np.dtype(DTYPE).itemsize
+        segment = shared_memory.SharedMemory(create=True, size=max(nbytes, 1))
+        self._segments[segment.name] = segment
+        return _Target(name=name, variant=variant, shm_name=segment.name, shape=shape)
+
+    def _adopt(self, target: _Target, layout_positions: np.ndarray) -> ModuleKV:
+        """Lift one worker-filled segment into a private arena-backed KV."""
+        segment = self._segments[target.shm_name]
+        try:
+            key_src, value_src = _arena_views(segment, target.shape)
+            key_arena = tracked_alloc(target.shape)
+            value_arena = tracked_alloc(target.shape)
+            np.copyto(key_arena, key_src)
+            np.copyto(value_arena, value_src)
+        finally:
+            del key_src, value_src
+            self._release_segment(target.shm_name)
+        return ModuleKV.from_arenas(key_arena, value_arena, layout_positions.copy())
+
+    def _release_segment(self, name: str) -> None:
+        segment = self._segments.pop(name, None)
+        if segment is None:
+            return
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+
+    # -- observability -------------------------------------------------------------
+
+    def _record(self, report: EncodeReport) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.histogram(
+            "schema_warmup_seconds",
+            "wall time to encode one schema's full module set",
+            schema=report.schema,
+        ).observe(report.wall_s)
+        mode = "parallel" if report.parallel else "sequential"
+        self.metrics.counter(
+            "encode_jobs_total", "module/scaffold encode jobs run", mode=mode
+        ).inc(report.jobs)
+        duration = self.metrics.histogram(
+            "encode_duration_seconds", "per-job encode duration", mode=mode
+        )
+        for seconds in report.encode_s:
+            duration.observe(seconds)

@@ -2,20 +2,39 @@
 
 Encoding a module costs a full prefill of its text; serving systems want
 those states to survive restarts. ``save_store``/``load_store`` round-trip
-a :class:`~repro.cache.storage.ModuleCacheStore`'s solo-variant entries
-through ``.npz`` files (one per module, scales/int8 payloads included when
-a codec produced them).
+a :class:`~repro.cache.storage.ModuleCacheStore`'s entries through disk.
 
-Integrity: ``index.json`` records a SHA-256 per payload file. A restore
-verifies each file against its recorded digest and **skips** corrupt,
-truncated, or missing files with a warning instead of raising mid-load —
-one bad file costs one module (a re-encode), not the whole snapshot.
+Two snapshot formats coexist:
+
+- **v1** (``format="v1"``): one ``savez_compressed`` archive per entry.
+  Compact, but a restore decompresses and copies every byte before the
+  first request can be served — O(total KV bytes) warm start.
+- **v2** (default): each raw module's layer-major key/value arenas are
+  written as plain aligned ``.npy`` payloads, so a restore can
+  ``np.memmap`` them — warm start becomes O(index) with lazy page-in,
+  and N same-host workers that attach the same snapshot share one
+  resident copy of the pages (the paper's §3.4 CPU-memory accounting).
+  Codec-compressed entries keep the npz container (their tensors are
+  rebuilt on decode anyway).
+
+Integrity: ``index.json`` records a full SHA-256 per payload file plus a
+**sparse** digest over the file size, head block, and evenly sampled
+64 KiB blocks. Eager loads verify the full digest; mapped attaches verify
+the sparse digest up front (cheap — it pages in a handful of blocks, not
+the whole snapshot) and delegate the full digest to a background sweep
+(:class:`DigestSweep`) that drops entries failing verification. Corrupt,
+truncated, or missing files are skipped with a warning instead of raising
+mid-load — one bad file costs one module (a re-encode), not the whole
+snapshot.
 """
 
 from __future__ import annotations
 
+import ctypes
 import hashlib
 import json
+import mmap as _mmap
+import threading
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -28,6 +47,14 @@ from repro.cache.storage import CacheKey, ModuleCacheStore
 from repro.llm.kv import ModuleKV
 
 _INDEX = "index.json"
+SNAPSHOT_VERSION = 2
+
+# Sparse-digest sampling: head block + this many evenly spaced blocks.
+_SPARSE_BLOCK = 64 * 1024
+_SPARSE_SAMPLES = 8
+
+_ARENA_KIND = "arena"
+_ARENA_PARTS = ("keys", "values", "positions")
 
 
 @dataclass
@@ -55,9 +82,12 @@ class SaveReport:
         )
 
 
+def _safe_stem(key: CacheKey) -> str:
+    return f"{key.schema}__{key.module}__{key.variant}".replace("/", "_")
+
+
 def _entry_path(directory: Path, key: CacheKey) -> Path:
-    safe = f"{key.schema}__{key.module}__{key.variant}".replace("/", "_")
-    return directory / f"{safe}.npz"
+    return directory / f"{_safe_stem(key)}.npz"
 
 
 def _sha256(path: Path) -> str:
@@ -68,118 +98,445 @@ def _sha256(path: Path) -> str:
     return digest.hexdigest()
 
 
-def save_store(store: ModuleCacheStore, directory: str | Path) -> SaveReport:
+def _sparse_sha256(path: Path) -> str:
+    """Digest of the file size + head block + evenly sampled blocks.
+
+    Touches at most ``(_SPARSE_SAMPLES + 1) * _SPARSE_BLOCK`` bytes, so a
+    mapped attach can sanity-check every payload (length, npy header, a
+    spread of pages) without paging the whole snapshot in. Truncation and
+    most corruption patterns are caught; the full digest still runs in the
+    background sweep.
+    """
+    size = path.stat().st_size
+    digest = hashlib.sha256(str(size).encode())
+    offsets = {0}
+    if size > _SPARSE_BLOCK:
+        span = size - _SPARSE_BLOCK
+        offsets.update(
+            (span * i) // (_SPARSE_SAMPLES - 1) for i in range(_SPARSE_SAMPLES)
+        )
+    with path.open("rb") as handle:
+        for offset in sorted(offsets):
+            handle.seek(offset)
+            digest.update(handle.read(_SPARSE_BLOCK))
+    return digest.hexdigest()
+
+
+def _file_record(path: Path) -> dict:
+    return {
+        "file": path.name,
+        "nbytes": path.stat().st_size,
+        "sha256": _sha256(path),
+        "sparse_sha256": _sparse_sha256(path),
+    }
+
+
+def _raw_arenas(payload: ModuleKV) -> tuple[np.ndarray, np.ndarray]:
+    arena = payload.ensure_arena()
+    if arena.is_arena:
+        return arena.key_arena, arena.value_arena
+    # Degenerate zero-layer module: persist empty 4-d arenas so the
+    # loader's from_arenas path stays uniform.
+    empty = np.empty((0, 0, 0, 0), dtype=np.float32)
+    return empty, empty
+
+
+def _save_entry_v1(path: Path, payload) -> str:
+    if isinstance(payload, ModuleKV):
+        arrays = {"positions": payload.positions}
+        for i, (k, v) in enumerate(zip(payload.keys, payload.values)):
+            arrays[f"keys{i}"] = k
+            arrays[f"values{i}"] = v
+        np.savez_compressed(path, **arrays)
+        return "raw"
+    arrays = {"positions": payload.positions}
+    for field_name, tensors in payload.payload.items():
+        for i, tensor in enumerate(tensors):
+            arrays[f"{field_name}{i}"] = tensor
+    np.savez_compressed(path, **arrays)
+    return payload.codec
+
+
+def _save_entry_v2(directory: Path, key: CacheKey, payload) -> dict:
+    """Write one entry's payload files; returns the index record's
+    ``kind``/``files`` fields."""
+    stem = _safe_stem(key)
+    if isinstance(payload, ModuleKV):
+        key_arena, value_arena = _raw_arenas(payload)
+        parts = {
+            "keys": np.ascontiguousarray(key_arena),
+            "values": np.ascontiguousarray(value_arena),
+            "positions": np.ascontiguousarray(payload.positions),
+        }
+        files = {}
+        for part, array in parts.items():
+            path = directory / f"{stem}.{part}.npy"
+            np.save(path, array)
+            files[part] = _file_record(path)
+        return {"kind": _ARENA_KIND, "files": files}
+    path = directory / f"{stem}.npz"
+    kind = _save_entry_v1(path, payload)
+    return {"kind": kind, "files": {"payload": _file_record(path)}}
+
+
+def save_store(
+    store: ModuleCacheStore, directory: str | Path, *, format: str = "v2"
+) -> SaveReport:
     """Write every entry of both tiers to ``directory``.
 
-    Returns a :class:`SaveReport`; check ``report.partial`` to detect
-    entries (simulator stand-ins) that could not be serialized.
+    ``format="v2"`` (default) stores raw modules as memmap-ready ``.npy``
+    arena payloads; ``format="v1"`` keeps the legacy one-npz-per-entry
+    layout. Returns a :class:`SaveReport`; check ``report.partial`` to
+    detect entries (simulator stand-ins) that could not be serialized.
     """
+    if format not in ("v1", "v2"):
+        raise ValueError(f"unknown snapshot format {format!r}; expected 'v1' or 'v2'")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    index: list[dict] = []
+    entries: list[dict] = []
     report = SaveReport()
     for tier_name in ("gpu", "cpu"):
         tier = store.tier(tier_name)
         for key, entry in tier.entries.items():
             payload = entry.kv
-            path = _entry_path(directory, key)
-            if isinstance(payload, ModuleKV):
-                arrays = {"positions": payload.positions}
-                for i, (k, v) in enumerate(zip(payload.keys, payload.values)):
-                    arrays[f"keys{i}"] = k
-                    arrays[f"values{i}"] = v
-                np.savez_compressed(path, **arrays)
-                kind = "raw"
-            elif isinstance(payload, CompressedModuleKV):
-                arrays = {"positions": payload.positions}
-                for field_name, tensors in payload.payload.items():
-                    for i, tensor in enumerate(tensors):
-                        arrays[f"{field_name}{i}"] = tensor
-                np.savez_compressed(path, **arrays)
-                kind = payload.codec
-            else:
+            if not isinstance(payload, (ModuleKV, CompressedModuleKV)):
                 # Simulator stand-ins carry no tensors; record the gap so
                 # a partial snapshot is distinguishable from a full one.
                 report.skipped += 1
                 report.skipped_keys.append(key.tag())
                 continue
-            index.append(
-                {
-                    "schema": key.schema, "module": key.module,
-                    "variant": key.variant, "tier": tier_name,
-                    "kind": kind, "file": path.name,
-                    "pinned": entry.pinned,
-                    "sha256": _sha256(path),
-                }
-            )
+            record = {
+                "schema": key.schema, "module": key.module,
+                "variant": key.variant, "tier": tier_name,
+                "pinned": entry.pinned,
+            }
+            if format == "v1":
+                path = _entry_path(directory, key)
+                record["kind"] = _save_entry_v1(path, payload)
+                record["file"] = path.name
+                record["sha256"] = _sha256(path)
+            else:
+                record.update(_save_entry_v2(directory, key, payload))
+            entries.append(record)
             report.saved += 1
+    if format == "v1":
+        index: object = entries
+    else:
+        index = {"version": SNAPSHOT_VERSION, "entries": entries}
     (directory / _INDEX).write_text(json.dumps(index, indent=1))
     if report.partial:
         warnings.warn(f"partial snapshot: {report.summary()}", stacklevel=2)
     return report
 
 
+def _record_tag(record: dict) -> str:
+    return f"{record['schema']}/{record['module']}/{record['variant']}"
+
+
 def _warn_skip(record: dict, reason: str) -> None:
+    name = record.get("file") or next(
+        (f["file"] for f in record.get("files", {}).values()), "<?>"
+    )
     warnings.warn(
-        f"skipping {record['file']} "
-        f"({record['schema']}/{record['module']}/{record['variant']}): {reason}",
-        stacklevel=3,
+        f"skipping {name} ({_record_tag(record)}): {reason}", stacklevel=3
     )
 
 
-def load_store(
-    directory: str | Path, store: ModuleCacheStore | None = None
-) -> ModuleCacheStore:
-    """Rebuild a store from :func:`save_store` output.
+def _load_npz(path: Path, record: dict):
+    with np.load(path) as data:
+        positions = data["positions"]
+        if record["kind"] == "raw":
+            n_layers = sum(1 for name in data.files if name.startswith("keys"))
+            if n_layers == 0:
+                return ModuleKV(keys=[], values=[], positions=positions)
+            return ModuleKV.from_arenas(
+                np.stack([data[f"keys{i}"] for i in range(n_layers)]),
+                np.stack([data[f"values{i}"] for i in range(n_layers)]),
+                positions,
+            )
+        payload: dict[str, list[np.ndarray]] = {}
+        fields = [n for n in data.files if n != "positions"]
+        # Layer order must survive the archive: sort by (field, i).
+        fields.sort(
+            key=lambda n: (n.rstrip("0123456789"), int(n[len(n.rstrip("0123456789")):]))
+        )
+        for name in fields:
+            field_name = name.rstrip("0123456789")
+            payload.setdefault(field_name, []).append(data[name])
+        return CompressedModuleKV(
+            codec=record["kind"], payload=payload, positions=positions
+        )
 
-    Corrupt, truncated, or missing payload files are skipped with a
-    warning (the module simply re-encodes on first use); only a missing
-    or unreadable ``index.json`` raises.
+
+def _verify_file(directory: Path, info: dict, verify: str) -> str | None:
+    """Return a skip reason, or ``None`` when the file checks out."""
+    path = directory / info["file"]
+    if not path.exists():
+        return "payload file missing"
+    if verify == "off":
+        return None
+    if verify == "sparse" and "sparse_sha256" in info:
+        expected, actual = info["sparse_sha256"], _sparse_sha256(path)
+        label = "sparse checksum"
+    else:
+        expected, actual = info.get("sha256"), _sha256(path)
+        label = "checksum"
+    if expected is not None and actual != expected:
+        return f"{label} mismatch (expected {expected[:12]}…, got {actual[:12]}…)"
+    return None
+
+
+def _load_entry_v2(directory: Path, record: dict, mmap: bool, verify: str):
+    """Build the entry payload, or raise/return ``None`` after warning."""
+    for info in record["files"].values():
+        reason = _verify_file(directory, info, verify)
+        if reason is not None:
+            _warn_skip(record, reason)
+            return None
+    if record["kind"] != _ARENA_KIND:
+        return _load_npz(directory / record["files"]["payload"]["file"], record)
+    mode = "r" if mmap else None
+    key_arena = np.load(directory / record["files"]["keys"]["file"], mmap_mode=mode)
+    value_arena = np.load(directory / record["files"]["values"]["file"], mmap_mode=mode)
+    # Positions are tiny and hot (every splice reads them) — always eager.
+    positions = np.load(directory / record["files"]["positions"]["file"])
+    if key_arena.ndim != 4 or value_arena.shape != key_arena.shape:
+        _warn_skip(record, f"malformed arena shapes {key_arena.shape}/{value_arena.shape}")
+        return None
+    if key_arena.shape[0] == 0:
+        return ModuleKV(keys=[], values=[], positions=positions)
+    return ModuleKV.from_arenas(key_arena, value_arena, positions)
+
+
+def _index_entries(directory: Path) -> tuple[int, list[dict]]:
+    index = json.loads((directory / _INDEX).read_text())
+    if isinstance(index, list):  # v1 wrote a bare record list
+        return 1, index
+    version = int(index.get("version", 0))
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {version} in {directory / _INDEX}"
+        )
+    return version, index["entries"]
+
+
+def load_store(
+    directory: str | Path,
+    store: ModuleCacheStore | None = None,
+    *,
+    mmap: bool = False,
+    verify: str | None = None,
+) -> ModuleCacheStore:
+    """Rebuild a store from :func:`save_store` output (either format).
+
+    ``mmap=True`` maps v2 arena payloads read-only instead of copying them
+    into private memory — the zero-copy warm start. ``verify`` is
+    ``"full"``, ``"sparse"``, or ``"off"``; it defaults to ``"full"`` for
+    eager loads and ``"sparse"`` for mapped ones (pair mapped loads with a
+    :class:`DigestSweep`, as :func:`attach_snapshot` does, to keep full
+    coverage). Corrupt, truncated, or missing payload files are skipped
+    with a warning (the module simply re-encodes on first use); only a
+    missing or unreadable ``index.json`` raises.
     """
     directory = Path(directory)
     store = store or ModuleCacheStore()
-    index = json.loads((directory / _INDEX).read_text())
-    for record in index:
+    if verify is None:
+        verify = "sparse" if mmap else "full"
+    if verify not in ("full", "sparse", "off"):
+        raise ValueError(f"unknown verify mode {verify!r}")
+    version, entries = _index_entries(directory)
+    for record in entries:
         key = CacheKey(record["schema"], record["module"], record["variant"])
-        path = directory / record["file"]
-        if not path.exists():
-            _warn_skip(record, "payload file missing")
-            continue
-        expected = record.get("sha256")
-        if expected is not None:
-            actual = _sha256(path)
-            if actual != expected:
-                _warn_skip(
-                    record, f"checksum mismatch (expected {expected[:12]}…, got {actual[:12]}…)"
-                )
-                continue
         try:
-            with np.load(path) as data:
-                positions = data["positions"]
-                if record["kind"] == "raw":
-                    n_layers = sum(1 for name in data.files if name.startswith("keys"))
-                    kv = ModuleKV(
-                        keys=[data[f"keys{i}"] for i in range(n_layers)],
-                        values=[data[f"values{i}"] for i in range(n_layers)],
-                        positions=positions,
-                    )
-                else:
-                    payload: dict[str, list[np.ndarray]] = {}
-                    fields = [n for n in data.files if n != "positions"]
-                    # Layer order must survive the archive: sort by (field, i).
-                    fields.sort(
-                        key=lambda n: (n.rstrip("0123456789"), int(n[len(n.rstrip("0123456789")):]))
-                    )
-                    for name in fields:
-                        field_name = name.rstrip("0123456789")
-                        payload.setdefault(field_name, []).append(data[name])
-                    kv = CompressedModuleKV(
-                        codec=record["kind"], payload=payload, positions=positions
-                    )
+            if version == 1:
+                path = directory / record["file"]
+                info = {"file": record["file"], "sha256": record.get("sha256")}
+                reason = _verify_file(directory, info, "off" if verify == "off" else "full")
+                if reason is not None:
+                    _warn_skip(record, reason)
+                    continue
+                kv = _load_npz(path, record)
+            else:
+                kv = _load_entry_v2(directory, record, mmap, verify)
+                if kv is None:
+                    continue
         except (OSError, ValueError, KeyError, BadZipFile) as exc:
-            # A pre-checksum snapshot (no sha256 field) can still present
-            # a truncated or garbled archive; degrade to a skip.
-            _warn_skip(record, f"unreadable archive ({type(exc).__name__}: {exc})")
+            # A pre-checksum snapshot (no digest fields) can still present
+            # a truncated or garbled payload; degrade to a skip.
+            _warn_skip(record, f"unreadable payload ({type(exc).__name__}: {exc})")
             continue
         store.put(key, kv, tier=record["tier"], pinned=record["pinned"])
     return store
+
+
+class DigestSweep(threading.Thread):
+    """Background full-digest verification of a mapped snapshot.
+
+    A mapped attach only verifies sparse digests eagerly; this daemon
+    re-reads every payload file, checks the full SHA-256, and **removes**
+    entries whose files fail (the module re-encodes on next use) so a
+    worker never keeps serving from a payload the sparse probe happened to
+    miss. ``join()`` it in tests; production just lets it run.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        store: ModuleCacheStore,
+        entries: list[dict],
+        metrics=None,
+    ) -> None:
+        super().__init__(name="snapshot-digest-sweep", daemon=True)
+        self.directory = directory
+        self.store = store
+        self.entries = entries
+        self.metrics = metrics
+        self.verified = 0
+        self.failures: list[str] = []
+
+    def run(self) -> None:
+        for record in self.entries:
+            key = CacheKey(record["schema"], record["module"], record["variant"])
+            bad = None
+            for info in record.get("files", {}).values():
+                reason = _verify_file(self.directory, info, "full")
+                if reason is not None:
+                    bad = f"{info['file']}: {reason}"
+                    break
+            if bad is None:
+                self.verified += 1
+                continue
+            self.failures.append(f"{_record_tag(record)} ({bad})")
+            warnings.warn(
+                f"background digest sweep evicting {_record_tag(record)}: {bad}",
+                stacklevel=2,
+            )
+            for tier in (self.store.gpu, self.store.cpu):
+                if key in tier:
+                    tier.remove(key)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "snapshot_verify_failures_total",
+                    "Snapshot payloads failing the background full digest",
+                    phase="background",
+                ).inc()
+
+
+@dataclass
+class AttachResult:
+    """Outcome of :func:`attach_snapshot`: the (shared, read-only mapped)
+    store, the running background digest sweep, and how many bytes of
+    module KV are mapped rather than privately resident."""
+
+    store: ModuleCacheStore
+    sweep: DigestSweep | None
+    mapped_bytes: int
+
+
+def attach_snapshot(
+    directory: str | Path,
+    store: ModuleCacheStore | None = None,
+    *,
+    metrics=None,
+    background_verify: bool = True,
+) -> AttachResult:
+    """Map a v2 snapshot read-only into ``store`` — the same-host share
+    mode: every worker that attaches the same directory pages against one
+    resident copy of the module KV. Sparse digests are verified eagerly;
+    the full digests run in a background :class:`DigestSweep` (disable
+    with ``background_verify=False``).
+    """
+    directory = Path(directory)
+    store = load_store(directory, store, mmap=True, verify="sparse")
+    _, entries = _index_entries(directory)
+    mapped = store.mapped_bytes()
+    if metrics is not None:
+        metrics.gauge(
+            "snapshot_mapped_bytes",
+            "Bytes of module KV served from the shared snapshot mapping",
+        ).set(mapped)
+        observe_residency(store, metrics)
+    sweep = None
+    if background_verify:
+        sweep = DigestSweep(directory, store, entries, metrics=metrics)
+        sweep.start()
+    return AttachResult(store=store, sweep=sweep, mapped_bytes=mapped)
+
+
+def _base_memmap(array: np.ndarray) -> np.memmap | None:
+    seen = array
+    while isinstance(seen, np.ndarray):
+        if isinstance(seen, np.memmap):
+            return seen
+        seen = seen.base
+    return None
+
+
+def _resident_bytes(array: np.memmap) -> int | None:
+    """Pages of ``array`` currently resident, via ``mincore(2)``.
+
+    Best-effort: returns ``None`` on platforms without mincore or when the
+    probe fails — callers fall back to "unknown" rather than guessing.
+    """
+    length = int(array.nbytes)
+    if length == 0:
+        return 0
+    page = _mmap.PAGESIZE
+    address = array.ctypes.data
+    aligned = address - (address % page)
+    length += address - aligned
+    n_pages = (length + page - 1) // page
+    vec = (ctypes.c_ubyte * n_pages)()
+    try:
+        libc = ctypes.CDLL(None, use_errno=True)
+        rc = libc.mincore(
+            ctypes.c_void_p(aligned), ctypes.c_size_t(length), vec
+        )
+    except (OSError, AttributeError):
+        return None
+    if rc != 0:
+        return None
+    return sum(b & 1 for b in vec) * page
+
+
+def resident_snapshot_bytes(store: ModuleCacheStore) -> int | None:
+    """Bytes of mapped snapshot payloads actually paged in right now.
+
+    The gap between :meth:`ModuleCacheStore.mapped_bytes` and this number
+    is the lazy-page-in win: a fresh attach maps gigabytes while touching
+    almost nothing. ``None`` when the platform cannot report residency.
+    """
+    total = 0
+    seen: set[int] = set()
+    for tier in (store.gpu, store.cpu):
+        for entry in tier.entries.values():
+            kv = entry.kv
+            if not getattr(kv, "is_mapped", False):
+                continue
+            for arena in (kv.key_arena, kv.value_arena):
+                if arena is None:
+                    continue
+                mapped = _base_memmap(arena)
+                if mapped is None or id(mapped) in seen:
+                    continue
+                seen.add(id(mapped))
+                resident = _resident_bytes(mapped)
+                if resident is None:
+                    return None
+                total += resident
+    return total
+
+
+def observe_residency(store: ModuleCacheStore, metrics) -> int | None:
+    """Export the current mapped/resident byte gauges to ``metrics``."""
+    metrics.gauge(
+        "snapshot_mapped_bytes",
+        "Bytes of module KV served from the shared snapshot mapping",
+    ).set(store.mapped_bytes())
+    resident = resident_snapshot_bytes(store)
+    if resident is not None:
+        metrics.gauge(
+            "snapshot_resident_bytes",
+            "Mapped snapshot bytes currently paged into memory",
+        ).set(resident)
+    return resident

@@ -207,6 +207,18 @@ class CacheTier:
         with self._lock:
             return self.accountant.used_bytes
 
+    def mapped_bytes(self) -> int:
+        """Bytes of entries whose tensors are snapshot-mapped (file-backed,
+        shared with other attached workers) rather than private memory.
+        Operators subtract this from ``used_bytes`` to price a host's real
+        per-worker footprint."""
+        with self._lock:
+            return sum(
+                entry.nbytes
+                for entry in self.entries.values()
+                if getattr(entry.kv, "is_mapped", False)
+            )
+
     def keys(self) -> list[CacheKey]:
         with self._lock:
             return list(self.entries)
@@ -322,6 +334,12 @@ class ModuleCacheStore:
 
     def total_bytes(self) -> int:
         return self.gpu.used_bytes + self.cpu.used_bytes
+
+    def mapped_bytes(self) -> int:
+        """Snapshot-mapped bytes across both tiers (see
+        :meth:`CacheTier.mapped_bytes`)."""
+        with self._lock:
+            return self.gpu.mapped_bytes() + self.cpu.mapped_bytes()
 
     def remove_matching(self, schema: str, module: str | None = None) -> int:
         """Drop every entry of ``schema`` (optionally restricted to one

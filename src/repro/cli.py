@@ -7,6 +7,9 @@ analyze    run the repo's own AST lint rules (repro.analysis) over src/
 serve      serve a PML prompt against a schema with a seeded engine
 serve-live run the async serving runtime under a seeded open-loop trace
 serve-cluster  run N sharded workers behind the cache-affinity router
+               (``--attach-snapshot DIR`` maps a shared warm snapshot)
+warm       encode a schema set across a process pool and (optionally)
+           write a memmap-ready v2 snapshot for later attach
 loadgen    synthesize a serving trace and print its shape (``--cluster N``
            previews its placement across a worker ring)
 tokenize   show how the shared tokenizer splits a text
@@ -112,8 +115,32 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="home queue depth beyond which requests spill")
     cluster.add_argument("--vnodes", type=_positive(int), default=64)
     cluster.add_argument("--deadline", type=float, default=None)
+    cluster.add_argument("--attach-snapshot", type=Path, default=None, metavar="DIR",
+                         help="map a v2 snapshot (from `repro warm --out`) "
+                              "read-only into every worker's store — one "
+                              "resident copy of the module KV per host")
     cluster.add_argument("--format", default="summary",
                          choices=["summary", "prom", "json"])
+
+    warm = sub.add_parser(
+        "warm",
+        help="encode schemas across a process pool; optionally snapshot them",
+    )
+    warm.add_argument("schemas", type=Path, nargs="*",
+                      help="PML schema files to warm (besides --synthetic)")
+    warm.add_argument("--synthetic", type=_positive(int), default=None, metavar="N",
+                      help="also warm the N-schema synthetic serving workload "
+                           "(same generator as serve-cluster)")
+    warm.add_argument("--workers", type=_positive(int), default=1,
+                      help="encode pool size (1 = sequential in-process)")
+    warm.add_argument("--out", type=Path, default=None, metavar="DIR",
+                      help="write the warmed store as a v2 snapshot")
+    warm.add_argument("--arch", default="llama", choices=["llama", "falcon", "mpt", "gpt2"])
+    warm.add_argument("--size", default="tiny", choices=["tiny", "small"])
+    warm.add_argument("--seed", type=int, default=0)
+    warm.add_argument("--module-tokens", type=_positive(int), default=48)
+    warm.add_argument("--format", default="summary",
+                      choices=["summary", "prom", "json"])
 
     loadgen = sub.add_parser(
         "loadgen", help="synthesize a seeded serving trace and print its shape"
@@ -153,6 +180,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "serve-live": _cmd_serve_live,
         "serve-cluster": _cmd_serve_cluster,
+        "warm": _cmd_warm,
         "loadgen": _cmd_loadgen,
         "tokenize": _cmd_tokenize,
         "ttft": _cmd_ttft,
@@ -366,8 +394,12 @@ def _cmd_serve_cluster(args) -> int:
         max_batch=args.max_batch,
         batch_max_wait_s=args.batch_wait,
     )
+    attach = str(args.attach_snapshot) if args.attach_snapshot else None
     workers = [
-        ClusterWorker(f"w{i}", model, tok, template=PLAIN_TEMPLATE, options=options)
+        ClusterWorker(
+            f"w{i}", model, tok, template=PLAIN_TEMPLATE, options=options,
+            attach_snapshot=attach,
+        )
         for i in range(args.workers)
     ]
     router = ClusterRouter(
@@ -420,6 +452,83 @@ def _cmd_serve_cluster(args) -> int:
           f"re-encode avoided {avoided:g} tokens")
     shares = ", ".join(f"{n}={s:.2f}" for n, s in sorted(snap["ring"].items()))
     print(f"ring ownership: {shares}")
+    if attach is not None:
+        from repro.cache.persist import resident_snapshot_bytes
+
+        mapped = workers[0].store.mapped_bytes()
+        resident = resident_snapshot_bytes(workers[0].store)
+        resident_text = f"{resident / 1024:.0f}" if resident is not None else "?"
+        print(f"snapshot: {mapped / 1024:.0f} KiB mapped/worker (one resident "
+              f"copy shared host-wide), {resident_text} KiB paged in on w0")
+    return 0
+
+
+def _cmd_warm(args) -> int:
+    import time
+
+    from repro.cache.engine import PromptCache
+    from repro.cache.parallel import ParallelEncoder
+    from repro.cache.persist import save_store
+    from repro.llm import build_model, small_config, tiny_config
+    from repro.pml.chat import PLAIN_TEMPLATE
+    from repro.server import build_workload
+    from repro.server.metrics import MetricsRegistry
+    from repro.serving.traces import SchemaProfile
+    from repro.tokenizer import default_tokenizer
+
+    tok = default_tokenizer()
+    sources = [path.read_text() for path in args.schemas]
+    if args.synthetic:
+        profiles = [
+            SchemaProfile(
+                name=f"schema{i}",
+                module_tokens=args.module_tokens,
+                uncached_mean=10,
+                decode_mean=4,
+                weight=1.0 / (i + 1),
+            )
+            for i in range(args.synthetic)
+        ]
+        workload = build_workload(profiles, tok, seed=args.seed)
+        sources.extend(workload.schema_sources.values())
+    if not sources:
+        print("nothing to warm: pass schema files and/or --synthetic N",
+              file=sys.stderr)
+        return 2
+
+    make = tiny_config if args.size == "tiny" else small_config
+    model = build_model(make(args.arch, vocab_size=tok.vocab_size), seed=args.seed)
+    metrics = MetricsRegistry()
+    pc = PromptCache(model, tok, template=PLAIN_TEMPLATE, encode_metrics=metrics)
+    per_schema: list[tuple[str, float, bool]] = []
+    start = time.perf_counter()
+    with ParallelEncoder(model, workers=args.workers, metrics=metrics) as encoder:
+        pc.set_parallel_encoder(encoder)
+        for source in sources:
+            schema = pc.register_schema(source)
+            report = encoder.last_report
+            per_schema.append((schema.name, report.wall_s, report.parallel))
+    elapsed = time.perf_counter() - start
+
+    saved = None
+    if args.out is not None:
+        saved = save_store(pc.store, args.out)
+    if args.format == "prom":
+        print(metrics.to_prometheus())
+        return 0
+    if args.format == "json":
+        print(metrics.to_json())
+        return 0
+    modules = len(pc.store.gpu.entries) + len(pc.store.cpu.entries)
+    mode = "parallel" if any(p for _, _, p in per_schema) else "sequential"
+    print(f"warmed {len(per_schema)} schema(s), {modules} module variant(s), "
+          f"{pc.store.total_bytes() / 1024:.0f} KiB in {elapsed:.2f}s "
+          f"({mode}, {args.workers} worker(s))")
+    for name, wall_s, _ in per_schema:
+        print(f"  {name:<16} {wall_s:8.3f}s")
+    if saved is not None:
+        print(f"snapshot: {args.out} ({saved.summary()}, format v2 — attach "
+              f"with `repro serve-cluster --attach-snapshot {args.out}`)")
     return 0
 
 

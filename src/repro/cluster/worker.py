@@ -53,12 +53,26 @@ class ClusterWorker:
         max_fetch_peers: int = 3,
         fetch_budget_s: float = 10.0,
         heartbeat_interval_s: float = 0.05,
+        attach_snapshot: str | None = None,
     ) -> None:
         self.name = name
         self.metrics = MetricsRegistry()
+        # Attach mode: map a shared read-only snapshot instead of starting
+        # with an empty private store — N same-host workers attached to
+        # one snapshot page against a single resident copy of the module
+        # KV. The background digest sweep handle is kept so tests (and
+        # shutdown paths) can join it.
+        self.snapshot_sweep = None
+        if attach_snapshot is not None and store is None:
+            from repro.cache.persist import attach_snapshot as _attach
+
+            attached = _attach(attach_snapshot, metrics=self.metrics)
+            store = attached.store
+            self.snapshot_sweep = attached.sweep
         self.store = store or ModuleCacheStore()
         self.pc = PromptCache(
-            model, tokenizer, store=self.store, template=template, kv_codec=kv_codec
+            model, tokenizer, store=self.store, template=template, kv_codec=kv_codec,
+            encode_metrics=self.metrics,
         )
         self.server = LiveServer(self.pc, options, metrics=self.metrics)
         self.exporter = CacheExporter(

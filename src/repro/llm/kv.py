@@ -26,6 +26,29 @@ from repro.llm.layers import DTYPE
 # Module-level counter of buffer allocations, for the Abl-3 concat bench.
 _ALLOCATION_COUNT = 0
 
+# Optional in-place-write guard (repro.analysis.sanitize). None in
+# production; when installed it sees every buffer a LayerKV is about to
+# write into, and rejects mapped (snapshot-backed) or read-only arenas.
+_WRITE_GUARD = None
+
+
+def set_write_guard(fn) -> None:
+    """Install (or clear, with ``None``) the KV write guard."""
+    global _WRITE_GUARD
+    _WRITE_GUARD = fn
+
+
+def is_mapped_array(array) -> bool:
+    """True when ``array`` is (a view over) a ``np.memmap`` — i.e. its
+    bytes come from a file mapping, shared with every process that
+    attached the same snapshot, rather than private memory."""
+    seen = array
+    while isinstance(seen, np.ndarray):
+        if isinstance(seen, np.memmap):
+            return True
+        seen = seen.base
+    return False
+
 
 def allocation_count() -> int:
     return _ALLOCATION_COUNT
@@ -156,6 +179,9 @@ class LayerKV:
         if values.shape[1] != added or len(positions) != added:
             raise ValueError("keys, values and positions must agree on length")
         self.reserve(self._length + added)
+        if _WRITE_GUARD is not None:
+            _WRITE_GUARD(self._keys)
+            _WRITE_GUARD(self._values)
         end = self._length + added
         self._keys[:, self._length : end, :] = keys
         self._values[:, self._length : end, :] = values
@@ -290,6 +316,15 @@ class ModuleKV:
     @property
     def is_arena(self) -> bool:
         return self.key_arena is not None
+
+    @property
+    def is_mapped(self) -> bool:
+        """True when the tensors live in a file-backed snapshot mapping
+        (attached read-only, shared across same-host workers) rather than
+        private memory. Mapped modules must never be written in place."""
+        if self.is_arena:
+            return is_mapped_array(self.key_arena) or is_mapped_array(self.value_arena)
+        return any(is_mapped_array(a) for a in (*self.keys, *self.values))
 
     def ensure_arena(self) -> "ModuleKV":
         """Return an arena-backed equivalent (self when already one).

@@ -11,6 +11,7 @@ from repro.analysis.rules import (
     BroadExceptRule,
     GuardedByRule,
     KVContractRule,
+    NoWriteToMappedRule,
 )
 
 
@@ -310,3 +311,56 @@ def lookup(self, keys):
     return keys
 """
         assert run_rule(KVContractRule(), src) == []
+
+
+class TestNoWriteToMapped:
+    def test_subscript_store_fires(self):
+        src = """\
+def patch(kv, x):
+    kv.key_arena[0] = x
+"""
+        findings = run_rule(NoWriteToMappedRule(), src)
+        assert len(findings) == 1
+        assert "key_arena" in findings[0].message
+
+    def test_augassign_and_nested_subscript_fire(self):
+        src = """\
+def scale(kv, x):
+    kv.value_arena[:, 1:] *= x
+    kv.key_arena[0][2] = x
+"""
+        assert len(run_rule(NoWriteToMappedRule(), src)) == 2
+
+    def test_copyto_destination_and_fill_fire(self):
+        src = """\
+import numpy as np
+
+def overwrite(kv, x):
+    np.copyto(kv.key_arena, x)
+    kv.value_arena.fill(0)
+"""
+        findings = run_rule(NoWriteToMappedRule(), src)
+        assert len(findings) == 2
+        assert "copyto" in findings[0].message
+        assert ".fill()" in findings[1].message
+
+    def test_reads_and_private_copies_are_clean(self):
+        src = """\
+import numpy as np
+
+def ok(kv, x, out):
+    y = kv.key_arena[0]                    # read
+    np.copyto(out, kv.value_arena)         # arena as *source*
+    kv.key_arena.copy()[0] = x             # explicit copy-on-write
+    key_arena = np.empty_like(y)           # plain local, not an attribute
+    key_arena[0] = x
+    return y
+"""
+        assert run_rule(NoWriteToMappedRule(), src) == []
+
+    def test_noqa_suppresses(self):
+        src = """\
+def rebuild(kv, x):
+    kv.key_arena[0] = x  # noqa: no-write-to-mapped -- private rebuild buffer
+"""
+        assert run_rule(NoWriteToMappedRule(), src) == []

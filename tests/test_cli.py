@@ -116,6 +116,46 @@ class TestServeLive:
         assert "# TYPE server_requests_total counter" in out
 
 
+class TestWarm:
+    def test_warm_schema_file_and_snapshot(self, schema_file, tmp_path, capsys):
+        out_dir = tmp_path / "snap"
+        assert main([
+            "warm", str(schema_file), "--workers", "1", "--out", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "warmed 1 schema(s)" in out
+        assert "snapshot:" in out and "--attach-snapshot" in out
+        assert (out_dir / "index.json").exists()
+        assert list(out_dir.glob("*.keys.npy"))
+
+    def test_warm_synthetic_prom_metrics(self, capsys):
+        assert main([
+            "warm", "--synthetic", "2", "--module-tokens", "24",
+            "--workers", "1", "--format", "prom",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "schema_warmup_seconds" in out
+        assert "encode_jobs_total" in out
+
+    def test_warm_nothing_to_do_errors(self, capsys):
+        assert main(["warm"]) == 2
+        assert "nothing to warm" in capsys.readouterr().err
+
+    def test_warmed_snapshot_attaches_into_cluster(self, schema_file, tmp_path,
+                                                   capsys):
+        out_dir = tmp_path / "snap"
+        main(["warm", "--synthetic", "1", "--module-tokens", "24",
+              "--workers", "1", "--out", str(out_dir)])
+        capsys.readouterr()
+        assert main([
+            "serve-cluster", "--workers", "2", "--schemas", "1",
+            "--module-tokens", "24", "--rate", "20", "--duration", "0.4",
+            "--attach-snapshot", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mapped/worker" in out
+
+
 class TestLoadgen:
     def test_trace_summary(self, capsys):
         assert main(["loadgen", "--rate", "2.0", "--duration", "20",

@@ -1,0 +1,180 @@
+"""Parallel encode plane: pool fan-out is bit-identical to sequential.
+
+The paper's modules are encoded independently (§3.3), so schema warm-up
+parallelizes — but only usefully if the pooled path produces *exactly*
+the states the sequential path would have. Every test here compares
+byte-for-byte, across all four positional-encoding families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.engine import PromptCache
+from repro.cache.layout import layout_schema
+from repro.cache.parallel import ParallelEncoder, fork_available
+from repro.cache.storage import CacheKey
+from repro.pml import PLAIN_TEMPLATE
+from repro.pml.schema import Schema
+from repro.server.metrics import MetricsRegistry
+
+SCHEMA = (
+    '<schema name="par"><scaffold modules="a,b"/>'
+    '<module name="a">the quick brown fox</module>'
+    '<module name="b">jumps over the lazy dog</module>'
+    '<module name="c">paris museums cafes architecture</module></schema>'
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+def _store_of(model, tok, workers: int):
+    pc = PromptCache(model, tok, template=PLAIN_TEMPLATE, encode_workers=workers)
+    pc.register_schema(SCHEMA)
+    return pc.store
+
+
+def _assert_stores_identical(got, want) -> None:
+    keys = sorted(want.cpu.keys() + want.gpu.keys(), key=lambda k: k.tag())
+    assert sorted(got.cpu.keys() + got.gpu.keys(), key=lambda k: k.tag()) == keys
+    for key in keys:
+        kv_got = got.peek(key).kv
+        kv_want = want.peek(key).kv
+        assert kv_got.is_arena and kv_want.is_arena
+        np.testing.assert_array_equal(kv_got.key_arena, kv_want.key_arena)
+        np.testing.assert_array_equal(kv_got.value_arena, kv_want.value_arena)
+        np.testing.assert_array_equal(kv_got.positions, kv_want.positions)
+
+
+class TestBitEquality:
+    @needs_fork
+    def test_modules_and_scaffolds_match_sequential(self, any_model, tok):
+        """All four positional families: solo + scaffold variants are
+        byte-identical between the pooled and sequential paths."""
+        sequential = _store_of(any_model, tok, workers=0)
+        parallel = _store_of(any_model, tok, workers=2)
+        variants = {key.variant for key in parallel.gpu.keys()}
+        assert variants == {"solo", "scaffold0"}
+        _assert_stores_identical(parallel, sequential)
+
+    @needs_fork
+    def test_register_schema_workers_override(self, llama, tok):
+        pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+        pc.register_schema(SCHEMA, workers=2)
+        _assert_stores_identical(pc.store, _store_of(llama, tok, workers=0))
+
+
+class TestEncoderUnit:
+    def _layout(self, tok):
+        schema = Schema.parse(SCHEMA)
+        return schema, layout_schema(schema, tok)
+
+    def test_workers_one_is_sequential_inprocess(self, llama, tok):
+        schema, layout = self._layout(tok)
+        with ParallelEncoder(llama, workers=1) as encoder:
+            assert not encoder.parallel
+            out = encoder.encode_schema(layout, [("a", "b")])
+        assert list(out) == [
+            ("a", "solo"), ("b", "solo"), ("c", "solo"),
+            ("a", "scaffold0"), ("b", "scaffold0"),
+        ]
+        assert encoder.last_report is not None
+        assert not encoder.last_report.parallel
+
+    @needs_fork
+    def test_parallel_output_order_matches_sequential(self, llama, tok):
+        schema, layout = self._layout(tok)
+        with ParallelEncoder(llama, workers=1) as seq, ParallelEncoder(
+            llama, workers=2
+        ) as par:
+            out_seq = seq.encode_schema(layout, [("a", "b")])
+            out_par = par.encode_schema(layout, [("a", "b")])
+        assert list(out_par) == list(out_seq)
+        for key in out_seq:
+            np.testing.assert_array_equal(
+                out_par[key].key_arena, out_seq[key].key_arena
+            )
+            np.testing.assert_array_equal(
+                out_par[key].value_arena, out_seq[key].value_arena
+            )
+
+    @needs_fork
+    def test_skip_solo_skips_but_scaffolds_refresh(self, llama, tok):
+        schema, layout = self._layout(tok)
+        with ParallelEncoder(llama, workers=2) as encoder:
+            out = encoder.encode_schema(layout, [("a", "b")], skip_solo={"a", "c"})
+        assert list(out) == [
+            ("b", "solo"), ("a", "scaffold0"), ("b", "scaffold0")
+        ]
+
+    @needs_fork
+    def test_segments_released_after_encode(self, llama, tok):
+        schema, layout = self._layout(tok)
+        with ParallelEncoder(llama, workers=2) as encoder:
+            encoder.encode_schema(layout)
+            assert encoder._segments == {}
+
+    def test_results_are_arena_backed_private_memory(self, llama, tok):
+        """Adopted results must be private arenas (splice fast path), not
+        views into the (released) shared segments."""
+        schema, layout = self._layout(tok)
+        with ParallelEncoder(llama, workers=2) as encoder:
+            out = encoder.encode_schema(layout)
+        for kv in out.values():
+            assert kv.is_arena
+            assert not kv.is_mapped
+            kv.key_arena[0, 0, 0, 0] = 0.0  # noqa: no-write-to-mapped -- proves writable private memory
+
+
+class TestObservability:
+    def test_metrics_series_emitted(self, llama, tok):
+        metrics = MetricsRegistry()
+        pc = PromptCache(
+            llama, tok, template=PLAIN_TEMPLATE,
+            encode_workers=1, encode_metrics=metrics,
+        )
+        pc.register_schema(SCHEMA)
+        snap = metrics.snapshot()
+        assert 'schema_warmup_seconds{schema="par"}' in snap["histograms"]
+        assert snap["counters"]['encode_jobs_total{mode="sequential"}'] >= 4
+        assert any(
+            name.startswith("encode_duration_seconds") for name in snap["histograms"]
+        )
+
+    @needs_fork
+    def test_pool_worker_gauge_tracks_lifecycle(self, llama, tok):
+        metrics = MetricsRegistry()
+        schema = Schema.parse(SCHEMA)
+        layout = layout_schema(schema, tok)
+        encoder = ParallelEncoder(llama, workers=2, metrics=metrics)
+        encoder.encode_schema(layout)
+        assert metrics.snapshot()["gauges"]["encode_pool_workers"] == 2
+        assert metrics.snapshot()["counters"]['encode_jobs_total{mode="parallel"}'] >= 3
+        encoder.close()
+        assert metrics.snapshot()["gauges"]["encode_pool_workers"] == 0
+
+
+class TestSharedEncoder:
+    @needs_fork
+    def test_one_pool_serves_many_registrations(self, llama, tok):
+        metrics = MetricsRegistry()
+        pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+        other = SCHEMA.replace('name="par"', 'name="par2"')
+        with ParallelEncoder(llama, workers=2, metrics=metrics) as encoder:
+            pc.set_parallel_encoder(encoder)
+            pc.register_schema(SCHEMA)
+            pc.register_schema(other)
+            assert encoder._executor is not None  # pool survived both
+        assert CacheKey("par", "a") in pc.store
+        assert CacheKey("par2", "a") in pc.store
+        _assert_stores_identical(pc.store, _both_schemas_sequential(llama, tok, other))
+
+
+def _both_schemas_sequential(model, tok, other):
+    pc = PromptCache(model, tok, template=PLAIN_TEMPLATE)
+    pc.register_schema(SCHEMA)
+    pc.register_schema(other)
+    return pc.store

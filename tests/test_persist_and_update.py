@@ -37,6 +37,25 @@ class TestPersistence:
             np.testing.assert_array_equal(loaded.positions, original.positions)
             np.testing.assert_array_equal(loaded.keys[0], original.keys[0])
 
+    @pytest.mark.parametrize("format", ["v1", "v2"])
+    def test_round_trip_restores_arena_backing(self, pc, tmp_path, format):
+        """Restored raw modules must stay on the one-memcpy splice fast
+        path: the loader rebuilds them via ``ModuleKV.from_arenas``, not
+        as loose per-layer lists (the pre-v2 loader silently dropped the
+        arena on restart)."""
+        save_store(pc.store, tmp_path, format=format)
+        restored = load_store(tmp_path)
+        for name in ("a", "b"):
+            key = CacheKey("lib", name)
+            loaded = restored.fetch(key).entry.kv
+            assert loaded.is_arena, f"{format} restore dropped arena backing"
+            np.testing.assert_array_equal(
+                loaded.key_arena, pc.store.fetch(key).entry.kv.key_arena
+            )
+            np.testing.assert_array_equal(
+                loaded.value_arena, pc.store.fetch(key).entry.kv.value_arena
+            )
+
     def test_round_trip_preserves_tier(self, llama, tok, tmp_path):
         pc = PromptCache(llama, tok, template=PLAIN_TEMPLATE, default_tier="cpu")
         pc.register_schema(SCHEMA)
@@ -131,8 +150,8 @@ class _StandIn:
 
 
 class TestSnapshotIntegrity:
-    def test_index_records_sha256(self, pc, tmp_path):
-        save_store(pc.store, tmp_path)
+    def test_v1_index_records_sha256(self, pc, tmp_path):
+        save_store(pc.store, tmp_path, format="v1")
         import json
 
         index = json.loads((tmp_path / "index.json").read_text())
@@ -141,7 +160,7 @@ class TestSnapshotIntegrity:
             assert len(record["sha256"]) == 64
 
     def test_corrupt_file_is_skipped_with_warning(self, pc, tmp_path):
-        save_store(pc.store, tmp_path)
+        save_store(pc.store, tmp_path, format="v1")
         victim = _flip_byte(tmp_path, "lib", "a")
         with pytest.warns(UserWarning, match="checksum mismatch"):
             restored = load_store(tmp_path)
@@ -150,7 +169,7 @@ class TestSnapshotIntegrity:
         assert victim.exists()  # we only skip, never delete
 
     def test_missing_file_is_skipped_with_warning(self, pc, tmp_path):
-        save_store(pc.store, tmp_path)
+        save_store(pc.store, tmp_path, format="v1")
         _payload_path(tmp_path, "lib", "a").unlink()
         with pytest.warns(UserWarning, match="missing"):
             restored = load_store(tmp_path)
@@ -162,7 +181,7 @@ class TestSnapshotIntegrity:
         to a skip when the archive itself is truncated."""
         import json
 
-        save_store(pc.store, tmp_path)
+        save_store(pc.store, tmp_path, format="v1")
         index_path = tmp_path / "index.json"
         index = json.loads(index_path.read_text())
         for record in index:
@@ -170,7 +189,7 @@ class TestSnapshotIntegrity:
         index_path.write_text(json.dumps(index))
         path = _payload_path(tmp_path, "lib", "a")
         path.write_bytes(path.read_bytes()[:40])
-        with pytest.warns(UserWarning, match="unreadable archive"):
+        with pytest.warns(UserWarning, match="unreadable payload"):
             restored = load_store(tmp_path)
         assert restored.fetch(CacheKey("lib", "a")) is None
         assert restored.fetch(CacheKey("lib", "b")) is not None

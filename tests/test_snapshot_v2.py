@@ -1,0 +1,266 @@
+"""Snapshot format v2: memmap-ready arenas, tiered verification, attach.
+
+Covers the zero-copy warm-start plane: raw ``.npy`` arena payloads load
+via ``np.memmap`` bit-identically, same-host attach shares one resident
+copy, the sparse/full digest split keeps corrupt-skip behavior, and the
+write-guard sanitizer rejects in-place writes into mapped arenas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.sanitize import SanitizerError, install_sanitizers, uninstall_sanitizers
+from repro.cache.engine import PromptCache
+from repro.cache.persist import (
+    DigestSweep,
+    _index_entries,
+    attach_snapshot,
+    load_store,
+    resident_snapshot_bytes,
+    save_store,
+)
+from repro.cache.storage import CacheKey, ModuleCacheStore
+from repro.llm.kv import LayerKV, ModuleKV
+from repro.pml import PLAIN_TEMPLATE
+from repro.server.metrics import MetricsRegistry
+
+SCHEMA = (
+    '<schema name="lib"><module name="a">the quick brown fox</module>'
+    '<module name="b">jumps over the lazy dog</module></schema>'
+)
+PROMPT = '<prompt schema="lib"><a/><b/> what happened ?</prompt>'
+
+
+@pytest.fixture()
+def pc(llama, tok):
+    cache = PromptCache(llama, tok, template=PLAIN_TEMPLATE)
+    cache.register_schema(SCHEMA)
+    return cache
+
+
+def _module_kv(seed: int, T: int = 6) -> ModuleKV:
+    rng = np.random.default_rng(seed)
+    shape = (3, 2, T, 4)
+    return ModuleKV.from_arenas(
+        rng.standard_normal(shape).astype(np.float32),
+        rng.standard_normal(shape).astype(np.float32),
+        np.arange(T, dtype=np.int64),
+    )
+
+
+class TestV2RoundTrip:
+    def test_eager_load_is_bit_identical_and_arena_backed(self, pc, tmp_path):
+        save_store(pc.store, tmp_path)
+        restored = load_store(tmp_path)
+        for name in ("a", "b"):
+            key = CacheKey("lib", name)
+            original = pc.store.peek(key).kv
+            loaded = restored.peek(key).kv
+            assert loaded.is_arena
+            np.testing.assert_array_equal(loaded.key_arena, original.key_arena)
+            np.testing.assert_array_equal(loaded.value_arena, original.value_arena)
+            np.testing.assert_array_equal(loaded.positions, original.positions)
+
+    def test_index_carries_version_and_digests(self, pc, tmp_path):
+        save_store(pc.store, tmp_path)
+        version, entries = _index_entries(tmp_path)
+        assert version == 2
+        for record in entries:
+            assert record["kind"] == "arena"
+            for part in ("keys", "values", "positions"):
+                info = record["files"][part]
+                assert len(info["sha256"]) == 64
+                assert len(info["sparse_sha256"]) == 64
+                assert info["nbytes"] > 0
+
+    def test_unknown_format_rejected(self, pc, tmp_path):
+        with pytest.raises(ValueError, match="unknown snapshot format"):
+            save_store(pc.store, tmp_path, format="v3")
+
+    def test_unknown_verify_rejected(self, pc, tmp_path):
+        save_store(pc.store, tmp_path)
+        with pytest.raises(ValueError, match="unknown verify mode"):
+            load_store(tmp_path, verify="paranoid")
+
+
+class TestMappedLoad:
+    def test_mmap_load_is_mapped_and_bit_identical(self, pc, tmp_path):
+        save_store(pc.store, tmp_path)
+        restored = load_store(tmp_path, mmap=True)
+        for name in ("a", "b"):
+            key = CacheKey("lib", name)
+            loaded = restored.peek(key).kv
+            assert loaded.is_arena and loaded.is_mapped
+            np.testing.assert_array_equal(
+                np.asarray(loaded.key_arena), pc.store.peek(key).kv.key_arena
+            )
+
+    def test_mapped_bytes_accounting(self, pc, tmp_path):
+        save_store(pc.store, tmp_path)
+        eager = load_store(tmp_path)
+        mapped = load_store(tmp_path, mmap=True)
+        assert eager.mapped_bytes() == 0
+        assert mapped.mapped_bytes() > 0
+        assert mapped.mapped_bytes() == mapped.total_bytes()
+
+    def test_residency_probe_best_effort(self, pc, tmp_path):
+        save_store(pc.store, tmp_path)
+        mapped = load_store(tmp_path, mmap=True)
+        resident = resident_snapshot_bytes(mapped)
+        if resident is not None:
+            assert resident >= 0
+
+    def test_mapped_serve_output_byte_identical(self, pc, tmp_path, llama, tok):
+        """The acceptance bit: serving from the memmap store produces the
+        same tokens, cached counts, and spliced states as in-memory."""
+        in_memory = pc.serve(PROMPT, max_new_tokens=8)
+        save_store(pc.store, tmp_path)
+        mapped_store = load_store(tmp_path, mmap=True)
+        pc2 = PromptCache(llama, tok, store=mapped_store, template=PLAIN_TEMPLATE)
+        pc2.register_schema(SCHEMA)  # solos present: no re-encode
+        assert mapped_store.peek(CacheKey("lib", "a")).kv.is_mapped
+        mapped = pc2.serve(PROMPT, max_new_tokens=8)
+        assert mapped.output_ids == in_memory.output_ids
+        assert mapped.text == in_memory.text
+        assert mapped.cached_tokens == in_memory.cached_tokens
+
+
+class TestVerification:
+    def _snapshot(self, tmp_path):
+        store = ModuleCacheStore()
+        store.put(CacheKey("s", "a"), _module_kv(1), tier="cpu")
+        store.put(CacheKey("s", "b"), _module_kv(2), tier="cpu")
+        save_store(store, tmp_path)
+        return store
+
+    def _corrupt(self, tmp_path, name: str, offset: int = 200) -> None:
+        path = tmp_path / name
+        raw = bytearray(path.read_bytes())
+        raw[offset] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+    def test_corrupt_file_skipped_eager_full(self, tmp_path):
+        self._snapshot(tmp_path)
+        self._corrupt(tmp_path, "s__a__solo.keys.npy")
+        with pytest.warns(UserWarning, match="checksum mismatch"):
+            restored = load_store(tmp_path)
+        assert CacheKey("s", "a") not in restored
+        assert CacheKey("s", "b") in restored
+
+    def test_corrupt_file_skipped_mapped_sparse(self, tmp_path):
+        self._snapshot(tmp_path)
+        self._corrupt(tmp_path, "s__a__solo.values.npy")
+        with pytest.warns(UserWarning, match="sparse checksum mismatch"):
+            restored = load_store(tmp_path, mmap=True)
+        assert CacheKey("s", "a") not in restored
+
+    def test_truncated_file_skipped(self, tmp_path):
+        self._snapshot(tmp_path)
+        path = tmp_path / "s__a__solo.keys.npy"
+        path.write_bytes(path.read_bytes()[:64])
+        with pytest.warns(UserWarning, match="mismatch"):
+            restored = load_store(tmp_path, mmap=True)
+        assert CacheKey("s", "a") not in restored
+
+    def test_missing_file_skipped(self, tmp_path):
+        self._snapshot(tmp_path)
+        (tmp_path / "s__b__solo.positions.npy").unlink()
+        with pytest.warns(UserWarning, match="payload file missing"):
+            restored = load_store(tmp_path)
+        assert CacheKey("s", "b") not in restored
+        assert CacheKey("s", "a") in restored
+
+    def test_verify_off_loads_corrupt_payload(self, tmp_path):
+        self._snapshot(tmp_path)
+        self._corrupt(tmp_path, "s__a__solo.keys.npy")
+        restored = load_store(tmp_path, verify="off")
+        assert CacheKey("s", "a") in restored  # operator opted out
+
+    def test_background_sweep_evicts_corruption(self, tmp_path):
+        self._snapshot(tmp_path)
+        result = attach_snapshot(tmp_path, background_verify=False)
+        assert result.sweep is None
+        # Corruption lands *after* attach — only the full sweep sees it.
+        self._corrupt(tmp_path, "s__a__solo.values.npy", offset=-3)
+        _, entries = _index_entries(tmp_path)
+        metrics = MetricsRegistry()
+        sweep = DigestSweep(tmp_path, result.store, entries, metrics=metrics)
+        with pytest.warns(UserWarning, match="digest sweep evicting"):
+            sweep.run()  # run inline: deterministic, no thread scheduling
+        assert CacheKey("s", "a") not in result.store
+        assert CacheKey("s", "b") in result.store
+        assert sweep.verified == 1
+        assert len(sweep.failures) == 1
+        counters = metrics.snapshot()["counters"]
+        assert counters['snapshot_verify_failures_total{phase="background"}'] == 1
+
+
+class TestAttach:
+    def test_attach_shares_one_snapshot_across_stores(self, pc, tmp_path):
+        save_store(pc.store, tmp_path)
+        first = attach_snapshot(tmp_path, background_verify=False)
+        second = attach_snapshot(tmp_path, background_verify=False)
+        for result in (first, second):
+            assert result.mapped_bytes > 0
+            assert result.store.mapped_bytes() == result.mapped_bytes
+        np.testing.assert_array_equal(
+            np.asarray(first.store.peek(CacheKey("lib", "a")).kv.key_arena),
+            np.asarray(second.store.peek(CacheKey("lib", "a")).kv.key_arena),
+        )
+
+    def test_attach_exports_metrics_and_sweep_passes(self, pc, tmp_path):
+        save_store(pc.store, tmp_path)
+        metrics = MetricsRegistry()
+        result = attach_snapshot(tmp_path, metrics=metrics)
+        result.sweep.join(timeout=30)
+        assert not result.sweep.is_alive()
+        assert result.sweep.failures == []
+        gauges = metrics.snapshot()["gauges"]
+        assert gauges["snapshot_mapped_bytes"] == result.mapped_bytes
+        # Residency is best-effort; when reported it must be a sane gauge.
+        if "snapshot_resident_bytes" in gauges:
+            assert gauges["snapshot_resident_bytes"] >= 0
+
+
+class TestWriteGuard:
+    @pytest.fixture()
+    def guarded(self):
+        already = sanitize.active_auditor()
+        install_sanitizers()
+        yield
+        if already is None:
+            uninstall_sanitizers()
+
+    def test_append_into_mapped_arena_raises(self, guarded, tmp_path):
+        store = ModuleCacheStore()
+        store.put(CacheKey("s", "a"), _module_kv(3), tier="cpu")
+        save_store(store, tmp_path)
+        mapped = load_store(tmp_path, mmap=True).peek(CacheKey("s", "a")).kv
+        layer = LayerKV.adopt(
+            np.asarray(mapped.key_arena[0]),
+            np.asarray(mapped.value_arena[0]),
+            np.asarray(mapped.positions),
+            length=len(mapped) - 1,  # spare capacity inside the mapping
+        )
+        grow = np.ones((2, 1, 4), dtype=np.float32)
+        with pytest.raises(SanitizerError, match="snapshot-mapped"):
+            layer.append(grow, grow, np.array([99]))
+
+    def test_private_append_still_fine(self, guarded):
+        layer = LayerKV(n_kv_heads=2, head_dim=4)
+        grow = np.ones((2, 3, 4), dtype=np.float32)
+        layer.append(grow, grow, np.arange(3))
+        assert len(layer) == 3
+
+    def test_guard_uninstalled_with_sanitizers(self):
+        from repro.llm import kv as kv_mod
+
+        already = sanitize.active_auditor()
+        install_sanitizers()
+        assert kv_mod._WRITE_GUARD is not None
+        if already is None:
+            uninstall_sanitizers()
+            assert kv_mod._WRITE_GUARD is None
