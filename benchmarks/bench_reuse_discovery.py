@@ -1,0 +1,251 @@
+"""Reuse discovery: schema-free mining vs cold raw serving.
+
+One trace, two engines over the same weights. Every prompt is a shared
+system preamble plus a short per-user suffix — the schema-free traffic
+shape of paper §5.3 personalization, but with **no PML markup**: the
+miner has to find the shared run in the token stream by itself.
+
+- **discovery OFF** — plain ``serve_text``; every request prefills the
+  full prompt (the raw-serving baseline).
+- **discovery ON** — ``attach_discovery``; pass 1 mines the trace and
+  auto-registers the shared prefix as discovered modules, pass 2 splices
+  them and only prefills each request's unique tail.
+
+Reported: discovered-cache hit rate (cached / prompt tokens, pass 2),
+median TTFT on vs off, and byte-identity of every generated token
+between the two engines — discovery must never change outputs.
+
+CLI use (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_reuse_discovery.py --quick \
+        --out BENCH_reuse.json \
+        --check-against benchmarks/results/BENCH_reuse_baseline.json
+
+The regression gate compares the *ratio* TTFT-on/TTFT-off on pass 2,
+not absolute seconds, so the committed baseline holds across machines.
+A broken discovery path (nothing promoted, nothing spliced) drives the
+ratio toward 1.0, far above the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+from pathlib import Path
+
+from repro.bench import emit, format_table
+from repro.cache.engine import PromptCache
+from repro.llm import build_model, small_config
+from repro.reuse import DiscoveryConfig
+from repro.reuse.dedup import analyze_batch
+from repro.server.loadgen import build_raw_prompts
+from repro.tokenizer import default_tokenizer
+
+# The gate fails when the pass-2 on/off TTFT ratio worsens >25% vs
+# baseline.
+REGRESSION_TOLERANCE = 1.25
+# Sub-millisecond TTFTs jitter on shared CI hosts; the floor keeps the
+# gate from flapping on noise. Losing the splice (re-prefilling the
+# shared run every request) drives the ratio toward 1.0, far above it.
+NOISE_FLOOR_RATIO = 0.55
+# ISSUE floors: discovery must engage (hit rate > 0) and pay for itself.
+HIT_RATE_FLOOR = 0.30
+HIT_RATE_FLOOR_QUICK = 0.30
+TTFT_SPEEDUP_FLOOR = 1.5
+TTFT_SPEEDUP_FLOOR_QUICK = 1.15
+
+
+def _serve_pass(pc: PromptCache, prompts: list[str], *, max_new_tokens: int):
+    """One full pass over the trace; per-request engine-reported TTFT."""
+    results = [pc.serve_text(t, max_new_tokens=max_new_tokens) for t in prompts]
+    return {
+        "results": results,
+        "ttft_s": [r.ttft_s for r in results],
+        "cached_tokens": sum(r.cached_tokens for r in results),
+        "prompt_tokens": sum(r.prompt_tokens for r in results),
+    }
+
+
+def _hit_rate(served: dict) -> float:
+    return served["cached_tokens"] / max(1, served["prompt_tokens"])
+
+
+def run_reuse_bench(model, tok, *, quick: bool = False) -> dict:
+    """Two passes over a shared-preamble trace, on vs off. Returns the
+    result dict that ``BENCH_reuse.json`` serializes."""
+    requests = 8 if quick else 24
+    shared_tokens = 96 if quick else 192
+    suffix_tokens = 12 if quick else 16
+    max_new_tokens = 4 if quick else 8
+    prompts = build_raw_prompts(
+        tok, requests,
+        shared_tokens=shared_tokens, suffix_tokens=suffix_tokens, seed=0,
+    )
+    dedup = analyze_batch([tok.encode(t) for t in prompts])
+
+    pc_off = PromptCache(model, tok)
+    pc_on = PromptCache(model, tok)
+    pc_on.attach_discovery(DiscoveryConfig(min_hits=2, min_tokens=16))
+
+    passes = []
+    identical = True
+    for _ in range(2):
+        off = _serve_pass(pc_off, prompts, max_new_tokens=max_new_tokens)
+        on = _serve_pass(pc_on, prompts, max_new_tokens=max_new_tokens)
+        identical = identical and all(
+            a.output_ids == b.output_ids
+            for a, b in zip(off["results"], on["results"])
+        )
+        off_ms = statistics.median(off["ttft_s"]) * 1e3
+        on_ms = statistics.median(on["ttft_s"]) * 1e3
+        passes.append({
+            "off_ttft_ms": off_ms,
+            "on_ttft_ms": on_ms,
+            "speedup": off_ms / on_ms,
+            "hit_rate_on": _hit_rate(on),
+            "hit_rate_off": _hit_rate(off),
+        })
+
+    snap = pc_on.discovery.snapshot()
+    steady = passes[-1]
+    return {
+        "quick": quick,
+        "requests": requests,
+        "shared_tokens": shared_tokens,
+        "suffix_tokens": suffix_tokens,
+        "prompt_tokens_mean": sum(
+            len(tok.encode(t)) for t in prompts
+        ) / requests,
+        "dedup_potential": dedup.potential,
+        "outputs_identical": identical,
+        "passes": passes,
+        "discovery": {
+            "promotions": snap["promotions"],
+            "demotions": snap["demotions"],
+            "modules": snap["modules"],
+            "trie_nodes": snap["trie_nodes"],
+            "trie_tokens": snap["trie_tokens"],
+        },
+        "steady": {
+            **steady,
+            "ratio": steady["on_ttft_ms"] / steady["off_ttft_ms"],
+        },
+    }
+
+
+def check_acceptance(results: dict) -> None:
+    """The ISSUE's floors: byte-identity always; discovered hit rate > 0
+    and a real TTFT win once the miner has seen the trace (pass 2)."""
+    assert results["outputs_identical"], (
+        "discovery-on outputs diverged from discovery-off — "
+        "byte-identity broken"
+    )
+    assert results["discovery"]["promotions"] >= 1, (
+        "miner never promoted the shared preamble"
+    )
+    steady = results["steady"]
+    quick = results["quick"]
+    hit_floor = HIT_RATE_FLOOR_QUICK if quick else HIT_RATE_FLOOR
+    assert steady["hit_rate_on"] >= hit_floor, (
+        f"discovered hit rate {steady['hit_rate_on']:.2f} < {hit_floor} "
+        "on pass 2"
+    )
+    assert results["passes"][-1]["hit_rate_off"] == 0.0, (
+        "discovery-off engine reported cached tokens on raw traffic"
+    )
+    ttft_floor = TTFT_SPEEDUP_FLOOR_QUICK if quick else TTFT_SPEEDUP_FLOOR
+    assert steady["speedup"] >= ttft_floor, (
+        f"pass-2 TTFT speedup {steady['speedup']:.2f}x < {ttft_floor}x "
+        f"(off {steady['off_ttft_ms']:.2f} ms, on {steady['on_ttft_ms']:.2f} ms)"
+    )
+
+
+def check_regression(results: dict, baseline_path: Path) -> None:
+    """Fail when the pass-2 on/off TTFT ratio regressed >25% vs baseline."""
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("quick") != results["quick"]:
+        print(
+            "warning: baseline and run use different workload sizes "
+            "(--quick mismatch); the ratio comparison is apples-to-oranges"
+        )
+    ratio = results["steady"]["ratio"]
+    base = baseline["steady"]["ratio"]
+    limit = max(base * REGRESSION_TOLERANCE, NOISE_FLOOR_RATIO)
+    if ratio > limit:
+        raise SystemExit(
+            f"reuse-discovery regression: on/off TTFT ratio {ratio:.4f} > "
+            f"{limit:.4f} (baseline {base:.4f} +25%)"
+        )
+    print(
+        f"regression gate ok: on/off TTFT ratio {ratio:.4f} <= {limit:.4f} "
+        f"(baseline {base:.4f} +25%)"
+    )
+
+
+def _report(results: dict) -> str:
+    rows = [
+        [
+            f"pass {i + 1}",
+            f"{p['off_ttft_ms']:.2f}",
+            f"{p['on_ttft_ms']:.2f}",
+            f"{p['speedup']:.2f}x",
+            f"{p['hit_rate_on']:.2f}",
+        ]
+        for i, p in enumerate(results["passes"])
+    ]
+    disc = results["discovery"]
+    return emit(
+        "reuse_discovery",
+        format_table(
+            f"Reuse discovery: {results['requests']} raw requests, "
+            f"~{results['shared_tokens']}-token shared preamble + "
+            f"{results['suffix_tokens']}-token suffixes",
+            ["pass", "off TTFT (ms)", "on TTFT (ms)", "speedup", "hit rate"],
+            rows,
+            note=(
+                f"dedup potential {results['dedup_potential']:.2f}; "
+                f"{disc['promotions']} promotions -> {disc['modules']} "
+                f"modules, trie {disc['trie_nodes']} nodes / "
+                f"{disc['trie_tokens']} tokens; outputs identical: "
+                f"{'yes' if results['outputs_identical'] else 'NO'}"
+            ),
+        ),
+    )
+
+
+def test_reuse_discovery(small_model, tok):
+    results = run_reuse_bench(small_model, tok, quick=True)
+    _report(results)
+    check_acceptance(results)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller trace, shorter preamble (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_reuse.json"),
+        help="where to write the JSON result",
+    )
+    parser.add_argument(
+        "--check-against", type=Path, default=None,
+        help="baseline JSON; exit non-zero on >25%% TTFT-ratio regression",
+    )
+    args = parser.parse_args(argv)
+
+    tok = default_tokenizer()
+    model = build_model(small_config("llama", vocab_size=tok.vocab_size), seed=0)
+    results = run_reuse_bench(model, tok, quick=args.quick)
+    _report(results)
+    check_acceptance(results)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if args.check_against is not None:
+        check_regression(results, args.check_against)
+
+
+if __name__ == "__main__":
+    main()

@@ -25,7 +25,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.cache.encoder import drop_param_slots, encode_module, encode_scaffold
+from repro.cache.encoder import (
+    _arena_from_cache,
+    drop_param_slots,
+    encode_module,
+    encode_scaffold,
+)
 from repro.cache.layout import ModuleLayout, SchemaLayout, layout_schema
 from repro.cache.storage import CacheKey, ModuleCacheStore, SOLO_VARIANT
 from repro.llm.generation import GenerationResult, decode_loop, generate
@@ -55,6 +60,29 @@ def set_layout_validator(fn) -> None:
     registration and module update."""
     global _LAYOUT_VALIDATOR
     _LAYOUT_VALIDATOR = fn
+
+
+# Reserved schema namespace for modules mined from live traffic by
+# repro.reuse (never a valid PML schema name — parser rejects it).
+DISCOVERED_SCHEMA = "__discovered__"
+
+
+@dataclass(frozen=True)
+class DiscoveredModule:
+    """A prompt segment promoted from the reuse trie (ISSUE 6).
+
+    Covers tokens ``[start, end)`` of every prompt that begins with the
+    promoted prefix; ``token_ids`` is the covered slice. Its cached KV is
+    encoded conditioned on the *true* preceding tokens ``[0, start)``
+    (the promoted ancestor chain), so splicing the chain and prefilling
+    the remainder reproduces a full prefill bit-exactly under causal
+    attention — the byte-identity guarantee discovery rides on.
+    """
+
+    name: str
+    start: int
+    end: int
+    token_ids: tuple[int, ...]
 
 
 @dataclass
@@ -257,6 +285,16 @@ class PromptCache:
         self._plan_cache: OrderedDict[str, _CompiledPlan] = OrderedDict()  # guarded-by: _fastpath_lock
         self._bases: OrderedDict[tuple, _SplicedBase] = OrderedDict()  # guarded-by: _fastpath_lock
         self._plan_listeners: list = []
+        # Schema-free reuse discovery (repro.reuse): attach_discovery()
+        # installs a miner; _discovered maps module name -> span.
+        self.discovery = None
+        self._discovered: dict[str, DiscoveredModule] = {}  # guarded-by: _fastpath_lock
+        # Plan-staleness fix: compiled plans and spliced bases must die
+        # with the last resident copy of any module they reference.
+        # register/invalidate/update already handle their paths; this
+        # listener covers capacity/TTL eviction inside the store itself.
+        for tier_ in (self.store.gpu, self.store.cpu):
+            tier_.add_evict_listener(self._on_store_evict)
 
     # -- schema management -----------------------------------------------------
 
@@ -670,6 +708,370 @@ class PromptCache:
             if module_name in names:
                 for n in names:
                     self.invalidate(schema_name, n)
+
+    # -- schema-free reuse discovery (repro.reuse, ISSUE 6) ----------------------
+
+    def attach_discovery(self, config=None, clock=None):
+        """Attach a :class:`~repro.reuse.miner.ReuseMiner` so schema-free
+        prompts served through :meth:`serve_text` are mined for shared
+        prefixes and hot ones are cached as discovered modules. Returns
+        the miner (for stats/tuning); pass ``config`` to set thresholds."""
+        import time as _time
+
+        from repro.reuse.miner import ReuseMiner
+
+        self.discovery = ReuseMiner(
+            self, config, clock=clock if clock is not None else _time.monotonic
+        )
+        return self.discovery
+
+    def register_discovered_module(
+        self, name: str, prefix_tokens, start: int, ancestors=()
+    ) -> DiscoveredModule:
+        """Engine hook for the miner: cache tokens ``[start, end)`` of a
+        promoted prefix as a synthetic module.
+
+        ``prefix_tokens`` is the full path from position 0 (so the KV can
+        be conditioned on the true preceding context); ``ancestors`` are
+        the already-registered modules tiling ``[0, start)`` — when all
+        are still resident their KV is spliced so only the extension is
+        forwarded, otherwise the whole prefix is re-forwarded once.
+        """
+        end = len(prefix_tokens)
+        if not 0 <= start < end:
+            raise ValueError(f"invalid segment [{start}, {end})")
+        kv = self._encode_segment(tuple(prefix_tokens), start, end, tuple(ancestors))
+        self.store.put(
+            CacheKey(DISCOVERED_SCHEMA, name, SOLO_VARIANT),
+            self.kv_codec.encode(kv),
+            tier=self.default_tier,
+        )
+        segment = DiscoveredModule(
+            name=name,
+            start=start,
+            end=end,
+            token_ids=tuple(int(t) for t in prefix_tokens[start:end]),
+        )
+        with self._fastpath_lock:
+            self._discovered[name] = segment
+        return segment
+
+    def unregister_discovered_module(self, name: str, reason: str | None = None) -> int:
+        """Demote a discovered module (trie eviction, operator request):
+        drop its store entries and every spliced base referencing it."""
+        with self._fastpath_lock:
+            self._discovered.pop(name, None)
+        self._evict_compiled(DISCOVERED_SCHEMA, name)
+        return self.store.remove_matching(DISCOVERED_SCHEMA, name)
+
+    def discovered_modules(self) -> list[DiscoveredModule]:
+        """Currently registered discovered modules (shallowest first)."""
+        with self._fastpath_lock:
+            return sorted(self._discovered.values(), key=lambda s: s.end)
+
+    def _encode_segment(
+        self, token_ids: tuple[int, ...], start: int, end: int, ancestors: tuple
+    ) -> ModuleKV:
+        """KV states for tokens ``[start, end)`` conditioned on the true
+        prefix ``[0, start)`` — bit-exact rows of a full prefill."""
+        positions = np.arange(start, end, dtype=np.int64)
+        if start:
+            chain_kvs = self._ancestor_kvs(ancestors, start)
+            if chain_kvs is not None:
+                cache = _arena_splice(
+                    self.model.config, chain_kvs, extra_capacity=end - start
+                )
+                self.model.forward(
+                    np.asarray(token_ids[start:end], dtype=np.int64),
+                    positions, cache,
+                )
+                return _arena_from_cache(cache, start, end, positions)
+        cache = self.model.new_cache(capacity=end)
+        self.model.forward(
+            np.asarray(token_ids[:end], dtype=np.int64),
+            np.arange(end, dtype=np.int64), cache,
+        )
+        return _arena_from_cache(cache, start, end, positions)
+
+    def _ancestor_kvs(self, ancestors: tuple, start: int) -> list[ModuleKV] | None:
+        """Resident KV chain tiling ``[0, start)``, or None (fall back to
+        re-forwarding the prefix)."""
+        if not ancestors:
+            return None
+        kvs: list[ModuleKV] = []
+        covered = 0
+        for name in ancestors:
+            found = self.store.fetch(CacheKey(DISCOVERED_SCHEMA, name, SOLO_VARIANT))
+            if found is None:
+                return None
+            kv = self.kv_codec.decode(found.entry.kv)
+            kvs.append(kv)
+            covered += len(kv)
+        return kvs if covered == start else None
+
+    def serve_text(
+        self,
+        text: str,
+        *,
+        max_new_tokens: int = 32,
+        sampler=None,
+        stop_ids: set[int] | None = None,
+        observe: bool = True,
+    ) -> ServeResult:
+        """Schema-free cached inference over raw text.
+
+        Without discovery this is exactly the KV-cache baseline
+        (:func:`~repro.llm.generation.generate`). With a miner attached,
+        the prompt is observed (feeding promotion) and any promoted
+        prefix chain is spliced from cache, with only the remainder
+        prefilled — outputs are byte-identical either way.
+        """
+        ids = self.tokenizer.encode(text)
+        if not ids:
+            raise ValueError("serve_text needs at least one prompt token")
+        if self.discovery is not None and observe:
+            self.discovery.observe(ids)
+        result, _, _ = self._serve_text_one(ids, max_new_tokens, sampler, stop_ids)
+        return result
+
+    def serve_text_batch(
+        self,
+        texts: list[str],
+        *,
+        max_new_tokens: int = 32,
+        sampler=None,
+        stop_ids: set[int] | None = None,
+        observe: bool = True,
+    ) -> "BatchServeResult":
+        """Batch :meth:`serve_text`. All prompts are observed before any
+        is served, so a prefix shared only within this batch can promote
+        and be reused by the very requests that revealed it."""
+        ids_list = [self.tokenizer.encode(t) for t in texts]
+        if any(not ids for ids in ids_list):
+            raise ValueError("serve_text_batch needs at least one token per prompt")
+        if self.discovery is not None and observe:
+            for ids in ids_list:
+                self.discovery.observe(ids)
+        results: list[ServeResult] = []
+        group_keys: set[tuple] = set()
+        solo_groups = 0
+        duplicated = 0
+        for ids in ids_list:
+            result, key, dup = self._serve_text_one(
+                ids, max_new_tokens, sampler, stop_ids
+            )
+            results.append(result)
+            duplicated += dup
+            if key is None:
+                solo_groups += 1
+            else:
+                group_keys.add(key)
+        with self._fastpath_lock:
+            physical = sum(
+                self._bases[key].cache.physical_bytes()
+                for key in group_keys
+                if key in self._bases
+            )
+        return BatchServeResult(
+            results=results,
+            physical_bytes=physical,
+            duplicated_bytes=duplicated,
+            shared_groups=len(group_keys) + solo_groups,
+        )
+
+    def _serve_text_one(
+        self, ids: list[int], max_new_tokens: int, sampler, stop_ids
+    ) -> tuple[ServeResult, tuple | None, int]:
+        """Serve one tokenized raw prompt; returns (result, spliced-base
+        key or None, fork logical bytes) for batch accounting."""
+        n = len(ids)
+        chain = self._match_discovered(ids) if self.discovery is not None else []
+        # Fully-covered prompt: trim the final cached token and recompute
+        # it as the suffix — the first sampling decision needs its logits
+        # (same move as the schema path's recompute_tail).
+        trim = bool(chain) and chain[-1].end >= n
+        cached = min(chain[-1].end, n - 1) if chain else 0
+        if cached <= 0:
+            return self._serve_text_uncached(ids, max_new_tokens, sampler, stop_ids)
+
+        start = time.perf_counter()
+        cache, tier_tokens, key = self._fork_text_base(chain, trim, ids)
+        splice_s = time.perf_counter() - start
+        try:
+            cache.reserve(n + max_new_tokens)
+            suffix_ids = np.asarray(ids[cached:], dtype=np.int64)
+            positions = np.arange(cached, n, dtype=np.int64)
+            start = time.perf_counter()
+            logits = self.model.forward(suffix_ids, positions, cache)[-1]
+            suffix_s = time.perf_counter() - start
+            output_ids, step_times = decode_loop(
+                self.model, cache, logits,
+                max_new_tokens=max_new_tokens,
+                next_position=n,
+                sampler=sampler, stop_ids=stop_ids,
+            )
+            duplicated = cache.logical_bytes()
+        finally:
+            self._free_fork(cache)
+        result = ServeResult(
+            output_ids=output_ids,
+            text=self.tokenizer.decode(output_ids, skip_specials=True),
+            prompt_tokens=n,
+            cached_tokens=cached,
+            uncached_tokens=n - cached,
+            ttft_s=splice_s + suffix_s,
+            splice_s=splice_s,
+            suffix_s=suffix_s,
+            step_times_s=step_times,
+            tier_tokens=tier_tokens,
+        )
+        return result, key, duplicated
+
+    def _serve_text_uncached(
+        self, ids: list[int], max_new_tokens: int, sampler, stop_ids
+    ) -> tuple[ServeResult, None, int]:
+        """No discovered prefix: the plain KV-cache baseline path."""
+        n = len(ids)
+        cache = self.model.new_cache(capacity=n + max_new_tokens)
+        start = time.perf_counter()
+        logits = self.model.forward(
+            np.asarray(ids, dtype=np.int64), np.arange(n, dtype=np.int64), cache
+        )[-1]
+        suffix_s = time.perf_counter() - start
+        output_ids, step_times = decode_loop(
+            self.model, cache, logits,
+            max_new_tokens=max_new_tokens,
+            next_position=n,
+            sampler=sampler, stop_ids=stop_ids,
+        )
+        result = ServeResult(
+            output_ids=output_ids,
+            text=self.tokenizer.decode(output_ids, skip_specials=True),
+            prompt_tokens=n,
+            cached_tokens=0,
+            uncached_tokens=n,
+            ttft_s=suffix_s,
+            splice_s=0.0,
+            suffix_s=suffix_s,
+            step_times_s=step_times,
+            tier_tokens={"gpu": 0, "cpu": 0},
+        )
+        return result, None, 0
+
+    def _match_discovered(self, ids: list[int]) -> list[DiscoveredModule]:
+        """Resolve the miner's matched chain against the registry into the
+        deepest contiguous, token-verified tiling of a prompt prefix.
+
+        Matched segments usually tile ``[0, m)`` directly, but a trie
+        split can leave overlapping spans (e.g. ``[0, 42)`` promoted
+        after ``[0, 53)``); the backward walk below then picks the
+        deepest subset that still tiles from zero."""
+        names = self.discovery.match(ids)
+        if not names:
+            return []
+        with self._fastpath_lock:
+            resolved = [self._discovered.get(name) for name in names]
+        segments = [
+            s for s in resolved
+            if s is not None
+            and s.end <= len(ids)
+            and tuple(int(t) for t in ids[s.start : s.end]) == s.token_ids
+        ]
+        # Deepest-first: the first backward chain that reaches offset 0
+        # has the deepest endpoint (segments arrive shallowest-first).
+        for i in range(len(segments) - 1, -1, -1):
+            chain = [segments[i]]
+            target = segments[i].start
+            for j in range(i - 1, -1, -1):
+                if target == 0:
+                    break
+                if segments[j].end == target:
+                    chain.append(segments[j])
+                    target = segments[j].start
+            if target == 0:
+                return list(reversed(chain))
+        return []
+
+    def _fork_text_base(
+        self, chain: list[DiscoveredModule], trim: bool, ids: list[int]
+    ) -> tuple["PagedKVCache", dict[str, int], tuple]:  # noqa: F821
+        """Fork a shared paged base for a discovered chain (the raw-text
+        mirror of :meth:`_fork_base`)."""
+        from repro.llm.paged import PagedKVCache
+
+        key = (DISCOVERED_SCHEMA, tuple(s.name for s in chain), trim)
+        with self._fastpath_lock:
+            base = self._bases.get(key)
+            if base is not None:
+                self._bases.move_to_end(key)
+        if base is not None:
+            tier_tokens = self._validate_base(base)
+            if tier_tokens is not None:
+                with self._fastpath_lock:
+                    self.plan_stats.base_hits += 1
+                    cache = base.cache.fork()
+                return cache, tier_tokens, key
+            with self._fastpath_lock:
+                stale = self._bases.pop(key, None)
+                if stale is not None:
+                    stale.cache.free()
+
+        tier_tokens = {"gpu": 0, "cpu": 0}
+        entries: list[tuple[CacheKey, int]] = []
+        module_kvs: list[ModuleKV] = []
+        ancestors: list[str] = []
+        for segment in chain:
+            kv, tier = self._ensure_discovered(segment, ids, tuple(ancestors))
+            ancestors.append(segment.name)
+            if trim and segment is chain[-1]:
+                kv = kv.slice(0, len(kv) - 1)
+            tier_tokens[tier] += len(kv)
+            entries.append((CacheKey(DISCOVERED_SCHEMA, segment.name, SOLO_VARIANT), len(kv)))
+            if len(kv):
+                module_kvs.append(kv)
+        base_cache = PagedKVCache.from_module_kvs(self.model.config, module_kvs)
+        base_cache.materialize()
+        base = _SplicedBase(
+            cache=base_cache,
+            entries=entries,
+            cached_tokens=sum(count for _, count in entries),
+            module_names=frozenset(s.name for s in chain),
+        )
+        with self._fastpath_lock:
+            self.plan_stats.base_misses += 1
+            self._bases[key] = base
+            while len(self._bases) > self.base_cache_size:
+                _, victim = self._bases.popitem(last=False)
+                victim.cache.free()
+            cache = base.cache.fork()
+        return cache, tier_tokens, key
+
+    def _ensure_discovered(
+        self, segment: DiscoveredModule, ids: list[int], ancestors: tuple
+    ) -> tuple[ModuleKV, str]:
+        """Fetch a discovered module's KV, re-encoding from the observed
+        prompt if the store dropped it (capacity/TTL) — the trie keeps
+        the boundary, the KV self-heals on the next hit."""
+        key = CacheKey(DISCOVERED_SCHEMA, segment.name, SOLO_VARIANT)
+        found = self.store.fetch(key)
+        if found is not None:
+            if found.tier == "cpu" and self.promote_on_cpu_hit:
+                self.store.prefetch([key])
+            return self.kv_codec.decode(found.entry.kv), found.tier
+        kv = self._encode_segment(
+            tuple(int(t) for t in ids), segment.start, segment.end, ancestors
+        )
+        self.store.put(key, self.kv_codec.encode(kv), tier=self.default_tier)
+        return kv, self.default_tier
+
+    def _on_store_evict(self, entry, reason: str) -> None:
+        """Store evict listener (runs under the store lock): once a module
+        is resident in *no* tier, compiled plans and spliced bases that
+        reference it are stale — drop them. Demotions (GPU→CPU) leave the
+        module servable and invalidate nothing."""
+        if entry.key in self.store:
+            return
+        self._evict_compiled(entry.key.schema, entry.key.module)
 
     def start_session(self, prompt: str):
         """Open a multi-turn :class:`~repro.cache.session.GenerationSession`

@@ -14,12 +14,17 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.hw.allocator import CapacityError, MemoryAccountant
 from repro.llm.kv import ModuleKV
 
 SOLO_VARIANT = "solo"
+
+# Eviction reasons reported to evict listeners and metrics labels.
+EVICT_CAPACITY = "capacity"
+EVICT_TTL = "ttl"
 
 
 @dataclass(frozen=True)
@@ -42,6 +47,9 @@ class CacheEntry:
     inserted_at: int = 0
     last_used_at: int = 0
     use_count: int = 0
+    # Wall-clock last access, consumed by TTL expiry (last-access TTL:
+    # every hit pushes expiry out by the tier's ttl_s).
+    last_used_wall: float = 0.0
 
 
 class EvictionPolicy:
@@ -98,6 +106,7 @@ class TierStats:
     misses: int = 0
     insertions: int = 0
     evictions: int = 0
+    ttl_evictions: int = 0
     bytes_evicted: int = 0
 
     @property
@@ -115,9 +124,18 @@ class CacheTier:
         capacity_bytes: int | None = None,
         policy: EvictionPolicy | str = "lru",
         lock: threading.RLock | None = None,
+        ttl_s: float | None = None,
+        clock=time.monotonic,
     ) -> None:
         self.name = name
         self.policy = POLICIES[policy] if isinstance(policy, str) else policy
+        # Last-access TTL: an unpinned entry idle longer than ttl_s is
+        # expired lazily on the next get/put touching the tier (or by an
+        # explicit sweep_expired()). TTL victims are *dropped*, not
+        # demoted — staleness, unlike capacity pressure, follows the
+        # entry to any tier.
+        self.ttl_s = ttl_s
+        self.clock = clock
         # Re-entrant so an ``on_evict`` callback may call back into the
         # tier (or a sibling sharing the lock) from inside ``put``. The
         # store passes one shared lock to both tiers, making every
@@ -133,10 +151,11 @@ class CacheTier:
         self._evict_listeners: list = []  # guarded-by: _lock
 
     def add_evict_listener(self, fn) -> None:
-        """Register an observer called with each evicted entry, *after*
-        ``on_evict`` (so demotion has already happened). Listeners run
-        under the tier lock; they may call back into the store but must
-        not block."""
+        """Register an observer called as ``fn(victim, reason)`` with each
+        evicted entry, *after* ``on_evict`` (so demotion has already
+        happened). ``reason`` is ``"capacity"`` or ``"ttl"``. Listeners
+        run under the tier lock; they may call back into the store but
+        must not block."""
         with self._lock:
             self._evict_listeners.append(fn)
 
@@ -147,10 +166,14 @@ class CacheTier:
     def get(self, key: CacheKey) -> CacheEntry | None:
         with self._lock:
             entry = self.entries.get(key)
+            if entry is not None and self._expired(entry, self.clock()):
+                self._expire(entry)
+                entry = None
             if entry is None:
                 self.stats.misses += 1
                 return None
             entry.last_used_at = next(self._clock)
+            entry.last_used_wall = self.clock()
             entry.use_count += 1
             self.stats.hits += 1
             return entry
@@ -167,6 +190,7 @@ class CacheTier:
         with self._lock:
             if key in self.entries:
                 self.remove(key)
+            self.sweep_expired()  # reclaim stale space before evicting live entries
             nbytes = kv.nbytes()
             capacity = self.accountant.capacity_bytes
             if capacity is not None and nbytes > capacity:
@@ -180,7 +204,7 @@ class CacheTier:
             now = next(self._clock)
             entry = CacheEntry(
                 key=key, kv=kv, nbytes=nbytes, pinned=pinned,
-                inserted_at=now, last_used_at=now,
+                inserted_at=now, last_used_at=now, last_used_wall=self.clock(),
             )
             self.entries[key] = entry
             self.stats.insertions += 1
@@ -191,6 +215,36 @@ class CacheTier:
             self.entries.pop(key)
             self.accountant.release(key.tag())
 
+    def _expired(self, entry: CacheEntry, now: float) -> bool:
+        return (
+            self.ttl_s is not None
+            and not entry.pinned
+            and now - entry.last_used_wall > self.ttl_s
+        )
+
+    def sweep_expired(self) -> int:
+        """Expire every entry idle past ``ttl_s`` now; returns the count.
+        Runs implicitly on get/put, publicly for idle-time maintenance."""
+        if self.ttl_s is None:
+            return 0
+        with self._lock:
+            now = self.clock()
+            doomed = [e for e in self.entries.values() if self._expired(e, now)]
+            for entry in doomed:
+                self._expire(entry)
+            return len(doomed)
+
+    def _expire(self, entry: CacheEntry) -> None:
+        # TTL victims are not demoted: ``on_evict`` (the demotion hook)
+        # is skipped, listeners still observe the drop with its reason.
+        with self._lock:
+            self.remove(entry.key)
+            self.stats.evictions += 1
+            self.stats.ttl_evictions += 1
+            self.stats.bytes_evicted += entry.nbytes
+            for listener in self._evict_listeners:
+                listener(entry, EVICT_TTL)
+
     def _evict_one(self) -> None:
         with self._lock:
             victim = self.policy.victim(list(self.entries.values()))
@@ -200,7 +254,7 @@ class CacheTier:
             if self.on_evict is not None:
                 self.on_evict(victim)
             for listener in self._evict_listeners:
-                listener(victim)
+                listener(victim, EVICT_CAPACITY)
 
     @property
     def used_bytes(self) -> int:
@@ -244,6 +298,11 @@ class ModuleCacheStore:
         cpu_capacity_bytes: int | None = None,
         policy: str = "lru",
         demote_on_evict: bool = True,
+        gpu_policy: str | None = None,
+        cpu_policy: str | None = None,
+        gpu_ttl_s: float | None = None,
+        cpu_ttl_s: float | None = None,
+        clock=time.monotonic,
     ) -> None:
         # One re-entrant lock shared by both tiers: the serving runtime
         # hits the store from worker threads while the event loop reads
@@ -251,8 +310,14 @@ class ModuleCacheStore:
         # A single lock makes those sequences atomic with no ordering
         # hazards between tiers.
         self._lock = threading.RLock()
-        self.gpu = CacheTier("gpu", gpu_capacity_bytes, policy, lock=self._lock)
-        self.cpu = CacheTier("cpu", cpu_capacity_bytes, policy, lock=self._lock)
+        self.gpu = CacheTier(
+            "gpu", gpu_capacity_bytes, gpu_policy or policy,
+            lock=self._lock, ttl_s=gpu_ttl_s, clock=clock,
+        )
+        self.cpu = CacheTier(
+            "cpu", cpu_capacity_bytes, cpu_policy or policy,
+            lock=self._lock, ttl_s=cpu_ttl_s, clock=clock,
+        )
         if demote_on_evict:
             # GPU victims fall back to abundant host DRAM (paper §4.1);
             # later fetches pay the host-to-device copy instead of a
@@ -356,6 +421,11 @@ class ModuleCacheStore:
                     tier.remove(key)
                     removed += 1
         return removed
+
+    def sweep_expired(self) -> int:
+        """Expire idle entries in both tiers; returns the total dropped."""
+        with self._lock:
+            return self.gpu.sweep_expired() + self.cpu.sweep_expired()
 
     def prefetch(self, keys: list[CacheKey]) -> int:
         """Promote CPU-resident modules into the GPU tier ahead of use —

@@ -12,6 +12,9 @@ warm       encode a schema set across a process pool and (optionally)
            write a memmap-ready v2 snapshot for later attach
 loadgen    synthesize a serving trace and print its shape (``--cluster N``
            previews its placement across a worker ring)
+reuse-stats  run a seeded raw-text workload through reuse discovery and
+             print trie/miner statistics (``serve-live --discover`` runs
+             the same traffic through the async runtime)
 tokenize   show how the shared tokenizer splits a text
 ttft       modeled TTFT for a paper-shape model on a paper device
 datasets   list the synthetic evaluation suite
@@ -93,6 +96,16 @@ def _build_parser() -> argparse.ArgumentParser:
     live.add_argument("--format", default="summary",
                       choices=["summary", "prom", "json"],
                       help="metrics output format")
+    live.add_argument("--discover", action="store_true",
+                      help="serve schema-free raw text instead of PML and "
+                           "mine shared prefixes into discovered modules "
+                           "(outputs stay byte-identical to no-discovery)")
+    live.add_argument("--shared-tokens", type=_positive(int), default=48,
+                      help="[--discover] shared preamble length (tokens)")
+    live.add_argument("--min-hits", type=_positive(int), default=3,
+                      help="[--discover] observations before promotion")
+    live.add_argument("--min-tokens", type=_positive(int), default=16,
+                      help="[--discover] minimum promoted segment length")
 
     cluster = sub.add_parser(
         "serve-cluster",
@@ -157,6 +170,24 @@ def _build_parser() -> argparse.ArgumentParser:
                               "N-worker consistent-hash ring")
     loadgen.add_argument("--vnodes", type=_positive(int), default=64)
 
+    reuse = sub.add_parser(
+        "reuse-stats",
+        help="run a seeded raw-text workload through reuse discovery and "
+             "print the trie/miner statistics",
+    )
+    reuse.add_argument("--arch", default="llama", choices=["llama", "falcon", "mpt", "gpt2"])
+    reuse.add_argument("--size", default="tiny", choices=["tiny", "small"])
+    reuse.add_argument("--requests", type=_positive(int), default=12)
+    reuse.add_argument("--shared-tokens", type=_positive(int), default=48,
+                       help="shared preamble length (tokens)")
+    reuse.add_argument("--suffix-tokens", type=_positive(int), default=12,
+                       help="unique per-request suffix length (tokens)")
+    reuse.add_argument("--min-hits", type=_positive(int), default=3)
+    reuse.add_argument("--min-tokens", type=_positive(int), default=16)
+    reuse.add_argument("--max-new-tokens", type=_positive(int), default=4)
+    reuse.add_argument("--seed", type=int, default=0)
+    reuse.add_argument("--format", default="summary", choices=["summary", "json"])
+
     tokenize = sub.add_parser("tokenize", help="tokenize text with the shared BPE")
     tokenize.add_argument("text")
 
@@ -182,6 +213,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-cluster": _cmd_serve_cluster,
         "warm": _cmd_warm,
         "loadgen": _cmd_loadgen,
+        "reuse-stats": _cmd_reuse_stats,
         "tokenize": _cmd_tokenize,
         "ttft": _cmd_ttft,
         "datasets": _cmd_datasets,
@@ -287,6 +319,7 @@ def _cmd_serve_live(args) -> int:
     from repro.pml.chat import PLAIN_TEMPLATE
     from repro.serving.traces import SchemaProfile, synthesize_trace
     from repro.server import LiveServer, ServeOptions, build_workload, run_open_loop
+    from repro.server.loadgen import build_raw_prompts, run_raw_open_loop
     from repro.tokenizer import default_tokenizer
 
     tok = default_tokenizer()
@@ -301,6 +334,12 @@ def _cmd_serve_live(args) -> int:
         model, tok, store=store, template=PLAIN_TEMPLATE,
         promote_on_cpu_hit=args.gpu_capacity_kb is not None,
     )
+    if args.discover:
+        from repro.reuse import DiscoveryConfig
+
+        pc.attach_discovery(DiscoveryConfig(
+            min_hits=args.min_hits, min_tokens=args.min_tokens
+        ))
 
     profiles = [
         SchemaProfile(
@@ -329,6 +368,19 @@ def _cmd_serve_live(args) -> int:
         hooked = _install_drain_handlers(loop, server.stop)
         try:
             async with server:
+                if args.discover:
+                    prompts = build_raw_prompts(
+                        tok, len(trace),
+                        shared_tokens=args.shared_tokens,
+                        suffix_tokens=args.uncached_tokens,
+                        seed=args.seed,
+                    )
+                    return await run_raw_open_loop(
+                        server, prompts,
+                        interval_s=args.duration / max(1, len(trace)),
+                        max_new_tokens=args.decode_tokens,
+                        deadline_s=args.deadline,
+                    )
                 return await run_open_loop(
                     server, workload, trace, deadline_s=args.deadline
                 )
@@ -354,6 +406,12 @@ def _cmd_serve_live(args) -> int:
     print(f"throughput {report.throughput_rps:.1f} req/s over {report.wall_s:.2f}s")
     print(f"cached token fraction {report.cached_token_fraction:.2f}  "
           f"store hit-rate {gpu.hit_rate:.2f}  evictions {gpu.evictions}")
+    if args.discover and pc.discovery is not None:
+        snap = pc.discovery.snapshot()
+        print(f"discovery: {snap['modules']} module(s) from "
+              f"{snap['promotions']} promotion(s), trie {snap['trie_nodes']} "
+              f"nodes / {snap['trie_tokens']} tokens, "
+              f"demotions {snap['demotions']}")
     return 0
 
 
@@ -587,6 +645,65 @@ def _cmd_loadgen(args) -> int:
         uncached = np.array([r.uncached_tokens for r in trace])
         print(f"tokens/request: cached {cached.mean():.0f}  "
               f"uncached {uncached.mean():.0f}")
+    return 0
+
+
+def _cmd_reuse_stats(args) -> int:
+    import json
+
+    from repro.cache.engine import PromptCache
+    from repro.llm import build_model, small_config, tiny_config
+    from repro.pml.chat import PLAIN_TEMPLATE
+    from repro.reuse import DiscoveryConfig, analyze_batch
+    from repro.server.loadgen import build_raw_prompts
+    from repro.tokenizer import default_tokenizer
+
+    tok = default_tokenizer()
+    make = tiny_config if args.size == "tiny" else small_config
+    model = build_model(make(args.arch, vocab_size=tok.vocab_size), seed=args.seed)
+    pc = PromptCache(model, tok, template=PLAIN_TEMPLATE)
+    pc.attach_discovery(DiscoveryConfig(
+        min_hits=args.min_hits, min_tokens=args.min_tokens
+    ))
+    prompts = build_raw_prompts(
+        tok, args.requests,
+        shared_tokens=args.shared_tokens,
+        suffix_tokens=args.suffix_tokens,
+        seed=args.seed,
+    )
+    dedup = analyze_batch([tok.encode(p) for p in prompts])
+    cached = uncached = 0
+    for text in prompts:
+        result = pc.serve_text(text, max_new_tokens=args.max_new_tokens)
+        cached += result.cached_tokens
+        uncached += result.uncached_tokens
+    snap = pc.discovery.snapshot()
+    hit_rate = cached / (cached + uncached) if cached + uncached else 0.0
+    if args.format == "json":
+        snap["dedup_potential"] = dedup.potential
+        snap["discovered_hit_rate"] = hit_rate
+        snap["discovered_modules"] = [
+            {"name": m.name, "start": m.start, "end": m.end}
+            for m in pc.discovered_modules()
+        ]
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.requests} raw request(s), shared preamble "
+          f"~{args.shared_tokens} tokens (seed {args.seed})")
+    print(f"dedup potential (pre-flight): {dedup.potential:.2f} "
+          f"({dedup.shared_tokens}/{dedup.total_tokens} tokens shared)")
+    print(f"trie: {snap['trie_nodes']} nodes, {snap['trie_tokens']} tokens, "
+          f"{snap['trie_splits']} splits, {snap['trie_evictions']} evictions")
+    print(f"miner: {snap['promotions']} promotion(s), {snap['demotions']} "
+          f"demotion(s), {snap['failed_promotions']} failed, "
+          f"{snap['modules']} live module(s)")
+    for module in pc.discovered_modules():
+        print(f"  {module.name:<10} [{module.start:>4}, {module.end:>4})  "
+              f"{module.end - module.start} tokens")
+    print(f"discovered-module hit rate: {hit_rate:.2f} "
+          f"({cached} cached / {uncached} uncached prompt tokens)")
+    if snap["last_promotion_error"]:
+        print(f"last promotion error: {snap['last_promotion_error']}")
     return 0
 
 

@@ -76,6 +76,7 @@ class ClusterRouter:
         workers: list[ClusterWorker],
         vnodes: int = 64,
         spill_queue_depth: int = 8,
+        raw_affinity_tokens: int = 32,
         metrics: MetricsRegistry | None = None,
         monitor: HeartbeatMonitor | None = None,
         watchdog_interval_s: float = 0.05,
@@ -88,6 +89,7 @@ class ClusterRouter:
         self.workers = {w.name: w for w in workers}
         self.ring = HashRing(vnodes=vnodes)
         self.spill_queue_depth = spill_queue_depth
+        self.raw_affinity_tokens = raw_affinity_tokens
         self.metrics = metrics or MetricsRegistry()
         self.monitor = monitor or HeartbeatMonitor()
         self.watchdog_interval_s = watchdog_interval_s
@@ -155,6 +157,35 @@ class ClusterRouter:
     def route_key(self, prompt: str) -> str:
         return routing_key(parse_prompt(prompt))
 
+    def route_key_text(self, text: str) -> str:
+        """Discovered-prefix affinity key for schema-free raw text.
+
+        Keyed on the token *content* of the longest prefix any live
+        worker's miner has promoted (stable across workers — module
+        names are per-miner and die with them), falling back to the
+        first ``raw_affinity_tokens`` tokens when nothing is discovered
+        yet. Either way, prompts sharing a prefix land on one worker —
+        which is what lets that worker's miner see the repeats and
+        promote in the first place.
+        """
+        ids = self._tokenizer().encode(text)
+        cover = 0
+        for worker in self.workers.values():
+            if worker._killed:
+                continue
+            discovery = getattr(worker.pc, "discovery", None)
+            if discovery is not None:
+                cover = max(cover, discovery.matched_prefix_len(ids))
+        if cover == 0:
+            cover = min(len(ids), self.raw_affinity_tokens)
+        return "__raw__|" + ",".join(str(int(t)) for t in ids[:cover])
+
+    def _tokenizer(self):
+        for worker in self.workers.values():
+            if not worker._killed:
+                return worker.pc.tokenizer
+        raise NoWorkerAvailable("every worker is dead")
+
     def pick_worker(self, key: str, exclude: set[str] | None = None) -> ClusterWorker | None:
         """Home-or-spill placement among healthy workers."""
         exclude = exclude or set()
@@ -219,7 +250,22 @@ class ClusterRouter:
         expiry) propagate: they are end-to-end answers, not failures of a
         particular worker.
         """
-        key = self.route_key(prompt)
+        return await self._serve_placed(
+            self.route_key(prompt),
+            lambda worker: worker.server.submit(prompt, **kwargs),
+        )
+
+    async def serve_text(self, text: str, **kwargs):
+        """Raw-text analogue of :meth:`serve`: place by discovered-prefix
+        affinity, submit via ``LiveServer.submit_text``, fail over the
+        same way. Discovery state is per-worker; a failover target simply
+        mines the prefix itself from the re-placed traffic."""
+        return await self._serve_placed(
+            self.route_key_text(text),
+            lambda worker: worker.server.submit_text(text, **kwargs),
+        )
+
+    async def _serve_placed(self, key: str, submit):
         tried: set[str] = set()
         while True:
             worker = self.pick_worker(key, exclude=tried)
@@ -228,7 +274,7 @@ class ClusterRouter:
                     f"no healthy worker for {key!r} (tried {sorted(tried)})"
                 )
             try:
-                request = await worker.server.submit(prompt, **kwargs)
+                request = await submit(worker)
             except ServerClosed:
                 # Lost a race with death/drain; never occupied a slot.
                 tried.add(worker.name)

@@ -54,6 +54,7 @@ class ClusterWorker:
         fetch_budget_s: float = 10.0,
         heartbeat_interval_s: float = 0.05,
         attach_snapshot: str | None = None,
+        discovery=None,
     ) -> None:
         self.name = name
         self.metrics = MetricsRegistry()
@@ -74,6 +75,12 @@ class ClusterWorker:
             model, tokenizer, store=self.store, template=template, kv_codec=kv_codec,
             encode_metrics=self.metrics,
         )
+        # Reuse discovery is per-worker: each miner sees only the raw
+        # traffic routed here, which is why the router's raw placement is
+        # prefix-affine — repeats must land together to promote.
+        if discovery is not None:
+            config = None if discovery is True else discovery
+            self.pc.attach_discovery(config)
         self.server = LiveServer(self.pc, options, metrics=self.metrics)
         self.exporter = CacheExporter(
             self.store,

@@ -36,7 +36,10 @@ class CacheAwareBatcher:
         return sum(len(g) for g in self._groups.values())
 
     def put(self, request: LiveRequest) -> None:
-        key = (request.schema, request.max_new_tokens)
+        # Raw requests override the schema with a discovery fingerprint:
+        # prompts sharing a discovered prefix chain batch together, so
+        # one spliced base amortizes the same way a shared schema does.
+        key = (request.batch_group or request.schema, request.max_new_tokens)
         self._groups.setdefault(key, deque()).append(request)
 
     def pending_by_schema(self) -> dict[str, int]:

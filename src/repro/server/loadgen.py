@@ -209,6 +209,77 @@ async def run_open_loop(
     return report
 
 
+def build_raw_prompts(
+    tokenizer,
+    n: int,
+    *,
+    shared_tokens: int = 64,
+    suffix_tokens: int = 16,
+    seed: int = 0,
+    prefix: str | None = None,
+) -> list[str]:
+    """``n`` schema-free prompts: one shared system preamble of
+    ``shared_tokens`` plus a unique per-user suffix — the chatbot-style
+    traffic reuse discovery is built to mine. No PML, no registration:
+    the shared prefix is only discoverable from the token streams."""
+    rng = np.random.default_rng(seed)
+    if prefix is None:
+        prefix = _text_with_tokens(tokenizer, shared_tokens, rng)
+    prompts = []
+    for i in range(n):
+        suffix = " ".join(rng.choice(_WORDS, size=max(2, suffix_tokens // 2)))
+        prompts.append(f"{prefix}user {i} : {suffix} ?")
+    return prompts
+
+
+async def run_raw_open_loop(
+    server: LiveServer,
+    prompts: list[str],
+    *,
+    interval_s: float = 0.0,
+    max_new_tokens: int = 8,
+    deadline_s: float | None = None,
+) -> LoadReport:
+    """Open-loop raw-text driver: submit each prompt through
+    :meth:`LiveServer.submit_text` at a fixed interval. The raw analogue
+    of :func:`run_open_loop` for discovery benchmarks."""
+    report = LoadReport()
+    start = server.clock()
+    pending: list = []
+
+    async def settle(request) -> None:
+        try:
+            await request.wait()
+            report.completed += 1
+        except DeadlineExceeded:
+            report.expired += 1
+        except Exception as exc:
+            report.record_failure(exc)
+        report.records.append(request.trace())
+
+    for i, text in enumerate(prompts):
+        if interval_s and i:
+            delay = (start + i * interval_s) - server.clock()
+            if delay > 0:
+                await asyncio.sleep(delay)
+        try:
+            request = await server.submit_text(
+                text, max_new_tokens=max_new_tokens, deadline_s=deadline_s
+            )
+        except Overloaded:
+            report.rejected += 1
+            continue
+        except ServerClosed:
+            break
+        report.submitted += 1
+        pending.append(asyncio.create_task(settle(request)))
+
+    if pending:
+        await asyncio.gather(*pending)
+    report.wall_s = server.clock() - start
+    return report
+
+
 async def run_closed_loop(
     server: LiveServer,
     workload: LiveWorkload,

@@ -47,6 +47,7 @@ from functools import partial
 from repro.cache.engine import PromptCache
 from repro.pml.errors import PMLError, UnknownSchemaError
 from repro.pml.parser import parse_prompt
+from repro.reuse.dedup import analyze_batch
 from repro.server.batcher import CacheAwareBatcher
 from repro.server.errors import DeadlineExceeded, Overloaded, ServerClosed
 from repro.server.metrics import MetricsRegistry
@@ -61,6 +62,9 @@ from repro.server.request import (
 )
 
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+# Schema label carried by schema-free raw-text requests in traces/metrics.
+RAW_SCHEMA = "__raw__"
 
 
 @dataclass(frozen=True)
@@ -109,6 +113,8 @@ class LiveServer:
         self._draining = False
         self._inflight = 0
         self._service_ewma_s = self.options.initial_service_s
+        self._raw_cached_tokens = 0
+        self._raw_prompt_tokens = 0
         self._wire_store_metrics()
 
     # -- lifecycle ---------------------------------------------------------------
@@ -196,6 +202,55 @@ class LiveServer:
             raise self._reject(
                 prompt, schema, UnknownSchemaError(schema, list(self.pc.schemas))
             )
+        self._shed_check(prompt, schema)
+        return self._enqueue(
+            prompt, schema,
+            max_new_tokens=max_new_tokens,
+            deadline_s=deadline_s,
+            request_id=request_id,
+        )
+
+    async def submit_text(
+        self,
+        text: str,
+        *,
+        max_new_tokens: int | None = None,
+        deadline_s: float | None = None,
+        request_id: str | None = None,
+    ) -> LiveRequest:
+        """Admit a schema-free raw-text prompt (no PML, no registration).
+
+        Served through :meth:`PromptCache.serve_text`: byte-identical to
+        the plain KV-cache baseline, but when the engine has a discovery
+        miner attached, hot shared prefixes are mined from exactly this
+        traffic and spliced from cache. Admission control (queue bound,
+        delay shedding, deadlines) is identical to :meth:`submit`.
+        """
+        if not self._running:
+            raise ServerClosed("server is not running")
+        if self._draining:
+            raise ServerClosed("server is draining; not accepting new requests")
+        if not text.strip():
+            raise self._reject(text, RAW_SCHEMA, PMLError("empty raw prompt"))
+        self._shed_check(text, RAW_SCHEMA)
+        group = RAW_SCHEMA
+        discovery = getattr(self.pc, "discovery", None)
+        if discovery is not None:
+            chain = discovery.match(self.pc.tokenizer.encode(text))
+            if chain:
+                group = RAW_SCHEMA + ":" + "/".join(chain)
+        return self._enqueue(
+            text, RAW_SCHEMA,
+            max_new_tokens=max_new_tokens,
+            deadline_s=deadline_s,
+            request_id=request_id,
+            raw=True,
+            batch_group=group,
+        )
+
+    def _shed_check(self, prompt: str, schema: str) -> None:
+        """Raise (and record) :class:`Overloaded` if admission would
+        exceed the queue bound or the delay budget."""
         depth = len(self.batcher)
         if depth >= self.options.max_queue_depth:
             raise self._reject(
@@ -209,6 +264,17 @@ class LiveServer:
                 prompt, schema, Overloaded("queue_delay", depth, estimate)
             )
 
+    def _enqueue(
+        self,
+        prompt: str,
+        schema: str,
+        *,
+        max_new_tokens: int | None,
+        deadline_s: float | None,
+        request_id: str | None,
+        raw: bool = False,
+        batch_group: str | None = None,
+    ) -> LiveRequest:
         now = self.clock()
         deadline_s = deadline_s if deadline_s is not None else self.options.default_deadline_s
         request = LiveRequest(
@@ -218,6 +284,8 @@ class LiveServer:
             max_new_tokens=max_new_tokens or self.options.default_max_new_tokens,
             submitted_at=now,
             deadline_at=None if deadline_s is None else now + deadline_s,
+            raw=raw,
+            batch_group=batch_group,
         )
         self.batcher.put(request)
         self._count_outcome("submitted")
@@ -231,6 +299,11 @@ class LiveServer:
     async def serve(self, prompt: str, **kwargs):
         """Submit and wait — the one-call convenience path."""
         request = await self.submit(prompt, **kwargs)
+        return await request.wait()
+
+    async def serve_text(self, text: str, **kwargs):
+        """Submit raw text and wait — the schema-free convenience path."""
+        request = await self.submit_text(text, **kwargs)
         return await request.wait()
 
     def _reject(self, prompt: str, schema: str, error: Exception) -> Exception:
@@ -302,9 +375,16 @@ class LiveServer:
             len(self.batcher)
         )
         prompts = [r.prompt for r in batch]
-        run = partial(
-            self.pc.serve_batch, prompts, max_new_tokens=batch[0].max_new_tokens
-        )
+        if batch[0].raw:
+            self._observe_dedup_potential(prompts)
+            run = partial(
+                self.pc.serve_text_batch, prompts,
+                max_new_tokens=batch[0].max_new_tokens,
+            )
+        else:
+            run = partial(
+                self.pc.serve_batch, prompts, max_new_tokens=batch[0].max_new_tokens
+            )
         try:
             if self.options.inline_execution:
                 outcome = run()
@@ -384,6 +464,43 @@ class LiveServer:
             "server_prompt_tokens_total", "prompt tokens by cache status",
             status="uncached",
         ).inc(result.uncached_tokens)
+        if request.raw:
+            # Raw traffic separately: cached tokens here came exclusively
+            # from *discovered* modules, so this pair is the numerator and
+            # denominator of the discovered-hit-rate gauge.
+            self.metrics.counter(
+                "reuse_discovered_tokens_total",
+                "raw prompt tokens by discovered-cache status",
+                status="cached",
+            ).inc(result.cached_tokens)
+            self.metrics.counter(
+                "reuse_discovered_tokens_total",
+                "raw prompt tokens by discovered-cache status",
+                status="uncached",
+            ).inc(result.uncached_tokens)
+            self._raw_cached_tokens += result.cached_tokens
+            self._raw_prompt_tokens += result.cached_tokens + result.uncached_tokens
+
+    def _observe_dedup_potential(self, prompts: list[str]) -> None:
+        """Pre-flight dedup analysis for a raw batch: what fraction of
+        its prompt tokens are shared prefixes (an upper bound on what
+        discovery can save on this batch)."""
+        if len(prompts) < 2:
+            return
+        report = analyze_batch([self.pc.tokenizer.encode(p) for p in prompts])
+        self.metrics.histogram(
+            "reuse_dedup_potential",
+            "shared-prefix token fraction per raw batch",
+            buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0),
+        ).observe(report.potential)
+        self.metrics.counter(
+            "reuse_dedup_tokens_total", "raw batch prompt tokens by dedup class",
+            kind="shared",
+        ).inc(report.shared_tokens)
+        self.metrics.counter(
+            "reuse_dedup_tokens_total", "raw batch prompt tokens by dedup class",
+            kind="total",
+        ).inc(report.total_tokens)
 
     def _record(self, request: LiveRequest) -> None:
         self.trace_log.append(request.trace())
@@ -393,17 +510,27 @@ class LiveServer:
     def _wire_store_metrics(self) -> None:
         store = self.pc.store
         for tier in (store.gpu, store.cpu):
-            counter = self.metrics.counter(
-                "cache_evictions_total", "module-store evictions", tier=tier.name
-            )
-            bytes_counter = self.metrics.counter(
-                "cache_evicted_bytes_total", "bytes evicted from the store",
-                tier=tier.name,
-            )
+            # Pre-create both reason series so scrapes see zeroes before
+            # the first eviction rather than an absent family.
+            for reason in ("capacity", "ttl"):
+                self.metrics.counter(
+                    "cache_evictions_total", "module-store evictions",
+                    tier=tier.name, reason=reason,
+                )
+                self.metrics.counter(
+                    "cache_evicted_bytes_total", "bytes evicted from the store",
+                    tier=tier.name, reason=reason,
+                )
 
-            def on_evict(entry, _c=counter, _b=bytes_counter):
-                _c.inc()
-                _b.inc(entry.nbytes)
+            def on_evict(entry, reason, _tier=tier.name):
+                self.metrics.counter(
+                    "cache_evictions_total", "module-store evictions",
+                    tier=_tier, reason=reason,
+                ).inc()
+                self.metrics.counter(
+                    "cache_evicted_bytes_total", "bytes evicted from the store",
+                    tier=_tier, reason=reason,
+                ).inc(entry.nbytes)
 
             tier.add_evict_listener(on_evict)
         self._wire_plan_cache_metrics()
@@ -451,6 +578,33 @@ class LiveServer:
             g("cache_tier_insertions", "entries inserted", tier=tier.name).set(
                 stats.insertions
             )
+        self._refresh_reuse_gauges()
+
+    def _refresh_reuse_gauges(self) -> None:
+        """Mirror the reuse-discovery plane (trie + miner) into gauges."""
+        discovery = getattr(self.pc, "discovery", None)
+        if discovery is None:
+            return
+        snap = discovery.snapshot()
+        g = self.metrics.gauge
+        g("reuse_trie_nodes", "radix-trie node count").set(snap["trie_nodes"])
+        g("reuse_trie_tokens", "radix-trie resident tokens").set(snap["trie_tokens"])
+        g("reuse_modules", "live discovered modules").set(snap["modules"])
+        g("reuse_promotions", "segments promoted to modules").set(snap["promotions"])
+        g("reuse_demotions", "modules demoted by trie eviction").set(snap["demotions"])
+        g("reuse_trie_evictions", "trie nodes evicted").set(snap["trie_evictions"])
+        g("reuse_observed_sequences", "raw sequences mined").set(
+            snap["observed_sequences"]
+        )
+        hit_rate = (
+            self._raw_cached_tokens / self._raw_prompt_tokens
+            if self._raw_prompt_tokens
+            else 0.0
+        )
+        g(
+            "reuse_discovered_hit_rate",
+            "raw prompt tokens served from discovered modules",
+        ).set(hit_rate)
 
     def snapshot(self) -> dict:
         """JSON-ready metrics snapshot (store gauges refreshed first)."""

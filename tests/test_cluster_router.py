@@ -266,3 +266,125 @@ class TestDrain:
         results = run(scenario())
         assert len(results) == 6
         assert all(r.output_ids for r in results)
+
+
+class TestRawAffinity:
+    """Discovered-prefix affinity for schema-free raw text."""
+
+    def make_discovering_cluster(self, llama, tok, n=2):
+        from repro.reuse import DiscoveryConfig
+
+        options = ServeOptions(
+            batch_max_wait_s=0.005, queue_delay_budget_s=None, max_batch=4
+        )
+        workers = [
+            ClusterWorker(
+                f"w{i}", llama, tok, options=options,
+                heartbeat_interval_s=0.02,
+                discovery=DiscoveryConfig(min_hits=2, min_tokens=8),
+            )
+            for i in range(n)
+        ]
+        return ClusterRouter(
+            workers,
+            monitor=HeartbeatMonitor(heartbeat_interval_s=0.02, miss_limit=4),
+            watchdog_interval_s=0.02,
+        )
+
+    def test_shared_prefix_routes_to_one_worker(self, llama, tok):
+        # Longer than raw_affinity_tokens, so the fallback prefix bucket
+        # sees only shared tokens.
+        shared = "the quick brown fox jumps over the lazy dog " * 4
+
+        async def scenario():
+            router = self.make_discovering_cluster(llama, tok)
+            async with router:
+                keys = {
+                    router.route_key_text(shared + f"user {i}") for i in range(4)
+                }
+                # Mining pass: the key may migrate once, when promotion
+                # extends the affinity prefix beyond the fallback bucket.
+                for i in range(4):
+                    await router.serve_text(shared + f"user {i}", max_new_tokens=2)
+                before = router.snapshot()
+                stable = {
+                    router.route_key_text(shared + f"user {i}") for i in range(4, 8)
+                }
+                for i in range(4, 8):
+                    await router.serve_text(shared + f"user {i}", max_new_tokens=2)
+                return keys, stable, before, router.snapshot()
+
+        keys, stable, before, after = run(scenario())
+
+        def placements(snap):
+            return {
+                series: value
+                for series, value in snap["router"]["counters"].items()
+                if series.startswith("cluster_requests_total")
+            }
+
+        # Same token prefix → same ring key, before and after discovery.
+        assert len(keys) == 1
+        assert len(stable) == 1
+        # Post-promotion traffic all lands on one worker.
+        deltas = {
+            series: after_v - placements(before).get(series, 0.0)
+            for series, after_v in placements(after).items()
+        }
+        assert sorted(v for v in deltas.values() if v > 0) == [4.0]
+
+    def test_discovered_match_makes_key_suffix_free(self, llama, tok):
+        # Short prompts: the whole text fits inside the fallback bucket,
+        # so pre-discovery keys depend on the unique suffix.
+        shared = "the quick brown fox jumps over the lazy dog " * 2
+
+        async def scenario():
+            router = self.make_discovering_cluster(llama, tok, n=1)
+            async with router:
+                before_x = router.route_key_text(shared + "user x")
+                before_y = router.route_key_text(shared + "user y")
+                for i in range(3):  # promote the shared prefix on w0
+                    await router.serve_text(shared + f"user {i}", max_new_tokens=2)
+                worker = router.workers["w0"]
+                assert worker.pc.discovery.stats.promotions >= 1
+                after_x = router.route_key_text(shared + "user x")
+                after_y = router.route_key_text(shared + "user y")
+                return before_x, before_y, after_x, after_y
+
+        before_x, before_y, after_x, after_y = run(scenario())
+        assert before_x.startswith("__raw__|")
+        # Pre-discovery the suffix leaks into the bucket; once the miner
+        # promotes, the key is exactly the discovered prefix — identical
+        # across users, so their requests co-locate.
+        assert before_x != before_y
+        assert after_x == after_y
+
+    def test_raw_output_matches_standalone_engine(self, llama, tok):
+        shared = "paris museums cafes architecture " * 2
+        texts = [shared + f"user {i}" for i in range(3)]
+
+        async def scenario():
+            router = self.make_discovering_cluster(llama, tok)
+            async with router:
+                return [
+                    await router.serve_text(text, max_new_tokens=3)
+                    for text in texts
+                ] + [await router.serve_text(texts[0], max_new_tokens=3)]
+
+        results = run(scenario())
+        solo = PromptCache(llama, tok)
+        for text, result in zip(texts + [texts[0]], results):
+            expected = solo.serve_text(text, max_new_tokens=3, observe=False)
+            assert result.output_ids == expected.output_ids
+
+    def test_dead_workers_excluded_from_raw_routing(self, llama, tok):
+        async def scenario():
+            router = self.make_discovering_cluster(llama, tok)
+            async with router:
+                await router.kill_worker("w0")
+                return await router.serve_text(
+                    "answer the question using the documents", max_new_tokens=2
+                )
+
+        result = run(scenario())
+        assert result.output_ids

@@ -1,0 +1,273 @@
+"""LiveServer schema-free raw path: submit_text → serve_text_batch.
+
+Stub-engine tests pin the dispatch policy (raw batches go to
+``serve_text_batch``, PML batches to ``serve_batch``, never mixed; raw
+requests sharing a discovery fingerprint co-batch) and the discovery
+metrics (dedup-potential, discovered-token counters, reuse gauges). One
+integration class checks the live raw path is byte-identical to the
+direct engine call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.cache.engine import BatchServeResult, PromptCache, ServeResult
+from repro.cache.storage import ModuleCacheStore
+from repro.pml.errors import PMLError
+from repro.reuse import DiscoveryConfig
+from repro.server import LiveServer, ServeOptions
+from repro.server.loadgen import build_raw_prompts, run_raw_open_loop
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class ByteTok:
+    """Tokenizer double: one token per byte of text."""
+
+    def encode(self, text: str) -> list[int]:
+        return list(text.encode())
+
+
+class StubDiscovery:
+    """Miner double: matches any text starting with the shared preamble."""
+
+    PREFIX = "sys: you are helpful. "
+
+    def match(self, ids) -> list[str]:
+        if bytes(ids[: len(self.PREFIX)]) == self.PREFIX.encode():
+            return ["seg0001"]
+        return []
+
+    def snapshot(self) -> dict:
+        return {
+            "trie_nodes": 3, "trie_tokens": 40, "trie_inserts": 5,
+            "trie_lookups": 5, "trie_splits": 1, "trie_evictions": 0,
+            "trie_ttl_evictions": 0, "modules": 1, "promotions": 1,
+            "demotions": 0, "failed_promotions": 0,
+            "observed_sequences": 5, "observed_tokens": 200,
+            "last_promotion_error": None,
+        }
+
+
+class RawStubEngine:
+    """PromptCache-shaped double covering both serve paths."""
+
+    def __init__(self, service_s: float = 0.0, discovery=None) -> None:
+        self.schemas = {"a": object()}
+        self.store = ModuleCacheStore()
+        self.tokenizer = ByteTok()
+        self.discovery = discovery
+        self.batches: list[tuple[str, list[str]]] = []
+        self.service_s = service_s
+
+    def _results(self, prompts):
+        if self.service_s:
+            time.sleep(self.service_s)
+        return [
+            ServeResult(
+                output_ids=[1, 2], text="ok", prompt_tokens=10,
+                cached_tokens=6, uncached_tokens=4, ttft_s=0.001,
+                splice_s=0.0005, suffix_s=0.0005, step_times_s=[0.001],
+            )
+            for _ in prompts
+        ]
+
+    def serve_batch(self, prompts, max_new_tokens=16, **kwargs):
+        self.batches.append(("pml", list(prompts)))
+        return BatchServeResult(
+            results=self._results(prompts), physical_bytes=0,
+            duplicated_bytes=0, shared_groups=1,
+        )
+
+    def serve_text_batch(self, texts, max_new_tokens=16, **kwargs):
+        self.batches.append(("raw", list(texts)))
+        return BatchServeResult(
+            results=self._results(texts), physical_bytes=0,
+            duplicated_bytes=0, shared_groups=1,
+        )
+
+
+OPTIONS = ServeOptions(
+    max_batch=4, batch_max_wait_s=0.01, queue_delay_budget_s=None,
+    inline_execution=True,
+)
+
+
+class TestRawDispatch:
+    def test_raw_goes_to_serve_text_batch(self):
+        engine = RawStubEngine()
+
+        async def main():
+            async with LiveServer(engine, OPTIONS) as server:
+                result = await server.serve_text("hello raw", max_new_tokens=2)
+                return result
+
+        result = run(main())
+        assert result.output_ids == [1, 2]
+        assert engine.batches == [("raw", ["hello raw"])]
+
+    def test_raw_and_pml_never_share_a_batch(self):
+        engine = RawStubEngine()
+
+        async def main():
+            async with LiveServer(engine, OPTIONS) as server:
+                pml = await server.submit(
+                    '<prompt schema="a">q</prompt>', max_new_tokens=2
+                )
+                raw = await server.submit_text("plain text", max_new_tokens=2)
+                await pml.wait()
+                await raw.wait()
+
+        run(main())
+        kinds = [kind for kind, _ in engine.batches]
+        assert sorted(kinds) == ["pml", "raw"]
+        assert all(len(batch) == 1 for _, batch in engine.batches)
+
+    def test_shared_fingerprint_batches_together(self):
+        engine = RawStubEngine(discovery=StubDiscovery())
+
+        async def main():
+            async with LiveServer(engine, OPTIONS) as server:
+                matched = [
+                    await server.submit_text(
+                        StubDiscovery.PREFIX + f"user {i}", max_new_tokens=2
+                    )
+                    for i in range(3)
+                ]
+                other = await server.submit_text("unrelated", max_new_tokens=2)
+                for request in [*matched, other]:
+                    await request.wait()
+                    assert request.batch_group is not None
+                assert matched[0].batch_group == matched[1].batch_group
+                assert other.batch_group != matched[0].batch_group
+
+        run(main())
+        raw_batches = [batch for kind, batch in engine.batches if kind == "raw"]
+        sizes = sorted(len(b) for b in raw_batches)
+        assert sizes == [1, 3]
+
+    def test_empty_text_rejected(self):
+        engine = RawStubEngine()
+
+        async def main():
+            async with LiveServer(engine, OPTIONS) as server:
+                with pytest.raises(PMLError):
+                    await server.submit_text("   ")
+
+        run(main())
+
+
+class TestRawMetrics:
+    def test_dedup_and_discovered_token_series(self):
+        engine = RawStubEngine(discovery=StubDiscovery())
+
+        async def main():
+            async with LiveServer(engine, OPTIONS) as server:
+                requests = [
+                    await server.submit_text(
+                        StubDiscovery.PREFIX + f"user {i}", max_new_tokens=2
+                    )
+                    for i in range(3)
+                ]
+                for request in requests:
+                    await request.wait()
+                return server.prometheus()
+
+        prom = run(main())
+        # Pre-flight dedup on the 3-member raw batch.
+        assert "reuse_dedup_potential" in prom
+        assert 'reuse_dedup_tokens_total{kind="shared"}' in prom
+        # Per-request discovered-cache token counters (6 cached + 4
+        # uncached per stub result, 3 requests).
+        assert 'reuse_discovered_tokens_total{status="cached"} 18' in prom
+        assert 'reuse_discovered_tokens_total{status="uncached"} 12' in prom
+
+    def test_reuse_gauges_exported_from_snapshot(self):
+        engine = RawStubEngine(discovery=StubDiscovery())
+
+        async def main():
+            async with LiveServer(engine, OPTIONS) as server:
+                await server.serve_text(
+                    StubDiscovery.PREFIX + "user", max_new_tokens=2
+                )
+                return server.prometheus()
+
+        prom = run(main())
+        for family in (
+            "reuse_trie_nodes 3", "reuse_trie_tokens 40", "reuse_modules 1",
+            "reuse_promotions 1", "reuse_demotions 0",
+            "reuse_discovered_hit_rate 0.6",
+        ):
+            assert family in prom, family
+
+    def test_no_discovery_no_reuse_gauges(self):
+        engine = RawStubEngine()
+
+        async def main():
+            async with LiveServer(engine, OPTIONS) as server:
+                await server.serve_text("plain", max_new_tokens=2)
+                return server.prometheus()
+
+        prom = run(main())
+        assert "reuse_trie_nodes" not in prom
+        # Raw token counters still emitted — discovery-off raw traffic is
+        # simply all-uncached in real engines.
+        assert "reuse_discovered_tokens_total" in prom
+
+
+class TestRawIntegration:
+    """Live raw path over the real engine: byte-identical to direct."""
+
+    def test_live_serve_text_matches_direct(self, llama, tok):
+        pc_live = PromptCache(llama, tok)
+        pc_live.attach_discovery(DiscoveryConfig(min_hits=2, min_tokens=8))
+        pc_direct = PromptCache(llama, tok)
+        prompts = build_raw_prompts(tok, 6, shared_tokens=32, suffix_tokens=8)
+
+        async def main():
+            async with LiveServer(
+                pc_live, ServeOptions(queue_delay_budget_s=None)
+            ) as server:
+                out = []
+                for _ in range(2):
+                    for text in prompts:
+                        out.append(await server.serve_text(text, max_new_tokens=3))
+                return out, server.prometheus()
+
+        live, prom = run(main())
+        direct = [
+            pc_direct.serve_text(t, max_new_tokens=3, observe=False)
+            for t in prompts
+        ] * 1
+        for result, expected in zip(live[: len(prompts)], direct):
+            assert result.output_ids == expected.output_ids
+        for result, expected in zip(live[len(prompts):], direct):
+            assert result.output_ids == expected.output_ids
+        assert pc_live.discovery.stats.promotions >= 1
+        assert "reuse_discovered_hit_rate" in prom
+
+    def test_run_raw_open_loop_reports(self, llama, tok):
+        pc = PromptCache(llama, tok)
+        pc.attach_discovery(DiscoveryConfig(min_hits=2, min_tokens=8))
+        prompts = build_raw_prompts(tok, 6, shared_tokens=32, suffix_tokens=8)
+
+        async def main():
+            async with LiveServer(
+                pc,
+                ServeOptions(max_batch=3, batch_max_wait_s=0.005,
+                             queue_delay_budget_s=None),
+            ) as server:
+                return await run_raw_open_loop(
+                    server, prompts, max_new_tokens=2
+                )
+
+        report = run(main())
+        assert report.completed == len(prompts)
+        assert report.failed == 0 and report.rejected == 0
+        assert report.cached_token_fraction > 0.0

@@ -264,7 +264,7 @@ class TestConcurrency:
         # The listener re-enters the store while the evicting tier holds the
         # lock — the shared RLock must make this safe, not deadlock.
         store.gpu.add_evict_listener(
-            lambda victim: seen.append(victim.key.module) or store.cpu.keys()
+            lambda victim, reason: seen.append(victim.key.module) or store.cpu.keys()
         )
         for name in ("a", "b", "c"):
             store.put(key(name), make_kv(10))
@@ -294,3 +294,105 @@ class TestConcurrency:
         total = store.gpu.stats.insertions + store.cpu.stats.insertions
         assert total >= 400
         assert store.gpu.used_bytes <= 4 * KV_BYTES + 10
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTTLExpiry:
+    def test_idle_entry_expires_on_get(self):
+        clock = FakeClock()
+        tier = CacheTier("gpu", ttl_s=10.0, clock=clock)
+        tier.put(key("a"), make_kv(10))
+        clock.now = 11.0
+        assert tier.get(key("a")) is None
+        assert tier.stats.ttl_evictions == 1
+        assert key("a") not in tier
+
+    def test_hit_refreshes_the_ttl(self):
+        clock = FakeClock()
+        tier = CacheTier("gpu", ttl_s=10.0, clock=clock)
+        tier.put(key("a"), make_kv(10))
+        clock.now = 8.0
+        assert tier.get(key("a")) is not None  # refresh at t=8
+        clock.now = 17.0  # 9s idle since the hit, 17s since insert
+        assert tier.get(key("a")) is not None
+
+    def test_sweep_expires_in_bulk_without_demotion(self):
+        clock = FakeClock()
+        store = ModuleCacheStore(gpu_ttl_s=10.0, clock=clock)
+        for name in ("a", "b"):
+            store.put(key(name), make_kv(10))
+        clock.now = 20.0
+        assert store.sweep_expired() == 2
+        # TTL victims are stale, not hot-capacity casualties: they are
+        # dropped outright, never demoted to the CPU tier.
+        assert not store.gpu.keys() and not store.cpu.keys()
+
+    def test_pinned_entries_never_expire(self):
+        clock = FakeClock()
+        tier = CacheTier("gpu", ttl_s=10.0, clock=clock)
+        tier.put(key("a"), make_kv(10), pinned=True)
+        clock.now = 100.0
+        assert tier.sweep_expired() == 0
+        assert tier.get(key("a")) is not None
+
+    def test_put_sweeps_before_capacity_eviction(self):
+        clock = FakeClock()
+        listener_reasons: list[tuple[str, str]] = []
+        tier = CacheTier(
+            "gpu", capacity_bytes=2 * KV_BYTES + 10, ttl_s=10.0, clock=clock
+        )
+        tier.add_evict_listener(
+            lambda entry, reason: listener_reasons.append(
+                (entry.key.module, reason)
+            )
+        )
+        tier.put(key("a"), make_kv(10))
+        clock.now = 11.0
+        tier.put(key("b"), make_kv(10))
+        tier.put(key("c"), make_kv(10))
+        # "a" left via TTL during the puts, so capacity never forced an
+        # eviction — and the listener saw the reason label say so.
+        assert listener_reasons == [("a", "ttl")]
+        assert tier.stats.ttl_evictions == 1
+        assert tier.stats.evictions == 1
+
+
+class TestPerTierPolicyAndReasons:
+    def test_tiers_can_run_different_policies(self):
+        store = ModuleCacheStore(
+            gpu_capacity_bytes=2 * KV_BYTES + 10,
+            cpu_capacity_bytes=2 * KV_BYTES + 10,
+            gpu_policy="lru",
+            cpu_policy="lfu",
+        )
+        assert store.gpu.policy is POLICIES["lru"]
+        assert store.cpu.policy is POLICIES["lfu"]
+
+    def test_capacity_eviction_reports_reason_capacity(self):
+        reasons: list[str] = []
+        store = ModuleCacheStore(gpu_capacity_bytes=2 * KV_BYTES + 10)
+        store.gpu.add_evict_listener(
+            lambda entry, reason: reasons.append(reason)
+        )
+        for name in ("a", "b", "c"):
+            store.put(key(name), make_kv(10))
+        assert reasons == ["capacity"]
+        # Capacity victims demote: still servable from the CPU tier.
+        assert len(store.cpu.keys()) == 1
+
+    def test_store_level_ttl_is_per_tier(self):
+        clock = FakeClock()
+        store = ModuleCacheStore(gpu_ttl_s=5.0, cpu_ttl_s=50.0, clock=clock)
+        store.put(key("hot"), make_kv(10), tier="gpu")
+        store.put(key("warm"), make_kv(10), tier="cpu")
+        clock.now = 10.0
+        store.sweep_expired()
+        assert not store.gpu.keys()
+        assert [k.module for k in store.cpu.keys()] == ["warm"]
