@@ -1,0 +1,335 @@
+"""Continuous iteration-level batching vs whole-request dispatch.
+
+One decode-heavy open-loop trace, two :class:`LiveServer` modes over the
+same weights and the same warmed schema cache:
+
+- **whole_request** — the legacy path: the batcher groups requests by
+  ``(schema, max_new_tokens)`` and each group occupies the engine until
+  its *longest* member finishes, decoding one sequence at a time.
+- **continuous** — the iteration-level scheduler: per-token admission,
+  one batched single-token forward across every in-flight sequence,
+  retirement (and slot refill) the same iteration a sequence finishes.
+
+The workload mixes short (16) and long (128) ``max_new_tokens`` budgets
+— the shape where whole-request dispatch wastes the most: short requests
+queue behind long decodes, and every decode forward runs alone.
+
+Reported: goodput (generated tokens / wall-clock from first arrival to
+last completion) per mode and the continuous/legacy ratio, p50/p95 TTFT
+per mode, and byte-identity of every generated token between the modes.
+
+CLI use (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_continuous_batching.py --quick \
+        --out BENCH_continuous.json \
+        --check-against benchmarks/results/BENCH_continuous_baseline.json
+
+The regression gate compares the goodput *ratio* (continuous over
+whole-request), not absolute tokens/s, so the committed baseline holds
+across machines. Losing iteration-level batching (scheduler falling back
+to one-at-a-time decode) drives the ratio toward 1.0, far below the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+from pathlib import Path
+
+from repro.bench import emit, format_table
+from repro.cache.engine import PromptCache
+from repro.llm import build_model, small_config
+from repro.pml.chat import PLAIN_TEMPLATE
+from repro.server import LiveServer, ServeOptions
+from repro.tokenizer import default_tokenizer
+
+# The gate fails when the continuous/whole-request goodput ratio drops
+# >25% below baseline...
+REGRESSION_TOLERANCE = 1.25
+# ...but never demands more than this — an absolute ratio any host with
+# working iteration-level batching clears, so a fast-baseline machine
+# does not make slower CI hosts flap. A broken scheduler (per-sequence
+# decode) lands near 1.0, far below it.
+SAFE_RATIO = 1.6
+# ISSUE floors: >=2x goodput at the committed workload; the quick smoke
+# runs a smaller trace where fixed overheads weigh more.
+GOODPUT_RATIO_FLOOR = 2.0
+GOODPUT_RATIO_FLOOR_QUICK = 1.3
+# "p95 TTFT no worse": continuous admission must not regress first-token
+# latency vs the legacy batcher under the same open-loop arrivals.
+TTFT_P95_TOLERANCE = 1.0
+
+SCHEMA = (
+    '<schema name="bench">'
+    '<module name="doc">plan a trip lasting three days focus on food '
+    "the quick brown fox jumps over the lazy dog paris museums cafes "
+    "architecture louvre seine miami beaches nightlife surf spots art "
+    "deco answer the question using the documents above</module>"
+    "</schema>"
+)
+
+SUFFIXES = [
+    "answer the question",
+    "plan a trip",
+    "focus on food",
+    "the capital of atlantis",
+    "miami beaches nightlife",
+    "paris museums cafes",
+    "surf spots art deco",
+    "lasting three days",
+]
+
+
+def build_trace(requests: int, budgets: tuple[int, int]) -> list[tuple[str, int]]:
+    """(prompt, max_new_tokens) pairs, one short to every four longs,
+    interleaved so every arrival window holds both classes — the
+    decode-heavy mix where whole-request dispatch wastes the most (short
+    requests queue behind long decodes that run one sequence at a time)."""
+    short, long_ = budgets
+    return [
+        (
+            f'<prompt schema="bench"><doc/> {SUFFIXES[i % len(SUFFIXES)]}</prompt>',
+            short if i % 5 == 0 else long_,
+        )
+        for i in range(requests)
+    ]
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[int(idx)]
+
+
+async def _drive_open_loop(
+    server: LiveServer, trace: list[tuple[str, int]], interarrival_s: float
+):
+    """Open-loop arrivals: each request is submitted at its scheduled
+    time regardless of completions (arrivals never wait on service)."""
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    requests = []
+    for i, (prompt, budget) in enumerate(trace):
+        delay = start + i * interarrival_s - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        requests.append(await server.submit(prompt, max_new_tokens=budget))
+    results = await asyncio.gather(*(r.wait() for r in requests))
+    wall_s = loop.time() - start
+    return requests, list(results), wall_s
+
+
+def run_mode(
+    pc: PromptCache,
+    mode: str,
+    trace: list[tuple[str, int]],
+    *,
+    interarrival_s: float,
+    width: int,
+) -> dict:
+    """Serve the trace through one LiveServer mode; returns goodput and
+    latency stats plus the raw outputs for the identity check."""
+
+    async def main():
+        options = ServeOptions(
+            mode=mode,
+            max_batch=width,
+            max_inflight=width,
+            queue_delay_budget_s=None,  # no shedding: every request counts
+            max_queue_depth=len(trace) + 1,
+        )
+        async with LiveServer(pc, options) as server:
+            return await _drive_open_loop(server, trace, interarrival_s)
+
+    requests, results, wall_s = asyncio.run(main())
+    output_tokens = sum(len(r.output_ids) for r in results)
+    ttfts = [r.ttft_s() for r in requests if r.ttft_s() is not None]
+    return {
+        "mode": mode,
+        "wall_s": wall_s,
+        "output_tokens": output_tokens,
+        "goodput_tok_s": output_tokens / wall_s,
+        "ttft_p50_ms": _percentile(ttfts, 0.50) * 1e3,
+        "ttft_p95_ms": _percentile(ttfts, 0.95) * 1e3,
+        "outputs": [r.output_ids for r in results],
+    }
+
+
+def run_continuous_bench(model, tok, *, quick: bool = False) -> dict:
+    """The two-mode comparison; returns the dict that
+    ``BENCH_continuous.json`` serializes."""
+    requests = 8 if quick else 40
+    budgets = (8, 32) if quick else (16, 128)
+    interarrival_s = 0.01 if quick else 0.005
+    # Wide in-flight set: the batched forward's per-token cost keeps
+    # falling with width (stacked projections amortize the Python round
+    # trips), so every request decodes in flight at once — occupancy is
+    # `width` until the short half retires, then half-width for the long
+    # decode bulk. Width 32-40 is the measured plateau on this workload
+    # (64 regresses: no marginal stacking win, more cache pressure).
+    # The legacy mode gets the same ServeOptions; its goodput is
+    # width-insensitive anyway (it decodes one sequence at a time, so
+    # max_batch only changes grouping, not the token rate).
+    width = 8 if quick else 40
+    # Both modes run `repeats` times interleaved and keep the best
+    # goodput: system noise only ever *adds* wall time, so the max over
+    # repeats estimates undisturbed throughput (same reasoning as
+    # timeit's min) — per mode, fairly.
+    repeats = 1 if quick else 5
+    trace = build_trace(requests, budgets)
+
+    modes: dict[str, dict] = {}
+    for rep in range(repeats):
+        for mode in ("whole_request", "continuous"):
+            pc = PromptCache(model, tok, template=PLAIN_TEMPLATE)
+            pc.register_schema(SCHEMA)
+            # Warm outside the timed window: spliced base, compiled plan,
+            # BLAS thread pools — both modes start from the same hot cache.
+            pc.serve(trace[0][0], max_new_tokens=1)
+            run = run_mode(
+                pc, mode, trace, interarrival_s=interarrival_s, width=width
+            )
+            best = modes.get(mode)
+            if best is not None and run["outputs"] != best["outputs"]:
+                raise AssertionError(
+                    f"{mode} outputs changed between repeats — "
+                    "decoding is not deterministic"
+                )
+            if best is None or run["goodput_tok_s"] > best["goodput_tok_s"]:
+                modes[mode] = run
+
+    legacy, continuous = modes["whole_request"], modes["continuous"]
+    identical = legacy.pop("outputs") == continuous.pop("outputs")
+    return {
+        "quick": quick,
+        "requests": requests,
+        "budgets": list(budgets),
+        "interarrival_s": interarrival_s,
+        "width": width,
+        "repeats": repeats,
+        "outputs_identical": identical,
+        "whole_request": legacy,
+        "continuous": continuous,
+        "goodput_ratio": continuous["goodput_tok_s"] / legacy["goodput_tok_s"],
+        "ttft_p95_ratio": (
+            continuous["ttft_p95_ms"] / max(legacy["ttft_p95_ms"], 1e-9)
+        ),
+    }
+
+
+def check_acceptance(results: dict) -> None:
+    """The ISSUE's floors: byte-identity always, >=2x goodput at the
+    committed workload, p95 TTFT no worse than the legacy batcher."""
+    assert results["outputs_identical"], (
+        "continuous-mode outputs diverged from whole-request serve_batch — "
+        "byte-identity broken"
+    )
+    floor = GOODPUT_RATIO_FLOOR_QUICK if results["quick"] else GOODPUT_RATIO_FLOOR
+    ratio = results["goodput_ratio"]
+    assert ratio >= floor, (
+        f"continuous goodput only {ratio:.2f}x whole-request "
+        f"({results['continuous']['goodput_tok_s']:.1f} vs "
+        f"{results['whole_request']['goodput_tok_s']:.1f} tok/s), "
+        f"floor {floor}x"
+    )
+    ttft_ratio = results["ttft_p95_ratio"]
+    assert ttft_ratio <= TTFT_P95_TOLERANCE, (
+        f"continuous p95 TTFT {results['continuous']['ttft_p95_ms']:.1f} ms "
+        f"worse than whole-request "
+        f"{results['whole_request']['ttft_p95_ms']:.1f} ms"
+    )
+
+
+def check_regression(results: dict, baseline_path: Path) -> None:
+    """Fail when the goodput ratio fell >25% below the baseline."""
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("quick") != results["quick"]:
+        print(
+            "warning: baseline and run use different workload sizes "
+            "(--quick mismatch); the ratio comparison is apples-to-oranges"
+        )
+    ratio = results["goodput_ratio"]
+    base = baseline["goodput_ratio"]
+    limit = min(base / REGRESSION_TOLERANCE, SAFE_RATIO)
+    if ratio < limit:
+        raise SystemExit(
+            f"continuous-batching regression: goodput ratio {ratio:.3f}x < "
+            f"{limit:.3f}x (baseline {base:.3f}x -25%)"
+        )
+    print(
+        f"regression gate ok: goodput ratio {ratio:.3f}x >= {limit:.3f}x "
+        f"(baseline {base:.3f}x -25%)"
+    )
+
+
+def _report(results: dict) -> str:
+    rows = [
+        [
+            mode,
+            f"{m['goodput_tok_s']:.1f}",
+            f"{m['wall_s']:.2f}",
+            f"{m['ttft_p50_ms']:.1f}",
+            f"{m['ttft_p95_ms']:.1f}",
+        ]
+        for mode, m in (
+            ("whole-request", results["whole_request"]),
+            ("continuous", results["continuous"]),
+        )
+    ]
+    short, long_ = results["budgets"]
+    return emit(
+        "continuous_batching",
+        format_table(
+            f"Continuous batching: {results['requests']} open-loop requests, "
+            f"mixed {short}/{long_} max_new_tokens, width {results['width']}",
+            ["mode", "goodput (tok/s)", "wall (s)",
+             "TTFT p50 (ms)", "TTFT p95 (ms)"],
+            rows,
+            note=(
+                f"goodput ratio {results['goodput_ratio']:.2f}x, p95 TTFT "
+                f"ratio {results['ttft_p95_ratio']:.2f}; outputs identical: "
+                f"{'yes' if results['outputs_identical'] else 'NO'}"
+            ),
+        ),
+    )
+
+
+def test_continuous_batching(small_model, tok):
+    results = run_continuous_bench(small_model, tok, quick=True)
+    _report(results)
+    check_acceptance(results)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller trace, shorter decode budgets (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_continuous.json"),
+        help="where to write the JSON result",
+    )
+    parser.add_argument(
+        "--check-against", type=Path, default=None,
+        help="baseline JSON; exit non-zero on >25%% goodput-ratio regression",
+    )
+    args = parser.parse_args(argv)
+
+    tok = default_tokenizer()
+    model = build_model(small_config("llama", vocab_size=tok.vocab_size), seed=0)
+    results = run_continuous_bench(model, tok, quick=args.quick)
+    _report(results)
+    check_acceptance(results)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if args.check_against is not None:
+        check_regression(results, args.check_against)
+
+
+if __name__ == "__main__":
+    main()

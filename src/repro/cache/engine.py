@@ -34,6 +34,7 @@ from repro.cache.encoder import (
 from repro.cache.layout import ModuleLayout, SchemaLayout, layout_schema
 from repro.cache.storage import CacheKey, ModuleCacheStore, SOLO_VARIANT
 from repro.llm.generation import GenerationResult, decode_loop, generate
+from repro.llm.sampling import GreedySampler
 from repro.llm.kv import KVCache, LayerKV, ModuleKV, buffered_concat, tracked_alloc
 from repro.llm.models import TransformerModel
 from repro.pml.chat import ChatTemplate, template_for_architecture
@@ -135,6 +136,167 @@ class BatchServeResult:
 
     def __len__(self) -> int:
         return len(self.results)
+
+
+class ServeStream:
+    """One request's serve, resumable between prefill chunks and decode steps.
+
+    The whole-request paths (:meth:`PromptCache.serve` / ``serve_text``)
+    splice, prefill, and decode to completion inside one call; a stream
+    breaks the same work into scheduler-sized pieces so the
+    iteration-level runtime (:mod:`repro.server.scheduler`) can
+    interleave many requests over one engine:
+
+    - construction performs the splice (in paged mode, a fork of the
+      shared pre-spliced base — the stream holds the fork, and its
+      mirror lease, until it is finished or aborted);
+    - :meth:`prefill_step` forwards up to a budget of uncached prompt
+      tokens, capturing first-token logits when the prompt completes;
+    - :meth:`next_token` samples one token in :func:`decode_loop`'s
+      sample-then-check order, and the scheduler feeds the batched
+      forward's logits row back through :meth:`set_logits`;
+    - :meth:`finish` releases the fork and assembles the
+      :class:`ServeResult`; :meth:`abort` releases it on failure or
+      shutdown without a result.
+
+    Driven to completion with a prefill budget covering the whole suffix,
+    a stream's greedy outputs are byte-identical to the one-call paths —
+    the splice and the per-token forwards are the same arithmetic, only
+    the loop structure differs.
+    """
+
+    def __init__(
+        self,
+        pc: "PromptCache",
+        *,
+        cache,
+        owns_fork: bool,
+        pending_ids: np.ndarray,
+        pending_positions: np.ndarray,
+        next_position: int,
+        cached_tokens: int,
+        tier_tokens: dict[str, int],
+        max_new_tokens: int,
+        sampler,
+        stop_ids: set[int] | None,
+        splice_s: float,
+    ) -> None:
+        self.pc = pc
+        self.cache = cache
+        self._owns_fork = owns_fork
+        self._pending_ids = pending_ids
+        self._pending_positions = pending_positions
+        self._offset = 0
+        self._position = next_position
+        self.cached_tokens = cached_tokens
+        self.tier_tokens = tier_tokens
+        self.max_new_tokens = max_new_tokens
+        self.sampler = sampler or GreedySampler()
+        self.stop_ids = stop_ids or set()
+        self.splice_s = splice_s
+        self.suffix_s = 0.0
+        self.step_times_s: list[float] = []
+        self.output_ids: list[int] = []
+        self.logits: np.ndarray | None = None
+        self.done = False
+        self._closed = False
+        self._reserved = False
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def prompt_tokens(self) -> int:
+        return self.cached_tokens + len(self._pending_ids)
+
+    @property
+    def prefill_remaining(self) -> int:
+        """Uncached prompt tokens not yet forwarded."""
+        return len(self._pending_ids) - self._offset
+
+    @property
+    def decoding(self) -> bool:
+        """Prefill complete, more tokens to sample."""
+        return self.logits is not None and not self.done
+
+    @property
+    def decode_position(self) -> int:
+        """Position ID the next decoded token's forward must use."""
+        return self._position
+
+    # -- prefill -----------------------------------------------------------------
+
+    def prefill_step(self, max_tokens: int) -> int:
+        """Forward up to ``max_tokens`` uncached prompt tokens at their
+        planned positions; returns the number consumed. When the last
+        chunk lands, the final token's logits become the first sampling
+        decision (and a zero-budget request retires immediately)."""
+        remaining = self.prefill_remaining
+        take = min(max_tokens, remaining)
+        if take <= 0:
+            return 0
+        if not self._reserved:
+            self.cache.reserve(len(self.cache) + remaining + self.max_new_tokens)
+            self._reserved = True
+        chunk = slice(self._offset, self._offset + take)
+        start = time.perf_counter()
+        logits = self.pc.model.forward(
+            self._pending_ids[chunk], self._pending_positions[chunk], self.cache
+        )
+        self.suffix_s += time.perf_counter() - start
+        self._offset += take
+        if self.prefill_remaining == 0:
+            self.logits = logits[-1]
+            if self.max_new_tokens <= 0:
+                self.done = True
+        return take
+
+    # -- decode ------------------------------------------------------------------
+
+    def next_token(self) -> tuple[int, bool]:
+        """Sample one token (:func:`decode_loop`'s sample-then-check
+        order). Returns ``(token, needs_forward)`` — ``needs_forward``
+        is False when the stream just retired on a stop token or its
+        budget, in which case it must not join the batched forward."""
+        assert self.decoding, "next_token on a stream that is not decoding"
+        token = self.sampler(self.logits)
+        self.output_ids.append(token)
+        if token in self.stop_ids or len(self.output_ids) >= self.max_new_tokens:
+            self.done = True
+        return token, not self.done
+
+    def set_logits(self, row: np.ndarray, step_s: float) -> None:
+        """Feed back one batched decode forward: the logits row for this
+        stream's token, and the wall-clock share charged to its TTST."""
+        self.logits = row
+        self._position += 1
+        self.step_times_s.append(step_s)
+
+    # -- completion --------------------------------------------------------------
+
+    def abort(self) -> None:
+        """Release the paged fork (idempotent) without building a result
+        — the failure/shutdown path."""
+        if not self._closed:
+            self._closed = True
+            if self._owns_fork:
+                self.pc._free_fork(self.cache)
+
+    def finish(self) -> ServeResult:
+        """Release resources and assemble the :class:`ServeResult` —
+        same field semantics as :meth:`PromptCache.serve`."""
+        self.abort()
+        return ServeResult(
+            output_ids=self.output_ids,
+            text=self.pc.tokenizer.decode(self.output_ids, skip_specials=True),
+            prompt_tokens=self.prompt_tokens,
+            cached_tokens=self.cached_tokens,
+            uncached_tokens=len(self._pending_ids),
+            ttft_s=self.splice_s + self.suffix_s,
+            splice_s=self.splice_s,
+            suffix_s=self.suffix_s,
+            step_times_s=self.step_times_s,
+            tier_tokens=self.tier_tokens,
+        )
 
 
 @dataclass
@@ -651,6 +813,103 @@ class PromptCache:
             physical_bytes=physical,
             duplicated_bytes=duplicated,
             shared_groups=len(group_keys),
+        )
+
+    def open_stream(
+        self,
+        prompt: str,
+        *,
+        max_new_tokens: int = 32,
+        sampler=None,
+        stop_ids: set[int] | None = None,
+        use_scaffolds: bool = True,
+    ) -> ServeStream:
+        """Begin a resumable serve for a PML prompt.
+
+        The splice happens here (paged fork or arena assembly, exactly
+        as :meth:`serve` chooses); prefill chunks and decode steps are
+        driven by the caller through the returned :class:`ServeStream`.
+        The iteration-level scheduler's entry point.
+        """
+        compiled = self._compiled(prompt)
+        registered, plan = compiled.registered, compiled.plan
+        token_ids, positions = compiled.merged_uncached
+
+        owns_fork = False
+        start = time.perf_counter()
+        if self.splice_mode == "paged":
+            cache, tier_tokens, cached_tokens = self._fork_base(
+                registered, plan, use_scaffolds
+            )
+            owns_fork = True
+        else:
+            cache, tier_tokens, cached_tokens = self._assemble(
+                registered, plan, use_scaffolds=use_scaffolds,
+                extra_capacity=len(token_ids) + max_new_tokens,
+            )
+        splice_s = time.perf_counter() - start
+        return ServeStream(
+            self,
+            cache=cache,
+            owns_fork=owns_fork,
+            pending_ids=token_ids,
+            pending_positions=positions,
+            next_position=plan.next_position,
+            cached_tokens=cached_tokens,
+            tier_tokens=tier_tokens,
+            max_new_tokens=max_new_tokens,
+            sampler=sampler,
+            stop_ids=stop_ids,
+            splice_s=splice_s,
+        )
+
+    def open_text_stream(
+        self,
+        text: str,
+        *,
+        max_new_tokens: int = 32,
+        sampler=None,
+        stop_ids: set[int] | None = None,
+        observe: bool = True,
+    ) -> ServeStream:
+        """Begin a resumable serve for schema-free raw text — the
+        streaming mirror of :meth:`serve_text`: the prompt is observed by
+        the discovery miner, any promoted prefix chain is spliced from
+        cache here, and only the remainder is left for prefill chunks."""
+        ids = self.tokenizer.encode(text)
+        if not ids:
+            raise ValueError("open_text_stream needs at least one prompt token")
+        if self.discovery is not None and observe:
+            self.discovery.observe(ids)
+        n = len(ids)
+        chain = self._match_discovered(ids) if self.discovery is not None else []
+        trim = bool(chain) and chain[-1].end >= n
+        cached = min(chain[-1].end, n - 1) if chain else 0
+
+        if cached <= 0:
+            cached = 0
+            cache = self.model.new_cache(capacity=n + max_new_tokens)
+            owns_fork = False
+            tier_tokens = {"gpu": 0, "cpu": 0}
+            splice_s = 0.0
+        else:
+            start = time.perf_counter()
+            cache, tier_tokens, _key = self._fork_text_base(chain, trim, ids)
+            splice_s = time.perf_counter() - start
+            owns_fork = True
+        return ServeStream(
+            self,
+            cache=cache,
+            owns_fork=owns_fork,
+            pending_ids=np.asarray(ids[cached:], dtype=np.int64),
+            pending_positions=np.arange(cached, n, dtype=np.int64),
+            next_position=n,
+            cached_tokens=cached,
+            tier_tokens=tier_tokens,
+            max_new_tokens=max_new_tokens,
+            sampler=sampler,
+            stop_ids=stop_ids,
+            splice_s=splice_s,
         )
 
     def invalidate(self, schema_name: str, module_name: str | None = None) -> int:

@@ -89,6 +89,14 @@ def _build_parser() -> argparse.ArgumentParser:
     live.add_argument("--max-batch", type=int, default=4)
     live.add_argument("--batch-wait", type=float, default=0.01,
                       help="batcher max-wait (s)")
+    live.add_argument("--mode", default="auto",
+                      choices=["auto", "continuous", "whole_request"],
+                      help="dispatch mode: iteration-level scheduler "
+                           "(continuous) or legacy whole-request batches")
+    live.add_argument("--max-inflight", type=_positive(int), default=8,
+                      help="continuous mode: concurrent decoding sequences")
+    live.add_argument("--prefill-chunk", type=_positive(int), default=256,
+                      help="continuous mode: prefill token budget per iteration")
     live.add_argument("--deadline", type=float, default=None,
                       help="per-request deadline (s)")
     live.add_argument("--gpu-capacity-kb", type=int, default=None,
@@ -360,6 +368,9 @@ def _cmd_serve_live(args) -> int:
         queue_delay_budget_s=args.delay_budget,
         max_batch=args.max_batch,
         batch_max_wait_s=args.batch_wait,
+        mode=args.mode,
+        max_inflight=args.max_inflight,
+        prefill_chunk_tokens=args.prefill_chunk,
     )
     server = LiveServer(pc, options)
 
@@ -398,7 +409,8 @@ def _cmd_serve_live(args) -> int:
         return 0
     gpu = pc.store.gpu.stats
     print(f"trace: {len(trace)} requests over {args.duration:.1f}s "
-          f"(rate {args.rate:g}/s, seed {args.seed})")
+          f"(rate {args.rate:g}/s, seed {args.seed}, "
+          f"{'continuous' if server.continuous else 'whole-request'} dispatch)")
     print(f"completed {report.completed}  rejected {report.rejected}  "
           f"expired {report.expired}  failed {report.failed}")
     print(f"TTFT p50 {1000 * report.ttft_percentile(50):.1f} ms   "

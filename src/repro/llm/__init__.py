@@ -27,6 +27,7 @@ from repro.llm.generation import (
     GenerationResult,
     decode_loop,
     generate,
+    generate_batch,
     generate_no_cache,
     prefill,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "GenerationResult",
     "decode_loop",
     "generate",
+    "generate_batch",
     "generate_no_cache",
     "prefill",
     "GreedySampler",

@@ -63,6 +63,17 @@ def attention_scores(
     return np.where(allowed[None, :, :], scores, _NEG_INF)
 
 
+def _mask_free(layer_kv, k_positions: np.ndarray, position) -> bool:
+    """True when a single query at ``position`` sits at or after every
+    cached key, so the causal mask would be an elementwise identity.
+    Uses the cache's O(1) ``max_position`` when it tracks one; falls
+    back to scanning the positions array for duck-typed caches."""
+    max_position = getattr(layer_kv, "max_position", None)
+    if max_position is not None:
+        return max_position <= position
+    return bool((k_positions <= position).all())
+
+
 def grouped_scores(q: np.ndarray, k: np.ndarray, n_rep: int) -> np.ndarray:
     """Scaled scores (n_heads, Tq, Tk) without expanding KV heads.
 
@@ -75,12 +86,15 @@ def grouped_scores(q: np.ndarray, k: np.ndarray, n_rep: int) -> np.ndarray:
     head_dim = q.shape[-1]
     scale = np.sqrt(np.float32(head_dim))
     if n_rep == 1:
-        return q @ k.transpose(0, 2, 1) / scale
+        scores = q @ k.transpose(0, 2, 1)
+        scores /= scale
+        return scores
     n_heads, tq, _ = q.shape
     n_kv = k.shape[0]
     folded = q.reshape(n_kv, n_rep, tq, head_dim)
     scores = folded @ k[:, None, :, :].transpose(0, 1, 3, 2)
-    return scores.reshape(n_heads, tq, -1) / scale
+    scores /= scale
+    return scores.reshape(n_heads, tq, -1)
 
 
 def grouped_context(weights: np.ndarray, v: np.ndarray, n_rep: int) -> np.ndarray:
@@ -91,6 +105,77 @@ def grouped_context(weights: np.ndarray, v: np.ndarray, n_rep: int) -> np.ndarra
     n_kv = v.shape[0]
     context = weights.reshape(n_kv, n_rep, tq, tk) @ v[:, None, :, :]
     return context.reshape(n_heads, tq, -1)
+
+
+def decode_attention_batch(
+    x: np.ndarray,
+    *,
+    wq: np.ndarray,
+    wk: np.ndarray,
+    wv: np.ndarray,
+    wo: np.ndarray,
+    bq: np.ndarray | None,
+    bk: np.ndarray | None,
+    bv: np.ndarray | None,
+    bo: np.ndarray | None,
+    n_heads: int,
+    n_kv_heads: int,
+    position_ids: np.ndarray,
+    layer_kvs: list[LayerKV],
+    rope: RotaryEmbedding | None = None,
+    alibi: AlibiBias | None = None,
+) -> np.ndarray:
+    """One attention layer for a batched single-token decode step.
+
+    ``x`` is (B, 1, d_model) — one freshly sampled token per in-flight
+    sequence — and ``layer_kvs`` holds the B per-sequence caches.
+    ``position_ids`` is (B, 1). Returns (B, 1, d_model).
+
+    The q/k/v/output projections run as one stacked 3-D matmul each:
+    NumPy evaluates a ``(B, 1, d) @ (d, n)`` product slice by slice, so
+    every row is the exact GEMM the single-sequence path computes and
+    the result is bit-identical to B separate :func:`self_attention`
+    calls. (A flattened ``(B, d) @ (d, n)`` GEMM would *not* be — BLAS
+    blocks the reduction differently at M > 1.) Attention itself runs
+    per sequence because each sequence attends over its own cache —
+    mirroring the single path's decode fast-path exactly, including the
+    mask skip when the query position is at or after every cached key.
+    """
+    q = linear(x, wq, bq)
+    k = linear(x, wk, bk)
+    v = linear(x, wv, bv)
+    n_rep = n_heads // n_kv_heads
+
+    # Cross-sequence head split + rotation in one pass each: reshape/
+    # transpose are exact and rotation is elementwise, so qh[b] is
+    # bit-identical to split_heads(q[b]) fed through rope.apply — B
+    # Python round-trips per layer collapse into two array ops.
+    batch, t, _ = x.shape
+    qh = q.reshape(batch, t, n_heads, -1).transpose(0, 2, 1, 3)
+    kh = k.reshape(batch, t, n_kv_heads, -1).transpose(0, 2, 1, 3)
+    vh = v.reshape(batch, t, n_kv_heads, -1).transpose(0, 2, 1, 3)
+    if rope is not None:
+        qh = rope.apply_stacked(qh, position_ids)
+        kh = rope.apply_stacked(kh, position_ids)
+
+    contexts = []
+    for b, layer_kv in enumerate(layer_kvs):
+        pos = position_ids[b]
+        qb, kb, vb = qh[b], kh[b], vh[b]
+        layer_kv.append(kb, vb, pos)
+        k_positions = layer_kv.positions
+        scores = grouped_scores(qb, layer_kv.keys, n_rep)
+        if alibi is not None:
+            scores = scores + alibi.bias(pos, k_positions)
+        if not _mask_free(layer_kv, k_positions, pos[0]):
+            allowed = causal_position_mask(pos, k_positions)
+            scores = np.where(allowed[None, :, :], scores, _NEG_INF)
+        if scores.dtype != DTYPE:
+            scores = scores.astype(DTYPE)
+        weights = softmax(scores)
+        contexts.append(merge_heads(grouped_context(weights, layer_kv.values, n_rep)))
+
+    return linear(np.stack(contexts), wo, bo)
 
 
 def self_attention(
@@ -137,7 +222,7 @@ def self_attention(
     scores = grouped_scores(q, layer_kv.keys, n_rep)
     if alibi is not None:
         scores = scores + alibi.bias(position_ids, k_positions)
-    if q.shape[1] == 1 and bool((k_positions <= position_ids[0]).all()):
+    if q.shape[1] == 1 and _mask_free(layer_kv, k_positions, position_ids[0]):
         # Decode fast path: a single query token whose position is at or
         # after every cached key — the causal mask is all-True, so the
         # np.where would be an elementwise identity. Skip building it.

@@ -80,11 +80,16 @@ def decode_loop(
     logits = first_logits
     position = next_position
     for _ in range(max_new_tokens):
+        # The step timer starts before sampling so each recorded step is
+        # one full sample-then-forward cycle — with non-greedy samplers
+        # the sampling work is real and must land in TTST, not vanish
+        # between the timers. (The final token's sampling has no forward
+        # after it and stays uncharged, same as before.)
+        step_start = time.perf_counter()
         token = sampler(logits)
         tokens.append(token)
         if token in stop_ids or len(tokens) == max_new_tokens:
             break
-        step_start = time.perf_counter()
         logits = model.forward(
             np.asarray([token]), np.asarray([position]), cache
         )[-1]
@@ -116,6 +121,71 @@ def generate(
         stop_ids=stop_ids,
     )
     return GenerationResult(list(prompt_ids), tokens, ttft, step_times)
+
+
+def generate_batch(
+    model: TransformerModel,
+    prompts: list[list[int]],
+    *,
+    max_new_tokens: int = 32,
+    sampler=None,
+    stop_ids: set[int] | None = None,
+) -> list[GenerationResult]:
+    """Iteration-level batched generation: per-sequence prefill, then one
+    :meth:`~repro.llm.models.TransformerModel.forward_decode_batch` call
+    per step across every still-running sequence.
+
+    A sequence that samples a stop token (or exhausts its budget) drops
+    out of the batch immediately; the survivors keep stepping together.
+    Greedy outputs are byte-identical to per-prompt :func:`generate` —
+    the correctness contract the serving scheduler is built on.
+    """
+    sampler = sampler or GreedySampler()
+    stop_ids = stop_ids or set()
+
+    states = []
+    for prompt_ids in prompts:
+        cache = model.new_cache(capacity=len(prompt_ids) + max_new_tokens)
+        start = time.perf_counter()
+        logits = prefill(model, np.asarray(prompt_ids), cache)
+        ttft = time.perf_counter() - start
+        states.append({
+            "prompt": list(prompt_ids),
+            "cache": cache,
+            "logits": logits,
+            "position": len(prompt_ids),
+            "tokens": [],
+            "steps": [],
+            "ttft": ttft,
+        })
+
+    running = [s for s in states if max_new_tokens > 0]
+    while running:
+        step_start = time.perf_counter()
+        survivors = []
+        for s in running:
+            token = sampler(s["logits"])
+            s["tokens"].append(token)
+            if token not in stop_ids and len(s["tokens"]) < max_new_tokens:
+                survivors.append(s)
+        if not survivors:
+            break
+        logits = model.forward_decode_batch(
+            np.asarray([s["tokens"][-1] for s in survivors]),
+            np.asarray([s["position"] for s in survivors]),
+            [s["cache"] for s in survivors],
+        )
+        elapsed = time.perf_counter() - step_start
+        for i, s in enumerate(survivors):
+            s["logits"] = logits[i]
+            s["position"] += 1
+            s["steps"].append(elapsed)
+        running = survivors
+
+    return [
+        GenerationResult(s["prompt"], s["tokens"], s["ttft"], s["steps"])
+        for s in states
+    ]
 
 
 def generate_no_cache(

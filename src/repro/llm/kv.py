@@ -95,6 +95,11 @@ class LayerKV:
         self._values = _alloc((n_kv_heads, capacity, head_dim))
         self._positions = np.empty(capacity, dtype=np.int64)
         self._length = 0
+        # Highest cached position ID, maintained on append so the decode
+        # fast path can test "query at or after every key" in O(1)
+        # instead of scanning the positions array every layer and step.
+        # -1 = empty (positions are non-negative).
+        self.max_position = -1
 
     @classmethod
     @shape_contract(keys="(n_kv_heads, T, head_dim)", values="(n_kv_heads, T, head_dim)")
@@ -137,6 +142,7 @@ class LayerKV:
         kv._values = values
         kv._positions = positions
         kv._length = length
+        kv.max_position = int(positions[:length].max()) if length else -1
         return kv
 
     def __len__(self) -> int:
@@ -187,6 +193,8 @@ class LayerKV:
         self._values[:, self._length : end, :] = values
         self._positions[self._length : end] = positions
         self._length = end
+        if added:
+            self.max_position = max(self.max_position, int(positions.max()))
 
     def copy(self) -> "LayerKV":
         dup = LayerKV(self.n_kv_heads, self.head_dim, capacity=max(self._length, 1))

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.llm.attention import self_attention
+from repro.llm.attention import decode_attention_batch, self_attention
 from repro.llm.config import ModelConfig
 from repro.llm.kv import KVCache
 from repro.llm.layers import (
@@ -162,6 +162,67 @@ class TransformerModel:
         hidden = self._norm(hidden, "final_norm")
         # Weight-tied LM head: logits share the embedding matrix.
         return hidden @ self._p("embed.weight").T
+
+    def forward_decode_batch(
+        self,
+        token_ids: np.ndarray,
+        position_ids: np.ndarray,
+        caches: list[KVCache],
+    ) -> np.ndarray:
+        """One decode step for B independent sequences at once.
+
+        ``token_ids``/``position_ids`` are (B,) — one freshly sampled
+        token per sequence — and ``caches`` the B per-sequence KV caches
+        (plain or paged), each of which is appended to exactly as a
+        single-sequence :meth:`forward` call would. Returns logits of
+        shape (B, vocab).
+
+        The hidden state is kept as (B, 1, d_model) throughout: norms
+        and MLPs are elementwise/last-axis ops, and every projection is
+        a stacked 3-D matmul whose per-slice GEMMs match the (1, d)
+        single-sequence products bit for bit — so greedy decode through
+        this entry point is byte-identical to B sequential forwards
+        while amortizing Python and NumPy dispatch overhead across the
+        batch (the iteration-level scheduler's hot loop).
+        """
+        n = len(caches)
+        token_ids = np.asarray(token_ids).reshape(n, 1)
+        position_ids = np.asarray(position_ids).reshape(n, 1)
+
+        hidden = embed(token_ids, self._p("embed.weight"))
+        if self.learned_pos is not None:
+            hidden = self.learned_pos.apply(hidden, position_ids)
+
+        cfg = self.config
+        for i in range(cfg.n_layers):
+            normed = self._norm(hidden, f"layers.{i}.attn_norm")
+            attn_out = decode_attention_batch(
+                normed,
+                wq=self._p(f"layers.{i}.attn.wq"),
+                wk=self._p(f"layers.{i}.attn.wk"),
+                wv=self._p(f"layers.{i}.attn.wv"),
+                wo=self._p(f"layers.{i}.attn.wo"),
+                bq=self._maybe(f"layers.{i}.attn.bq"),
+                bk=self._maybe(f"layers.{i}.attn.bk"),
+                bv=self._maybe(f"layers.{i}.attn.bv"),
+                bo=self._maybe(f"layers.{i}.attn.bo"),
+                n_heads=cfg.n_heads,
+                n_kv_heads=cfg.n_kv_heads,
+                position_ids=position_ids,
+                layer_kvs=[cache.layers[i] for cache in caches],
+                rope=self.rope,
+                alibi=self.alibi,
+            )
+            if cfg.parallel_block:
+                hidden = hidden + attn_out + self._mlp(normed, i)
+            else:
+                hidden = hidden + attn_out
+                hidden = hidden + self._mlp(
+                    self._norm(hidden, f"layers.{i}.mlp_norm"), i
+                )
+
+        hidden = self._norm(hidden, "final_norm")
+        return (hidden @ self._p("embed.weight").T)[:, 0, :]
 
     def new_cache(self, capacity: int = 64) -> KVCache:
         return KVCache.empty(self.config, capacity=capacity)

@@ -57,6 +57,11 @@ class PoolStats:
     peak_live_pages: int = 0
     cow_copies: int = 0
     mirror_gathers: int = 0
+    # Decoders that lost the mirror-lease race and paid a contiguous
+    # prefix memcpy — the per-sequence cost of decoding many forks of one
+    # base concurrently (the continuous-batching steady state is one seed
+    # per extra in-flight sequence, then in-place extension).
+    mirror_private_seeds: int = 0
 
 
 class PagePool:
@@ -239,6 +244,9 @@ class PagedLayerKV:
         self._length = 0
         self._mirror: _Mirror | None = None
         self._mirror_len = 0
+        # Highest cached position ID (see LayerKV.max_position): the
+        # decode fast path's O(1) mask-skip test.
+        self.max_position = -1
 
     def __len__(self) -> int:
         return self._length
@@ -276,6 +284,8 @@ class PagedLayerKV:
             )
             offset += wrote
             self._length += wrote
+        if added:
+            self.max_position = max(self.max_position, int(positions.max()))
         if self._mirror is not None:
             self._extend_mirror(keys, values, positions)
 
@@ -302,6 +312,7 @@ class PagedLayerKV:
             return
         # Another sequence is extending the shared image — seed a private
         # mirror with one contiguous memcpy of the shared prefix.
+        self.pool.stats.mirror_private_seeds += 1
         prefix = self._mirror_len
         total = prefix + added
         fresh = _Mirror(
@@ -328,6 +339,7 @@ class PagedLayerKV:
         sibling = PagedLayerKV(self.pool)
         sibling._table = list(self._table)
         sibling._length = self._length
+        sibling.max_position = self.max_position
         for page in sibling._table:
             self.pool.retain(page)
         if self._mirror is not None:
@@ -356,6 +368,7 @@ class PagedLayerKV:
             self.pool.release(page)
         self._table = []
         self._length = 0
+        self.max_position = -1
 
     # -- materialized views --------------------------------------------------------
 

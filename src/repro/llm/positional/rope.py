@@ -55,6 +55,33 @@ class RotaryEmbedding:
         sin = self._sin[position_ids]
         return x * cos + _rotate_half(x) * sin
 
+    def apply_stacked(self, x: np.ndarray, position_ids: np.ndarray) -> np.ndarray:
+        """Rotate a cross-sequence stack (B, heads, T, head_dim) by
+        per-sequence positions (B, T) in one elementwise pass.
+
+        Rotation is purely elementwise, so this is bit-identical to B
+        separate :meth:`apply` calls — it exists so the batched decode
+        step pays one table lookup instead of 2·B Python calls per layer.
+        """
+        position_ids = np.asarray(position_ids)
+        if position_ids.ndim != 2 or position_ids.shape != (
+            x.shape[0], x.shape[-2]
+        ):
+            raise ValueError(
+                f"position_ids shape {position_ids.shape} does not match "
+                f"stacked shape {(x.shape[0], x.shape[-2])}"
+            )
+        if position_ids.size and (
+            position_ids.min() < 0 or position_ids.max() >= self.max_position
+        ):
+            raise ValueError(
+                f"position ids must lie in [0, {self.max_position}); "
+                f"got range [{position_ids.min()}, {position_ids.max()}]"
+            )
+        cos = self._cos[position_ids][:, None]  # (B, 1, T, head_dim)
+        sin = self._sin[position_ids][:, None]
+        return x * cos + _rotate_half(x) * sin
+
 
 def _rotate_half(x: np.ndarray) -> np.ndarray:
     half = x.shape[-1] // 2

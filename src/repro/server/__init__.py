@@ -27,10 +27,13 @@ from repro.server.loadgen import (
 from repro.server.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.server.request import LiveRequest, TraceRecord
 from repro.server.runtime import LiveServer, ServeOptions
+from repro.server.scheduler import ContinuousScheduler, IterationOutcome
 
 __all__ = [
     "CacheAwareBatcher",
+    "ContinuousScheduler",
     "Counter",
+    "IterationOutcome",
     "DeadlineExceeded",
     "Gauge",
     "Histogram",

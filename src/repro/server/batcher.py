@@ -21,6 +21,11 @@ from repro.server.request import LiveRequest
 
 BatchKey = tuple[str, int]  # (schema name, max_new_tokens)
 
+# Metrics label covering every raw-text group: raw requests carry
+# per-prefix-chain discovery fingerprints in ``batch_group``, which are
+# unbounded and must never become metric label values.
+RAW_BUCKET = "<raw>"
+
 
 class CacheAwareBatcher:
     """FIFO-fair, schema-grouped admission queue feeding the worker."""
@@ -43,10 +48,34 @@ class CacheAwareBatcher:
         self._groups.setdefault(key, deque()).append(request)
 
     def pending_by_schema(self) -> dict[str, int]:
+        """Queued request counts keyed by a *bounded* schema label.
+
+        Group keys for raw requests are discovery fingerprints
+        (``__raw__:<chain>``) — one distinct string per promoted prefix
+        chain. Reporting those verbatim would leak an unbounded label
+        set into metrics, so every raw group lands in :data:`RAW_BUCKET`.
+        """
         out: dict[str, int] = {}
         for (schema, _), group in self._groups.items():
-            out[schema] = out.get(schema, 0) + len(group)
+            label = RAW_BUCKET if group[0].raw else schema
+            out[label] = out.get(label, 0) + len(group)
         return out
+
+    def pop_oldest(self) -> LiveRequest | None:
+        """Pop the single oldest queued request across every group —
+        strict FIFO admission for the iteration-level scheduler, which
+        batches at the *token* level and has no use for group affinity.
+        Arrival-order admission is also the no-starvation guarantee: no
+        schema mix can keep a queued request waiting behind later
+        arrivals."""
+        if not self._groups:
+            return None
+        key = min(self._groups, key=lambda k: self._groups[k][0].submitted_at)
+        group = self._groups[key]
+        request = group.popleft()
+        if not group:
+            del self._groups[key]
+        return request
 
     # -- dispatch policy ---------------------------------------------------------
 

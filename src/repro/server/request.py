@@ -77,6 +77,9 @@ class LiveRequest:
     # Lifecycle timestamps (runtime clock).
     started_at: float | None = None
     first_token_at: float | None = None
+    # Most recent token emission — the continuous scheduler's anchor for
+    # inter-token latency (first_token_at stays fixed once set).
+    last_token_at: float | None = None
     finished_at: float | None = None
     batch_size: int = 0
 

@@ -29,11 +29,22 @@ Design:
   snapshots) and a bounded structured trace log. Store evictions are
   wired in via ``CacheTier.add_evict_listener``.
 
-Per-request first/last-token timestamps are reconstructed from the
-engine's own measured splice/prefill/step times, offset by the request's
-position within its batch — ``serve_batch`` serves batch members
-sequentially over the shared base cache, so the offsets mirror what a
-token-streaming transport would have observed.
+Two dispatch modes share this admission/observability shell:
+
+- **Continuous (default on a real engine).** A per-token
+  :class:`~repro.server.scheduler.ContinuousScheduler` admits queued
+  requests every iteration, prefills in budgeted chunks, runs one
+  batched single-token forward across all in-flight sequences, and
+  retires finished ones immediately — short requests never wait behind
+  long decodes. Token timestamps are *real*: each iteration reports its
+  emissions as they happen.
+- **Whole-request (legacy, ``mode="whole_request"``).** The batcher
+  dispatches a schema-grouped batch into ``PromptCache.serve_batch``
+  and the slot is held until the whole batch drains. Kept for engines
+  without resumable streams and as the byte-identity reference path.
+  Its per-request first/last-token timestamps are reconstructed from
+  the engine's own measured splice/prefill/step times, offset by the
+  request's position within its batch.
 """
 
 from __future__ import annotations
@@ -56,10 +67,12 @@ from repro.server.request import (
     EXPIRED,
     FAILED,
     LiveRequest,
+    QUEUED,
     REJECTED,
     RUNNING,
     TraceRecord,
 )
+from repro.server.scheduler import ContinuousScheduler, IterationOutcome
 
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
@@ -81,6 +94,22 @@ class ServeOptions:
     service_time_alpha: float = 0.25  # EWMA smoothing for per-request time
     trace_log_limit: int = 10_000
     inline_execution: bool = False  # run the engine on the loop (tests)
+    # Dispatch mode. "auto" runs the iteration-level scheduler whenever
+    # the engine supports resumable streams (``open_stream``) and falls
+    # back to whole-request batches otherwise (stub engines); the other
+    # values force a path — "whole_request" is the legacy reference the
+    # byte-identity tests compare against.
+    mode: str = "auto"  # "auto" | "continuous" | "whole_request"
+    max_inflight: int = 8  # continuous: concurrent decoding sequences
+    prefill_chunk_tokens: int = 256  # continuous: prefill budget per iteration
+    # Continuous: iterations run per executor dispatch while the queue is
+    # empty. With nothing to admit or expire, returning to the loop every
+    # token only buys executor round trips; a burst runs several
+    # iterations back to back and breaks the moment a new request
+    # arrives. Token/finish timestamps are recorded engine-side, so
+    # metrics are burst-invariant; only stream delivery and future
+    # resolution lag by at most burst_iterations - 1 tokens. 1 disables.
+    burst_iterations: int = 8
 
 
 class LiveServer:
@@ -115,7 +144,37 @@ class LiveServer:
         self._service_ewma_s = self.options.initial_service_s
         self._raw_cached_tokens = 0
         self._raw_prompt_tokens = 0
+        self._scheduler: ContinuousScheduler | None = None
+        # Written True by the loop thread on every enqueue, read by the
+        # engine thread mid-burst (GIL-atomic bool) to cut bursts short
+        # the moment admission work appears.
+        self._arrivals_pending = False
+        self._continuous = self._resolve_mode()
+        self._queue_labels: set[str] = set()
+        self._last_done_at: float | None = None
+        self._decode_rate_ewma = 0.0
         self._wire_store_metrics()
+
+    def _resolve_mode(self) -> bool:
+        mode = self.options.mode
+        if mode == "continuous":
+            return True
+        if mode == "whole_request":
+            return False
+        if mode == "auto":
+            return hasattr(self.pc, "open_stream")
+        raise ValueError(f"unknown serve mode: {mode!r}")
+
+    @property
+    def continuous(self) -> bool:
+        """True when this server runs the iteration-level scheduler."""
+        return self._continuous
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently being served (scheduler occupancy in
+        continuous mode, running batch size in whole-request mode)."""
+        return self._inflight
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -125,7 +184,16 @@ class LiveServer:
         self._wake = asyncio.Event()
         self._running = True
         self._draining = False
-        self._worker_task = asyncio.create_task(self._worker())
+        if self._continuous:
+            self._scheduler = ContinuousScheduler(
+                self.pc,
+                max_inflight=self.options.max_inflight,
+                prefill_chunk_tokens=self.options.prefill_chunk_tokens,
+                clock=self.clock,
+            )
+            self._worker_task = asyncio.create_task(self._scheduler_worker())
+        else:
+            self._worker_task = asyncio.create_task(self._worker())
         return self
 
     @property
@@ -152,6 +220,17 @@ class LiveServer:
         if self._worker_task is not None:
             await self._worker_task
             self._worker_task = None
+        if self._scheduler is not None:
+            # Non-drain stop with sequences mid-decode: release their
+            # paged forks (and mirror leases) and fail the requests.
+            now = self.clock()
+            for request in self._scheduler.abort_all():
+                request.finished_at = now
+                request.finish(FAILED, error=ServerClosed("server stopped"))
+                self._count_outcome("failed")
+                self._record(request)
+            self._inflight = 0
+            self._scheduler = None
         for request in self.batcher.drain():
             request.finish(FAILED, error=ServerClosed("server stopped"))
             self._count_outcome("failed")
@@ -288,13 +367,32 @@ class LiveServer:
             batch_group=batch_group,
         )
         self.batcher.put(request)
+        self._arrivals_pending = True
         self._count_outcome("submitted")
         self.metrics.gauge("server_queue_depth", "requests queued").set(
             len(self.batcher)
         )
+        self._refresh_queue_gauges()
         assert self._wake is not None
         self._wake.set()
         return request
+
+    def _refresh_queue_gauges(self) -> None:
+        """Per-schema queue depth. Labels come from the batcher's
+        ``pending_by_schema``, which folds raw discovery fingerprints
+        into one stable ``"<raw>"`` bucket — raw chains must never mint
+        unbounded metric label values. Schemas that drained since the
+        last refresh are zeroed, not left stale."""
+        pending = self.batcher.pending_by_schema()
+        gauge = partial(
+            self.metrics.gauge,
+            "server_queue_depth_by_schema", "queued requests per schema",
+        )
+        for label in self._queue_labels - set(pending):
+            gauge(schema=label).set(0)
+        for label, count in pending.items():
+            gauge(schema=label).set(count)
+        self._queue_labels = set(pending)
 
     async def serve(self, prompt: str, **kwargs):
         """Submit and wait — the one-call convenience path."""
@@ -348,6 +446,158 @@ class LiveServer:
                     pass
                 continue
             await self._run_batch(batch)
+
+    async def _scheduler_worker(self) -> None:
+        """Continuous mode: one :meth:`ContinuousScheduler.iterate` per
+        loop pass. The iteration runs on the executor (the engine is the
+        serial resource); its outcome — real token timestamps, retired
+        results — is applied back here on the loop, where the asyncio
+        request state lives."""
+        assert self._wake is not None and self._scheduler is not None
+        scheduler = self._scheduler
+        loop = asyncio.get_running_loop()
+        while self._running:
+            now = self.clock()
+            self._arrivals_pending = False
+            for request in self.batcher.remove_expired(now):
+                self._expire(request, now)
+            admissions = self._pop_admissions(scheduler)
+            if not admissions and not scheduler.active:
+                # Idle: nothing in flight, nothing admittable. The
+                # timeout only matters in the (theoretical) queued-but-
+                # unadmittable case, to keep deadline expiry polling.
+                self._wake.clear()
+                timeout = 0.05 if len(self.batcher) else None
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            for request in admissions:
+                request.state = RUNNING
+                request.started_at = now
+                request.batch_size = scheduler.active + len(admissions)
+            self._inflight = scheduler.active + len(admissions)
+            self.metrics.gauge(
+                "server_inflight", "requests in the running batch"
+            ).set(self._inflight)
+            # Burst only while the queue is empty: with requests still
+            # waiting, every retirement can admit a replacement, and
+            # that must happen on the loop between iterations.
+            limit = (
+                self.options.burst_iterations if not len(self.batcher) else 1
+            )
+            run = partial(self._run_iterations, scheduler, admissions, limit)
+            if self.options.inline_execution:
+                outcomes = run()
+            else:
+                outcomes = await loop.run_in_executor(None, run)
+            for outcome in outcomes:
+                self._apply_outcome(outcome)
+            self._inflight = scheduler.active
+
+    def _run_iterations(
+        self,
+        scheduler: ContinuousScheduler,
+        admissions: list[LiveRequest],
+        limit: int,
+    ) -> list[IterationOutcome]:
+        """Engine-thread side: the dispatched iteration plus up to
+        ``limit - 1`` follow-ons, stopping early when a new arrival
+        needs loop-side admission or nothing is left in flight."""
+        outcomes = [scheduler.iterate(admissions)]
+        while (
+            len(outcomes) < limit
+            and scheduler.active
+            and not self._arrivals_pending
+        ):
+            outcomes.append(scheduler.iterate([]))
+        return outcomes
+
+    def _pop_admissions(self, scheduler: ContinuousScheduler) -> list[LiveRequest]:
+        """Oldest-first admission up to the scheduler's free slots (slots
+        freed by this iteration's certain retirements included, so a
+        retire and its replacement land in the same iteration)."""
+        slots = scheduler.predicted_free_slots()
+        admissions: list[LiveRequest] = []
+        while len(admissions) < slots:
+            request = self.batcher.pop_oldest()
+            if request is None:
+                break
+            admissions.append(request)
+        if not admissions and len(self.batcher):
+            self.metrics.counter(
+                "server_admission_stalls_total",
+                "iterations that found queued work but no free decode slot",
+            ).inc()
+        return admissions
+
+    def _apply_outcome(self, outcome: IterationOutcome) -> None:
+        """Apply one iteration's events on the loop thread."""
+        inter = self.metrics.histogram(
+            "server_inter_token_seconds",
+            "wall time between consecutive tokens of one request",
+        )
+        for request, token, at in outcome.emitted:
+            if request.first_token_at is None:
+                request.first_token_at = at
+            elif request.last_token_at is not None:
+                inter.observe(at - request.last_token_at)
+            request.last_token_at = at
+            request.push_token(token)
+
+        completions = 0
+        for request, result, error, at in outcome.finished:
+            request.finished_at = at
+            if error is not None:
+                request.finish(FAILED, error=error)
+                self._count_outcome("failed")
+            else:
+                completions += 1
+                request.result = result
+                request.finish(DONE)
+                self._observe_done(request, result)
+                # Per-completion pace EWMA (the continuous analogue of
+                # the legacy per-batch estimate) feeds load shedding.
+                if self._last_done_at is not None and at > self._last_done_at:
+                    alpha = self.options.service_time_alpha
+                    self._service_ewma_s = (
+                        alpha * (at - self._last_done_at)
+                        + (1 - alpha) * self._service_ewma_s
+                    )
+                self._last_done_at = at
+            self._record(request)
+        for request in outcome.requeued:  # overshoot guard; normally empty
+            request.state = QUEUED
+            request.started_at = None
+            self.batcher.put(request)
+
+        if outcome.decode_batch:
+            self.metrics.histogram(
+                "server_iteration_occupancy",
+                "sequences in each batched decode step",
+                buckets=BATCH_SIZE_BUCKETS,
+            ).observe(outcome.decode_batch)
+        if outcome.elapsed_s > 0:
+            alpha = self.options.service_time_alpha
+            rate = len(outcome.emitted) / outcome.elapsed_s
+            self._decode_rate_ewma = (
+                alpha * rate + (1 - alpha) * self._decode_rate_ewma
+            )
+            self.metrics.gauge(
+                "server_decode_tokens_per_second",
+                "smoothed decode throughput across in-flight sequences",
+            ).set(self._decode_rate_ewma)
+        self.metrics.gauge("server_queue_depth", "requests queued").set(
+            len(self.batcher)
+        )
+        self._refresh_queue_gauges()
+        if completions:
+            self.metrics.gauge(
+                "server_estimated_queue_delay_seconds",
+                "admission-control delay estimate",
+            ).set(self.estimated_queue_delay_s())
+            self.refresh_store_gauges()
 
     def _expire(self, request: LiveRequest, now: float) -> None:
         request.finished_at = now

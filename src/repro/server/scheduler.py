@@ -1,0 +1,235 @@
+"""Iteration-level (continuous) batching over resumable serve streams.
+
+The legacy worker dispatches a whole batch into ``serve_batch`` and the
+slot stays occupied until every member finishes decoding — short
+requests wait behind long decodes, and the model runs its single-token
+forwards one sequence at a time. :class:`ContinuousScheduler` rebuilds
+that hot loop around *iterations* (vLLM-style):
+
+1. **Sample & retire.** Every decoding sequence takes one sampling
+   decision. A sequence hitting a stop token or its budget retires on
+   the spot — its paged fork (and mirror lease) is freed *before*
+   admission runs, so the slot is refilled this same iteration.
+2. **Admit.** Queued requests are admitted up to ``max_inflight``; the
+   splice (fork of the shared pre-spliced base) happens here, on the
+   engine thread.
+3. **Chunked prefill.** Up to ``prefill_chunk_tokens`` uncached prompt
+   tokens are forwarded across prefilling sequences, oldest first — a
+   long cold prefill is spread over iterations instead of stalling
+   decode progress for everyone else. A sequence whose prompt completes
+   samples its first token immediately (TTFT never waits an extra
+   iteration).
+4. **Batched decode.** Every sequence still needing a forward joins
+   **one** ``forward_decode_batch`` call — stacked token/position IDs
+   over the per-sequence ``PagedLayerKV`` leases, bit-identical to the
+   sequential forwards (see :mod:`repro.llm.attention`).
+
+The scheduler is synchronous and single-threaded by design: the runtime
+calls :meth:`iterate` from one worker (usually on the serving executor
+thread, the engine being the serial resource) and applies the returned
+:class:`IterationOutcome` — token events with real wall-clock
+timestamps, retired results, errors — back on the event loop, where the
+asyncio-side request state lives.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.server.request import LiveRequest
+
+
+@dataclass
+class _InFlight:
+    """One admitted sequence: the request handle plus its engine stream."""
+
+    request: LiveRequest
+    stream: object  # repro.cache.engine.ServeStream (duck-typed for tests)
+    admitted_at: float
+
+
+@dataclass
+class IterationOutcome:
+    """Everything one iteration did, for the event loop to apply.
+
+    ``emitted`` carries ``(request, token, timestamp)`` in generation
+    order; ``finished`` carries ``(request, result, error, timestamp)``
+    with exactly one of result/error set. ``requeued`` is the admission
+    overflow (never under correct slot prediction, but the runtime puts
+    them back rather than losing them).
+    """
+
+    emitted: list[tuple[LiveRequest, int, float]] = field(default_factory=list)
+    finished: list[tuple[LiveRequest, object, Exception | None, float]] = (
+        field(default_factory=list)
+    )
+    requeued: list[LiveRequest] = field(default_factory=list)
+    admitted: int = 0
+    prefill_tokens: int = 0
+    decode_batch: int = 0  # sequences in this iteration's batched forward
+    active_after: int = 0
+    elapsed_s: float = 0.0
+
+
+class ContinuousScheduler:
+    """Owns the in-flight sequence set; one :meth:`iterate` per step."""
+
+    def __init__(
+        self,
+        pc,
+        *,
+        max_inflight: int = 8,
+        prefill_chunk_tokens: int = 256,
+        clock=time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if prefill_chunk_tokens < 1:
+            raise ValueError("prefill_chunk_tokens must be >= 1")
+        self.pc = pc
+        self.max_inflight = max_inflight
+        self.prefill_chunk_tokens = prefill_chunk_tokens
+        self.clock = clock
+        # Admission order; no lock — iterate()/abort_all() are called
+        # serially by the one runtime worker that owns this scheduler.
+        self._inflight: list[_InFlight] = []
+
+    @property
+    def active(self) -> int:
+        return len(self._inflight)
+
+    def predicted_free_slots(self) -> int:
+        """Slots the next iteration can fill: currently free ones plus
+        sequences certain to retire in its sample phase (their next
+        sampling decision exhausts ``max_new_tokens``). A lower bound —
+        stop-token retirements only free more — so admission based on it
+        never overshoots ``max_inflight``."""
+        retiring = sum(
+            1 for seq in self._inflight
+            if seq.stream.decoding
+            and len(seq.stream.output_ids) >= seq.stream.max_new_tokens - 1
+        )
+        return self.max_inflight - len(self._inflight) + retiring
+
+    # -- the iteration -----------------------------------------------------------
+
+    def iterate(self, admissions: list[LiveRequest]) -> IterationOutcome:
+        """One scheduler step (engine-thread side). ``admissions`` must
+        not exceed :meth:`predicted_free_slots` from just before the
+        call; overflow is returned in ``requeued``."""
+        outcome = IterationOutcome()
+        started = self.clock()
+
+        # Phase 1: one sampling decision per decoding sequence; retire
+        # on stop/budget immediately so admission below sees the slot.
+        sample_s = -time.perf_counter()
+        for seq in list(self._inflight):
+            stream = seq.stream
+            if not stream.decoding:
+                continue
+            token, needs_forward = stream.next_token()
+            outcome.emitted.append((seq.request, token, self.clock()))
+            if not needs_forward:
+                self._retire(seq, outcome)
+        sample_s += time.perf_counter()
+
+        # Phase 2: admission — the splice/fork work happens here.
+        for request in admissions:
+            if len(self._inflight) >= self.max_inflight:
+                outcome.requeued.append(request)
+                continue
+            try:
+                stream = self._open(request)
+            except Exception as exc:  # bad prompt or engine fault: fail just it
+                outcome.finished.append((request, None, exc, self.clock()))
+                continue
+            self._inflight.append(_InFlight(request, stream, self.clock()))
+            outcome.admitted += 1
+
+        # Phase 3: chunked prefill, oldest sequence first. A sequence
+        # whose prompt completes takes its first sampling decision now.
+        budget = self.prefill_chunk_tokens
+        for seq in list(self._inflight):
+            if budget <= 0:
+                break
+            stream = seq.stream
+            if stream.prefill_remaining == 0:
+                continue
+            try:
+                consumed = stream.prefill_step(budget)
+            except Exception as exc:
+                self._fail(seq, exc, outcome)
+                continue
+            budget -= consumed
+            outcome.prefill_tokens += consumed
+            if stream.prefill_remaining == 0:
+                if stream.done:  # zero-token decode budget
+                    self._retire(seq, outcome)
+                    continue
+                token, needs_forward = stream.next_token()
+                outcome.emitted.append((seq.request, token, self.clock()))
+                if not needs_forward:
+                    self._retire(seq, outcome)
+
+        # Phase 4: one batched single-token forward across every
+        # sequence whose sampled token still needs its forward.
+        forward = [seq for seq in self._inflight if seq.stream.decoding]
+        if forward:
+            forward_s = -time.perf_counter()
+            try:
+                logits = self.pc.model.forward_decode_batch(
+                    np.asarray([seq.stream.output_ids[-1] for seq in forward]),
+                    np.asarray([seq.stream.decode_position for seq in forward]),
+                    [seq.stream.cache for seq in forward],
+                )
+            except Exception as exc:
+                # A poisoned batched step: there is no per-sequence
+                # attribution, so fail every participant (mirrors the
+                # legacy path failing its whole batch).
+                for seq in forward:
+                    self._fail(seq, exc, outcome)
+            else:
+                forward_s += time.perf_counter()
+                step_s = sample_s + forward_s
+                for i, seq in enumerate(forward):
+                    seq.stream.set_logits(logits[i], step_s)
+                outcome.decode_batch = len(forward)
+
+        outcome.active_after = len(self._inflight)
+        outcome.elapsed_s = self.clock() - started
+        return outcome
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _open(self, request: LiveRequest):
+        if request.raw:
+            return self.pc.open_text_stream(
+                request.prompt, max_new_tokens=request.max_new_tokens
+            )
+        return self.pc.open_stream(
+            request.prompt, max_new_tokens=request.max_new_tokens
+        )
+
+    def _retire(self, seq: _InFlight, outcome: IterationOutcome) -> None:
+        self._inflight.remove(seq)
+        outcome.finished.append(
+            (seq.request, seq.stream.finish(), None, self.clock())
+        )
+
+    def _fail(self, seq: _InFlight, exc: Exception, outcome: IterationOutcome) -> None:
+        self._inflight.remove(seq)
+        seq.stream.abort()
+        outcome.finished.append((seq.request, None, exc, self.clock()))
+
+    def abort_all(self) -> list[LiveRequest]:
+        """Release every in-flight stream (non-drain shutdown); returns
+        the abandoned requests so the runtime can fail them."""
+        requests = []
+        for seq in self._inflight:
+            seq.stream.abort()
+            requests.append(seq.request)
+        self._inflight.clear()
+        return requests

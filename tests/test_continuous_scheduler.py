@@ -1,0 +1,540 @@
+"""Continuous iteration-level batching: the per-token scheduler stack.
+
+Bottom-up coverage of the pieces the scheduler composes — the batched
+single-token forward (bit-identical to sequential decode), resumable
+serve streams with chunked prefill, the FIFO admission queue — and then
+the end-to-end contracts: greedy outputs byte-identical to the
+whole-request ``serve_batch`` path across all four positional families,
+no starvation under adversarial arrival order, and balanced paged-lease
+accounting under the page auditor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import sanitize
+from repro.analysis.sanitize import install_sanitizers, uninstall_sanitizers
+from repro.cache.engine import PromptCache
+from repro.llm import generate, generate_batch
+from repro.pml.chat import PLAIN_TEMPLATE
+from repro.server import ContinuousScheduler, LiveServer, ServeOptions
+from repro.server.batcher import RAW_BUCKET, CacheAwareBatcher
+from repro.server.request import DONE, FAILED, LiveRequest
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_request(request_id, *, schema="a", submitted_at=0.0, raw=False,
+                 batch_group=None, max_new_tokens=4, prompt="p"):
+    return LiveRequest(
+        request_id=request_id,
+        prompt=prompt,
+        schema=schema,
+        max_new_tokens=max_new_tokens,
+        submitted_at=submitted_at,
+        raw=raw,
+        batch_group=batch_group,
+    )
+
+
+SCHEMA = (
+    '<schema name="trip">'
+    '<module name="plan">plan a trip lasting three days focus on food '
+    "the quick brown fox jumps over the lazy dog</module>"
+    '<module name="city">paris museums cafes architecture louvre seine'
+    "</module>"
+    "</schema>"
+)
+PROMPTS = [
+    '<prompt schema="trip"><plan/> answer the question</prompt>',
+    '<prompt schema="trip"><plan/><city/> answer the question using the '
+    "documents above</prompt>",
+    '<prompt schema="trip"><city/> miami beaches nightlife</prompt>',
+    '<prompt schema="trip"><plan/> the capital of atlantis</prompt>',
+]
+
+
+def make_pc(model, tok):
+    pc = PromptCache(model, tok, template=PLAIN_TEMPLATE)
+    pc.register_schema(SCHEMA)
+    return pc
+
+
+# -- batched decode forward ------------------------------------------------------
+
+
+class TestForwardDecodeBatch:
+    def test_generate_batch_matches_sequential(self, any_model, tok):
+        """The tentpole's correctness bedrock, per positional family:
+        one batched forward per step produces exactly the tokens the
+        per-sequence loop produces."""
+        prompts = [
+            tok.encode("the quick brown fox"),
+            tok.encode("paris museums cafes architecture"),
+            tok.encode("plan a trip lasting three days"),
+        ]
+        sequential = [
+            generate(any_model, p, max_new_tokens=8) for p in prompts
+        ]
+        batched = generate_batch(any_model, prompts, max_new_tokens=8)
+        for seq, bat in zip(sequential, batched):
+            assert bat.output_ids == seq.output_ids
+
+    def test_mixed_lengths_retire_independently(self, llama, tok):
+        """A stop-token retirement mid-batch must not perturb survivors:
+        run one long sequence alone, then alongside a short-budget one."""
+        long_prompt = tok.encode("the quick brown fox jumps")
+        short_prompt = tok.encode("miami beaches nightlife")
+        alone = generate(llama, long_prompt, max_new_tokens=10)
+        together = generate_batch(
+            llama, [long_prompt, short_prompt], max_new_tokens=10
+        )
+        # Shrink the second's budget by re-running with per-call budgets
+        # via the scheduler-equivalent: batch of different effective
+        # lengths is exercised through stop_ids below.
+        assert together[0].output_ids == alone.output_ids
+        stop = together[1].output_ids[2]
+        with_stop = generate_batch(
+            llama, [long_prompt, short_prompt],
+            max_new_tokens=10, stop_ids={stop},
+        )
+        # The long sequence still matches its solo run even after the
+        # short one dropped out of the batch partway through...
+        if stop not in alone.output_ids:
+            assert with_stop[0].output_ids == alone.output_ids
+        # ...and the short one stopped exactly at the stop token.
+        assert with_stop[1].output_ids[-1] == stop
+
+    def test_batch_of_one_matches_forward(self, llama, tok):
+        prompt = tok.encode("answer the question")
+        assert (
+            generate_batch(llama, [prompt], max_new_tokens=6)[0].output_ids
+            == generate(llama, prompt, max_new_tokens=6).output_ids
+        )
+
+
+# -- decode_loop step accounting -------------------------------------------------
+
+
+class TestDecodeTiming:
+    def test_sampling_time_lands_in_step_times(self, llama, tok):
+        """Satellite: per-step sampling cost is folded into
+        ``step_times_s`` — a deliberately slow sampler must show up in
+        TTST, not vanish between the timers."""
+        prompt = tok.encode("the quick brown fox")
+        delay = 0.005
+
+        class SlowGreedy:
+            def __call__(self, logits):
+                time.sleep(delay)
+                return int(np.argmax(logits))
+
+        fast = generate(llama, prompt, max_new_tokens=5)
+        slow = generate(llama, prompt, max_new_tokens=5, sampler=SlowGreedy())
+        assert slow.output_ids == fast.output_ids
+        # 4 recorded steps (final token's sampling has no forward after
+        # it and stays uncharged); each must carry >= one sampling delay.
+        assert len(slow.step_times_s) == 4
+        assert all(s >= delay for s in slow.step_times_s)
+        assert sum(slow.step_times_s) >= sum(fast.step_times_s) + 3 * delay
+
+
+# -- resumable serve streams -----------------------------------------------------
+
+
+class TestServeStream:
+    def test_chunked_prefill_matches_whole_request(self, llama, tok):
+        """Driving a stream with a tiny prefill budget, one chunk at a
+        time, ends in the same greedy tokens the one-call path makes."""
+        pc = make_pc(llama, tok)
+        direct = pc.serve(PROMPTS[1], max_new_tokens=6)
+
+        stream = pc.open_stream(PROMPTS[1], max_new_tokens=6)
+        assert stream.prefill_remaining > 0
+        chunks = 0
+        while stream.prefill_remaining:
+            assert stream.prefill_step(2) > 0
+            chunks += 1
+        assert chunks >= 2  # the budget actually chunked the suffix
+        while stream.decoding:
+            token, needs_forward = stream.next_token()
+            if not needs_forward:
+                break
+            logits = pc.model.forward_decode_batch(
+                np.asarray([token]),
+                np.asarray([stream.decode_position]),
+                [stream.cache],
+            )
+            stream.set_logits(logits[0], 0.0)
+        result = stream.finish()
+        assert result.output_ids == direct.output_ids
+        assert result.cached_tokens == direct.cached_tokens
+        assert result.prompt_tokens == direct.prompt_tokens
+
+    def test_zero_budget_retires_at_prefill_end(self, llama, tok):
+        pc = make_pc(llama, tok)
+        stream = pc.open_stream(PROMPTS[0], max_new_tokens=0)
+        while stream.prefill_remaining:
+            stream.prefill_step(64)
+        assert stream.done and not stream.decoding
+        assert stream.finish().output_ids == []
+
+    def test_abort_is_idempotent_and_releases_fork(self, llama, tok):
+        pc = make_pc(llama, tok)
+        pc.serve(PROMPTS[0], max_new_tokens=1)  # build the shared base
+        live_before = [pool.live_pages for pool in _base_pools(pc)]
+        stream = pc.open_stream(PROMPTS[0], max_new_tokens=4)
+        stream.abort()
+        stream.abort()
+        assert [p.live_pages for p in _base_pools(pc)] == live_before
+
+    def test_text_stream_matches_serve_text(self, llama, tok):
+        pc = make_pc(llama, tok)
+        text = "the quick brown fox jumps over the lazy dog"
+        direct = pc.serve_text(text, max_new_tokens=5)
+        stream = pc.open_text_stream(text, max_new_tokens=5)
+        while stream.prefill_remaining:
+            stream.prefill_step(256)
+        while stream.decoding:
+            token, needs_forward = stream.next_token()
+            if not needs_forward:
+                break
+            logits = pc.model.forward_decode_batch(
+                np.asarray([token]),
+                np.asarray([stream.decode_position]),
+                [stream.cache],
+            )
+            stream.set_logits(logits[0], 0.0)
+        assert stream.finish().output_ids == direct.output_ids
+
+
+def _base_pools(pc):
+    """Page pools behind every shared spliced base the engine holds."""
+    pools = []
+    for base in pc._bases.values():
+        pools.extend(getattr(base.cache, "pools", []))
+    return pools
+
+
+# -- admission queue satellites --------------------------------------------------
+
+
+class TestBatcherAdmission:
+    def test_raw_groups_collapse_into_one_bucket(self):
+        """Satellite: raw discovery fingerprints never leak as metric
+        labels — every raw group reports under ``<raw>``."""
+        b = CacheAwareBatcher()
+        b.put(make_request("r1", schema="__raw__", raw=True,
+                           batch_group="__raw__:chain-fp-1"))
+        b.put(make_request("r2", schema="__raw__", raw=True,
+                           batch_group="__raw__:chain-fp-2"))
+        b.put(make_request("s1", schema="trip"))
+        pending = b.pending_by_schema()
+        assert pending == {RAW_BUCKET: 2, "trip": 1}
+        assert not any(k.startswith("__raw__:") for k in pending)
+
+    def test_pop_oldest_is_strict_fifo_across_groups(self):
+        b = CacheAwareBatcher()
+        arrivals = [
+            make_request("a", schema="x", submitted_at=1.0),
+            make_request("b", schema="y", submitted_at=2.0),
+            make_request("c", schema="x", submitted_at=3.0),
+            make_request("d", schema="z", submitted_at=4.0),
+        ]
+        # Schemas interleave adversarially, but put order is arrival
+        # order (the runtime enqueues at submit time) — pop order must
+        # ignore grouping entirely and follow arrival.
+        for r in arrivals:
+            b.put(r)
+        popped = [b.pop_oldest().request_id for _ in range(4)]
+        assert popped == ["a", "b", "c", "d"]
+        assert b.pop_oldest() is None
+
+
+# -- scheduler unit behaviour (duck-typed streams) -------------------------------
+
+
+class _FakeStream:
+    """Minimal ServeStream double for slot-accounting tests."""
+
+    def __init__(self, max_new_tokens=4, prefill=1):
+        self.max_new_tokens = max_new_tokens
+        self.output_ids = []
+        self.prefill_remaining = prefill
+        self.done = False
+        self.logits = object() if prefill == 0 else None
+        self.cache = None
+        self.decode_position = 0
+
+    @property
+    def decoding(self):
+        return self.logits is not None and not self.done
+
+    def prefill_step(self, budget):
+        take = min(budget, self.prefill_remaining)
+        self.prefill_remaining -= take
+        if self.prefill_remaining == 0:
+            self.logits = object()
+        return take
+
+    def next_token(self):
+        self.output_ids.append(7)
+        if len(self.output_ids) >= self.max_new_tokens:
+            self.done = True
+        return 7, not self.done
+
+    def set_logits(self, row, step_s):
+        self.logits = row
+
+    def abort(self):
+        pass
+
+    def finish(self):
+        return "result"
+
+
+class _FakeEngine:
+    def __init__(self):
+        self.model = self
+
+    def open_stream(self, prompt, max_new_tokens=32):
+        return _FakeStream(max_new_tokens=max_new_tokens)
+
+    def forward_decode_batch(self, tokens, positions, caches):
+        return [object()] * len(caches)
+
+
+class TestSchedulerSlots:
+    def test_predicted_free_slots_counts_certain_retirements(self):
+        sched = ContinuousScheduler(_FakeEngine(), max_inflight=2)
+        sched.iterate([make_request("a", max_new_tokens=3),
+                       make_request("b", max_new_tokens=5)])
+        assert sched.active == 2  # both prefilled and sampled token 1
+        assert sched.predicted_free_slots() == 0
+        sched.iterate([])  # a samples token 2 of 3 → certain to retire
+        assert sched.predicted_free_slots() == 1
+        outcome = sched.iterate([make_request("c", max_new_tokens=5)])
+        # a retired in the sample phase, c filled the slot same-iteration.
+        assert [r.request_id for r, *_ in outcome.finished] == ["a"]
+        assert outcome.admitted == 1
+        assert sched.active == 2
+
+    def test_overflow_is_requeued_not_lost(self):
+        sched = ContinuousScheduler(_FakeEngine(), max_inflight=1)
+        outcome = sched.iterate([make_request("a"), make_request("b")])
+        assert outcome.admitted == 1
+        assert [r.request_id for r in outcome.requeued] == ["b"]
+
+    def test_open_failure_fails_only_that_request(self):
+        class Flaky(_FakeEngine):
+            def open_stream(self, prompt, max_new_tokens=32):
+                if prompt == "bad":
+                    raise ValueError("boom")
+                return super().open_stream(prompt, max_new_tokens=max_new_tokens)
+
+        sched = ContinuousScheduler(Flaky(), max_inflight=4)
+        outcome = sched.iterate([
+            make_request("good", prompt="ok"),
+            make_request("bad", prompt="bad"),
+        ])
+        assert outcome.admitted == 1
+        (req, result, error, _), = outcome.finished
+        assert req.request_id == "bad" and result is None
+        assert isinstance(error, ValueError)
+        assert sched.active == 1
+
+
+# -- end-to-end: LiveServer in continuous mode -----------------------------------
+
+
+class TestContinuousServer:
+    def options(self, **kw):
+        kw.setdefault("mode", "continuous")
+        kw.setdefault("queue_delay_budget_s", None)
+        return ServeOptions(**kw)
+
+    def test_outputs_byte_identical_to_serve_batch(self, any_model, tok):
+        """The acceptance contract, per positional family: greedy tokens
+        from the iteration-level scheduler match whole-request
+        ``serve_batch`` exactly."""
+        pc = make_pc(any_model, tok)
+        direct = pc.serve_batch(PROMPTS, max_new_tokens=6).results
+
+        async def main():
+            async with LiveServer(pc, self.options()) as server:
+                assert server.continuous
+                requests = [
+                    await server.submit(p, max_new_tokens=6) for p in PROMPTS
+                ]
+                return [await r.wait() for r in requests]
+
+        live = run(main())
+        for a, b in zip(live, direct):
+            assert a.output_ids == b.output_ids
+            assert a.cached_tokens == b.cached_tokens
+
+    def test_no_starvation_under_adversarial_arrival(self, llama, tok):
+        """A long decode admitted first must not delay later short
+        requests to its own completion: with iteration-level batching
+        the shorts retire while the long request is still decoding."""
+        pc = make_pc(llama, tok)
+
+        async def main():
+            async with LiveServer(
+                pc, self.options(max_inflight=3)
+            ) as server:
+                long_req = await server.submit(PROMPTS[0], max_new_tokens=48)
+                shorts = [
+                    await server.submit(p, max_new_tokens=2)
+                    for p in PROMPTS[1:]
+                ]
+                await asyncio.gather(
+                    long_req.wait(), *(r.wait() for r in shorts)
+                )
+                return long_req, shorts
+
+        long_req, shorts = run(main())
+        assert long_req.state == DONE and len(long_req.result.output_ids) == 48
+        for short in shorts:
+            assert short.state == DONE
+            # Strictly earlier completion: the long request never held
+            # the engine to itself.
+            assert short.finished_at < long_req.finished_at
+
+    def test_paged_leases_balance_across_serving(self, llama, tok):
+        """Every fork the scheduler takes (and every private mirror
+        seed behind it) is released by retirement — audited page
+        balance across a concurrent serving burst."""
+        already = sanitize.active_auditor()
+        auditor = install_sanitizers()
+        try:
+            pc = make_pc(llama, tok)
+            pc.serve_batch(PROMPTS, max_new_tokens=2)  # build shared bases
+            pools = _base_pools(pc)
+            assert pools
+
+            async def main():
+                async with LiveServer(pc, self.options()) as server:
+                    requests = [
+                        await server.submit(p, max_new_tokens=4)
+                        for p in PROMPTS * 2
+                    ]
+                    await asyncio.gather(*(r.wait() for r in requests))
+
+            with auditor.expect_balanced(*pools):
+                run(main())
+            assert auditor.errors_raised == 0
+        finally:
+            if already is None:
+                uninstall_sanitizers()
+
+    def test_raw_text_path_matches_serve_text(self, llama, tok):
+        pc = make_pc(llama, tok)
+        texts = [
+            "the quick brown fox jumps over the lazy dog",
+            "paris museums cafes architecture louvre seine",
+        ]
+        direct = [pc.serve_text(t, max_new_tokens=4) for t in texts]
+
+        async def main():
+            async with LiveServer(pc, self.options()) as server:
+                requests = [
+                    await server.submit_text(t, max_new_tokens=4)
+                    for t in texts
+                ]
+                return [await r.wait() for r in requests]
+
+        live = run(main())
+        for a, b in zip(live, direct):
+            assert a.output_ids == b.output_ids
+
+    def test_iteration_metrics_exported(self, llama, tok):
+        """Satellite: occupancy histogram, decode-rate gauge, stall
+        counter, and inter-token latency quantiles all reach the
+        Prometheus exposition."""
+        pc = make_pc(llama, tok)
+
+        async def main():
+            async with LiveServer(
+                pc, self.options(max_inflight=2)
+            ) as server:
+                requests = [
+                    await server.submit(p, max_new_tokens=4) for p in PROMPTS
+                ]
+                await asyncio.gather(*(r.wait() for r in requests))
+                return server, server.snapshot(), server.prometheus()
+
+        server, snap, prom = run(main())
+        assert snap["histograms"]["server_iteration_occupancy"]["count"] > 0
+        assert snap["histograms"]["server_iteration_occupancy"]["p99"] <= 2
+        assert snap["histograms"]["server_inter_token_seconds"]["count"] > 0
+        assert "p95" in snap["histograms"]["server_inter_token_seconds"]
+        assert snap["gauges"]["server_decode_tokens_per_second"] > 0
+        # max_inflight=2 with 4 queued requests forces admission stalls.
+        assert snap["counters"]["server_admission_stalls_total"] >= 1
+        for name in (
+            "server_iteration_occupancy",
+            "server_inter_token_seconds",
+            "server_decode_tokens_per_second",
+            "server_admission_stalls_total",
+        ):
+            assert name in prom
+
+    def test_whole_request_mode_still_serves(self, llama, tok):
+        """The legacy path stays reachable behind the runtime flag and
+        produces the same outputs."""
+        pc = make_pc(llama, tok)
+        direct = pc.serve(PROMPTS[0], max_new_tokens=4)
+
+        async def main():
+            async with LiveServer(
+                pc,
+                ServeOptions(mode="whole_request", queue_delay_budget_s=None),
+            ) as server:
+                assert not server.continuous
+                return await server.serve(PROMPTS[0], max_new_tokens=4)
+
+        assert run(main()).output_ids == direct.output_ids
+
+    def test_streamed_tokens_arrive_incrementally(self, llama, tok):
+        pc = make_pc(llama, tok)
+
+        async def main():
+            async with LiveServer(pc, self.options()) as server:
+                request = await server.submit(PROMPTS[0], max_new_tokens=5)
+                seen = [token async for token in request.stream()]
+                result = await request.wait()
+                return seen, result
+
+        seen, result = run(main())
+        assert seen == result.output_ids
+        assert result.output_ids == pc.serve(PROMPTS[0], max_new_tokens=5).output_ids
+
+    def test_shutdown_aborts_inflight_without_leaks(self, llama, tok):
+        pc = make_pc(llama, tok)
+        pc.serve(PROMPTS[0], max_new_tokens=1)
+        pools = _base_pools(pc)
+        live_before = [p.live_pages for p in pools]
+
+        async def main():
+            server = LiveServer(pc, self.options())
+            await server.start()
+            request = await server.submit(PROMPTS[0], max_new_tokens=2000)
+            # Give the scheduler a moment to admit it, then slam the door.
+            for _ in range(200):
+                await asyncio.sleep(0.005)
+                if server.inflight:
+                    break
+            await server.stop(drain=False)
+            return request
+
+        request = run(main())
+        assert request.state == FAILED
+        assert [p.live_pages for p in pools] == live_before
