@@ -4,15 +4,29 @@ Where :mod:`repro.pml.lint` lints user-authored schemas, this package
 lints — and dynamically audits — the reproduction's own code:
 
 - :mod:`repro.analysis.engine` — a small pluggable AST rule engine with
-  per-line ``# noqa`` suppressions and a committed findings baseline;
-- :mod:`repro.analysis.rules` — the shipped rules: ``guarded-by``,
-  ``async-hygiene``, ``no-bare-broad-except``, ``kv-contract``;
+  per-line ``# noqa`` suppressions, severities, a committed findings
+  baseline (rename-surviving via ``--baseline-remap``), and parallel
+  scanning;
+- :mod:`repro.analysis.rules` — the shipped per-module rules:
+  ``guarded-by``, ``async-hygiene``, ``no-bare-broad-except``,
+  ``kv-contract``, ``noqa-justification``;
+- :mod:`repro.analysis.callgraph` — the project-wide call graph the
+  flow analyses share;
+- :mod:`repro.analysis.flow` — interprocedural flow analyses:
+  ``lease-lifecycle`` (abstract interpretation of KV lease/page
+  lifecycles) and ``lock-order`` (static lock graph + cycle check
+  against the declared canonical order);
+- :mod:`repro.analysis.locks` — ``ordered_lock``/``assert_unheld``, the
+  runtime half of the lock-order contract (zero-cost when lockdep is
+  off);
 - :mod:`repro.analysis.contracts` — the :func:`shape_contract` decorator
   the ``kv-contract`` rule cross-checks (runtime-enforced when
   sanitizers are on);
 - :mod:`repro.analysis.sanitize` — ``REPRO_SANITIZE=1`` runtime
-  sanitizers: the paged-KV refcount/lease auditor and the splice-plan
-  validator.
+  sanitizers: the paged-KV refcount/lease auditor, the splice-plan
+  validator, and the :class:`LockDep` acquisition-order recorder;
+- :mod:`repro.analysis.sarif` — SARIF 2.1.0 export for code-scanning
+  upload.
 
 Run it with ``python -m repro.analysis`` or ``repro analyze``.
 """
@@ -24,22 +38,29 @@ from repro.analysis.contracts import (
 )
 from repro.analysis.engine import (
     Finding,
+    ProjectRule,
     Rule,
     SourceModule,
     analyze_paths,
     load_baseline,
     new_findings,
+    remap_baseline,
     write_baseline,
 )
+from repro.analysis.flow import LeaseLifecycleRule, LockOrderRule
+from repro.analysis.locks import assert_unheld, ordered_lock
 from repro.analysis.rules import (
     AsyncHygieneRule,
     BroadExceptRule,
     DEFAULT_RULES,
     GuardedByRule,
     KVContractRule,
+    NoqaJustificationRule,
     default_rules,
+    rules_by_name,
 )
 from repro.analysis.sanitize import (
+    LockDep,
     PageAuditor,
     SanitizerError,
     active_auditor,
@@ -50,6 +71,7 @@ from repro.analysis.sanitize import (
     validate_layout,
     validate_plan,
 )
+from repro.analysis.sarif import to_sarif, write_sarif
 
 __all__ = [
     "AsyncHygieneRule",
@@ -59,22 +81,33 @@ __all__ = [
     "Finding",
     "GuardedByRule",
     "KVContractRule",
+    "LeaseLifecycleRule",
+    "LockDep",
+    "LockOrderRule",
+    "NoqaJustificationRule",
     "PageAuditor",
+    "ProjectRule",
     "Rule",
     "SanitizerError",
     "SourceModule",
     "active_auditor",
     "analyze_paths",
     "assert_quiescent",
+    "assert_unheld",
     "default_rules",
     "enforce_contracts",
     "install_sanitizers",
     "load_baseline",
     "new_findings",
+    "ordered_lock",
+    "remap_baseline",
+    "rules_by_name",
     "sanitizers_enabled",
     "shape_contract",
+    "to_sarif",
     "uninstall_sanitizers",
     "validate_layout",
     "validate_plan",
     "write_baseline",
+    "write_sarif",
 ]

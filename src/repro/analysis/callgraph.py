@@ -1,0 +1,247 @@
+"""Project-wide call graph over :class:`~repro.analysis.engine.SourceModule`.
+
+The per-module rules of :mod:`repro.analysis.rules` are deliberately
+lexical; the flow analyses (:mod:`repro.analysis.flow`) need to follow
+facts *through calls* — a lease released by a helper, a lock acquired
+three frames down. This module builds the index they share:
+
+- every function/method in the analyzed set, keyed by a stable
+  qualified name (``path::Class.method`` / ``path::function``);
+- per-class attribute types inferred from ``__init__`` assignments
+  (``self.store = ModuleCacheStore()`` makes ``self.store.put`` resolve
+  to ``ModuleCacheStore.put``);
+- best-effort call resolution: ``self.helper()``, ``self.attr.method()``
+  through the inferred attribute type, bare module-level calls,
+  ``Class()`` constructors (resolved to ``Class.__init__``), and
+  project-unique method names as a fallback.
+
+Resolution is sound-ish, not complete: an unresolvable call returns no
+targets and the analyses treat it conservatively. That keeps the engine
+fast and the findings trustworthy — exactly the bar the lexical rules
+set.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import SourceModule
+
+__all__ = ["FunctionInfo", "ProjectIndex"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the analyzed project."""
+
+    qualname: str  # "relpath::Class.method" or "relpath::function"
+    name: str
+    cls: str | None
+    module: SourceModule
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+    @property
+    def params(self) -> list[str]:
+        args = self.node.args
+        return [a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)]
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: SourceModule
+    node: ast.ClassDef
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    # self.<attr> -> class name inferred from __init__ construction.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+#: Method names ubiquitous on builtin/stdlib containers and primitives.
+#: A call through an *unknown* receiver with one of these names is far
+#: more likely a dict/list/str/queue/future than the project's only
+#: class with that method — never resolve them by uniqueness alone.
+_AMBIENT_METHODS = frozenset({
+    "accept", "acquire", "add", "append", "appendleft", "astype", "bind",
+    "cancel", "clear", "close", "connect", "copy", "count", "decode",
+    "discard", "done", "empty", "encode", "endswith", "exception",
+    "extend", "fileno", "fill", "flush", "format", "full", "get",
+    "get_nowait", "index", "insert", "is_alive", "is_set", "item",
+    "items", "join", "keys", "listen", "lstrip", "map", "move_to_end",
+    "notify", "notify_all", "open", "pop", "popitem", "popleft", "put",
+    "put_nowait", "qsize", "read", "readline", "readlines", "recv",
+    "release", "remove", "replace", "reshape", "result", "reverse",
+    "rsplit", "rstrip", "run", "seek", "send", "set", "setdefault",
+    "shutdown", "sort", "split", "start", "startswith", "strip",
+    "submit", "tell", "tolist", "update", "values", "wait", "write",
+})
+
+
+def _call_name(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _constructed_class(value: ast.AST, known: set[str]) -> str | None:
+    """The known class constructed by ``value``, peeling ``a or B()``."""
+    if isinstance(value, ast.BoolOp):
+        for operand in value.values:
+            found = _constructed_class(operand, known)
+            if found is not None:
+                return found
+        return None
+    if isinstance(value, ast.Call):
+        name = _call_name(value.func)
+        if name in known:
+            return name
+    return None
+
+
+class ProjectIndex:
+    """Functions, classes, and call resolution for one analyzed tree."""
+
+    def __init__(self, modules: list[SourceModule]) -> None:
+        self.modules = modules
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self._methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self._module_scope: dict[str, dict[str, FunctionInfo]] = {}
+        for module in modules:
+            self._index_module(module)
+        class_names = set(self.classes)
+        for cls in self.classes.values():
+            self._infer_attr_types(cls, class_names)
+
+    # -- indexing ----------------------------------------------------------------
+
+    def _index_module(self, module: SourceModule) -> None:
+        scope: dict[str, FunctionInfo] = {}
+        self._module_scope[module.relpath] = scope
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{module.relpath}::{node.name}",
+                    name=node.name, cls=None, module=module, node=node,
+                )
+                self.functions[info.qualname] = info
+                scope[node.name] = info
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(module, node)
+
+    def _index_class(self, module: SourceModule, node: ast.ClassDef) -> None:
+        cls = ClassInfo(
+            name=node.name, module=module, node=node,
+            bases=[b for b in (_call_name(base) for base in node.bases) if b],
+        )
+        # Last definition wins on a (rare) cross-module name clash; the
+        # analyses only need *a* consistent body for the name.
+        self.classes[node.name] = cls
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qualname=f"{module.relpath}::{node.name}.{item.name}",
+                    name=item.name, cls=node.name, module=module, node=item,
+                )
+                self.functions[info.qualname] = info
+                cls.methods[item.name] = info
+                self._methods_by_name.setdefault(item.name, []).append(info)
+
+    def _infer_attr_types(self, cls: ClassInfo, known: set[str]) -> None:
+        init = cls.methods.get("__init__")
+        if init is None:
+            return
+        for stmt in ast.walk(init.node):
+            if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = stmt.value
+            if value is None:
+                continue
+            constructed = _constructed_class(value, known)
+            if constructed is None:
+                continue
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    cls.attr_types[target.attr] = constructed
+
+    # -- lookup ------------------------------------------------------------------
+
+    def method(self, cls_name: str, method_name: str) -> FunctionInfo | None:
+        """Resolve a method through ``cls_name``'s MRO-by-name."""
+        seen: set[str] = set()
+        queue = [cls_name]
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            cls = self.classes.get(name)
+            if cls is None:
+                continue
+            if method_name in cls.methods:
+                return cls.methods[method_name]
+            queue.extend(cls.bases)
+        return None
+
+    def class_of(self, info: FunctionInfo) -> ClassInfo | None:
+        return self.classes.get(info.cls) if info.cls else None
+
+    # -- call resolution ---------------------------------------------------------
+
+    def resolve_call(
+        self, call: ast.Call, caller: FunctionInfo
+    ) -> list[FunctionInfo]:
+        """Possible targets of ``call`` from inside ``caller`` (possibly
+        empty — the caller must treat unresolved calls conservatively)."""
+        fn = call.func
+        if isinstance(fn, ast.Name):
+            # Bare name: constructor, same-module function, or a
+            # project-unique module-level function.
+            if fn.id in self.classes:
+                init = self.method(fn.id, "__init__")
+                return [init] if init else []
+            scope = self._module_scope.get(caller.module.relpath, {})
+            if fn.id in scope:
+                return [scope[fn.id]]
+            candidates = [
+                info
+                for per_module in self._module_scope.values()
+                for name, info in per_module.items()
+                if name == fn.id
+            ]
+            return candidates if len(candidates) == 1 else []
+        if not isinstance(fn, ast.Attribute):
+            return []
+        # self.method(...)
+        if isinstance(fn.value, ast.Name) and fn.value.id == "self" and caller.cls:
+            target = self.method(caller.cls, fn.attr)
+            if target is not None:
+                return [target]
+            return []
+        # self.attr.method(...) through the inferred attribute type.
+        if (
+            isinstance(fn.value, ast.Attribute)
+            and isinstance(fn.value.value, ast.Name)
+            and fn.value.value.id == "self"
+            and caller.cls
+        ):
+            cls = self.classes.get(caller.cls)
+            attr_type = cls.attr_types.get(fn.value.attr) if cls else None
+            if attr_type is not None:
+                target = self.method(attr_type, fn.attr)
+                return [target] if target else []
+        # Module-qualified or unknown receiver: fall back to a
+        # project-unique method name — unless the name is ambient on
+        # builtin containers, where uniqueness proves nothing.
+        if fn.attr in _AMBIENT_METHODS:
+            return []
+        candidates = self._methods_by_name.get(fn.attr, [])
+        return candidates if len(candidates) == 1 else []

@@ -18,9 +18,11 @@ from repro.analysis.engine import (
     fingerprints,
     load_baseline,
     new_findings,
+    remap_baseline,
     write_baseline,
 )
 from repro.analysis.rules import default_rules
+from repro.analysis.sarif import to_sarif, write_sarif
 
 DEFAULT_BASELINE = "analysis-baseline.json"
 
@@ -75,8 +77,22 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true", help="list available rules and exit"
     )
     parser.add_argument(
-        "--format", default="text", choices=["text", "json"],
+        "--format", default="text", choices=["text", "json", "sarif"],
         help="output format",
+    )
+    parser.add_argument(
+        "--sarif-out", type=Path, default=None, metavar="FILE",
+        help="also write a SARIF 2.1.0 log to FILE (for code scanning)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan the per-file scan over N worker processes (project "
+             "rules still run once, in this process)",
+    )
+    parser.add_argument(
+        "--baseline-remap", action="append", default=[], metavar="OLD:NEW",
+        help="migrate baseline entries after a file rename (repo-relative "
+             "OLD:NEW; repeatable) and exit — no analysis is run",
     )
 
 
@@ -101,7 +117,21 @@ def run(args: argparse.Namespace) -> int:
     root = _repo_root()
     paths = args.paths or [root / "src"]
     baseline_path = args.baseline or root / DEFAULT_BASELINE
-    report = analyze_paths(paths, rules, root=root)
+
+    if args.baseline_remap:
+        renames: dict[str, str] = {}
+        for spec in args.baseline_remap:
+            old, sep, new = spec.partition(":")
+            if not sep or not old or not new:
+                print(f"--baseline-remap expects OLD:NEW, got {spec!r}",
+                      file=sys.stderr)
+                return 2
+            renames[old] = new
+        moved = remap_baseline(baseline_path, renames)
+        print(f"baseline: remapped {moved} entr{'y' if moved == 1 else 'ies'}")
+        return 0
+
+    report = analyze_paths(paths, rules, root=root, jobs=max(args.jobs, 1))
     for error in report.parse_errors:
         print(f"parse error: {error}", file=sys.stderr)
 
@@ -117,7 +147,12 @@ def run(args: argparse.Namespace) -> int:
     fresh = new_findings(report.findings, baseline)
     failing = report.findings if args.strict else fresh
 
-    if args.format == "json":
+    if args.sarif_out is not None:
+        write_sarif(args.sarif_out, report.findings, rules)
+
+    if args.format == "sarif":
+        print(json.dumps(to_sarif(report.findings, rules), indent=2))
+    elif args.format == "json":
         payload = {
             "files_scanned": report.files_scanned,
             "findings": [
@@ -127,6 +162,7 @@ def run(args: argparse.Namespace) -> int:
                     "line": finding.line,
                     "col": finding.col,
                     "message": finding.message,
+                    "severity": finding.severity,
                     "fingerprint": fp,
                     "baselined": fp in baseline,
                 }

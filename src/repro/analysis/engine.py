@@ -27,21 +27,28 @@ import json
 import re
 import tokenize
 from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from io import StringIO
 from pathlib import Path
 
 __all__ = [
     "Finding",
+    "NoqaComment",
+    "ProjectRule",
     "Rule",
     "SourceModule",
     "analyze_paths",
     "load_baseline",
     "new_findings",
+    "remap_baseline",
     "write_baseline",
 ]
 
 _NOQA = re.compile(r"#\s*noqa(?::\s*(?P<rules>[\w\-, ]*))?", re.IGNORECASE)
+
+#: Finding severities, most severe first (SARIF levels use the same words).
+SEVERITIES = ("error", "warning", "note")
 
 
 @dataclass(frozen=True)
@@ -54,9 +61,11 @@ class Finding:
     col: int
     message: str
     snippet: str = ""  # stripped source line, used for fingerprinting
+    severity: str = "error"  # "error" | "warning" | "note"
 
     def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+        tag = "" if self.severity == "error" else f" [{self.severity}]"
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}:{tag} {self.message}"
 
 
 def fingerprints(findings: list[Finding]) -> list[str]:
@@ -75,6 +84,15 @@ def fingerprints(findings: list[Finding]) -> list[str]:
     return out
 
 
+@dataclass(frozen=True)
+class NoqaComment:
+    """One ``# noqa`` comment, as the justification rule sees it."""
+
+    line: int
+    names: tuple[str, ...]  # () for a blanket "# noqa"
+    justified: bool  # text follows the rule list ("- caller holds it")
+
+
 class SourceModule:
     """A parsed source file plus the suppression map rules consult."""
 
@@ -86,6 +104,10 @@ class SourceModule:
         self.tree = ast.parse(text, filename=str(path))
         # line number -> set of suppressed rule names ("*" = all rules)
         self._suppressions: dict[int, set[str]] = {}
+        # line number -> full comment text, for annotation grammars
+        # (# lock-order:, # holds-lock:) that may sit on def lines.
+        self.comments: dict[int, str] = {}
+        self.noqa_comments: list[NoqaComment] = []
         self._scan_suppressions()
 
     def _scan_suppressions(self) -> None:
@@ -94,20 +116,34 @@ class SourceModule:
             for token in tokens:
                 if token.type != tokenize.COMMENT:
                     continue
+                self.comments[token.start[0]] = token.string
                 match = _NOQA.search(token.string)
                 if not match:
                     continue
                 rules = match.group("rules")
                 if rules is None or not rules.strip():
                     names = {"*"}
+                    self.noqa_comments.append(
+                        NoqaComment(line=token.start[0], names=(), justified=False)
+                    )
                 else:
                     # Each entry is a rule name, optionally followed by a
                     # justification: "# noqa: guarded-by - caller holds it".
-                    names = {
-                        name.strip().split()[0]
-                        for name in rules.split(",")
-                        if name.strip()
-                    }
+                    entries = [e.strip() for e in rules.split(",") if e.strip()]
+                    names = {entry.split()[0] for entry in entries}
+                    # Justified when words follow the final rule name
+                    # (the grammar places the justification at the tail).
+                    tail = entries[-1].split() if entries else []
+                    justified = len(tail) > 1 or bool(
+                        token.string[match.end():].strip()
+                    )
+                    self.noqa_comments.append(
+                        NoqaComment(
+                            line=token.start[0],
+                            names=tuple(sorted(names)),
+                            justified=justified,
+                        )
+                    )
                 self._suppressions.setdefault(token.start[0], set()).update(names)
         except tokenize.TokenError:
             # An untokenizable tail gets no further suppressions; the
@@ -123,7 +159,14 @@ class SourceModule:
             return self.lines[line - 1].strip()
         return ""
 
-    def finding(self, rule: str, node: ast.AST | int, message: str, col: int = 0) -> Finding:
+    def finding(
+        self,
+        rule: str,
+        node: ast.AST | int,
+        message: str,
+        col: int = 0,
+        severity: str = "error",
+    ) -> Finding:
         line = node if isinstance(node, int) else node.lineno
         if not isinstance(node, int):
             col = node.col_offset
@@ -134,6 +177,7 @@ class SourceModule:
             col=col,
             message=message,
             snippet=self.line_text(line),
+            severity=severity,
         )
 
 
@@ -142,13 +186,32 @@ class Rule:
 
     Subclasses set ``name``/``description`` and implement :meth:`check`
     yielding findings; the engine applies suppressions afterwards, so
-    rules never need to consult them.
+    rules never need to consult them. ``severity`` is the rule's default
+    level for SARIF/reporting; individual findings may override it.
     """
 
     name = "rule"
     description = ""
+    severity = "error"
 
     def check(self, module: SourceModule) -> list[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule over the *whole* analyzed set at once.
+
+    Project rules see every parsed module together — what the
+    interprocedural flow analyses need (call graphs, the global lock
+    graph). They run in the parent process after the per-module scan,
+    and their findings go through the same suppression and baseline
+    machinery.
+    """
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        return []  # project rules only run in check_project
+
+    def check_project(self, modules: list[SourceModule]) -> list[Finding]:
         raise NotImplementedError
 
 
@@ -169,35 +232,117 @@ def _iter_sources(paths: list[Path]) -> list[Path]:
     return files
 
 
+def _relpath(file_path: Path, root: Path) -> str:
+    try:
+        return file_path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return file_path.as_posix()
+
+
+def _scan_one(args: tuple[str, str, list[str]]) -> tuple[str, list, list[Finding]]:
+    """Per-file worker: parse + per-module rules. Top-level so it crosses
+    a process boundary; rules are rebuilt by name from the registry."""
+    from repro.analysis.rules import rules_by_name
+
+    path_str, relpath, rule_names = args
+    registry = rules_by_name()
+    rules = [registry[name]() for name in rule_names]
+    try:
+        module = SourceModule(Path(path_str), relpath, Path(path_str).read_text())
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        return relpath, [f"{relpath}: {exc}"], []
+    findings = [
+        finding
+        for rule in rules
+        for finding in rule.check(module)
+        if not module.suppressed(finding.line, finding.rule)
+    ]
+    return relpath, [], findings
+
+
 def analyze_paths(
-    paths: list[Path], rules: list[Rule], root: Path | None = None
+    paths: list[Path],
+    rules: list[Rule],
+    root: Path | None = None,
+    jobs: int = 1,
 ) -> AnalysisReport:
     """Run ``rules`` over every ``*.py`` under ``paths``.
 
     ``root`` anchors the repository-relative paths used in findings and
     fingerprints (defaults to the current directory), so baselines are
     stable no matter where the analyzer is invoked from.
+
+    ``jobs`` > 1 fans the per-module scan (parse + lexical rules) over a
+    process pool, one file per task; :class:`ProjectRule`\\ s always run
+    in the parent, over the full parsed set, after the scan. Results are
+    identical to the serial path — findings are sorted at the end either
+    way.
     """
     root = (root or Path.cwd()).resolve()
     report = AnalysisReport()
-    for file_path in _iter_sources(paths):
-        resolved = file_path.resolve()
-        try:
-            relpath = resolved.relative_to(root).as_posix()
-        except ValueError:
-            relpath = file_path.as_posix()
-        try:
-            module = SourceModule(file_path, relpath, file_path.read_text())
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-            report.parse_errors.append(f"{relpath}: {exc}")
-            continue
-        report.files_scanned += 1
-        for rule in rules:
-            for finding in rule.check(module):
-                if not module.suppressed(finding.line, finding.rule):
-                    report.findings.append(finding)
+    files = _iter_sources(paths)
+    module_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    modules: dict[str, SourceModule] = {}
+    scanned_ok: set[str] = set()
+    if jobs > 1 and module_rules and _poolable(module_rules):
+        tasks = [
+            (str(fp), _relpath(fp, root), [r.name for r in module_rules])
+            for fp in files
+        ]
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            for relpath, errors, findings in pool.map(_scan_one, tasks, chunksize=4):
+                report.parse_errors.extend(errors)
+                if not errors:
+                    scanned_ok.add(relpath)
+                    report.files_scanned += 1
+                report.findings.extend(findings)
+        # Project rules still need the parsed modules in-process.
+        if project_rules:
+            for fp in files:
+                relpath = _relpath(fp, root)
+                if relpath not in scanned_ok:
+                    continue
+                try:
+                    modules[relpath] = SourceModule(fp, relpath, fp.read_text())
+                except (SyntaxError, UnicodeDecodeError, OSError):
+                    continue  # raced a concurrent edit; already reported
+    else:
+        for fp in files:
+            relpath = _relpath(fp, root)
+            try:
+                module = SourceModule(fp, relpath, fp.read_text())
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                report.parse_errors.append(f"{relpath}: {exc}")
+                continue
+            modules[relpath] = module
+            report.files_scanned += 1
+            for rule in module_rules:
+                for finding in rule.check(module):
+                    if not module.suppressed(finding.line, finding.rule):
+                        report.findings.append(finding)
+
+    for rule in project_rules:
+        for finding in rule.check_project(list(modules.values())):
+            module = modules.get(finding.path)
+            if module is None or not module.suppressed(finding.line, finding.rule):
+                report.findings.append(finding)
+
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return report
+
+
+def _poolable(module_rules: list[Rule]) -> bool:
+    """Parallel workers rebuild rules by name; custom unregistered rule
+    objects fall back to the serial path."""
+    from repro.analysis.rules import rules_by_name
+
+    registry = rules_by_name()
+    return all(
+        rule.name in registry and type(registry[rule.name]()) is type(rule)
+        for rule in module_rules
+    )
 
 
 # -- baseline ------------------------------------------------------------------
@@ -219,6 +364,9 @@ def write_baseline(path: Path, findings: list[Finding]) -> None:
             "path": finding.path,
             "line": finding.line,
             "message": finding.message,
+            # The fingerprint's raw material, kept so a file rename can
+            # be migrated in place (remap_baseline) without re-running.
+            "snippet": finding.snippet,
         }
         for finding, fp in zip(findings, fingerprints(findings))
     ]
@@ -240,3 +388,41 @@ def new_findings(findings: list[Finding], baseline: set[str]) -> list[Finding]:
         for finding, fp in zip(findings, fingerprints(findings))
         if fp not in baseline
     ]
+
+
+def remap_baseline(path: Path, renames: dict[str, str]) -> int:
+    """Migrate baseline entries across file renames, in place.
+
+    Fingerprints hash the repository-relative path, so a pure rename
+    used to turn every baselined finding in the file into a "new" one.
+    ``renames`` maps old relpath -> new relpath; matching entries get
+    their path rewritten and their fingerprint recomputed from the
+    stored snippet (entries predating snippet storage are rewritten with
+    an empty snippet, matching how they were originally fingerprinted
+    only if they had none — regenerate the baseline for those).
+    Returns the number of entries migrated.
+    """
+    if not path.exists():
+        return 0
+    data = json.loads(path.read_text())
+    entries = data.get("findings", [])
+    moved = [e for e in entries if e.get("path") in renames]
+    for entry in moved:
+        entry["path"] = renames[entry["path"]]
+    # Recompute fingerprints for every entry so occurrence indices stay
+    # consistent within each (rule, path, snippet) group after the move.
+    as_findings = [
+        Finding(
+            rule=e.get("rule", ""),
+            path=e.get("path", ""),
+            line=e.get("line", 0),
+            col=0,
+            message=e.get("message", ""),
+            snippet=e.get("snippet", ""),
+        )
+        for e in entries
+    ]
+    for entry, fp in zip(entries, fingerprints(as_findings)):
+        entry["fingerprint"] = fp
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return len(moved)

@@ -1,0 +1,125 @@
+"""Ordered lock construction: the bridge between the static lock-order
+rule and the runtime lockdep recorder.
+
+Production code creates its long-lived locks through
+:func:`ordered_lock`, naming the lock and (optionally) declaring which
+locks may legally be held while acquiring it::
+
+    self._lock = ordered_lock("store")
+    self._fastpath_lock = ordered_lock("engine.fastpath", after=("store",))
+
+The declaration is consumed twice:
+
+- **statically** — the ``lock-order`` rule (:mod:`repro.analysis.flow`)
+  reads the literal arguments straight from the AST, merges them with
+  ``# lock-order:`` comment annotations, and checks every observed
+  acquisition nesting in the codebase against the declared partial
+  order;
+- **dynamically** — under ``REPRO_SANITIZE=1`` the sanitizers install a
+  :class:`~repro.analysis.sanitize.LockDep` recorder here, and every
+  lock created *after* installation is wrapped so real acquisition
+  edges are recorded and checked while tests run.
+
+Zero-cost-off: with no recorder installed (the production default)
+:func:`ordered_lock` returns a plain ``threading.RLock`` /
+``threading.Lock`` — no wrapper object, no per-acquire overhead,
+nothing to opt out of.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["assert_unheld", "ordered_lock", "set_lockdep"]
+
+# The runtime lockdep recorder (repro.analysis.sanitize.LockDep), or
+# None in production. Installed by install_sanitizers().
+_LOCKDEP = None
+
+
+def set_lockdep(dep) -> None:
+    """Install (or clear, with ``None``) the runtime lockdep recorder.
+
+    Only locks created while a recorder is installed are tracked; locks
+    that already exist stay plain. The test conftest installs sanitizers
+    before any engine is built, so sanitized runs track every lock that
+    matters.
+    """
+    global _LOCKDEP
+    _LOCKDEP = dep
+
+
+def active_lockdep():
+    return _LOCKDEP
+
+
+def ordered_lock(name: str, *, after: tuple[str, ...] = (), reentrant: bool = True):
+    """A named lock participating in the project-wide acquisition order.
+
+    ``name`` is the lock's canonical identity (shared by every instance
+    guarding the same subsystem — e.g. both cache tiers share the store
+    lock and the name ``"store"``). ``after`` lists locks that may be
+    held when this one is acquired; each entry declares a canonical
+    order edge ``other -> name``. Acquiring in the reverse direction is
+    a lock-order violation, statically and at runtime.
+    """
+    inner: threading.RLock | threading.Lock
+    inner = threading.RLock() if reentrant else threading.Lock()
+    dep = _LOCKDEP
+    if dep is None:
+        return inner
+    dep.declare(name, after)
+    return _TrackedLock(name, inner, reentrant)
+
+
+def assert_unheld(name: str) -> None:
+    """Raise (via the recorder) if the calling thread holds ``name``.
+
+    Guards code that is *documented* as running outside a lock — e.g.
+    the store's miss fetcher blocks on network I/O and must never run
+    under the store lock. No-op in production.
+    """
+    dep = _LOCKDEP
+    if dep is not None:
+        dep.assert_unheld(name)
+
+
+class _TrackedLock:
+    """A named lock that reports acquisition edges to the recorder.
+
+    The order check runs *before* blocking on the inner lock, so an
+    inverted acquisition is reported even when the schedule happens not
+    to deadlock this run — the whole point of lockdep.
+    """
+
+    __slots__ = ("name", "_inner", "_reentrant")
+
+    def __init__(self, name: str, inner, reentrant: bool) -> None:
+        self.name = name
+        self._inner = inner
+        self._reentrant = reentrant
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        dep = _LOCKDEP
+        if dep is not None:
+            dep.on_acquire(self.name, reentrant=self._reentrant)
+        acquired = self._inner.acquire(blocking, timeout)
+        if not acquired and dep is not None:
+            dep.on_release(self.name)
+        return acquired
+
+    def release(self) -> None:
+        dep = _LOCKDEP
+        if dep is not None:
+            dep.on_release(self.name)
+        self._inner.release()
+
+    def __enter__(self) -> "_TrackedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<_TrackedLock {self.name!r} inner={self._inner!r}>"

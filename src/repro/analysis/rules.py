@@ -23,7 +23,7 @@ from __future__ import annotations
 import ast
 import re
 
-from repro.analysis.engine import Finding, Rule, SourceModule
+from repro.analysis.engine import Finding, ProjectRule, Rule, SourceModule
 
 __all__ = [
     "AsyncHygieneRule",
@@ -32,7 +32,9 @@ __all__ = [
     "GuardedByRule",
     "KVContractRule",
     "NoWriteToMappedRule",
+    "NoqaJustificationRule",
     "default_rules",
+    "rules_by_name",
 ]
 
 _GUARDED_BY = re.compile(r"#\s*guarded-by:\s*(?P<lock>\w+)")
@@ -365,7 +367,7 @@ _FILL_METHODS = {"fill", "sort", "partition", "put", "itemset"}
 _COPYING_CALLS = {"copy", "ascontiguousarray", "array", "copyto_private", "ensure_arena"}
 
 
-class NoWriteToMappedRule(Rule):
+class NoWriteToMappedRule(ProjectRule):
     """No in-place mutation of arrays reachable from a ``ModuleKV`` arena.
 
     Snapshot-attached modules expose ``key_arena``/``value_arena`` as
@@ -377,12 +379,32 @@ class NoWriteToMappedRule(Rule):
     copy call in the expression chain is the copy-on-write guard the rule
     looks for. Suppress deliberate cases with
     ``# noqa: no-write-to-mapped``.
+
+    The rule is interprocedural: passing an arena into a helper that
+    subscript-stores through the parameter is flagged at the call site
+    (the lexical scan alone can't see through ``_blit(dst, src)``).
     """
 
     name = "no-write-to-mapped"
     description = "in-place writes into (possibly memmap-backed) KV arenas"
 
+    def check_project(self, modules: list[SourceModule]) -> list[Finding]:
+        from repro.analysis.flow import mapped_write_helper_findings
+
+        findings: list[Finding] = []
+        for module in modules:
+            findings.extend(self._check_module(module))
+        findings.extend(
+            mapped_write_helper_findings(modules, self._arena_expr, self._flag)
+        )
+        return findings
+
     def check(self, module: SourceModule) -> list[Finding]:
+        # The lexical scan still works standalone (single-module tests);
+        # the engine routes ProjectRules through check_project instead.
+        return self._check_module(module)
+
+    def _check_module(self, module: SourceModule) -> list[Finding]:
         findings: list[Finding] = []
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.Assign, ast.AugAssign)):
@@ -446,14 +468,66 @@ class NoWriteToMappedRule(Rule):
         )
 
 
+class NoqaJustificationRule(Rule):
+    """Every ``# noqa`` suppression must say *why*.
+
+    A suppression is a standing exception to a rule; without a recorded
+    reason the next editor can't tell a deliberate invariant from a
+    stale workaround. The justification rides in the same comment, after
+    the rule list: ``# noqa: guarded-by - snapshot is private here``.
+    Blanket ``# noqa`` (no rule names) is always a finding — name the
+    rule being silenced.
+    """
+
+    name = "noqa-justification"
+    description = "noqa suppressions lacking a justification"
+    severity = "warning"
+
+    def check(self, module: SourceModule) -> list[Finding]:
+        findings: list[Finding] = []
+        for comment in module.noqa_comments:
+            if comment.justified:
+                continue
+            if not comment.names:
+                message = (
+                    "blanket '# noqa' suppresses every rule with no "
+                    "justification: name the rule(s) and append a reason "
+                    "('# noqa: <rule> - why')"
+                )
+            else:
+                shown = ", ".join(comment.names)
+                message = (
+                    f"'# noqa: {shown}' has no justification: append a "
+                    "reason after the rule list ('# noqa: "
+                    f"{comment.names[0]} - why')"
+                )
+            findings.append(
+                module.finding(
+                    self.name, comment.line, message, severity=self.severity
+                )
+            )
+        return findings
+
+
 def default_rules() -> list[Rule]:
+    from repro.analysis.flow import LeaseLifecycleRule, LockOrderRule
+
     return [
         GuardedByRule(),
         AsyncHygieneRule(),
         BroadExceptRule(),
         KVContractRule(),
         NoWriteToMappedRule(),
+        NoqaJustificationRule(),
+        LeaseLifecycleRule(),
+        LockOrderRule(),
     ]
+
+
+def rules_by_name() -> dict[str, type[Rule]]:
+    """Registry used to rebuild rules across the process-pool boundary
+    and to resolve ``--rules`` selections by name."""
+    return {rule.name: type(rule) for rule in default_rules()}
 
 
 DEFAULT_RULES = default_rules()

@@ -28,6 +28,7 @@ them for the whole run.
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from contextlib import contextmanager
 
@@ -36,6 +37,7 @@ import numpy as np
 from repro.analysis.contracts import enforce_contracts
 
 __all__ = [
+    "LockDep",
     "PageAuditor",
     "SanitizerError",
     "active_auditor",
@@ -264,6 +266,130 @@ def validate_plan(plan, layout) -> None:
             )
 
 
+# -- runtime lockdep ----------------------------------------------------------
+
+
+class LockDep:
+    """Runtime lock-order recorder — the dynamic half of ``lock-order``.
+
+    Locks built through :func:`repro.analysis.locks.ordered_lock` while
+    a recorder is installed report every acquisition. The recorder keeps
+    a per-thread stack of held locks and a global edge graph seeded with
+    the declared partial order (``after=`` edges); acquiring ``b`` while
+    holding ``a`` adds the edge ``a -> b`` and immediately checks for a
+    path ``b -> … -> a`` — a cycle means two call paths take the same
+    pair of locks in opposite orders, i.e. a schedule exists that
+    deadlocks, even if *this* run happened not to. The check runs
+    *before* blocking on the real lock, so the sanitized shard fails
+    fast with the offending edge instead of hanging.
+
+    Also enforced: re-acquisition of non-reentrant locks (self-deadlock)
+    and :func:`~repro.analysis.locks.assert_unheld` guards on code
+    documented to run lock-free.
+    """
+
+    def __init__(self) -> None:
+        self._graph_lock = threading.Lock()
+        # canonical name -> names that may be acquired after it
+        self._edges: dict[str, set[str]] = {}
+        # edge -> provenance ("declared" or the first observing thread)
+        self._sources: dict[tuple[str, str], str] = {}
+        self._tls = threading.local()
+
+    # -- declaration ----------------------------------------------------------
+
+    def declare(self, name: str, after: tuple[str, ...]) -> None:
+        with self._graph_lock:
+            for earlier in after:
+                self._add_edge(earlier, name, "declared")
+
+    # -- per-thread state -----------------------------------------------------
+
+    def _held(self) -> list[str]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held_locks(self) -> tuple[str, ...]:
+        return tuple(self._held())
+
+    def edges(self) -> dict[tuple[str, str], str]:
+        with self._graph_lock:
+            return dict(self._sources)
+
+    # -- hooks ----------------------------------------------------------------
+
+    def on_acquire(self, name: str, reentrant: bool = True) -> None:
+        held = self._held()
+        if name in held:
+            if not reentrant:
+                raise SanitizerError(
+                    f"lockdep: non-reentrant lock '{name}' re-acquired by the "
+                    "holding thread — this deadlocks"
+                )
+            held.append(name)
+            return
+        with self._graph_lock:
+            for holder in dict.fromkeys(held):
+                self._add_edge(holder, name, threading.current_thread().name)
+        held.append(name)
+
+    def on_release(self, name: str) -> None:
+        held = self._held()
+        for index in range(len(held) - 1, -1, -1):
+            if held[index] == name:
+                del held[index]
+                return
+
+    def assert_unheld(self, name: str) -> None:
+        if name in self._held():
+            raise SanitizerError(
+                f"lockdep: '{name}' is held on a path documented to run "
+                f"without it (held: {self.held_locks()})"
+            )
+
+    # -- graph ---------------------------------------------------------------
+
+    def _add_edge(self, earlier: str, later: str, source: str) -> None:
+        """Record ``earlier -> later``; caller holds ``_graph_lock``."""
+        if later in self._edges.get(earlier, ()):
+            return
+        back = self._path(later, earlier)
+        if back is not None:
+            chain = " -> ".join(back)
+            provenance = ", ".join(
+                f"{a}->{b} ({self._sources.get((a, b), '?')})"
+                for a, b in zip(back, back[1:])
+            )
+            raise SanitizerError(
+                f"lockdep: acquiring '{later}' while holding '{earlier}' "
+                f"({source}) inverts the established order {chain} "
+                f"[{provenance}] — a deadlocking schedule exists"
+            )
+        self._edges.setdefault(earlier, set()).add(later)
+        self._sources[(earlier, later)] = source
+
+    def _path(self, src: str, dst: str) -> list[str] | None:
+        prev = {src: src}
+        queue = [src]
+        while queue:
+            current = queue.pop(0)
+            for nxt in self._edges.get(current, ()):
+                if nxt in prev:
+                    continue
+                prev[nxt] = current
+                if nxt == dst:
+                    path = [dst]
+                    while path[-1] != src:
+                        path.append(prev[path[-1]])
+                    path.reverse()
+                    return path
+                queue.append(nxt)
+        return None
+
+
 # -- mapped-arena write guard -------------------------------------------------
 
 
@@ -308,6 +434,7 @@ def install_sanitizers() -> PageAuditor:
     global _ACTIVE
     if _ACTIVE is not None:
         return _ACTIVE
+    from repro.analysis import locks
     from repro.cache import engine as cache_engine
     from repro.llm import kv as kv_mod
     from repro.llm import paged
@@ -317,6 +444,7 @@ def install_sanitizers() -> PageAuditor:
     cache_engine.set_plan_validator(validate_plan)
     cache_engine.set_layout_validator(validate_layout)
     kv_mod.set_write_guard(guard_kv_write)
+    locks.set_lockdep(LockDep())
     enforce_contracts(True)
     _ACTIVE = auditor
     return auditor
@@ -326,6 +454,7 @@ def uninstall_sanitizers() -> None:
     global _ACTIVE
     if _ACTIVE is None:
         return
+    from repro.analysis import locks
     from repro.cache import engine as cache_engine
     from repro.llm import kv as kv_mod
     from repro.llm import paged
@@ -334,6 +463,7 @@ def uninstall_sanitizers() -> None:
     cache_engine.set_plan_validator(None)
     cache_engine.set_layout_validator(None)
     kv_mod.set_write_guard(None)
+    locks.set_lockdep(None)
     enforce_contracts(False)
     _ACTIVE = None
 

@@ -1,0 +1,96 @@
+"""SARIF 2.1.0 emission for GitHub code scanning.
+
+One run per invocation, one ``result`` per finding. Severities map to
+SARIF levels verbatim (``error``/``warning``/``note``) and the engine's
+line-drift-stable fingerprints ride in ``partialFingerprints`` under the
+key ``reproAnalysis/v1`` so code-scanning alert identity survives
+unrelated edits exactly as the committed baseline does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.engine import Finding, Rule, fingerprints
+
+__all__ = ["to_sarif", "write_sarif"]
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+_FINGERPRINT_KEY = "reproAnalysis/v1"
+
+
+def to_sarif(findings: list[Finding], rules: list[Rule]) -> dict:
+    """The SARIF log object for one analysis run."""
+    rule_ids = sorted({rule.name for rule in rules} | {f.rule for f in findings})
+    by_name = {rule.name: rule for rule in rules}
+    rule_index = {rule_id: pos for pos, rule_id in enumerate(rule_ids)}
+    descriptors = [
+        {
+            "id": rule_id,
+            "name": _pascal(rule_id),
+            "shortDescription": {
+                "text": getattr(by_name.get(rule_id), "description", "") or rule_id
+            },
+            "defaultConfiguration": {
+                "level": getattr(by_name.get(rule_id), "severity", "error")
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": finding.severity,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {_FINGERPRINT_KEY: fingerprint},
+        }
+        for finding, fingerprint in zip(findings, fingerprints(findings))
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "informationUri": "https://github.com/",
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repository root"}}
+                },
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+
+
+def write_sarif(path: Path, findings: list[Finding], rules: list[Rule]) -> None:
+    path.write_text(json.dumps(to_sarif(findings, rules), indent=2) + "\n")
+
+
+def _pascal(rule_id: str) -> str:
+    return "".join(part.capitalize() for part in rule_id.split("-") if part)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.locks import ordered_lock
 from repro.cache.encoder import (
     _arena_from_cache,
     drop_param_slots,
@@ -442,7 +443,7 @@ class PromptCache:
         self._parallel_encoder = None
         # Guards the two LRU maps, their stats, and paged-base fork/free
         # (page refcounts are not thread-safe on their own).
-        self._fastpath_lock = threading.RLock()
+        self._fastpath_lock = ordered_lock("engine.fastpath", after=("store",))
         self.plan_stats = PlanCacheStats()  # guarded-by: _fastpath_lock
         self._plan_cache: OrderedDict[str, _CompiledPlan] = OrderedDict()  # guarded-by: _fastpath_lock
         self._bases: OrderedDict[tuple, _SplicedBase] = OrderedDict()  # guarded-by: _fastpath_lock
@@ -700,9 +701,8 @@ class PromptCache:
                 registered, plan, use_scaffolds=use_scaffolds,
                 extra_capacity=len(token_ids) + max_new_tokens,
             )
-        splice_s = time.perf_counter() - start
-
         try:
+            splice_s = time.perf_counter() - start
             # Stage 2: prefill only the uncached tokens at their positions.
             reserve = len(cache) + len(token_ids) + max_new_tokens
             cache.reserve(reserve)
@@ -836,32 +836,41 @@ class PromptCache:
         token_ids, positions = compiled.merged_uncached
 
         owns_fork = False
+        release = None  # the fork to free if we unwind before handing it over
         start = time.perf_counter()
         if self.splice_mode == "paged":
             cache, tier_tokens, cached_tokens = self._fork_base(
                 registered, plan, use_scaffolds
             )
             owns_fork = True
+            release = cache
         else:
             cache, tier_tokens, cached_tokens = self._assemble(
                 registered, plan, use_scaffolds=use_scaffolds,
                 extra_capacity=len(token_ids) + max_new_tokens,
             )
-        splice_s = time.perf_counter() - start
-        return ServeStream(
-            self,
-            cache=cache,
-            owns_fork=owns_fork,
-            pending_ids=token_ids,
-            pending_positions=positions,
-            next_position=plan.next_position,
-            cached_tokens=cached_tokens,
-            tier_tokens=tier_tokens,
-            max_new_tokens=max_new_tokens,
-            sampler=sampler,
-            stop_ids=stop_ids,
-            splice_s=splice_s,
-        )
+        try:
+            splice_s = time.perf_counter() - start
+            return ServeStream(
+                self,
+                cache=cache,
+                owns_fork=owns_fork,
+                pending_ids=token_ids,
+                pending_positions=positions,
+                next_position=plan.next_position,
+                cached_tokens=cached_tokens,
+                tier_tokens=tier_tokens,
+                max_new_tokens=max_new_tokens,
+                sampler=sampler,
+                stop_ids=stop_ids,
+                splice_s=splice_s,
+            )
+        except BaseException:
+            # The stream owns the fork only once constructed; anything
+            # that unwinds before then must give the pages back.
+            if release is not None:
+                self._free_fork(release)
+            raise
 
     def open_text_stream(
         self,
@@ -886,6 +895,7 @@ class PromptCache:
         trim = bool(chain) and chain[-1].end >= n
         cached = min(chain[-1].end, n - 1) if chain else 0
 
+        release = None  # the fork to free if we unwind before handing it over
         if cached <= 0:
             cached = 0
             cache = self.model.new_cache(capacity=n + max_new_tokens)
@@ -895,22 +905,29 @@ class PromptCache:
         else:
             start = time.perf_counter()
             cache, tier_tokens, _key = self._fork_text_base(chain, trim, ids)
-            splice_s = time.perf_counter() - start
             owns_fork = True
-        return ServeStream(
-            self,
-            cache=cache,
-            owns_fork=owns_fork,
-            pending_ids=np.asarray(ids[cached:], dtype=np.int64),
-            pending_positions=np.arange(cached, n, dtype=np.int64),
-            next_position=n,
-            cached_tokens=cached,
-            tier_tokens=tier_tokens,
-            max_new_tokens=max_new_tokens,
-            sampler=sampler,
-            stop_ids=stop_ids,
-            splice_s=splice_s,
-        )
+            release = cache
+        try:
+            if owns_fork:
+                splice_s = time.perf_counter() - start
+            return ServeStream(
+                self,
+                cache=cache,
+                owns_fork=owns_fork,
+                pending_ids=np.asarray(ids[cached:], dtype=np.int64),
+                pending_positions=np.arange(cached, n, dtype=np.int64),
+                next_position=n,
+                cached_tokens=cached,
+                tier_tokens=tier_tokens,
+                max_new_tokens=max_new_tokens,
+                sampler=sampler,
+                stop_ids=stop_ids,
+                splice_s=splice_s,
+            )
+        except BaseException:
+            if release is not None:
+                self._free_fork(release)
+            raise
 
     def invalidate(self, schema_name: str, module_name: str | None = None) -> int:
         """Drop cached states for one module (or a whole schema) from every
@@ -1155,8 +1172,8 @@ class PromptCache:
 
         start = time.perf_counter()
         cache, tier_tokens, key = self._fork_text_base(chain, trim, ids)
-        splice_s = time.perf_counter() - start
         try:
+            splice_s = time.perf_counter() - start
             cache.reserve(n + max_new_tokens)
             suffix_ids = np.asarray(ids[cached:], dtype=np.int64)
             positions = np.arange(cached, n, dtype=np.int64)
@@ -1323,7 +1340,7 @@ class PromptCache:
         self.store.put(key, self.kv_codec.encode(kv), tier=self.default_tier)
         return kv, self.default_tier
 
-    def _on_store_evict(self, entry, reason: str) -> None:
+    def _on_store_evict(self, entry, reason: str) -> None:  # holds-lock: store
         """Store evict listener (runs under the store lock): once a module
         is resident in *no* tier, compiled plans and spliced bases that
         reference it are stale — drop them. Demotions (GPU→CPU) leave the

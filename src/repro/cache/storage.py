@@ -17,6 +17,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.analysis.locks import ordered_lock
 from repro.hw.allocator import CapacityError, MemoryAccountant
 from repro.llm.kv import ModuleKV
 
@@ -140,7 +141,7 @@ class CacheTier:
         # tier (or a sibling sharing the lock) from inside ``put``. The
         # store passes one shared lock to both tiers, making every
         # cross-tier sequence (demotion, spill, prefetch) atomic.
-        self._lock = lock or threading.RLock()
+        self._lock = lock or ordered_lock("store")  # lock-order: store
         self.accountant = MemoryAccountant(capacity_bytes=capacity_bytes)  # guarded-by: _lock
         self.entries: dict[CacheKey, CacheEntry] = {}  # guarded-by: _lock
         self.stats = TierStats()  # guarded-by: _lock
@@ -309,7 +310,7 @@ class ModuleCacheStore:
         # statistics, and GPU eviction re-enters the CPU tier (demotion).
         # A single lock makes those sequences atomic with no ordering
         # hazards between tiers.
-        self._lock = threading.RLock()
+        self._lock = ordered_lock("store")
         self.gpu = CacheTier(
             "gpu", gpu_capacity_bytes, gpu_policy or policy,
             lock=self._lock, ttl_s=gpu_ttl_s, clock=clock,

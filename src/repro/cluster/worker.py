@@ -33,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import threading
 
+from repro.analysis.locks import assert_unheld
 from repro.cache.engine import PromptCache
 from repro.cache.storage import CacheKey, ModuleCacheStore
 from repro.cluster.exporter import CacheExporter
@@ -198,6 +199,9 @@ class ClusterWorker:
 
     def _miss_fetch(self, key: CacheKey):
         """Store miss hook (runs on the engine's executor thread)."""
+        # The store deliberately calls miss fetchers *outside* its lock;
+        # blocking on a network future under it would stall every tier.
+        assert_unheld("store")
         loop, resolver = self._loop, self.peer_resolver
         if loop is None or resolver is None or self._killed:
             return None

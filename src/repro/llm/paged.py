@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.analysis.contracts import shape_contract
+from repro.analysis.locks import ordered_lock
 from repro.llm.config import ModelConfig
 from repro.llm.kv import ModuleKV, tracked_alloc
 
@@ -206,8 +207,11 @@ class _Mirror:
         self.lease_start = length
         self.fork_high_water = length
         # Serializes lease transitions and tail writes when forks decode
-        # from different server worker threads.
-        self.lock = threading.Lock()
+        # from different server worker threads. Non-reentrant by design:
+        # re-entry would mean a lease transition raced itself.
+        self.lock = ordered_lock(
+            "paged.mirror", after=("engine.fastpath",), reentrant=False
+        )
 
     @property
     def capacity(self) -> int:

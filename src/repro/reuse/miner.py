@@ -26,6 +26,7 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.analysis.locks import ordered_lock
 from repro.reuse.trie import TokenRadixTrie, TrieNode
 
 
@@ -92,7 +93,11 @@ class ReuseMiner:
         )
         self.stats = MinerStats()
         self.last_promotion_error: str | None = None
-        self._lock = threading.RLock()
+        # Promotion calls into the engine (store + fastpath locks) while
+        # holding this lock, so the miner sits *before* the store in the
+        # canonical order:
+        # lock-order: store after reuse.miner
+        self._lock = ordered_lock("reuse.miner")
         self._module_count = 0
         self._seq = 0
 

@@ -18,6 +18,8 @@ import threading
 
 import numpy as np
 
+from repro.analysis.locks import ordered_lock
+
 # Latency-shaped default buckets (seconds), 1 ms .. 10 s.
 DEFAULT_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
@@ -33,7 +35,7 @@ class Counter:
     """Monotonically increasing count."""
 
     def __init__(self, lock: threading.RLock) -> None:
-        self._lock = lock
+        self._lock = lock  # lock-order: metrics.registry
         self._value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -52,7 +54,7 @@ class Gauge:
     """A value that goes up and down (queue depth, bytes resident)."""
 
     def __init__(self, lock: threading.RLock) -> None:
-        self._lock = lock
+        self._lock = lock  # lock-order: metrics.registry
         self._value = 0.0
 
     def set(self, value: float) -> None:
@@ -79,7 +81,7 @@ class Histogram:
     def __init__(
         self, lock: threading.RLock, buckets: tuple[float, ...] = DEFAULT_BUCKETS
     ) -> None:
-        self._lock = lock
+        self._lock = lock  # lock-order: metrics.registry
         self.bounds = tuple(sorted(buckets))
         self._bucket_counts = [0] * (len(self.bounds) + 1)  # +inf tail
         self._sum = 0.0
@@ -141,7 +143,7 @@ class _Family:
         self.kind = kind
         self.help = help_
         self.buckets = buckets
-        self._lock = lock
+        self._lock = lock  # lock-order: metrics.registry
         self.children: dict[tuple[tuple[str, str], ...], object] = {}
 
     def child(self, labels: dict[str, str]):
@@ -179,7 +181,12 @@ class MetricsRegistry:
     """Create-or-get metric families; render Prometheus text / JSON."""
 
     def __init__(self) -> None:
-        self._lock = threading.RLock()
+        # Leaf lock: metric recording happens under the store lock
+        # (eviction listeners) and the engine fast path, never the
+        # other way around.
+        self._lock = ordered_lock(
+            "metrics.registry", after=("store", "engine.fastpath")
+        )
         self._families: dict[str, _Family] = {}
 
     def _family(self, name: str, kind: str, help_: str, buckets=None) -> _Family:

@@ -146,7 +146,11 @@ class ContinuousScheduler:
             except Exception as exc:  # bad prompt or engine fault: fail just it
                 outcome.finished.append((request, None, exc, self.clock()))
                 continue
-            self._inflight.append(_InFlight(request, stream, self.clock()))
+            try:
+                self._inflight.append(_InFlight(request, stream, self.clock()))
+            except BaseException:
+                stream.abort()  # not yet tracked: nothing else will free it
+                raise
             outcome.admitted += 1
 
         # Phase 3: chunked prefill, oldest sequence first. A sequence

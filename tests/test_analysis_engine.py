@@ -171,3 +171,106 @@ class TestRepoSelfCheck:
         entries = json.loads(baseline.read_text())["findings"]
         # The baseline is a debt ledger, not a dumping ground.
         assert len(entries) <= 8
+
+
+class TestNoqaJustification:
+    def run(self, src):
+        from repro.analysis.rules import NoqaJustificationRule
+
+        return NoqaJustificationRule().check(module_of(src))
+
+    def test_bare_noqa_without_reason_is_flagged(self):
+        findings = self.run("x = 1  # noqa\n")
+        assert len(findings) == 1
+        assert "blanket" in findings[0].message
+        assert findings[0].severity == "warning"
+
+    def test_named_noqa_without_reason_is_flagged(self):
+        findings = self.run("x = 1  # noqa: guarded-by\n")
+        assert len(findings) == 1
+        assert "justification" in findings[0].message
+
+    def test_justified_noqa_is_clean(self):
+        assert self.run("x = 1  # noqa: guarded-by - snapshot is immutable\n") == []
+
+
+class TestBaselineRemap:
+    def test_rename_alone_yields_zero_new_findings(self, tmp_path, capsys):
+        (tmp_path / "old.py").write_text(SWALLOW)
+        baseline = str(tmp_path / "b.json")
+        assert analyze_main([str(tmp_path), "--baseline", baseline,
+                             "--write-baseline"]) == 0
+        # Pure rename: same content, new path. Paths outside the repo
+        # root are baselined by their full path, so remap those.
+        (tmp_path / "old.py").rename(tmp_path / "new.py")
+        spec = f"{(tmp_path / 'old.py').as_posix()}:{(tmp_path / 'new.py').as_posix()}"
+        assert analyze_main([str(tmp_path), "--baseline", baseline,
+                             "--baseline-remap", spec]) == 0
+        rc = analyze_main([str(tmp_path), "--baseline", baseline,
+                           "--error-on-new"])
+        assert rc == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_malformed_spec_is_usage_error(self, tmp_path):
+        assert analyze_main([str(tmp_path), "--baseline",
+                             str(tmp_path / "b.json"),
+                             "--baseline-remap", "no-colon"]) == 2
+
+    def test_remap_api_rewrites_fingerprints(self, tmp_path):
+        from repro.analysis.engine import remap_baseline
+
+        (tmp_path / "old.py").write_text(SWALLOW)
+        report = analyze_paths([tmp_path], [BroadExceptRule()], root=tmp_path)
+        baseline_path = tmp_path / "b.json"
+        write_baseline(baseline_path, report.findings)
+        (tmp_path / "old.py").rename(tmp_path / "new.py")
+        changed = remap_baseline(baseline_path, {"old.py": "new.py"})
+        assert changed == 1
+        report = analyze_paths([tmp_path], [BroadExceptRule()], root=tmp_path)
+        assert new_findings(report.findings, load_baseline(baseline_path)) == []
+
+
+class TestSarif:
+    def test_sarif_document_shape(self, tmp_path):
+        from repro.analysis.rules import default_rules
+        from repro.analysis.sarif import to_sarif
+
+        (tmp_path / "bad.py").write_text(SWALLOW)
+        rules = [BroadExceptRule()]
+        report = analyze_paths([tmp_path], rules, root=tmp_path)
+        doc = to_sarif(report.findings, default_rules())
+        assert doc["version"] == "2.1.0"
+        assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+        run = doc["runs"][0]
+        driver = run["tool"]["driver"]
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert "no-bare-broad-except" in rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "no-bare-broad-except"
+        assert result["level"] == "error"
+        assert result["ruleIndex"] == rule_ids.index("no-bare-broad-except")
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "bad.py"
+        assert location["region"]["startLine"] == 4
+        assert "reproAnalysis/v1" in result["partialFingerprints"]
+
+    def test_cli_writes_sarif_file(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(SWALLOW)
+        out = tmp_path / "out.sarif"
+        analyze_main([str(tmp_path), "--baseline", str(tmp_path / "b.json"),
+                      "--sarif-out", str(out)])
+        capsys.readouterr()
+        doc = json.loads(out.read_text())
+        assert doc["runs"][0]["results"], "findings must be exported"
+
+
+class TestParallelScan:
+    def test_jobs_parity_with_serial(self, tmp_path):
+        from repro.analysis.rules import default_rules
+
+        for i in range(6):
+            (tmp_path / f"mod{i}.py").write_text(SWALLOW.replace("def f", f"def f{i}"))
+        serial = analyze_paths([tmp_path], default_rules(), root=tmp_path)
+        parallel = analyze_paths([tmp_path], default_rules(), root=tmp_path, jobs=4)
+        assert fingerprints(serial.findings) == fingerprints(parallel.findings)
+        assert serial.files_scanned == parallel.files_scanned

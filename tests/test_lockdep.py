@@ -1,0 +1,163 @@
+"""Runtime lockdep: the dynamic half of the lock-order contract."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import locks
+from repro.analysis.locks import assert_unheld, ordered_lock
+from repro.analysis.sanitize import LockDep, SanitizerError
+
+
+@pytest.fixture
+def lockdep():
+    previous = locks.active_lockdep()
+    dep = LockDep()
+    locks.set_lockdep(dep)
+    try:
+        yield dep
+    finally:
+        locks.set_lockdep(previous)
+
+
+@pytest.fixture
+def no_lockdep():
+    # The sanitized shard installs a session recorder; these tests are
+    # about the production default, so clear it for their duration.
+    previous = locks.active_lockdep()
+    locks.set_lockdep(None)
+    try:
+        yield
+    finally:
+        locks.set_lockdep(previous)
+
+
+class TestZeroCostOff:
+    def test_without_recorder_ordered_lock_is_plain(self, no_lockdep):
+        lock = ordered_lock("plain.test")
+        # A bare RLock, not a tracking wrapper: no per-acquire overhead.
+        assert not isinstance(lock, locks._TrackedLock)
+        with lock:
+            assert_unheld("plain.test")  # no recorder -> no-op
+
+    def test_locks_created_before_install_stay_plain(self, no_lockdep):
+        early = ordered_lock("early.test")
+        dep = LockDep()
+        locks.set_lockdep(dep)
+        try:
+            with early:
+                assert dep.held_locks() == ()
+        finally:
+            locks.set_lockdep(None)
+
+
+class TestLockDep:
+    def test_consistent_order_records_edges(self, lockdep):
+        a = ordered_lock("t.a")
+        b = ordered_lock("t.b")
+        with a:
+            with b:
+                assert lockdep.held_locks() == ("t.a", "t.b")
+        assert lockdep.held_locks() == ()
+        assert ("t.a", "t.b") in lockdep.edges()
+
+    def test_inverted_acquisition_fails_without_deadlocking(self, lockdep):
+        a = ordered_lock("t.a")
+        b = ordered_lock("t.b")
+        with a:
+            with b:
+                pass
+        # Same thread, opposite nesting: no schedule actually deadlocks
+        # *this* run — lockdep reports the inversion anyway.
+        with b:
+            with pytest.raises(SanitizerError, match="inverts the established order"):
+                a.acquire()
+
+    def test_declared_edges_are_seeded(self, lockdep):
+        first = ordered_lock("t.first")
+        second = ordered_lock("t.second", after=("t.first",))
+        # The very first observed acquisition already contradicts the
+        # declared order: no warm-up nesting needed.
+        with second:
+            with pytest.raises(SanitizerError, match="t.first"):
+                first.acquire()
+
+    def test_cross_thread_edges_build_one_graph(self, lockdep):
+        a = ordered_lock("t.a")
+        b = ordered_lock("t.b")
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        worker = threading.Thread(target=forward, name="fwd")
+        worker.start()
+        worker.join()
+        failures: list[SanitizerError] = []
+
+        def backward():
+            try:
+                with b:
+                    with a:
+                        pass
+            except SanitizerError as exc:
+                failures.append(exc)
+
+        worker = threading.Thread(target=backward, name="bwd")
+        worker.start()
+        worker.join()
+        assert failures, "inversion on another thread must be detected"
+
+    def test_reentrant_reacquire_is_fine(self, lockdep):
+        r = ordered_lock("t.r")
+        with r:
+            with r:
+                assert lockdep.held_locks() == ("t.r", "t.r")
+
+    def test_non_reentrant_reacquire_raises(self, lockdep):
+        m = ordered_lock("t.m", reentrant=False)
+        m.acquire()
+        try:
+            with pytest.raises(SanitizerError, match="non-reentrant"):
+                m.acquire()
+        finally:
+            m.release()
+
+    def test_assert_unheld_guard(self, lockdep):
+        s = ordered_lock("t.s")
+        assert_unheld("t.s")  # not held: fine
+        with s:
+            with pytest.raises(SanitizerError, match="documented to run"):
+                assert_unheld("t.s")
+
+    def test_failed_nonblocking_acquire_does_not_leak_held_state(self, lockdep):
+        m = ordered_lock("t.m2", reentrant=False)
+        hold = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with m:
+                hold.set()
+                release.wait(timeout=5)
+
+        worker = threading.Thread(target=holder)
+        worker.start()
+        hold.wait(timeout=5)
+        try:
+            assert m.acquire(blocking=False) is False
+            assert lockdep.held_locks() == ()
+        finally:
+            release.set()
+            worker.join()
+
+
+class TestEngineIntegration:
+    def test_engine_locks_are_tracked_under_sanitizers(self, lockdep):
+        from repro.cache.storage import ModuleCacheStore
+
+        store = ModuleCacheStore()
+        with store._lock:
+            assert "store" in lockdep.held_locks()
