@@ -642,6 +642,14 @@ class PromptCache:
             if transient:
                 encoder.close()
 
+    def _observe_reencode(self, key: CacheKey, kv: ModuleKV, seconds: float) -> None:
+        """Report a measured module re-encode to stores that price tiers
+        (the fabric's cost model treats re-encode as the most expensive
+        tier). Duck-typed: plain two-tier stores have no observer."""
+        observe = getattr(self.store, "observe_reencode", None)
+        if observe is not None:
+            observe(key, len(kv), seconds)
+
     def _ensure_encoded(
         self, registered: RegisteredSchema, name: str, variant: str, tier: str
     ) -> tuple[ModuleKV, str]:
@@ -653,7 +661,9 @@ class PromptCache:
                 self.store.prefetch([key])
             return self.kv_codec.decode(found.entry.kv), found.tier
         if variant == SOLO_VARIANT:
+            started = time.perf_counter()
             kv = encode_module(self.model, registered.layout.module(name))
+            self._observe_reencode(key, kv, time.perf_counter() - started)
             self.store.put(key, self.kv_codec.encode(kv), tier=tier)
             return kv, tier
         # Scaffold variants are always materialized as a set.
@@ -1334,9 +1344,11 @@ class PromptCache:
             if found.tier == "cpu" and self.promote_on_cpu_hit:
                 self.store.prefetch([key])
             return self.kv_codec.decode(found.entry.kv), found.tier
+        started = time.perf_counter()
         kv = self._encode_segment(
             tuple(int(t) for t in ids), segment.start, segment.end, ancestors
         )
+        self._observe_reencode(key, kv, time.perf_counter() - started)
         self.store.put(key, self.kv_codec.encode(kv), tier=self.default_tier)
         return kv, self.default_tier
 

@@ -369,6 +369,47 @@ def load_store(
     return store
 
 
+def snapshot_catalog(directory: str | Path) -> dict[CacheKey, dict]:
+    """Index a v2 snapshot for lazy per-entry attach.
+
+    Where :func:`attach_snapshot` maps every entry up front, the fabric
+    store treats the snapshot as a cold *tier*: it indexes the records now
+    and materializes individual entries on demand with
+    :func:`load_catalog_entry`. Only v2 snapshots qualify — v1 archives
+    cannot be mapped and would silently degrade the tier to eager loads.
+    """
+    directory = Path(directory)
+    version, entries = _index_entries(directory)
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"fabric snapshot tier needs a v{SNAPSHOT_VERSION} snapshot; "
+            f"{directory} is v{version}"
+        )
+    catalog: dict[CacheKey, dict] = {}
+    for record in entries:
+        key = CacheKey(record["schema"], record["module"], record["variant"])
+        catalog[key] = record
+    return catalog
+
+
+def catalog_entry_nbytes(record: dict) -> int:
+    """On-disk payload bytes of one catalog record (prefetch budgeting)."""
+    return sum(info.get("nbytes", 0) for info in record.get("files", {}).values())
+
+
+def load_catalog_entry(
+    directory: str | Path, record: dict, *, mmap: bool = True, verify: str = "sparse"
+):
+    """Materialize one catalog record; ``None`` (after a warning) when the
+    payload is corrupt, truncated, or missing — the caller re-encodes."""
+    directory = Path(directory)
+    try:
+        return _load_entry_v2(directory, record, mmap, verify)
+    except (OSError, ValueError, KeyError, BadZipFile) as exc:
+        _warn_skip(record, f"unreadable payload ({type(exc).__name__}: {exc})")
+        return None
+
+
 class DigestSweep(threading.Thread):
     """Background full-digest verification of a mapped snapshot.
 

@@ -109,6 +109,9 @@ class TierStats:
     evictions: int = 0
     ttl_evictions: int = 0
     bytes_evicted: int = 0
+    # Miss-fetcher plane only (the store-level ``fetch_stats`` ledger):
+    # a fetcher that raised instead of returning KV-or-None.
+    fetch_errors: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -283,6 +286,11 @@ class CacheTier:
 class FetchResult:
     entry: CacheEntry
     tier: str  # which tier served it ("gpu" fast path or "cpu" copy path)
+    # Where the bytes originally came from this fetch: same as ``tier``
+    # for resident hits, or "snapshot"/"peer" when a fabric store pulled
+    # the entry up from a colder tier on the way. Empty string means the
+    # store predates source tracking (plain two-tier store default).
+    source: str = ""
 
 
 class ModuleCacheStore:
@@ -333,10 +341,49 @@ class ModuleCacheStore:
         # None falls through to the ordinary miss (re-encode upstream).
         # The cluster's PeerFetcher plugs in here.
         self._miss_fetcher = None
+        # Miss-fetch plane ledger: hits = fetcher returned KV, misses =
+        # fetcher declined (None), fetch_errors = fetcher raised.
+        self.fetch_stats = TierStats()  # guarded-by: _lock
+        self._fetch_error_listeners: list = []  # guarded-by: _lock
 
     def set_miss_fetcher(self, fn) -> None:
         """Install (or clear, with ``None``) the both-tier-miss hook."""
         self._miss_fetcher = fn
+
+    def add_fetch_error_listener(self, fn) -> None:
+        """Register ``fn(key, exc)``, called (outside the store lock) each
+        time the miss fetcher raises. The runtime uses it to export
+        per-reason error counters."""
+        with self._lock:
+            self._fetch_error_listeners.append(fn)
+
+    def _run_miss_fetcher(self, key: CacheKey):
+        """Invoke the miss fetcher, degrading a raised exception into an
+        ordinary miss (``None`` → re-encode upstream) after recording it.
+
+        A fetcher blowing up mid-fetch (peer died, socket reset, codec
+        mismatch) must not take the serve path down with it — re-encoding
+        locally is always a correct fallback. Runs outside the store lock,
+        like the fetcher itself.
+        """
+        fetcher = self._miss_fetcher
+        if fetcher is None:
+            return None
+        try:
+            kv = fetcher(key)
+        except Exception as exc:
+            with self._lock:
+                self.fetch_stats.fetch_errors += 1
+                listeners = list(self._fetch_error_listeners)
+            for listener in listeners:
+                listener(key, exc)
+            return None
+        with self._lock:
+            if kv is None:
+                self.fetch_stats.misses += 1
+            else:
+                self.fetch_stats.hits += 1
+        return kv
 
     def tier(self, name: str) -> CacheTier:
         if name == "gpu":
@@ -366,17 +413,14 @@ class ModuleCacheStore:
         with self._lock:
             entry = self.gpu.get(key)
             if entry is not None:
-                return FetchResult(entry=entry, tier="gpu")
+                return FetchResult(entry=entry, tier="gpu", source="gpu")
             entry = self.cpu.get(key)
             if entry is not None:
-                return FetchResult(entry=entry, tier="cpu")
+                return FetchResult(entry=entry, tier="cpu", source="cpu")
         # Full miss: give the get-or-fetch hook a chance to pull the
         # entry from elsewhere (a cluster peer). Deliberately outside the
         # lock — the hook may block on I/O, and it re-enters ``put``.
-        fetcher = self._miss_fetcher
-        if fetcher is None:
-            return None
-        kv = fetcher(key)
+        kv = self._run_miss_fetcher(key)
         if kv is None:
             return None
         self.put(key, kv, tier="gpu")
@@ -386,7 +430,7 @@ class ModuleCacheStore:
             for tier in (self.gpu, self.cpu):
                 entry = tier.peek(key)
                 if entry is not None:
-                    return FetchResult(entry=entry, tier=tier.name)
+                    return FetchResult(entry=entry, tier=tier.name, source="peer")
         return None  # evicted in the gap; treat as a miss
 
     def peek(self, key: CacheKey) -> CacheEntry | None:

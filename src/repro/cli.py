@@ -7,7 +7,8 @@ analyze    run the repo's own AST lint rules (repro.analysis) over src/
 serve      serve a PML prompt against a schema with a seeded engine
 serve-live run the async serving runtime under a seeded open-loop trace
 serve-cluster  run N sharded workers behind the cache-affinity router
-               (``--attach-snapshot DIR`` maps a shared warm snapshot)
+               (``--attach-snapshot DIR`` maps a shared warm snapshot;
+               ``--fabric`` swaps in the tiered cache fabric)
 warm       encode a schema set across a process pool and (optionally)
            write a memmap-ready v2 snapshot for later attach
 loadgen    synthesize a serving trace and print its shape (``--cluster N``
@@ -15,6 +16,8 @@ loadgen    synthesize a serving trace and print its shape (``--cluster N``
 reuse-stats  run a seeded raw-text workload through reuse discovery and
              print trie/miner statistics (``serve-live --discover`` runs
              the same traffic through the async runtime)
+fabric-stats run a seeded schema workload through the tiered cache
+             fabric and print tier/placement/prefetch statistics
 tokenize   show how the shared tokenizer splits a text
 ttft       modeled TTFT for a paper-shape model on a paper device
 datasets   list the synthetic evaluation suite
@@ -140,6 +143,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="map a v2 snapshot (from `repro warm --out`) "
                               "read-only into every worker's store — one "
                               "resident copy of the module KV per host")
+    cluster.add_argument("--fabric", action="store_true",
+                         help="give every worker a tiered FabricStore: "
+                              "cost-model placement, predictive prefetch, "
+                              "snapshot as a lazily paged-in tier, and "
+                              "residency advertised to the router")
+    cluster.add_argument("--fabric-gpu-kb", type=_positive(int), default=None,
+                         help="[--fabric] fast-tier capacity per worker "
+                              "(forces demotions/drops)")
     cluster.add_argument("--format", default="summary",
                          choices=["summary", "prom", "json"])
 
@@ -196,6 +207,26 @@ def _build_parser() -> argparse.ArgumentParser:
     reuse.add_argument("--seed", type=int, default=0)
     reuse.add_argument("--format", default="summary", choices=["summary", "json"])
 
+    fabric = sub.add_parser(
+        "fabric-stats",
+        help="run a seeded schema workload through the tiered cache fabric "
+             "and print tier / placement / prefetch statistics",
+    )
+    fabric.add_argument("--arch", default="llama", choices=["llama", "falcon", "mpt", "gpt2"])
+    fabric.add_argument("--size", default="tiny", choices=["tiny", "small"])
+    fabric.add_argument("--schemas", type=_positive(int), default=4)
+    fabric.add_argument("--module-tokens", type=_positive(int), default=48)
+    fabric.add_argument("--requests", type=_positive(int), default=24)
+    fabric.add_argument("--max-new-tokens", type=_positive(int), default=2)
+    fabric.add_argument("--gpu-capacity-kb", type=_positive(int), default=None,
+                        help="fast-tier budget (small values force "
+                             "demote/drop placement decisions)")
+    fabric.add_argument("--snapshot", type=Path, default=None, metavar="DIR",
+                        help="v2 snapshot (from `repro warm --out`) to use "
+                             "as the lazily paged-in mmap tier")
+    fabric.add_argument("--seed", type=int, default=0)
+    fabric.add_argument("--format", default="summary", choices=["summary", "json"])
+
     tokenize = sub.add_parser("tokenize", help="tokenize text with the shared BPE")
     tokenize.add_argument("text")
 
@@ -222,6 +253,7 @@ def main(argv: list[str] | None = None) -> int:
         "warm": _cmd_warm,
         "loadgen": _cmd_loadgen,
         "reuse-stats": _cmd_reuse_stats,
+        "fabric-stats": _cmd_fabric_stats,
         "tokenize": _cmd_tokenize,
         "ttft": _cmd_ttft,
         "datasets": _cmd_datasets,
@@ -465,10 +497,14 @@ def _cmd_serve_cluster(args) -> int:
         batch_max_wait_s=args.batch_wait,
     )
     attach = str(args.attach_snapshot) if args.attach_snapshot else None
+    fabric_options = None
+    if args.fabric and args.fabric_gpu_kb:
+        fabric_options = {"gpu_capacity_bytes": args.fabric_gpu_kb * 1024}
     workers = [
         ClusterWorker(
             f"w{i}", model, tok, template=PLAIN_TEMPLATE, options=options,
-            attach_snapshot=attach,
+            attach_snapshot=attach, fabric=args.fabric,
+            fabric_options=fabric_options,
         )
         for i in range(args.workers)
     ]
@@ -522,7 +558,17 @@ def _cmd_serve_cluster(args) -> int:
           f"re-encode avoided {avoided:g} tokens")
     shares = ", ".join(f"{n}={s:.2f}" for n, s in sorted(snap["ring"].items()))
     print(f"ring ownership: {shares}")
-    if attach is not None:
+    if args.fabric:
+        fab = workers[0].store.fabric_snapshot()
+        placement = fab["placement"]
+        prefetch = fab["prefetch"]
+        print(f"fabric (w0): {fab['catalog_entries']} cataloged, "
+              f"{fab['reencodes']} re-encode(s), "
+              f"placement +{placement['promotions']}/-{placement['demotions']}"
+              f"/x{placement['drops']}, "
+              f"prefetch planned {prefetch['planned']} "
+              f"(budget-denied {prefetch['skipped_budget']})")
+    elif attach is not None:
         from repro.cache.persist import resident_snapshot_bytes
 
         mapped = workers[0].store.mapped_bytes()
@@ -716,6 +762,77 @@ def _cmd_reuse_stats(args) -> int:
           f"({cached} cached / {uncached} uncached prompt tokens)")
     if snap["last_promotion_error"]:
         print(f"last promotion error: {snap['last_promotion_error']}")
+    return 0
+
+
+def _cmd_fabric_stats(args) -> int:
+    import json
+
+    from repro.cache.engine import PromptCache
+    from repro.fabric import FabricStore
+    from repro.llm import build_model, small_config, tiny_config
+    from repro.pml.chat import PLAIN_TEMPLATE
+    from repro.server import build_workload
+    from repro.serving.traces import SchemaProfile
+    from repro.tokenizer import default_tokenizer
+
+    tok = default_tokenizer()
+    make = tiny_config if args.size == "tiny" else small_config
+    model = build_model(make(args.arch, vocab_size=tok.vocab_size), seed=args.seed)
+    store = FabricStore(
+        gpu_capacity_bytes=(
+            args.gpu_capacity_kb * 1024 if args.gpu_capacity_kb else None
+        ),
+        snapshot_dir=str(args.snapshot) if args.snapshot else None,
+    )
+    pc = PromptCache(model, tok, store=store, template=PLAIN_TEMPLATE)
+    profiles = [
+        SchemaProfile(
+            name=f"schema{i}",
+            module_tokens=args.module_tokens,
+            uncached_mean=10,
+            decode_mean=args.max_new_tokens,
+            weight=1.0 / (i + 1),
+        )
+        for i in range(args.schemas)
+    ]
+    workload = build_workload(profiles, tok, seed=args.seed)
+    workload.register(pc)
+    # Round-robin over the schema pool with a maintenance tick between
+    # requests — the offline analogue of the serving loop's idle hook, so
+    # sweeps, placement decisions, and prefetch planning all exercise.
+    for i in range(args.requests):
+        schema = profiles[i % len(profiles)].name
+        pc.serve(
+            workload.prompt_for(schema, i, 10),
+            max_new_tokens=args.max_new_tokens,
+        )
+        store.maintenance()
+    snap = store.fabric_snapshot()
+    if args.format == "json":
+        print(json.dumps(snap, indent=2, sort_keys=True, default=str))
+        return 0
+    print(f"{args.requests} request(s) over {args.schemas} schema(s) "
+          f"(seed {args.seed}, fast tier "
+          f"{args.gpu_capacity_kb or 'unbounded'} KiB)")
+    for tier in ("gpu", "cpu", "snapshot", "peer"):
+        stats = snap["tiers"][tier]
+        print(f"  {tier:<9} hits {stats['hits']:>5}  misses {stats['misses']:>5}  "
+              f"evictions {stats['evictions']:>3}")
+    placement = snap["placement"]
+    print(f"placement: {placement['promotions']} promotion(s), "
+          f"{placement['demotions']} demotion(s), {placement['drops']} drop(s), "
+          f"{placement['tracked_keys']} tracked key(s)")
+    prefetch = snap["prefetch"]
+    print(f"prefetch: {prefetch['planned']} planned, "
+          f"{prefetch['skipped_budget']} budget-denied, "
+          f"{prefetch['skipped_cold']} cold-skipped "
+          f"({prefetch['budget_granted_bytes']:.0f} bytes granted)")
+    costs = snap["costs"]
+    print(f"costs: peer RTT {1000 * costs['peer_rtt_s']:.2f} ms, "
+          f"re-encode {1e6 * costs['reencode_s_per_token']:.1f} us/token "
+          f"({snap['reencodes']} observed), "
+          f"{snap['catalog_entries']} snapshot entr(ies) cataloged")
     return 0
 
 

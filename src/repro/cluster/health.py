@@ -30,6 +30,11 @@ class WorkerHealth:
     last_beat_at: float = 0.0
     queue_depth: int = 0
     beats: int = 0
+    # Module tags ("schema/module/variant") this worker can serve without
+    # re-encoding — resident in a DRAM tier or mapped from its snapshot.
+    # Advertised in heartbeats (capped by the worker); the router prefers
+    # residency over plain consistent-hash placement.
+    resident: frozenset = frozenset()
 
     @property
     def routable(self) -> bool:
@@ -76,9 +81,17 @@ class HeartbeatMonitor:
         self.workers[name] = health
         return health
 
-    def beat(self, name: str, state: str = UP, queue_depth: int = 0) -> None:
+    def beat(
+        self,
+        name: str,
+        state: str = UP,
+        queue_depth: int = 0,
+        resident=None,
+    ) -> None:
         """Record one heartbeat. A beat from a ``dead`` worker does not
-        resurrect it — the router already rebalanced; rejoin is explicit."""
+        resurrect it — the router already rebalanced; rejoin is explicit.
+        ``resident`` (an iterable of module tags, or None to leave the
+        last advertisement standing) feeds residency-aware routing."""
         if state not in _STATES:
             raise ValueError(f"unknown health state {state!r}")
         health = self.workers.get(name)
@@ -91,6 +104,8 @@ class HeartbeatMonitor:
         health.last_beat_at = self.clock()
         health.queue_depth = queue_depth
         health.beats += 1
+        if resident is not None:
+            health.resident = frozenset(resident)
 
     def declare_dead(self, name: str, reason: str = "declared") -> bool:
         health = self.workers.get(name)

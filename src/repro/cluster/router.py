@@ -13,6 +13,14 @@ The spilled worker will miss locally on the home worker's modules and
 pull them over the distribution plane — one fetch, then warm — which is
 exactly the trade the plane exists to make cheap.
 
+Residency beats the ring: workers advertise the module tags they can
+serve without re-encoding (DRAM tiers, plus the snapshot catalog on
+fabric stores) in their heartbeats, and ``pick_worker`` prefers a
+healthy, unsaturated worker already holding the request's modules over
+plain consistent-hash placement. The ring remains the fallback — and the
+tiebreak — so placement stays stable when nobody (or everybody) is
+resident, and failover still walks the preference list.
+
 Failure model: workers heartbeat into a :class:`HeartbeatMonitor`; the
 router's watchdog sweeps for silent workers, declares them dead, removes
 them from the ring (``cluster_rebalance_total``), and releases their
@@ -27,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 
+from repro.cache.storage import CacheKey
 from repro.cluster.health import DEAD, HeartbeatMonitor, UP
 from repro.cluster.ring import HashRing
 from repro.cluster.worker import ClusterWorker
@@ -53,9 +62,7 @@ class NoWorkerAvailable(ServerClosed):
     """Every worker is dead, draining, or already tried for this request."""
 
 
-def routing_key(prompt: PromptNode) -> str:
-    """``schema|sorted imported modules`` — prompts importing the same
-    module set share a placement (and therefore a warm store)."""
+def _imported_names(prompt: PromptNode) -> set[str]:
     names: set[str] = set()
 
     def walk(children) -> None:
@@ -65,7 +72,22 @@ def routing_key(prompt: PromptNode) -> str:
                 walk(child.children)
 
     walk(prompt.children)
-    return f"{prompt.schema}|{','.join(sorted(names))}"
+    return names
+
+
+def routing_key(prompt: PromptNode) -> str:
+    """``schema|sorted imported modules`` — prompts importing the same
+    module set share a placement (and therefore a warm store)."""
+    return f"{prompt.schema}|{','.join(sorted(_imported_names(prompt)))}"
+
+
+def module_tags(prompt: PromptNode) -> frozenset:
+    """Store tags (``schema/module/solo``) for the modules a prompt
+    imports — the same vocabulary workers advertise residency in, so the
+    router can intersect the two when placing the request."""
+    return frozenset(
+        CacheKey(prompt.schema, name).tag() for name in _imported_names(prompt)
+    )
 
 
 class ClusterRouter:
@@ -186,8 +208,19 @@ class ClusterRouter:
                 return worker.pc.tokenizer
         raise NoWorkerAvailable("every worker is dead")
 
-    def pick_worker(self, key: str, exclude: set[str] | None = None) -> ClusterWorker | None:
-        """Home-or-spill placement among healthy workers."""
+    def pick_worker(
+        self,
+        key: str,
+        exclude: set[str] | None = None,
+        resident_tags: frozenset | None = None,
+    ) -> ClusterWorker | None:
+        """Residency-first, then home-or-spill placement among healthy
+        workers. A worker already advertising the request's modules as
+        resident serves them without a peer fetch or re-encode, so it
+        outranks the consistent-hash home; ring preference breaks score
+        ties, and saturated workers are passed over the same way a
+        saturated home spills. No residency overlap (or none with queue
+        room) falls through to plain ring placement."""
         exclude = exclude or set()
         prefs = [
             name for name in self.ring.preference_list(key)
@@ -195,6 +228,9 @@ class ClusterRouter:
         ]
         if not prefs:
             return None
+        resident = self._pick_resident(prefs, resident_tags)
+        if resident is not None:
+            return resident
         home = self.workers[prefs[0]]
         if home.server.queue_depth < self.spill_queue_depth:
             return home
@@ -211,6 +247,38 @@ class ClusterRouter:
                 ).inc()
                 return spill
         return home
+
+    def _pick_resident(
+        self, prefs: list[str], resident_tags: frozenset | None
+    ) -> ClusterWorker | None:
+        """Best residency overlap among routable workers with queue room;
+        ``prefs`` arrives in ring-preference order, which is the tiebreak
+        (strictly-better score required to displace an earlier worker)."""
+        if not resident_tags:
+            return None
+        best_name, best_score = None, 0
+        for name in prefs:
+            health = self.monitor.workers.get(name)
+            if health is None:
+                continue
+            score = len(resident_tags & health.resident)
+            if (
+                score > best_score
+                and self.workers[name].server.queue_depth < self.spill_queue_depth
+            ):
+                best_name, best_score = name, score
+        if best_name is None:
+            return None
+        self.metrics.counter(
+            "cluster_residency_routed_total",
+            "requests placed on a worker already holding their modules",
+        ).inc()
+        if best_name != prefs[0]:
+            self.metrics.counter(
+                "cluster_residency_over_ring_total",
+                "residency placements that overrode the hash-ring home",
+            ).inc()
+        return self.workers[best_name]
 
     def _routable(self, name: str) -> bool:
         health = self.monitor.workers.get(name)
@@ -250,9 +318,11 @@ class ClusterRouter:
         expiry) propagate: they are end-to-end answers, not failures of a
         particular worker.
         """
+        parsed = parse_prompt(prompt)
         return await self._serve_placed(
-            self.route_key(prompt),
+            routing_key(parsed),
             lambda worker: worker.server.submit(prompt, **kwargs),
+            resident_tags=module_tags(parsed),
         )
 
     async def serve_text(self, text: str, **kwargs):
@@ -265,10 +335,10 @@ class ClusterRouter:
             lambda worker: worker.server.submit_text(text, **kwargs),
         )
 
-    async def _serve_placed(self, key: str, submit):
+    async def _serve_placed(self, key: str, submit, resident_tags=None):
         tried: set[str] = set()
         while True:
-            worker = self.pick_worker(key, exclude=tried)
+            worker = self.pick_worker(key, exclude=tried, resident_tags=resident_tags)
             if worker is None:
                 raise NoWorkerAvailable(
                     f"no healthy worker for {key!r} (tried {sorted(tried)})"
@@ -367,7 +437,12 @@ class ClusterRouter:
                 if not worker._killed
             },
             "health": {
-                name: {"state": h.state, "queue_depth": h.queue_depth, "beats": h.beats}
+                name: {
+                    "state": h.state,
+                    "queue_depth": h.queue_depth,
+                    "beats": h.beats,
+                    "resident": len(h.resident),
+                }
                 for name, h in self.monitor.workers.items()
             },
             "ring": self.ring.ownership_share(),

@@ -36,6 +36,7 @@ import threading
 from repro.analysis.locks import assert_unheld
 from repro.cache.engine import PromptCache
 from repro.cache.storage import CacheKey, ModuleCacheStore
+from repro.hw.allocator import CapacityError
 from repro.cluster.exporter import CacheExporter
 from repro.cluster.fetcher import FetchFailed, PeerFetcher
 from repro.cluster.health import DEAD, DRAINING, UP
@@ -63,6 +64,9 @@ class ClusterWorker:
         heartbeat_interval_s: float = 0.05,
         attach_snapshot: str | None = None,
         discovery=None,
+        fabric: bool = False,
+        fabric_options: dict | None = None,
+        residency_tag_limit: int = 256,
     ) -> None:
         self.name = name
         self.metrics = MetricsRegistry()
@@ -72,13 +76,24 @@ class ClusterWorker:
         # KV. The background digest sweep handle is kept so tests (and
         # shutdown paths) can join it.
         self.snapshot_sweep = None
-        if attach_snapshot is not None and store is None:
+        if fabric and store is None:
+            # Fabric mode: the five-tier FabricStore replaces the plain
+            # two-tier store *and* subsumes the snapshot (as a lazy tier,
+            # cataloged up front and paged in per entry on demand rather
+            # than attached wholesale).
+            from repro.fabric import FabricStore
+
+            store = FabricStore(
+                snapshot_dir=attach_snapshot, **(fabric_options or {})
+            )
+        elif attach_snapshot is not None and store is None:
             from repro.cache.persist import attach_snapshot as _attach
 
             attached = _attach(attach_snapshot, metrics=self.metrics)
             store = attached.store
             self.snapshot_sweep = attached.sweep
         self.store = store or ModuleCacheStore()
+        self.residency_tag_limit = residency_tag_limit
         self.pc = PromptCache(
             model, tokenizer, store=self.store, template=template, kv_codec=kv_codec,
             encode_metrics=self.metrics,
@@ -128,6 +143,10 @@ class ClusterWorker:
         await self.exporter.start()
         await self.server.start()
         self.store.set_miss_fetcher(self._miss_fetch)
+        if hasattr(self.store, "peer_prefetch"):
+            # Fabric stores issue predictive peer pulls through the same
+            # plane the miss hook uses, but fire-and-forget on the loop.
+            self.store.peer_prefetch = self._peer_prefetch
         self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
         self._beat()
         return self
@@ -183,12 +202,34 @@ class ClusterWorker:
             # depth when placing latency-sensitive traffic.
             "inflight": self.server.inflight,
             "continuous": self.server.continuous,
+            "resident_modules": len(self._residency_tags()),
         }
+
+    def _residency_tags(self) -> list[str]:
+        """Module tags this worker can serve without re-encoding, for the
+        heartbeat's residency advertisement. Fabric stores include their
+        snapshot catalog (mapped counts as near-resident); plain stores
+        advertise their DRAM tiers."""
+        tags_fn = getattr(self.store, "residency_tags", None)
+        if tags_fn is not None:
+            return tags_fn(limit=self.residency_tag_limit)
+        tags: list[str] = []
+        for tier in (self.store.gpu, self.store.cpu):
+            for key in tier.keys():
+                tags.append(key.tag())
+                if len(tags) >= self.residency_tag_limit:
+                    return tags
+        return tags
 
     def _beat(self, state: str | None = None) -> None:
         sink = self.heartbeat_sink
         if sink is not None:
-            sink(self.name, state or self.state, self.server.queue_depth)
+            sink(
+                self.name,
+                state or self.state,
+                self.server.queue_depth,
+                self._residency_tags(),
+            )
 
     async def _heartbeat_loop(self) -> None:
         while True:
@@ -240,6 +281,34 @@ class ClusterWorker:
                 ).inc()
                 return kv
         return None
+
+    def _peer_prefetch(self, key: CacheKey) -> bool:
+        """Fabric prefetch hook (engine/executor thread): schedule a
+        fire-and-forget peer pull on the loop. Unlike :meth:`_miss_fetch`
+        nothing waits on the result — a prefetch that loses the race to
+        the demand fetch is merely redundant."""
+        loop, resolver = self._loop, self.peer_resolver
+        if loop is None or resolver is None or self._killed:
+            return False
+        try:
+            asyncio.run_coroutine_threadsafe(self._prefetch_from_peers(key), loop)
+        except RuntimeError:
+            return False  # loop already closed (worker stopping)
+        return True
+
+    async def _prefetch_from_peers(self, key: CacheKey) -> None:
+        kv = await self._fetch_from_peers(key)
+        if kv is None:
+            return
+        try:
+            # Prefetches land in DRAM; demand promotes them up later.
+            self.store.put(key, kv, tier="cpu")
+        except CapacityError:
+            return  # resident entries outrank a prediction
+        self.metrics.counter(
+            "cluster_peer_prefetch_total",
+            "modules pulled from peers ahead of predicted demand",
+        ).inc()
 
     def _count_plane(self, outcome: str) -> None:
         self.metrics.counter(

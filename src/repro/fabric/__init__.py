@@ -1,0 +1,36 @@
+"""repro.fabric — tiered cache fabric with placement and prefetch.
+
+Unifies the repo's four storage planes (HBM-sim/DRAM tiers, mapped v2
+snapshots, cluster peer fetch, re-encode) into one hierarchy behind the
+:class:`FabricStore` facade. See ``docs/ARCHITECTURE.md`` Layer 11.
+"""
+
+from repro.fabric.costs import (
+    TIER_CPU,
+    TIER_GPU,
+    TIER_ORDER,
+    TIER_PEER,
+    TIER_REENCODE,
+    TIER_SNAPSHOT,
+    TierCostModel,
+    analytic_cost_model,
+)
+from repro.fabric.placement import PlacementEngine
+from repro.fabric.prefetch import ByteBudget, PredictivePrefetcher, PrefetchAction
+from repro.fabric.store import FabricStore
+
+__all__ = [
+    "ByteBudget",
+    "FabricStore",
+    "PlacementEngine",
+    "PredictivePrefetcher",
+    "PrefetchAction",
+    "TIER_CPU",
+    "TIER_GPU",
+    "TIER_ORDER",
+    "TIER_PEER",
+    "TIER_REENCODE",
+    "TIER_SNAPSHOT",
+    "TierCostModel",
+    "analytic_cost_model",
+]

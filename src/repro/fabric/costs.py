@@ -1,0 +1,120 @@
+"""Per-tier fetch cost models for the cache fabric.
+
+The fabric sees five ways to materialize a module's KV, ordered here from
+cheapest to most expensive in the common case:
+
+- ``gpu``   — already resident in the HBM-sim tier (device-local copy).
+- ``cpu``   — resident in host DRAM (host-to-device copy).
+- ``snapshot`` — mapped v2 snapshot on disk (page-in at MMAP_PAGEIN rate
+  plus the sparse-digest probe).
+- ``peer``  — a cluster peer holds it (one RTT plus wire transfer).
+- ``reencode`` — nobody holds it; a full prefill of the module text.
+
+The first three are priced straight off the shared ``hw.transfer`` route
+table; peer RTT and re-encode throughput are *measured* online (EWMA over
+live observations) because they depend on the deployment, not the host.
+All costs come back in seconds, so placement decisions reduce to plain
+arithmetic on a single unit.
+"""
+
+from __future__ import annotations
+
+from repro.hw.transfer import Route, copy_latency
+
+TIER_GPU = "gpu"
+TIER_CPU = "cpu"
+TIER_SNAPSHOT = "snapshot"
+TIER_PEER = "peer"
+TIER_REENCODE = "reencode"
+
+# Canonical cold-to-hot ordering of the fabric hierarchy.
+TIER_ORDER = (TIER_GPU, TIER_CPU, TIER_SNAPSHOT, TIER_PEER, TIER_REENCODE)
+
+_TIER_ROUTE = {
+    TIER_GPU: Route.DEVICE_TO_DEVICE,
+    TIER_CPU: Route.HOST_TO_DEVICE,
+    TIER_SNAPSHOT: Route.MMAP_PAGEIN,
+    TIER_PEER: Route.PEER_NET,
+}
+
+
+class TierCostModel:
+    """Seconds-to-fetch estimates per tier, refined by live observations.
+
+    ``peer_rtt_s`` and ``reencode_s_per_token`` start at conservative
+    priors and converge by EWMA as the store observes real peer fetches
+    and re-encodes. Updates are plain float stores (GIL-atomic); readers
+    may see a value one observation stale, which placement tolerates.
+    """
+
+    def __init__(
+        self,
+        *,
+        peer_rtt_s: float = 2e-3,
+        reencode_s_per_token: float = 1e-3,
+        alpha: float = 0.25,
+    ) -> None:
+        self.peer_rtt_s = peer_rtt_s
+        self.reencode_s_per_token = reencode_s_per_token
+        self.alpha = alpha
+        self.peer_observations = 0
+        self.reencode_observations = 0
+
+    def observe_peer_rtt(self, seconds: float) -> None:
+        """Fold one measured peer fetch round-trip into the estimate."""
+        if seconds < 0:
+            return
+        self.peer_rtt_s += self.alpha * (seconds - self.peer_rtt_s)
+        self.peer_observations += 1
+
+    def observe_reencode(self, tokens: int, seconds: float) -> None:
+        """Fold one measured module re-encode into the per-token rate."""
+        if tokens <= 0 or seconds < 0:
+            return
+        rate = seconds / tokens
+        self.reencode_s_per_token += self.alpha * (rate - self.reencode_s_per_token)
+        self.reencode_observations += 1
+
+    def fetch_cost_s(self, tier: str, nbytes: int, tokens: int = 0) -> float:
+        """Estimated seconds to materialize ``nbytes`` of KV from ``tier``.
+
+        ``tokens`` is only consulted for the re-encode tier, whose cost is
+        compute-bound (per token), not byte-bound.
+        """
+        if tier == TIER_REENCODE:
+            return max(tokens, 1) * self.reencode_s_per_token
+        if tier == TIER_PEER:
+            return self.peer_rtt_s + copy_latency(nbytes, Route.PEER_NET)
+        route = _TIER_ROUTE.get(tier)
+        if route is None:
+            raise KeyError(f"unknown fabric tier {tier!r}; expected one of {TIER_ORDER}")
+        return copy_latency(nbytes, route)
+
+    def rank_tiers(
+        self, nbytes: int, tokens: int = 0, tiers: tuple[str, ...] = TIER_ORDER
+    ) -> list[tuple[str, float]]:
+        """``(tier, cost_s)`` pairs for ``tiers``, cheapest first."""
+        ranked = [(tier, self.fetch_cost_s(tier, nbytes, tokens)) for tier in tiers]
+        ranked.sort(key=lambda pair: pair[1])
+        return ranked
+
+    def snapshot(self) -> dict:
+        return {
+            "peer_rtt_s": self.peer_rtt_s,
+            "reencode_s_per_token": self.reencode_s_per_token,
+            "peer_observations": self.peer_observations,
+            "reencode_observations": self.reencode_observations,
+        }
+
+
+def analytic_cost_model(config, dev, typical_module_tokens: int = 512) -> TierCostModel:
+    """Seed a cost model from the analytic TTFT model instead of priors.
+
+    Uses ``baseline_ttft`` (a module re-encode *is* a prefill of its text)
+    to derive the starting per-token re-encode rate for this model/device
+    pair; live observations still refine it.
+    """
+    from repro.hw.latency import baseline_ttft
+
+    total_s = baseline_ttft(config, typical_module_tokens, dev).total_s
+    return TierCostModel(reencode_s_per_token=total_s / typical_module_tokens)

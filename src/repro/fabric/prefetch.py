@@ -1,0 +1,163 @@
+"""Predictive prefetch: budgeted up-tier pulls ahead of demand.
+
+The prefetcher answers one question per maintenance tick: *which modules
+should be pulled up a tier right now?* Its inputs are the placement
+engine's live demand ledger (per-key inter-arrival EWMAs mined from the
+hit stream) plus optional per-schema priors mined from a serving trace
+(:func:`repro.serving.traces.schema_interarrivals`) — the priors cover
+keys that have been seen too few times to carry their own estimate.
+
+A key is planned when its next predicted arrival lands inside the lead
+window and it is not already resident in a fast tier. Every planned pull
+is charged against a bytes/s token bucket, so a burst of predictions can
+never flood the memory bus the decode loop is using — the scheduler calls
+``maintenance`` only on spare-capacity iterations, and the budget bounds
+the damage even then.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabric.placement import PlacementEngine
+
+
+class ByteBudget:
+    """Token bucket in bytes: refills at ``bytes_per_s``, capped at burst."""
+
+    def __init__(
+        self, bytes_per_s: float, *, burst_bytes: float | None = None, clock=None
+    ) -> None:
+        if bytes_per_s <= 0:
+            raise ValueError(f"bytes_per_s must be positive, got {bytes_per_s!r}")
+        self.bytes_per_s = bytes_per_s
+        self.burst_bytes = burst_bytes if burst_bytes is not None else bytes_per_s
+        self._available = self.burst_bytes
+        self._last_refill: float | None = None
+        self.granted_bytes = 0
+        self.denied = 0
+
+    def _refill(self, now: float) -> None:
+        if self._last_refill is not None:
+            elapsed = max(now - self._last_refill, 0.0)
+            self._available = min(
+                self.burst_bytes, self._available + elapsed * self.bytes_per_s
+            )
+        self._last_refill = now
+
+    def take(self, nbytes: int, now: float) -> bool:
+        """Charge ``nbytes`` against the bucket; False means over budget."""
+        self._refill(now)
+        if nbytes > self._available:
+            self.denied += 1
+            return False
+        self._available -= nbytes
+        self.granted_bytes += nbytes
+        return True
+
+    def available(self, now: float) -> float:
+        self._refill(now)
+        return self._available
+
+
+@dataclass(frozen=True)
+class PrefetchAction:
+    """One planned up-tier pull."""
+
+    key: object  # CacheKey
+    source: str  # "snapshot" or "peer"
+    nbytes: int
+
+
+class PredictivePrefetcher:
+    """Plans budgeted up-tier pulls from demand estimates.
+
+    The store owns tier state; the prefetcher is pure planning. Each
+    ``plan`` call receives the current candidate set — keys *not* resident
+    in a fast tier, with where they can be pulled from and how big they
+    are — and returns the subset worth pulling now, budget permitting.
+    """
+
+    def __init__(
+        self,
+        placement: PlacementEngine,
+        *,
+        bytes_per_s: float = 64e6,
+        lead_s: float | None = None,
+    ) -> None:
+        self.placement = placement
+        self.budget = ByteBudget(bytes_per_s)
+        # How far before the predicted arrival a pull may start; defaults
+        # to the placement horizon so the two stay consistent.
+        self.lead_s = lead_s if lead_s is not None else placement.horizon_s
+        self.schema_priors: dict[str, float] = {}
+        self.planned = 0
+        self.skipped_budget = 0
+        self.skipped_cold = 0
+
+    def seed_interarrival(self, schema: str, seconds: float) -> None:
+        """Install a per-schema inter-arrival prior (e.g. mined offline)."""
+        if seconds > 0:
+            self.schema_priors[schema] = seconds
+
+    def seed_from_trace(self, trace) -> None:
+        """Mine per-schema priors from a list of ``TraceRequest``."""
+        from repro.serving.traces import schema_interarrivals
+
+        for schema, gap in schema_interarrivals(trace).items():
+            self.seed_interarrival(schema, gap)
+
+    def _predicted_gap(self, key) -> float | None:
+        demand = self.placement.demand_for(key)
+        if demand is not None and demand.interarrival_s:
+            return demand.interarrival_s
+        return self.schema_priors.get(key.schema)
+
+    def due(self, key, now: float) -> bool:
+        """Is ``key``'s next predicted arrival inside the lead window?"""
+        gap = self._predicted_gap(key)
+        if gap is None:
+            return False
+        demand = self.placement.demand_for(key)
+        last_seen = demand.last_seen if demand is not None else now
+        next_arrival = last_seen + gap
+        # Stale patterns don't extrapolate: if several gaps have already
+        # passed silently, the schema's cadence changed.
+        if now - last_seen > self.placement.cold_factor * gap:
+            return False
+        return next_arrival - now <= self.lead_s
+
+    def plan(self, candidates: dict, now: float) -> list[PrefetchAction]:
+        """Pick budgeted pulls from ``{key: (source, nbytes)}`` candidates.
+
+        Candidates are considered most-demanded first (shortest predicted
+        gap), so when the budget runs out it is the marginal keys that
+        wait for the next tick.
+        """
+        due = []
+        for key, (source, nbytes) in candidates.items():
+            if not self.due(key, now):
+                self.skipped_cold += 1
+                continue
+            gap = self._predicted_gap(key) or float("inf")
+            due.append((gap, key, source, nbytes))
+        due.sort(key=lambda item: item[0])
+        actions: list[PrefetchAction] = []
+        for _, key, source, nbytes in due:
+            if not self.budget.take(nbytes, now):
+                self.skipped_budget += 1
+                continue
+            actions.append(PrefetchAction(key=key, source=source, nbytes=nbytes))
+            self.planned += 1
+        return actions
+
+    def snapshot(self) -> dict:
+        return {
+            "planned": self.planned,
+            "skipped_budget": self.skipped_budget,
+            "skipped_cold": self.skipped_cold,
+            "budget_bytes_per_s": self.budget.bytes_per_s,
+            "budget_granted_bytes": self.budget.granted_bytes,
+            "budget_denied": self.budget.denied,
+            "schema_priors": dict(self.schema_priors),
+        }

@@ -1,0 +1,274 @@
+"""FabricStore: the five-tier cache fabric behind one store facade.
+
+``FabricStore`` extends the two-tier :class:`ModuleCacheStore` with the
+rest of the storage hierarchy the paper leaves to future work (§storage
+hierarchy): a mapped v2 snapshot as a third, disk-backed tier; the
+cluster peer plane (the existing miss-fetcher hook) as a fourth; and
+re-encode priced as the fifth, most expensive "tier" rather than an
+out-of-band fallback. A ``fetch`` walks them hot-to-cold:
+
+    gpu hit → cpu hit (cost-model promote) → snapshot page-in →
+    peer fetch → None (caller re-encodes; the cost is observed)
+
+Because it *is* a ``ModuleCacheStore``, everything that consumes the
+store today — ``PromptCache``, ``ClusterWorker``, snapshot save/load,
+metrics wiring — works unchanged; the fabric only changes what a full
+miss means. Placement (promote/demote/drop) and predictive prefetch are
+delegated to :mod:`repro.fabric.placement` and
+:mod:`repro.fabric.prefetch`; the periodic ``maintenance`` entry point is
+driven by the live server's spare-capacity iterations so prefetch never
+competes with decode.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.cache.persist import (
+    catalog_entry_nbytes,
+    load_catalog_entry,
+    snapshot_catalog,
+)
+from repro.cache.storage import (
+    CacheKey,
+    FetchResult,
+    ModuleCacheStore,
+    TierStats,
+)
+from repro.fabric.costs import TIER_CPU, TIER_GPU, TierCostModel
+from repro.fabric.placement import PlacementEngine
+from repro.fabric.prefetch import PredictivePrefetcher
+from repro.hw.allocator import CapacityError
+
+
+class FabricStore(ModuleCacheStore):
+    """Tiered cache fabric: DRAM tiers + snapshot + peers + re-encode."""
+
+    def __init__(
+        self,
+        gpu_capacity_bytes: int | None = None,
+        cpu_capacity_bytes: int | None = None,
+        *,
+        snapshot_dir: str | Path | None = None,
+        cost_model: TierCostModel | None = None,
+        placement: PlacementEngine | None = None,
+        prefetcher: PredictivePrefetcher | None = None,
+        prefetch_bytes_per_s: float = 64e6,
+        horizon_s: float = 2.0,
+        peer_prefetch=None,
+        clock=time.monotonic,
+        **store_kwargs,
+    ) -> None:
+        super().__init__(
+            gpu_capacity_bytes, cpu_capacity_bytes, clock=clock, **store_kwargs
+        )
+        self.clock = clock
+        self.cost_model = cost_model or TierCostModel()
+        self.placement = placement or PlacementEngine(
+            self.cost_model, horizon_s=horizon_s
+        )
+        self.prefetcher = prefetcher or PredictivePrefetcher(
+            self.placement, bytes_per_s=prefetch_bytes_per_s
+        )
+        # Async peer pull hook: ``fn(key) -> bool`` (issued?). The cluster
+        # worker wires this to its event-loop peer fetch; standalone
+        # fabrics leave it None and prefetch only from the snapshot.
+        self.peer_prefetch = peer_prefetch
+        self.snapshot_dir = Path(snapshot_dir) if snapshot_dir is not None else None
+        self._catalog: dict[CacheKey, dict] = {}  # guarded-by: _lock
+        if self.snapshot_dir is not None and (self.snapshot_dir / "index.json").exists():
+            catalog = snapshot_catalog(self.snapshot_dir)
+            with self._lock:
+                self._catalog = catalog
+        # Last known KV size per key, for budgeting pulls of entries that
+        # are no longer resident anywhere local.
+        self._size_hints: dict[CacheKey, int] = {}  # guarded-by: _lock
+        # Snapshot-tier ledger: hits = successful page-ins, misses =
+        # catalog miss or corrupt payload.
+        self.snapshot_stats = TierStats()  # guarded-by: _lock
+        self.reencodes = 0  # guarded-by: _lock
+        self.maintenance_runs = 0  # guarded-by: _lock
+        if store_kwargs.get("demote_on_evict", True):
+            # Replace the unconditional demote lambda: placement now
+            # decides drop-vs-demote per victim.
+            self.gpu.on_evict = self._on_gpu_evict
+
+    # ------------------------------------------------------------------
+    # eviction policy: drop snapshot-backed cold victims
+
+    def _on_gpu_evict(self, entry) -> None:
+        # holds-lock: store
+        key = entry.key
+        with self._lock:
+            self._size_hints[key] = entry.nbytes
+            backed = key in self._catalog
+        if self.placement.should_drop(key, entry.nbytes, self.clock(), backed):
+            return  # snapshot pages it back in on demand
+        self.cpu.put(key, entry.kv, pinned=entry.pinned)
+
+    # ------------------------------------------------------------------
+    # the tier walk
+
+    def fetch(self, key: CacheKey) -> FetchResult | None:
+        now = self.clock()
+        self.placement.record_demand(key, now)
+        with self._lock:
+            entry = self.gpu.get(key)
+            if entry is not None:
+                self._size_hints[key] = entry.nbytes
+                return FetchResult(entry=entry, tier="gpu", source="gpu")
+            entry = self.cpu.get(key)
+            if entry is not None:
+                self._size_hints[key] = entry.nbytes
+        if entry is not None:
+            # DRAM hit: placement decides whether the expected demand
+            # justifies paying the promotion copy now.
+            if self.placement.should_promote(
+                key, entry.nbytes, now, src_tier=TIER_CPU, dst_tier=TIER_GPU
+            ):
+                self.prefetch([key])
+            return FetchResult(entry=entry, tier="cpu", source="cpu")
+        # Snapshot tier: map the entry's payload in from disk.
+        kv = self._page_in(key)
+        if kv is not None:
+            return self._install(key, kv, source="snapshot")
+        # Peer tier: the cluster miss-fetcher, with its RTT observed so
+        # the cost model tracks the live deployment.
+        started = time.perf_counter()
+        kv = self._run_miss_fetcher(key)
+        if kv is not None:
+            self.cost_model.observe_peer_rtt(time.perf_counter() - started)
+            return self._install(key, kv, source="peer")
+        return None  # re-encode upstream; observe_reencode prices it
+
+    def _install(self, key: CacheKey, kv, *, source: str) -> FetchResult | None:
+        self.put(key, kv, tier="gpu")
+        with self._lock:
+            for tier in (self.gpu, self.cpu):
+                entry = tier.peek(key)
+                if entry is not None:
+                    self._size_hints[key] = entry.nbytes
+                    return FetchResult(entry=entry, tier=tier.name, source=source)
+        return None  # evicted in the gap; treat as a miss
+
+    def _page_in(self, key: CacheKey):
+        """Materialize ``key`` from the mapped snapshot, if cataloged.
+
+        Runs outside the store lock — it faults pages and hashes the
+        sparse digest. A corrupt payload drops out of the catalog so the
+        fabric stops retrying it."""
+        with self._lock:
+            record = self._catalog.get(key)
+        if record is None:
+            return None
+        kv = load_catalog_entry(self.snapshot_dir, record)
+        with self._lock:
+            if kv is None:
+                self._catalog.pop(key, None)
+                self.snapshot_stats.misses += 1
+            else:
+                self.snapshot_stats.hits += 1
+        return kv
+
+    def snapshot_backed(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._catalog
+
+    def observe_reencode(self, key: CacheKey, tokens: int, seconds: float) -> None:
+        """Record a measured re-encode (the most expensive tier's cost)."""
+        self.cost_model.observe_reencode(tokens, seconds)
+        with self._lock:
+            self.reencodes += 1
+
+    # ------------------------------------------------------------------
+    # maintenance: TTL sweep + predictive prefetch
+
+    def _candidates(self) -> dict[CacheKey, tuple[str, int]]:
+        """Keys with live demand that are *not* resident locally, mapped to
+        where they can be pulled from and their size."""
+        candidates: dict[CacheKey, tuple[str, int]] = {}
+        peer_ok = self.peer_prefetch is not None
+        for key in self.placement.tracked_keys():
+            with self._lock:
+                if self.gpu.peek(key) is not None or self.cpu.peek(key) is not None:
+                    continue
+                record = self._catalog.get(key)
+                hint = self._size_hints.get(key)
+            if record is not None:
+                candidates[key] = ("snapshot", catalog_entry_nbytes(record))
+            elif peer_ok and hint is not None:
+                candidates[key] = ("peer", hint)
+        return candidates
+
+    def maintenance(self, now: float | None = None) -> dict:
+        """One idle-time tick: sweep expired entries, then issue budgeted
+        prefetch pulls for keys predicted to arrive soon. Called from the
+        live server's spare-capacity scheduler iterations (never from the
+        request path)."""
+        now = self.clock() if now is None else now
+        swept = self.sweep_expired()
+        actions = self.prefetcher.plan(self._candidates(), now)
+        pulled = issued = 0
+        for action in actions:
+            if action.source == "snapshot":
+                kv = self._page_in(action.key)
+                if kv is None:
+                    continue
+                try:
+                    # Land prefetches in DRAM; the promote path moves them
+                    # up on first demand if placement judges it worthwhile.
+                    self.cpu.put(action.key, kv)
+                except CapacityError:
+                    continue  # every resident entry outranks the prediction
+                pulled += 1
+            elif action.source == "peer":
+                if self.peer_prefetch is not None and self.peer_prefetch(action.key):
+                    issued += 1
+        with self._lock:
+            self.maintenance_runs += 1
+        return {"swept": swept, "prefetched": pulled, "peer_issued": issued}
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def residency_tags(self, limit: int = 256) -> list[str]:
+        """Module tags this worker can serve without re-encoding: resident
+        entries first (both DRAM tiers), then snapshot-mapped ones, capped
+        at ``limit`` for the heartbeat payload."""
+        tags: list[str] = []
+        seen: set[str] = set()
+        with self._lock:
+            key_groups = (self.gpu.keys(), self.cpu.keys(), list(self._catalog))
+        for keys in key_groups:
+            for key in keys:
+                tag = key.tag()
+                if tag in seen:
+                    continue
+                seen.add(tag)
+                tags.append(tag)
+                if len(tags) >= limit:
+                    return tags
+        return tags
+
+    def fabric_snapshot(self) -> dict:
+        """One structured view of the whole fabric, for CLI/metrics."""
+        with self._lock:
+            tiers = {
+                "gpu": vars(self.gpu.stats).copy(),
+                "cpu": vars(self.cpu.stats).copy(),
+                "snapshot": vars(self.snapshot_stats).copy(),
+                "peer": vars(self.fetch_stats).copy(),
+            }
+            catalog_size = len(self._catalog)
+            reencodes = self.reencodes
+            maintenance_runs = self.maintenance_runs
+        return {
+            "tiers": tiers,
+            "catalog_entries": catalog_size,
+            "reencodes": reencodes,
+            "maintenance_runs": maintenance_runs,
+            "costs": self.cost_model.snapshot(),
+            "placement": self.placement.snapshot(),
+            "prefetch": self.prefetcher.snapshot(),
+        }

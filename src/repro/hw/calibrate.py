@@ -65,6 +65,52 @@ def measure_copy_bandwidth(nbytes: int = 1 << 26, repeats: int = 3) -> float:
     return nbytes / seconds
 
 
+def measure_mmap_pagein_bandwidth(nbytes: int = 1 << 24, repeats: int = 3) -> float:
+    """Bytes/s to fault a memory-mapped ``.npy`` file into host memory.
+
+    This is the cost a fabric snapshot page-in pays: ``np.load(mmap_mode="r")``
+    followed by a full materializing read. The page cache is warm after the
+    first repeat, so ``_best_of`` reports the steady-state (cached) rate —
+    the same regime the serving loop sees for a recently written snapshot.
+    """
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory(prefix="repro-pagein-") as tmp:
+        path = Path(tmp) / "probe.npy"
+        np.save(path, np.empty(nbytes, dtype=np.uint8))
+
+        def pagein():
+            mapped = np.load(path, mmap_mode="r")
+            np.asarray(mapped).sum()  # touch every page
+
+        seconds = _best_of(pagein, repeats)
+    return nbytes / seconds
+
+
+def calibrate_routes(
+    *, nbytes: int = 1 << 24, repeats: int = 3, apply: bool = False
+) -> dict[str, float]:
+    """Measure the host-side fabric routes; optionally install the results.
+
+    Returns ``{route value: bytes/s}`` for the routes this host can measure
+    directly (``h2h`` memcpy and ``mmap`` page-in). ``PEER_NET`` is left to
+    live RTT observation by the fabric cost model — a loopback probe would
+    only measure the kernel, not the wire. With ``apply=True`` the measured
+    bandwidths replace the defaults in ``hw.transfer.ROUTE_BANDWIDTH``.
+    """
+    from repro.hw.transfer import Route, set_route_bandwidth
+
+    measured = {
+        Route.HOST_TO_HOST: measure_copy_bandwidth(nbytes, repeats),
+        Route.MMAP_PAGEIN: measure_mmap_pagein_bandwidth(nbytes, repeats),
+    }
+    if apply:
+        for route, bandwidth in measured.items():
+            set_route_bandwidth(route, bandwidth)
+    return {route.value: bandwidth for route, bandwidth in measured.items()}
+
+
 @dataclass
 class HostCalibration:
     spec: DeviceSpec

@@ -15,20 +15,43 @@ from repro.llm.config import ModelConfig
 
 
 class Route(str, Enum):
-    """A memcpy path in the two-tier memory hierarchy."""
+    """A memcpy path in the storage hierarchy.
+
+    The first three are the paper's two-tier routes; ``MMAP_PAGEIN`` and
+    ``PEER_NET`` extend the table to the snapshot and cluster tiers so the
+    fabric cost models and the TTFT model share one bandwidth table.
+    """
 
     HOST_TO_HOST = "h2h"
     HOST_TO_DEVICE = "h2d"
     DEVICE_TO_DEVICE = "d2d"
+    MMAP_PAGEIN = "mmap"
+    PEER_NET = "peer"
 
 
-# Effective copy bandwidths (B/s) matching the paper's measured §5.4 numbers
-# on the RTX 4090 + i9-13900K testbed.
+# Effective copy bandwidths (B/s). The first three match the paper's measured
+# §5.4 numbers on the RTX 4090 + i9-13900K testbed; MMAP_PAGEIN assumes a
+# warm-ish NVMe page cache and PEER_NET a 10 GbE fabric. Both are defaults —
+# ``hw.calibrate.calibrate_routes`` replaces them with measured values.
 ROUTE_BANDWIDTH: dict[Route, float] = {
     Route.HOST_TO_HOST: 21e9,
     Route.HOST_TO_DEVICE: 15e9,
     Route.DEVICE_TO_DEVICE: 350e9,
+    Route.MMAP_PAGEIN: 6e9,
+    Route.PEER_NET: 1.25e9,
 }
+
+
+def route_bandwidth(route: Route) -> float:
+    """Current effective bandwidth (B/s) for ``route``."""
+    return ROUTE_BANDWIDTH[route]
+
+
+def set_route_bandwidth(route: Route, bytes_per_s: float) -> None:
+    """Override a route's bandwidth with a calibrated measurement."""
+    if bytes_per_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bytes_per_s!r}")
+    ROUTE_BANDWIDTH[route] = float(bytes_per_s)
 
 
 def copy_latency(payload_bytes: int, route: Route) -> float:

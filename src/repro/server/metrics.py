@@ -182,10 +182,10 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         # Leaf lock: metric recording happens under the store lock
-        # (eviction listeners) and the engine fast path, never the
-        # other way around.
+        # (eviction listeners), the engine fast path, and the fabric
+        # placement ledger, never the other way around.
         self._lock = ordered_lock(
-            "metrics.registry", after=("store", "engine.fastpath")
+            "metrics.registry", after=("store", "engine.fastpath", "fabric.placement")
         )
         self._families: dict[str, _Family] = {}
 

@@ -110,6 +110,11 @@ class ServeOptions:
     # metrics are burst-invariant; only stream delivery and future
     # resolution lag by at most burst_iterations - 1 tokens. 1 disables.
     burst_iterations: int = 8
+    # Periodic store upkeep: TTL sweep (and, on a FabricStore, the
+    # budgeted prefetch tick) every this many seconds even while the
+    # server is idle. None disables the background loop; the continuous
+    # scheduler still runs upkeep on spare-capacity iterations.
+    store_sweep_interval_s: float | None = 1.0
 
 
 class LiveServer:
@@ -138,6 +143,7 @@ class LiveServer:
         self._ids = itertools.count()
         self._wake: asyncio.Event | None = None
         self._worker_task: asyncio.Task | None = None
+        self._maintenance_task: asyncio.Task | None = None
         self._running = False
         self._draining = False
         self._inflight = 0
@@ -190,10 +196,13 @@ class LiveServer:
                 max_inflight=self.options.max_inflight,
                 prefill_chunk_tokens=self.options.prefill_chunk_tokens,
                 clock=self.clock,
+                maintenance=self._store_maintenance,
             )
             self._worker_task = asyncio.create_task(self._scheduler_worker())
         else:
             self._worker_task = asyncio.create_task(self._worker())
+        if self.options.store_sweep_interval_s is not None:
+            self._maintenance_task = asyncio.create_task(self._maintenance_loop())
         return self
 
     @property
@@ -217,6 +226,13 @@ class LiveServer:
         self._running = False
         if self._wake is not None:
             self._wake.set()
+        if self._maintenance_task is not None:
+            self._maintenance_task.cancel()
+            try:
+                await self._maintenance_task
+            except asyncio.CancelledError:
+                pass
+            self._maintenance_task = None
         if self._worker_task is not None:
             await self._worker_task
             self._worker_task = None
@@ -599,6 +615,54 @@ class LiveServer:
             ).set(self.estimated_queue_delay_s())
             self.refresh_store_gauges()
 
+    async def _maintenance_loop(self) -> None:
+        """Periodic store upkeep, alive even while the server is idle —
+        TTL victims must die on schedule, not on the next request. The
+        sweep itself runs on the executor (it takes the store lock and,
+        on a fabric store, may fault snapshot pages in)."""
+        interval = self.options.store_sweep_interval_s
+        assert interval is not None
+        loop = asyncio.get_running_loop()
+        while self._running:
+            await asyncio.sleep(interval)
+            if not self._running:
+                return
+            if self.options.inline_execution:
+                self._store_maintenance()
+            else:
+                await loop.run_in_executor(None, self._store_maintenance)
+
+    def _store_maintenance(self) -> None:
+        """One upkeep tick (engine-thread side): sweep expired entries,
+        and on a :class:`~repro.fabric.store.FabricStore` run its full
+        maintenance (sweep + budgeted predictive prefetch)."""
+        store = self.pc.store
+        maintenance = getattr(store, "maintenance", None)
+        if maintenance is not None:
+            report = maintenance()
+            swept = report.get("swept", 0)
+            pulled = report.get("prefetched", 0)
+            issued = report.get("peer_issued", 0)
+            if pulled:
+                self.metrics.counter(
+                    "fabric_prefetch_pulls_total",
+                    "modules pulled up-tier by the predictive prefetcher",
+                    source="snapshot",
+                ).inc(pulled)
+            if issued:
+                self.metrics.counter(
+                    "fabric_prefetch_pulls_total",
+                    "modules pulled up-tier by the predictive prefetcher",
+                    source="peer",
+                ).inc(issued)
+        else:
+            swept = store.sweep_expired()
+        if swept:
+            self.metrics.counter(
+                "cache_sweep_expired_total",
+                "TTL victims dropped by the periodic sweep",
+            ).inc(swept)
+
     def _expire(self, request: LiveRequest, now: float) -> None:
         request.finished_at = now
         request.finish(
@@ -783,6 +847,22 @@ class LiveServer:
                 ).inc(entry.nbytes)
 
             tier.add_evict_listener(on_evict)
+        # Pre-create so scrapes see a zero before the first sweep/error.
+        self.metrics.counter(
+            "cache_sweep_expired_total",
+            "TTL victims dropped by the periodic sweep",
+        )
+        add_fetch_error = getattr(store, "add_fetch_error_listener", None)
+        if add_fetch_error is not None:
+
+            def on_fetch_error(key, exc):
+                self.metrics.counter(
+                    "cache_miss_fetch_errors_total",
+                    "miss-fetcher exceptions by exception type",
+                    reason=type(exc).__name__,
+                ).inc()
+
+            add_fetch_error(on_fetch_error)
         self._wire_plan_cache_metrics()
         self.refresh_store_gauges()
 
@@ -828,7 +908,46 @@ class LiveServer:
             g("cache_tier_insertions", "entries inserted", tier=tier.name).set(
                 stats.insertions
             )
+        self._refresh_fabric_gauges()
         self._refresh_reuse_gauges()
+
+    def _refresh_fabric_gauges(self) -> None:
+        """Mirror the cache fabric (tiering, placement, prefetch) into
+        gauges. No-op on a plain two-tier store."""
+        fabric_fn = getattr(self.pc.store, "fabric_snapshot", None)
+        if fabric_fn is None:
+            return
+        snap = fabric_fn()
+        g = self.metrics.gauge
+        g("fabric_catalog_entries", "modules cataloged in the snapshot tier").set(
+            snap["catalog_entries"]
+        )
+        g("fabric_reencodes", "full misses that paid a re-encode").set(
+            snap["reencodes"]
+        )
+        for tier_name in ("snapshot", "peer"):
+            stats = snap["tiers"][tier_name]
+            g("cache_tier_hits", "store lookups served", tier=tier_name).set(
+                stats["hits"]
+            )
+            g("cache_tier_misses", "store lookups missed", tier=tier_name).set(
+                stats["misses"]
+            )
+        placement = snap["placement"]
+        for event in ("promotions", "demotions", "drops"):
+            g(
+                "fabric_placement_decisions",
+                "placement engine decisions by kind",
+                kind=event,
+            ).set(placement[event])
+        prefetch = snap["prefetch"]
+        g("fabric_prefetch_planned", "prefetch pulls planned").set(
+            prefetch["planned"]
+        )
+        g(
+            "fabric_prefetch_budget_denied",
+            "prefetch pulls deferred by the byte budget",
+        ).set(prefetch["budget_denied"])
 
     def _refresh_reuse_gauges(self) -> None:
         """Mirror the reuse-discovery plane (trie + miner) into gauges."""

@@ -84,6 +84,7 @@ class ContinuousScheduler:
         max_inflight: int = 8,
         prefill_chunk_tokens: int = 256,
         clock=time.monotonic,
+        maintenance=None,
     ) -> None:
         if max_inflight < 1:
             raise ValueError("max_inflight must be >= 1")
@@ -93,6 +94,12 @@ class ContinuousScheduler:
         self.max_inflight = max_inflight
         self.prefill_chunk_tokens = prefill_chunk_tokens
         self.clock = clock
+        # Optional idle-work hook (fabric TTL sweep + prefetch). Called
+        # at the end of an iteration only when the iteration had spare
+        # prefill capacity, so background pulls never displace decode or
+        # a cold prefill — the "prefetch never starves decode" contract.
+        self.maintenance = maintenance
+        self.maintenance_runs = 0
         # Admission order; no lock — iterate()/abort_all() are called
         # serially by the one runtime worker that owns this scheduler.
         self._inflight: list[_InFlight] = []
@@ -201,6 +208,15 @@ class ContinuousScheduler:
                 for i, seq in enumerate(forward):
                     seq.stream.set_logits(logits[i], step_s)
                 outcome.decode_batch = len(forward)
+
+        # Idle-capacity maintenance: only when this iteration left prefill
+        # budget unused (no cold prompt was waiting on the engine).
+        if (
+            self.maintenance is not None
+            and outcome.prefill_tokens < self.prefill_chunk_tokens
+        ):
+            self.maintenance()
+            self.maintenance_runs += 1
 
         outcome.active_after = len(self._inflight)
         outcome.elapsed_s = self.clock() - started

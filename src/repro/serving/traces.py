@@ -79,6 +79,27 @@ def synthesize_trace(
     return requests
 
 
+def schema_interarrivals(trace: list[TraceRequest]) -> dict[str, float]:
+    """Mean inter-arrival seconds per schema, mined from a trace.
+
+    The fabric prefetcher seeds its per-schema demand estimates from this:
+    a schema whose requests land every ~2 s should have its modules pulled
+    up-tier shortly before the next predicted arrival. Schemas seen only
+    once have no interval and are omitted.
+    """
+    arrivals: dict[str, list[float]] = {}
+    for request in trace:
+        arrivals.setdefault(request.schema, []).append(request.arrival_s)
+    means: dict[str, float] = {}
+    for schema, times in arrivals.items():
+        if len(times) < 2:
+            continue
+        times.sort()
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        means[schema] = sum(gaps) / len(gaps)
+    return means
+
+
 def longbench_profiles(n_schemas: int = 8, context_tokens: int = 5000) -> list[SchemaProfile]:
     """A schema pool shaped like the paper's evaluation: ~5K-token document
     contexts, ~100-token directives, Zipf-skewed popularity."""

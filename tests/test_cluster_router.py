@@ -13,9 +13,10 @@ import asyncio
 import pytest
 
 from repro.cache.engine import PromptCache
+from repro.cache.storage import CacheKey
 from repro.cluster import ClusterRouter, ClusterWorker, DEAD, NoWorkerAvailable
 from repro.cluster.health import HeartbeatMonitor
-from repro.cluster.router import routing_key
+from repro.cluster.router import module_tags, routing_key
 from repro.pml.parser import parse_prompt
 from repro.server.runtime import ServeOptions
 
@@ -37,13 +38,14 @@ def run(coro):
     return asyncio.run(coro)
 
 
-def make_cluster(llama, tok, n=2, **router_kwargs):
+def make_cluster(llama, tok, n=2, fabric=False, **router_kwargs):
     options = ServeOptions(
         batch_max_wait_s=0.005, queue_delay_budget_s=None, max_batch=4
     )
     workers = [
         ClusterWorker(
-            f"w{i}", llama, tok, options=options, heartbeat_interval_s=0.02
+            f"w{i}", llama, tok, options=options, heartbeat_interval_s=0.02,
+            fabric=fabric,
         )
         for i in range(n)
     ]
@@ -72,6 +74,17 @@ class TestRoutingKey:
         a = routing_key(parse_prompt('<prompt schema="s"><m/> one</prompt>'))
         b = routing_key(parse_prompt('<prompt schema="s"><m/> two</prompt>'))
         assert a == b
+
+    def test_module_tags_are_schema_qualified(self):
+        node = parse_prompt('<prompt schema="s"><b/><a/> tail</prompt>')
+        assert module_tags(node) == frozenset({"s/a/solo", "s/b/solo"})
+
+    def test_module_tags_match_store_keys(self):
+        # The tags the router matches against residency advertisements
+        # must be exactly what a worker's store advertises for the same
+        # modules, or residency routing silently never fires.
+        node = parse_prompt('<prompt schema="alpha"><ctx/> q</prompt>')
+        assert module_tags(node) == {CacheKey("alpha", "ctx").tag()}
 
 
 class TestAffinityAndPlane:
@@ -388,3 +401,158 @@ class TestRawAffinity:
 
         result = run(scenario())
         assert result.output_ids
+
+
+class TestResidencyRouting:
+    """Residency beats the ring: route to workers already holding the KV."""
+
+    async def _warm_other(self, router, schema="alpha"):
+        """Warm the non-home worker directly and wait until its heartbeat
+        advertises the module, returning (home_name, other_name)."""
+        home = router.ring.node_for(router.route_key(prompt(schema, 0)))
+        (other,) = [n for n in router.workers if n != home]
+        await router.workers[other].server.serve(
+            prompt(schema, 0), max_new_tokens=2
+        )
+        tag = CacheKey(schema, "ctx").tag()
+        for _ in range(100):
+            await asyncio.sleep(0.02)
+            if tag in router.monitor.workers[other].resident:
+                return home, other
+        raise AssertionError(f"{other} never advertised {tag}")
+
+    def test_resident_worker_beats_ring_home(self, llama, tok):
+        async def scenario():
+            router = make_cluster(llama, tok)
+            async with router:
+                home, other = await self._warm_other(router)
+                result = await router.serve(prompt("alpha", 1), max_new_tokens=2)
+                return home, other, result, router.snapshot()
+
+        home, other, result, snap = run(scenario())
+        counters = snap["router"]["counters"]
+        # The ring prefers `home`, but `other` already holds alpha/ctx —
+        # residency wins, saving a peer fetch or re-encode.
+        assert counters[f'cluster_requests_total{{worker="{other}"}}'] == 1.0
+        assert f'cluster_requests_total{{worker="{home}"}}' not in counters
+        assert counters["cluster_residency_routed_total"] >= 1
+        assert counters["cluster_residency_over_ring_total"] >= 1
+        # Residency placement serves byte-identically to a single engine.
+        pc = PromptCache(llama, tok)
+        pc.register_schema(SCHEMA_A)
+        reference = pc.serve(prompt("alpha", 1), max_new_tokens=2)
+        assert result.output_ids == reference.output_ids
+
+    def test_health_snapshot_reports_residency(self, llama, tok):
+        async def scenario():
+            router = make_cluster(llama, tok)
+            async with router:
+                home, other = await self._warm_other(router)
+                return other, router.snapshot()
+
+        other, snap = run(scenario())
+        assert snap["health"][other]["resident"] >= 1
+
+    def test_fallback_to_ring_when_resident_worker_dead(self, llama, tok):
+        async def scenario():
+            router = make_cluster(llama, tok)
+            async with router:
+                home, other = await self._warm_other(router)
+                await router.kill_worker(other)
+                # The only resident worker is gone: the router must fall
+                # back to consistent-hash placement on the survivor.
+                result = await router.serve(prompt("alpha", 1), max_new_tokens=2)
+                return home, result, router.snapshot()
+
+        home, result, snap = run(scenario())
+        counters = snap["router"]["counters"]
+        assert counters[f'cluster_requests_total{{worker="{home}"}}'] == 1.0
+        assert counters.get("cluster_residency_routed_total", 0) == 0
+        pc = PromptCache(llama, tok)
+        pc.register_schema(SCHEMA_A)
+        reference = pc.serve(prompt("alpha", 1), max_new_tokens=2)
+        assert result.output_ids == reference.output_ids
+
+    def test_failover_from_resident_worker_loses_nothing(self, llama, tok):
+        async def scenario():
+            router = make_cluster(llama, tok)
+            async with router:
+                home, other = await self._warm_other(router)
+                tasks = [
+                    asyncio.create_task(
+                        router.serve(prompt("alpha", i), max_new_tokens=2)
+                    )
+                    for i in range(6)
+                ]
+                # Requests pile onto the resident worker; kill it while
+                # most are still queued — failover must drain zero-loss.
+                await asyncio.sleep(0.01)
+                await router.kill_worker(other)
+                results = await asyncio.gather(*tasks)
+                return results
+
+        results = run(scenario())
+        assert len(results) == 6
+        assert all(r.output_ids for r in results)
+        pc = PromptCache(llama, tok)
+        pc.register_schema(SCHEMA_A)
+        for i, result in enumerate(results):
+            reference = pc.serve(prompt("alpha", i), max_new_tokens=2)
+            assert result.output_ids == reference.output_ids
+
+
+class TestFabricCluster:
+    """Workers running the five-tier FabricStore inside the cluster plane."""
+
+    def test_fabric_workers_serve_identically(self, llama, tok):
+        async def scenario():
+            router = make_cluster(llama, tok, fabric=True)
+            async with router:
+                outs = [
+                    await router.serve(prompt("beta", i), max_new_tokens=3)
+                    for i in range(3)
+                ]
+                for _ in range(100):  # wait out one heartbeat interval
+                    await asyncio.sleep(0.02)
+                    if any(
+                        h.resident for h in router.monitor.workers.values()
+                    ):
+                        break
+                return outs, router.snapshot()
+
+        outs, snap = run(scenario())
+        pc = PromptCache(llama, tok)
+        pc.register_schema(SCHEMA_B)
+        for i, result in enumerate(outs):
+            reference = pc.serve(prompt("beta", i), max_new_tokens=3)
+            assert result.output_ids == reference.output_ids
+        # The serving worker advertises its fabric residency upstream.
+        assert any(h["resident"] >= 1 for h in snap["health"].values())
+
+    def test_peer_prefetch_installs_into_dram_tier(self, llama, tok):
+        async def scenario():
+            router = make_cluster(llama, tok, fabric=True)
+            async with router:
+                # Warm the home worker through the router, then issue a
+                # predictive pull on the other: the fabric's peer hook
+                # rides the same plane as demand fetch, fire-and-forget.
+                await router.serve(prompt("alpha", 0), max_new_tokens=2)
+                home = router.ring.node_for(router.route_key(prompt("alpha", 0)))
+                (other,) = [
+                    w for n, w in router.workers.items() if n != home
+                ]
+                key = CacheKey("alpha", "ctx")
+                assert other.store.peer_prefetch(key)
+                for _ in range(100):
+                    await asyncio.sleep(0.02)
+                    if other.store.cpu.peek(key) is not None:
+                        break
+                return other, key
+
+        other, key = run(scenario())
+        # Landed in DRAM (never the fast tier: predictions must not evict
+        # resident entries), and the plane booked the prefetch.
+        assert other.store.cpu.peek(key) is not None
+        assert other.store.gpu.peek(key) is None
+        counters = other.metrics.snapshot()["counters"]
+        assert counters["cluster_peer_prefetch_total"] == 1
