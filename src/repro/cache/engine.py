@@ -181,10 +181,19 @@ class ServeStream:
         sampler,
         stop_ids: set[int] | None,
         splice_s: float,
+        shared_group: object | None = None,
+        shared_len: int = 0,
     ) -> None:
         self.pc = pc
         self.cache = cache
         self._owns_fork = owns_fork
+        # ChunkAttention grouping key: the _SplicedBase this stream's
+        # paged cache was forked from (identity-compared — two streams
+        # holding the same base object share its mirror image bytes) and
+        # the spliced-prefix length those shared tokens cover. None for
+        # non-paged / undiscovered prompts: never grouped.
+        self.shared_group = shared_group
+        self.shared_len = shared_len
         self._pending_ids = pending_ids
         self._pending_positions = pending_positions
         self._offset = 0
@@ -702,7 +711,7 @@ class PromptCache:
         release = None
         start = time.perf_counter()
         if self.splice_mode == "paged":
-            cache, tier_tokens, cached_tokens = self._fork_base(
+            cache, tier_tokens, cached_tokens, _base = self._fork_base(
                 registered, plan, use_scaffolds
             )
             release = cache
@@ -775,7 +784,7 @@ class PromptCache:
             for compiled in compiled_plans:
                 registered, plan = compiled.registered, compiled.plan
                 start = time.perf_counter()
-                cache, tier_tokens, cached_tokens = self._fork_base(
+                cache, tier_tokens, cached_tokens, _base = self._fork_base(
                     registered, plan, True
                 )
                 forks.append(cache)
@@ -847,11 +856,14 @@ class PromptCache:
 
         owns_fork = False
         release = None  # the fork to free if we unwind before handing it over
+        shared_group = None
+        shared_len = 0
         start = time.perf_counter()
         if self.splice_mode == "paged":
-            cache, tier_tokens, cached_tokens = self._fork_base(
+            cache, tier_tokens, cached_tokens, shared_group = self._fork_base(
                 registered, plan, use_scaffolds
             )
+            shared_len = len(cache)  # the spliced prefix every fork shares
             owns_fork = True
             release = cache
         else:
@@ -874,6 +886,8 @@ class PromptCache:
                 sampler=sampler,
                 stop_ids=stop_ids,
                 splice_s=splice_s,
+                shared_group=shared_group,
+                shared_len=shared_len,
             )
         except BaseException:
             # The stream owns the fork only once constructed; anything
@@ -906,6 +920,8 @@ class PromptCache:
         cached = min(chain[-1].end, n - 1) if chain else 0
 
         release = None  # the fork to free if we unwind before handing it over
+        shared_group = None
+        shared_len = 0
         if cached <= 0:
             cached = 0
             cache = self.model.new_cache(capacity=n + max_new_tokens)
@@ -914,7 +930,10 @@ class PromptCache:
             splice_s = 0.0
         else:
             start = time.perf_counter()
-            cache, tier_tokens, _key = self._fork_text_base(chain, trim, ids)
+            cache, tier_tokens, _key, shared_group = self._fork_text_base(
+                chain, trim, ids
+            )
+            shared_len = len(cache)
             owns_fork = True
             release = cache
         try:
@@ -933,6 +952,8 @@ class PromptCache:
                 sampler=sampler,
                 stop_ids=stop_ids,
                 splice_s=splice_s,
+                shared_group=shared_group,
+                shared_len=shared_len,
             )
         except BaseException:
             if release is not None:
@@ -1181,7 +1202,7 @@ class PromptCache:
             return self._serve_text_uncached(ids, max_new_tokens, sampler, stop_ids)
 
         start = time.perf_counter()
-        cache, tier_tokens, key = self._fork_text_base(chain, trim, ids)
+        cache, tier_tokens, key, _base = self._fork_text_base(chain, trim, ids)
         try:
             splice_s = time.perf_counter() - start
             cache.reserve(n + max_new_tokens)
@@ -1280,7 +1301,7 @@ class PromptCache:
 
     def _fork_text_base(
         self, chain: list[DiscoveredModule], trim: bool, ids: list[int]
-    ) -> tuple["PagedKVCache", dict[str, int], tuple]:  # noqa: F821
+    ) -> tuple["PagedKVCache", dict[str, int], tuple, "_SplicedBase"]:  # noqa: F821 — imported lazily in the fork path
         """Fork a shared paged base for a discovered chain (the raw-text
         mirror of :meth:`_fork_base`)."""
         from repro.llm.paged import PagedKVCache
@@ -1296,7 +1317,7 @@ class PromptCache:
                 with self._fastpath_lock:
                     self.plan_stats.base_hits += 1
                     cache = base.cache.fork()
-                return cache, tier_tokens, key
+                return cache, tier_tokens, key, base
             with self._fastpath_lock:
                 stale = self._bases.pop(key, None)
                 if stale is not None:
@@ -1330,7 +1351,7 @@ class PromptCache:
                 _, victim = self._bases.popitem(last=False)
                 victim.cache.free()
             cache = base.cache.fork()
-        return cache, tier_tokens, key
+        return cache, tier_tokens, key, base
 
     def _ensure_discovered(
         self, segment: DiscoveredModule, ids: list[int], ancestors: tuple
@@ -1610,7 +1631,7 @@ class PromptCache:
 
     def _fork_base(
         self, registered: RegisteredSchema, plan: _Plan, use_scaffolds: bool
-    ) -> tuple["PagedKVCache", dict[str, int], int]:  # noqa: F821
+    ) -> tuple["PagedKVCache", dict[str, int], int, "_SplicedBase"]:  # noqa: F821 — imported lazily in the fork path
         """serve()'s paged splice: fork a shared pre-spliced base.
 
         On a base hit the "splice" is refcount bumps plus a store
@@ -1618,6 +1639,8 @@ class PromptCache:
         base's contiguous mirrors and extends them in place during
         decode. On a miss the base is built once (arena-backed module
         states paged in), mirrored, and kept for subsequent requests.
+        The returned base object is the ChunkAttention grouping key:
+        streams forked from the same base share its mirror prefix.
         """
         from repro.llm.paged import PagedKVCache
 
@@ -1632,7 +1655,7 @@ class PromptCache:
                 with self._fastpath_lock:
                     self.plan_stats.base_hits += 1
                     cache = base.cache.fork()
-                return cache, tier_tokens, base.cached_tokens
+                return cache, tier_tokens, base.cached_tokens, base
             with self._fastpath_lock:
                 stale = self._bases.pop(key, None)
                 if stale is not None:
@@ -1662,7 +1685,7 @@ class PromptCache:
                 _, victim = self._bases.popitem(last=False)
                 victim.cache.free()
             cache = base.cache.fork()
-        return cache, tier_tokens, base.cached_tokens
+        return cache, tier_tokens, base.cached_tokens, base
 
     def _free_fork(self, cache) -> None:
         with self._fastpath_lock:

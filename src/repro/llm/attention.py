@@ -11,6 +11,8 @@ module that the schema placed before them.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.llm.layers import DTYPE, linear, softmax
@@ -107,6 +109,169 @@ def grouped_context(weights: np.ndarray, v: np.ndarray, n_rep: int) -> np.ndarra
     return context.reshape(n_heads, tq, -1)
 
 
+# -- two-phase shared-prefix attention (ChunkAttention, arxiv 2402.15220) ------
+#
+# When many in-flight sequences decode over the *same* spliced module KV,
+# attention over the shared prefix can be computed once per physical copy
+# instead of once per sequence: a chunk-first phase produces partial
+# softmax statistics (running max, exp-sum, weighted context) for every
+# sequence's query over the shared chunk with one stacked kernel call
+# streaming one buffer, a per-sequence phase covers each private suffix,
+# and the online-softmax merge combines them. The merge is algebraically
+# exact (the FlashAttention identity); floating point is reassociated, so
+# activations agree with the single-pass kernel to a few ulps rather than
+# bit-for-bit — greedy decode outputs are byte-identical, which is what
+# the serving tests pin.
+
+
+def _stacked_grouped_scores(q: np.ndarray, k: np.ndarray, n_rep: int) -> np.ndarray:
+    """:func:`grouped_scores` with optional leading stack axes on ``q``.
+
+    ``q`` is (..., n_heads, Tq, head_dim) — the leading axes stack the
+    queries of every sequence in a shared group — and ``k`` is one
+    un-expanded (n_kv_heads, Tk, head_dim) buffer broadcast across the
+    stack, so the shared keys are streamed once for the whole group.
+    """
+    head_dim = q.shape[-1]
+    scale = np.sqrt(np.float32(head_dim))
+    if n_rep == 1:
+        scores = q @ np.swapaxes(k, -2, -1)
+        scores /= scale
+        return scores
+    *lead, n_heads, tq, _ = q.shape
+    n_kv = k.shape[0]
+    folded = q.reshape(*lead, n_kv, n_rep, tq, head_dim)
+    scores = folded @ np.swapaxes(k, -2, -1)[:, None, :, :]
+    scores /= scale
+    return scores.reshape(*lead, n_heads, tq, -1)
+
+
+def _stacked_grouped_context(weights: np.ndarray, v: np.ndarray, n_rep: int) -> np.ndarray:
+    """:func:`grouped_context` with optional leading stack axes on ``weights``."""
+    if n_rep == 1:
+        return weights @ v
+    *lead, n_heads, tq, tk = weights.shape
+    n_kv = v.shape[0]
+    folded = weights.reshape(*lead, n_kv, n_rep, tq, tk)
+    context = folded @ v[:, None, :, :]
+    return context.reshape(*lead, n_heads, tq, -1)
+
+
+@dataclass
+class ChunkPartial:
+    """Partial softmax-attention statistics over one KV chunk.
+
+    ``m`` is the running max of the (scaled, biased) scores, ``l`` the
+    exp-sum relative to ``m``, and ``acc`` the un-normalized weighted
+    context — the classic online-softmax triple. Shapes carry whatever
+    leading stack axes the query had: ``m``/``l`` are
+    (..., n_heads, Tq, 1) and ``acc`` is (..., n_heads, Tq, head_dim).
+    """
+
+    m: np.ndarray
+    l: np.ndarray
+    acc: np.ndarray
+
+    def __getitem__(self, index) -> "ChunkPartial":
+        """Select one sequence's partial out of a stacked chunk phase."""
+        return ChunkPartial(self.m[index], self.l[index], self.acc[index])
+
+
+def chunk_phase(
+    q_stack: np.ndarray,
+    shared_k: np.ndarray,
+    shared_v: np.ndarray,
+    n_rep: int = 1,
+    *,
+    bias: np.ndarray | None = None,
+    allowed: np.ndarray | None = None,
+) -> ChunkPartial:
+    """Partial attention of stacked queries over one shared KV chunk.
+
+    ``q_stack`` is (..., n_heads, Tq, head_dim) — for a shared group the
+    leading axis stacks every member's query, so the chunk's keys and
+    values are each streamed from *one* physical buffer once for the
+    whole group. ``shared_k``/``shared_v`` are (n_kv_heads, Ts, head_dim);
+    GQA queries fold onto the un-expanded KV heads exactly as
+    :func:`grouped_scores` does. ``bias`` (e.g. ALiBi) and ``allowed``
+    (causal mask, True where attention is permitted) must broadcast
+    against the (..., n_heads, Tq, Ts) score block.
+
+    An empty chunk (``Ts == 0``) yields the neutral partial — ``m`` at
+    the mask floor, zero ``l``/``acc`` — which merges as a no-op.
+    """
+    if shared_k.shape[-2] == 0:
+        stat_shape = q_stack.shape[:-1] + (1,)
+        return ChunkPartial(
+            m=np.full(stat_shape, _NEG_INF, dtype=DTYPE),
+            l=np.zeros(stat_shape, dtype=DTYPE),
+            acc=np.zeros(q_stack.shape, dtype=DTYPE),
+        )
+    scores = _stacked_grouped_scores(q_stack, shared_k, n_rep)
+    if bias is not None:
+        scores = scores + bias
+    if allowed is not None:
+        scores = np.where(allowed, scores, _NEG_INF)
+    if scores.dtype != DTYPE:
+        scores = scores.astype(DTYPE)
+    m = scores.max(axis=-1, keepdims=True)
+    p = np.exp(scores - m)
+    l = p.sum(axis=-1, keepdims=True)
+    return ChunkPartial(m=m, l=l, acc=_stacked_grouped_context(p, shared_v, n_rep))
+
+
+def merge_online_softmax(*partials: ChunkPartial) -> np.ndarray:
+    """Combine chunk partials into the normalized attention context.
+
+    The online-softmax identity: with global max ``m*``, the exact
+    softmax context over the concatenated chunks is
+    ``sum_i acc_i * e^(m_i - m*) / sum_i l_i * e^(m_i - m*)`` — splitting
+    a KV range at arbitrary chunk boundaries and merging reproduces the
+    single-pass result (property-tested to tight tolerance; the
+    reassociated sums round differently at the last ulp). At least one
+    chunk must have attended somewhere (all-empty merges divide by zero).
+    """
+    if not partials:
+        raise ValueError("merge_online_softmax needs at least one partial")
+    m = partials[0].m
+    for part in partials[1:]:
+        m = np.maximum(m, part.m)
+    l = np.zeros_like(partials[0].l)
+    acc = np.zeros_like(partials[0].acc)
+    for part in partials:
+        correction = np.exp(part.m - m)
+        l = l + part.l * correction
+        acc = acc + part.acc * correction
+    return acc / l
+
+
+def _decode_context(
+    qb: np.ndarray,
+    layer_kv,
+    pos: np.ndarray,
+    n_rep: int,
+    alibi: AlibiBias | None,
+) -> np.ndarray:
+    """One sequence's single-pass decode attention (the legacy kernel).
+
+    Extracted verbatim from the :func:`decode_attention_batch` loop body
+    so the shared-group path can fall back to it per sequence — the op
+    sequence is unchanged and the result stays bit-identical to the
+    pre-ChunkAttention path.
+    """
+    k_positions = layer_kv.positions
+    scores = grouped_scores(qb, layer_kv.keys, n_rep)
+    if alibi is not None:
+        scores = scores + alibi.bias(pos, k_positions)
+    if not _mask_free(layer_kv, k_positions, pos[0]):
+        allowed = causal_position_mask(pos, k_positions)
+        scores = np.where(allowed[None, :, :], scores, _NEG_INF)
+    if scores.dtype != DTYPE:
+        scores = scores.astype(DTYPE)
+    weights = softmax(scores)
+    return merge_heads(grouped_context(weights, layer_kv.values, n_rep))
+
+
 def decode_attention_batch(
     x: np.ndarray,
     *,
@@ -124,6 +289,7 @@ def decode_attention_batch(
     layer_kvs: list[LayerKV],
     rope: RotaryEmbedding | None = None,
     alibi: AlibiBias | None = None,
+    shared_groups: list[tuple[list[int], int]] | None = None,
 ) -> np.ndarray:
     """One attention layer for a batched single-token decode step.
 
@@ -140,6 +306,16 @@ def decode_attention_batch(
     per sequence because each sequence attends over its own cache —
     mirroring the single path's decode fast-path exactly, including the
     mask skip when the query position is at or after every cached key.
+
+    ``shared_groups`` is the ChunkAttention grouping: ``(members,
+    shared_len)`` entries where ``members`` indexes sequences whose
+    caches were forked from one pre-spliced base and whose first
+    ``shared_len`` mirror tokens are therefore one logical (and, modulo
+    private-mirror seeds, one physical) KV prefix. Grouped sequences take
+    the two-phase path — :func:`chunk_phase` over the shared prefix once
+    per group, a private-suffix phase each, :func:`merge_online_softmax`
+    to combine — and fall back to the single-pass kernel whenever the
+    causal mask would be non-trivial (never during ordinary decode).
     """
     q = linear(x, wq, bq)
     k = linear(x, wk, bk)
@@ -158,22 +334,73 @@ def decode_attention_batch(
         qh = rope.apply_stacked(qh, position_ids)
         kh = rope.apply_stacked(kh, position_ids)
 
-    contexts = []
+    grouped: set[int] = set()
+    group_plan: list[tuple[list[int], int]] = []
+    if shared_groups:
+        for members, shared_len in shared_groups:
+            members = [b for b in members if 0 <= b < batch]
+            if members and shared_len > 0:
+                group_plan.append((members, shared_len))
+                grouped.update(members)
+
+    contexts: list[np.ndarray | None] = [None] * batch
     for b, layer_kv in enumerate(layer_kvs):
         pos = position_ids[b]
-        qb, kb, vb = qh[b], kh[b], vh[b]
-        layer_kv.append(kb, vb, pos)
-        k_positions = layer_kv.positions
-        scores = grouped_scores(qb, layer_kv.keys, n_rep)
+        layer_kv.append(kh[b], vh[b], pos)
+        if b not in grouped:
+            contexts[b] = _decode_context(qh[b], layer_kv, pos, n_rep, alibi)
+
+    for members, shared_len in group_plan:
+        # Two-phase members must be mask-free over their whole cache (the
+        # ordinary decode state: the new token's position is at or after
+        # every cached key); anything unusual takes the single-pass path.
+        ready = []
+        for b in members:
+            layer_kv = layer_kvs[b]
+            if len(layer_kv) > shared_len and _mask_free(
+                layer_kv, layer_kv.positions, position_ids[b][0]
+            ):
+                ready.append(b)
+            else:
+                contexts[b] = _decode_context(
+                    qh[b], layer_kv, position_ids[b], n_rep, alibi
+                )
+        if not ready:
+            continue
+        # Chunk phase: every ready member's query over the shared prefix,
+        # streamed from one representative's mirror (all members' first
+        # shared_len tokens are the same spliced base image).
+        rep = layer_kvs[ready[0]]
+        shared_k = rep.keys[:, :shared_len]
+        shared_v = rep.values[:, :shared_len]
+        bias_stack = None
         if alibi is not None:
-            scores = scores + alibi.bias(pos, k_positions)
-        if not _mask_free(layer_kv, k_positions, pos[0]):
-            allowed = causal_position_mask(pos, k_positions)
-            scores = np.where(allowed[None, :, :], scores, _NEG_INF)
-        if scores.dtype != DTYPE:
-            scores = scores.astype(DTYPE)
-        weights = softmax(scores)
-        contexts.append(merge_heads(grouped_context(weights, layer_kv.values, n_rep)))
+            shared_pos = rep.positions[:shared_len]
+            bias_stack = np.stack(
+                [alibi.bias(position_ids[b], shared_pos) for b in ready]
+            )
+        shared_part = chunk_phase(
+            qh[ready], shared_k, shared_v, n_rep, bias=bias_stack
+        )
+        # Per-sequence phase over each private suffix, then the merge.
+        for g, b in enumerate(ready):
+            layer_kv = layer_kvs[b]
+            pos = position_ids[b]
+            tail_bias = (
+                alibi.bias(pos, layer_kv.positions[shared_len:])
+                if alibi is not None
+                else None
+            )
+            tail_part = chunk_phase(
+                qh[b],
+                layer_kv.keys[:, shared_len:],
+                layer_kv.values[:, shared_len:],
+                n_rep,
+                bias=tail_bias,
+            )
+            contexts[b] = merge_heads(
+                merge_online_softmax(shared_part[g], tail_part)
+            )
 
     return linear(np.stack(contexts), wo, bo)
 

@@ -168,6 +168,7 @@ class TransformerModel:
         token_ids: np.ndarray,
         position_ids: np.ndarray,
         caches: list[KVCache],
+        shared_groups: list[tuple[list[int], int]] | None = None,
     ) -> np.ndarray:
         """One decode step for B independent sequences at once.
 
@@ -176,6 +177,13 @@ class TransformerModel:
         (plain or paged), each of which is appended to exactly as a
         single-sequence :meth:`forward` call would. Returns logits of
         shape (B, vocab).
+
+        ``shared_groups`` opts grouped sequences into the two-phase
+        shared-prefix attention path (see
+        :func:`repro.llm.attention.chunk_phase`): each ``(members,
+        shared_len)`` entry names cache indices forked from one spliced
+        base whose first ``shared_len`` tokens are a common KV prefix,
+        computed once per group per layer instead of once per sequence.
 
         The hidden state is kept as (B, 1, d_model) throughout: norms
         and MLPs are elementwise/last-axis ops, and every projection is
@@ -212,6 +220,7 @@ class TransformerModel:
                 layer_kvs=[cache.layers[i] for cache in caches],
                 rope=self.rope,
                 alibi=self.alibi,
+                shared_groups=shared_groups,
             )
             if cfg.parallel_block:
                 hidden = hidden + attn_out + self._mlp(normed, i)

@@ -102,6 +102,13 @@ class ServeOptions:
     mode: str = "auto"  # "auto" | "continuous" | "whole_request"
     max_inflight: int = 8  # continuous: concurrent decoding sequences
     prefill_chunk_tokens: int = 256  # continuous: prefill budget per iteration
+    # ChunkAttention two-phase decode over shared spliced prefixes.
+    # "auto" engages when >= 2 in-flight sequences were forked from the
+    # same pre-spliced base and share at least AUTO_MIN_SHARED_TOKENS of
+    # KV; "on" forces the two-phase path for every eligible stream;
+    # "off" keeps the single-pass per-sequence kernel (the byte-level
+    # reference the identity tests compare against).
+    shared_attention: str = "auto"  # "auto" | "on" | "off"
     # Continuous: iterations run per executor dispatch while the queue is
     # empty. With nothing to admit or expire, returning to the loop every
     # token only buys executor round trips; a burst runs several
@@ -159,6 +166,7 @@ class LiveServer:
         self._queue_labels: set[str] = set()
         self._last_done_at: float | None = None
         self._decode_rate_ewma = 0.0
+        self._flops_saved_total = 0  # ChunkAttention savings accumulator
         self._wire_store_metrics()
 
     def _resolve_mode(self) -> bool:
@@ -195,6 +203,7 @@ class LiveServer:
                 self.pc,
                 max_inflight=self.options.max_inflight,
                 prefill_chunk_tokens=self.options.prefill_chunk_tokens,
+                shared_attention=self.options.shared_attention,
                 clock=self.clock,
                 maintenance=self._store_maintenance,
             )
@@ -594,6 +603,29 @@ class LiveServer:
                 "sequences in each batched decode step",
                 buckets=BATCH_SIZE_BUCKETS,
             ).observe(outcome.decode_batch)
+        if outcome.shared_group_sizes:
+            group_size = self.metrics.histogram(
+                "decode_shared_group_size",
+                "sequences per shared-prefix attention group (two-phase path)",
+                buckets=BATCH_SIZE_BUCKETS,
+            )
+            for size in outcome.shared_group_sizes:
+                group_size.observe(size)
+            self.metrics.counter(
+                "decode_shared_kv_tokens_total",
+                "KV tokens streamed once per shared chunk in two-phase decode",
+            ).inc(outcome.shared_kv_tokens)
+            self.metrics.counter(
+                "decode_private_kv_tokens_total",
+                "KV tokens streamed per sequence (private suffixes and "
+                "ungrouped caches) in batched decode",
+            ).inc(outcome.private_kv_tokens)
+            self._flops_saved_total += outcome.flops_saved
+            self.metrics.gauge(
+                "decode_flops_saved_total",
+                "cumulative effective attention FLOPs saved by shared-prefix "
+                "(ChunkAttention) grouping",
+            ).set(self._flops_saved_total)
         if outcome.elapsed_s > 0:
             alpha = self.options.service_time_alpha
             rate = len(outcome.emitted) / outcome.elapsed_s

@@ -24,6 +24,19 @@ that hot loop around *iterations* (vLLM-style):
    over the per-sequence ``PagedLayerKV`` leases, bit-identical to the
    sequential forwards (see :mod:`repro.llm.attention`).
 
+Before the batched forward, sequences are grouped by the pre-spliced
+base their paged cache was forked from (``ServeStream.shared_group``):
+members of one group decode over the *same* shared KV prefix, so the
+forward can run ChunkAttention's two-phase path — chunk-first attention
+over the shared prefix once per group, per-sequence attention over each
+private suffix, merged with the online softmax
+(:func:`repro.llm.attention.chunk_phase`). ``shared_attention`` selects
+the policy: ``"off"`` never groups (the byte-reference path), ``"on"``
+groups every eligible stream, ``"auto"`` (default) engages only when a
+group has at least two members sharing at least
+``AUTO_MIN_SHARED_TOKENS`` KV tokens — below that the two-phase
+bookkeeping costs more than the shared stream saves.
+
 The scheduler is synchronous and single-threaded by design: the runtime
 calls :meth:`iterate` from one worker (usually on the serving executor
 thread, the engine being the serial resource) and applies the returned
@@ -39,7 +52,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.llm.flops import shared_decode_flops_saved
 from repro.server.request import LiveRequest
+
+# "auto" engages the two-phase path only for shared prefixes of at least
+# one page worth of tokens: shorter chunks save less KV streaming than
+# the extra exp/merge passes cost.
+AUTO_MIN_SHARED_TOKENS = 16
+
+_SHARED_ATTENTION_MODES = ("auto", "on", "off")
 
 
 @dataclass
@@ -72,6 +93,15 @@ class IterationOutcome:
     decode_batch: int = 0  # sequences in this iteration's batched forward
     active_after: int = 0
     elapsed_s: float = 0.0
+    # ChunkAttention share-factor picture for this iteration's forward:
+    # sizes of the groups that took the two-phase path, KV tokens
+    # streamed once per shared chunk vs per private suffix, and the
+    # effective attention FLOPs the sharing saved (see
+    # repro.llm.flops.shared_decode_flops_saved).
+    shared_group_sizes: list[int] = field(default_factory=list)
+    shared_kv_tokens: int = 0
+    private_kv_tokens: int = 0
+    flops_saved: int = 0
 
 
 class ContinuousScheduler:
@@ -83,6 +113,7 @@ class ContinuousScheduler:
         *,
         max_inflight: int = 8,
         prefill_chunk_tokens: int = 256,
+        shared_attention: str = "auto",
         clock=time.monotonic,
         maintenance=None,
     ) -> None:
@@ -90,9 +121,14 @@ class ContinuousScheduler:
             raise ValueError("max_inflight must be >= 1")
         if prefill_chunk_tokens < 1:
             raise ValueError("prefill_chunk_tokens must be >= 1")
+        if shared_attention not in _SHARED_ATTENTION_MODES:
+            raise ValueError(
+                f"shared_attention must be one of {_SHARED_ATTENTION_MODES}"
+            )
         self.pc = pc
         self.max_inflight = max_inflight
         self.prefill_chunk_tokens = prefill_chunk_tokens
+        self.shared_attention = shared_attention
         self.clock = clock
         # Optional idle-work hook (fabric TTL sweep + prefetch). Called
         # at the end of an iteration only when the iteration had spare
@@ -189,13 +225,22 @@ class ContinuousScheduler:
         # sequence whose sampled token still needs its forward.
         forward = [seq for seq in self._inflight if seq.stream.decoding]
         if forward:
+            shared_groups = self._plan_shared_groups(forward, outcome)
             forward_s = -time.perf_counter()
             try:
-                logits = self.pc.model.forward_decode_batch(
-                    np.asarray([seq.stream.output_ids[-1] for seq in forward]),
-                    np.asarray([seq.stream.decode_position for seq in forward]),
-                    [seq.stream.cache for seq in forward],
-                )
+                if shared_groups:
+                    logits = self.pc.model.forward_decode_batch(
+                        np.asarray([seq.stream.output_ids[-1] for seq in forward]),
+                        np.asarray([seq.stream.decode_position for seq in forward]),
+                        [seq.stream.cache for seq in forward],
+                        shared_groups=shared_groups,
+                    )
+                else:
+                    logits = self.pc.model.forward_decode_batch(
+                        np.asarray([seq.stream.output_ids[-1] for seq in forward]),
+                        np.asarray([seq.stream.decode_position for seq in forward]),
+                        [seq.stream.cache for seq in forward],
+                    )
             except Exception as exc:
                 # A poisoned batched step: there is no per-sequence
                 # attribution, so fail every participant (mirrors the
@@ -223,6 +268,62 @@ class ContinuousScheduler:
         return outcome
 
     # -- helpers -----------------------------------------------------------------
+
+    def _plan_shared_groups(
+        self, forward: list[_InFlight], outcome: IterationOutcome
+    ) -> list[tuple[list[int], int]] | None:
+        """Group this iteration's decoding sequences by the pre-spliced
+        base their caches were forked from. Two streams holding the same
+        ``shared_group`` object (the engine's ``_SplicedBase``) decode
+        over byte-identical copies of that base's first ``shared_len``
+        mirror tokens, so their shared-prefix attention can run once.
+        Returns ``(member indices into forward, shared_len)`` per group
+        taking the two-phase path, or ``None`` when it is disabled,
+        nothing qualifies, or the policy says it would not pay off."""
+        if self.shared_attention == "off":
+            return None
+        buckets: dict[int, tuple[int, list[int]]] = {}
+        for i, seq in enumerate(forward):
+            base = getattr(seq.stream, "shared_group", None)
+            length = getattr(seq.stream, "shared_len", 0)
+            if base is None or length <= 0:
+                continue
+            buckets.setdefault(id(base), (length, []))[1].append(i)
+        plan: list[tuple[list[int], int]] = []
+        for length, members in buckets.values():
+            if self.shared_attention == "auto" and (
+                len(members) < 2 or length < AUTO_MIN_SHARED_TOKENS
+            ):
+                continue
+            plan.append((members, length))
+        if not plan:
+            return None
+
+        # Share-factor observability: KV tokens streamed once per shared
+        # chunk vs per private suffix (lengths counted *after* this
+        # step's append — each sequence attends over cache + 1 token),
+        # and the effective attention FLOPs the grouping saves.
+        grouped: set[int] = set()
+        config = getattr(getattr(self.pc, "model", None), "config", None)
+        for members, length in plan:
+            grouped.update(members)
+            outcome.shared_group_sizes.append(len(members))
+            outcome.shared_kv_tokens += length
+            if config is not None:
+                outcome.flops_saved += shared_decode_flops_saved(
+                    config, length, len(members)
+                )
+        for i, seq in enumerate(forward):
+            cache = getattr(seq.stream, "cache", None)
+            try:
+                total = len(cache) + 1
+            except TypeError:
+                continue
+            shared = (
+                getattr(seq.stream, "shared_len", 0) if i in grouped else 0
+            )
+            outcome.private_kv_tokens += max(total - shared, 0)
+        return plan
 
     def _open(self, request: LiveRequest):
         if request.raw:

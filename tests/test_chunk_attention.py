@@ -1,0 +1,416 @@
+"""Two-phase shared-prefix batched attention (ChunkAttention).
+
+Three layers of coverage for the shared-prefix decode path:
+
+- Kernel properties: splitting a KV range at arbitrary chunk boundaries
+  and recombining with :func:`merge_online_softmax` reproduces
+  single-pass softmax attention against a float64 reference to tight
+  tolerance — across GQA head groupings, additive (ALiBi-style) biases,
+  empty chunks, and the stacked group axis, whose per-member slices are
+  bit-identical to separate calls.
+- Scheduler policy: how ``shared_attention`` "off"/"on"/"auto" turn
+  stream-level grouping keys into a two-phase plan, including the auto
+  thresholds and safety around duck-typed streams that know nothing of
+  sharing.
+- Serving contract: greedy decode through the continuous scheduler with
+  the two-phase path engaged is byte-identical to the legacy single-pass
+  path across all four positional families, and the share-factor metrics
+  reach the Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.engine import PromptCache
+from repro.llm.attention import ChunkPartial, chunk_phase, merge_online_softmax
+from repro.pml.chat import PLAIN_TEMPLATE
+from repro.server import ContinuousScheduler, LiveServer, ServeOptions
+from repro.server.request import LiveRequest
+from repro.server.scheduler import AUTO_MIN_SHARED_TOKENS, IterationOutcome
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# -- kernel properties -----------------------------------------------------------
+
+
+def dense_reference(q, k, v, n_rep, bias=None):
+    """Single-pass softmax attention in float64 — the ground truth any
+    chunking of the KV range must reproduce. Uses the kernel's own
+    float32 scale so only the chunked reassociation is under test."""
+    kk = np.repeat(k, n_rep, axis=-3).astype(np.float64)
+    vv = np.repeat(v, n_rep, axis=-3).astype(np.float64)
+    scores = q.astype(np.float64) @ np.swapaxes(kk, -2, -1)
+    scores /= np.sqrt(np.float32(q.shape[-1]))
+    if bias is not None:
+        scores = scores + bias.astype(np.float64)
+    weights = np.exp(scores - scores.max(axis=-1, keepdims=True))
+    weights /= weights.sum(axis=-1, keepdims=True)
+    return weights @ vv
+
+
+def chunked(q, k, v, n_rep, bounds, bias=None):
+    """Run chunk_phase per ``bounds`` interval and merge."""
+    partials = [
+        chunk_phase(
+            q,
+            k[:, a:b],
+            v[:, a:b],
+            n_rep,
+            bias=None if bias is None else bias[..., a:b],
+        )
+        for a, b in zip(bounds, bounds[1:])
+    ]
+    return merge_online_softmax(*partials)
+
+
+class TestMergeOnlineSoftmax:
+    @given(
+        seed=st.integers(0, 2**16),
+        n_kv=st.integers(1, 3),
+        n_rep=st.sampled_from([1, 2, 4]),
+        head_dim=st.sampled_from([4, 8]),
+        tq=st.integers(1, 3),
+        tk=st.integers(1, 24),
+        cuts=st.lists(st.integers(0, 24), max_size=4),
+        q_scale=st.sampled_from([1.0, 8.0]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_arbitrary_splits_match_single_pass(
+        self, seed, n_kv, n_rep, head_dim, tq, tk, cuts, q_scale
+    ):
+        """The online-softmax identity, the kernel's whole correctness
+        argument: any chunking of the keys — including empty chunks from
+        duplicate or boundary cuts, GQA foldings, and large score
+        magnitudes exercising the running-max shift — merges back to the
+        single-pass result."""
+        rng = np.random.default_rng(seed)
+        q = rng.normal(size=(n_kv * n_rep, tq, head_dim)).astype(np.float32)
+        q *= np.float32(q_scale)
+        k = rng.normal(size=(n_kv, tk, head_dim)).astype(np.float32)
+        v = rng.normal(size=(n_kv, tk, head_dim)).astype(np.float32)
+        bounds = [0, *sorted(min(c, tk) for c in cuts), tk]
+        merged = chunked(q, k, v, n_rep, bounds)
+        np.testing.assert_allclose(
+            merged, dense_reference(q, k, v, n_rep), rtol=1e-4, atol=1e-5
+        )
+
+    @given(seed=st.integers(0, 2**16), split=st.integers(0, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_bias_splits_with_the_chunks(self, seed, split):
+        """An additive bias (ALiBi) sliced per chunk is equivalent to
+        biasing the single pass — the shared/private phases each see
+        only their own key columns' bias."""
+        rng = np.random.default_rng(seed)
+        heads, tq, tk, hd = 4, 1, 12, 8
+        q = rng.normal(size=(heads, tq, hd)).astype(np.float32)
+        k = rng.normal(size=(heads, tk, hd)).astype(np.float32)
+        v = rng.normal(size=(heads, tk, hd)).astype(np.float32)
+        bias = rng.normal(size=(heads, tq, tk)).astype(np.float32)
+        merged = chunked(q, k, v, 1, [0, split, tk], bias=bias)
+        np.testing.assert_allclose(
+            merged,
+            dense_reference(q, k, v, 1, bias=bias),
+            rtol=1e-4,
+            atol=1e-5,
+        )
+
+    def test_stacked_slices_match_per_member_calls(self):
+        """The group stacking trick: one chunk_phase over a (S, ...)
+        query stack yields, per member, bit-identical partials to S
+        separate calls — NumPy iterates leading matmul axes slice by
+        slice, so stacking changes dispatch count, not arithmetic."""
+        rng = np.random.default_rng(3)
+        stack, n_kv, n_rep, tq, hd, tk = 5, 2, 2, 1, 8, 17
+        q_stack = rng.normal(size=(stack, n_kv * n_rep, tq, hd)).astype(np.float32)
+        k = rng.normal(size=(n_kv, tk, hd)).astype(np.float32)
+        v = rng.normal(size=(n_kv, tk, hd)).astype(np.float32)
+        stacked = chunk_phase(q_stack, k, v, n_rep)
+        for s in range(stack):
+            single = chunk_phase(q_stack[s], k, v, n_rep)
+            np.testing.assert_array_equal(stacked[s].m, single.m)
+            np.testing.assert_array_equal(stacked[s].l, single.l)
+            np.testing.assert_array_equal(stacked[s].acc, single.acc)
+
+    def test_empty_chunk_merges_as_exact_identity(self):
+        """The neutral partial (mask-floor max, zero sums) must not
+        perturb a merge even in the last ulp."""
+        rng = np.random.default_rng(7)
+        q = rng.normal(size=(2, 1, 4)).astype(np.float32)
+        k = rng.normal(size=(2, 9, 4)).astype(np.float32)
+        v = rng.normal(size=(2, 9, 4)).astype(np.float32)
+        full = chunk_phase(q, k, v, 1)
+        empty = chunk_phase(q, k[:, :0], v[:, :0], 1)
+        np.testing.assert_array_equal(
+            merge_online_softmax(full),
+            merge_online_softmax(empty, full, empty),
+        )
+
+    def test_merge_requires_a_partial(self):
+        with pytest.raises(ValueError):
+            merge_online_softmax()
+
+    def test_partial_indexing_selects_one_member(self):
+        part = ChunkPartial(
+            m=np.arange(4.0).reshape(2, 2, 1, 1),
+            l=np.ones((2, 2, 1, 1)),
+            acc=np.zeros((2, 2, 1, 4)),
+        )
+        sliced = part[1]
+        assert sliced.m.shape == (2, 1, 1)
+        assert float(sliced.m[0, 0, 0]) == 2.0
+
+
+# -- scheduler grouping policy ---------------------------------------------------
+
+
+class _GroupedStream:
+    """Duck-typed decoding stream carrying the grouping key."""
+
+    def __init__(self, shared_group=None, shared_len=0, cache_tokens=30):
+        self.shared_group = shared_group
+        self.shared_len = shared_len
+        self.cache = [None] * cache_tokens
+
+
+class _FakeEngine:
+    model = None
+
+
+def plan(sched, streams):
+    outcome = IterationOutcome()
+    forward = [SimpleNamespace(stream=s) for s in streams]
+    return sched._plan_shared_groups(forward, outcome), outcome
+
+
+class TestSharedGroupPlanning:
+    def make(self, mode):
+        return ContinuousScheduler(_FakeEngine(), shared_attention=mode)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousScheduler(_FakeEngine(), shared_attention="maybe")
+
+    def test_off_never_plans(self):
+        base = object()
+        groups, _ = plan(
+            self.make("off"),
+            [_GroupedStream(base, 20), _GroupedStream(base, 20)],
+        )
+        assert groups is None
+
+    def test_on_groups_by_base_identity(self):
+        a, b = object(), object()
+        streams = [
+            _GroupedStream(a, 20),
+            _GroupedStream(b, 24),
+            _GroupedStream(a, 20),
+        ]
+        groups, outcome = plan(self.make("on"), streams)
+        assert sorted(groups) == [([0, 2], 20), ([1], 24)]
+        assert sorted(outcome.shared_group_sizes) == [1, 2]
+        assert outcome.shared_kv_tokens == 44
+        # Each stream attends over its 30 cached tokens + this step's
+        # append; grouped members subtract their shared chunk.
+        assert outcome.private_kv_tokens == (31 - 20) * 2 + (31 - 24)
+
+    def test_auto_needs_company_and_enough_shared_tokens(self):
+        lone, shallow, good = object(), object(), object()
+        streams = [
+            _GroupedStream(lone, 40),  # group of one: skipped
+            _GroupedStream(shallow, AUTO_MIN_SHARED_TOKENS - 1),
+            _GroupedStream(shallow, AUTO_MIN_SHARED_TOKENS - 1),
+            _GroupedStream(good, AUTO_MIN_SHARED_TOKENS),
+            _GroupedStream(good, AUTO_MIN_SHARED_TOKENS),
+        ]
+        groups, outcome = plan(self.make("auto"), streams)
+        assert groups == [([3, 4], AUTO_MIN_SHARED_TOKENS)]
+        assert outcome.shared_group_sizes == [2]
+
+    def test_streams_without_grouping_keys_plan_nothing(self):
+        """Duck-typed doubles (and non-paged streams, whose key is None)
+        must sail through: no plan, no kwarg on the forward."""
+        groups, outcome = plan(
+            self.make("on"),
+            [SimpleNamespace(), SimpleNamespace()],
+        )
+        assert groups is None
+        assert outcome.shared_group_sizes == []
+        assert outcome.private_kv_tokens == 0
+
+
+# -- serving byte-identity across families ---------------------------------------
+
+
+SCHEMA = (
+    '<schema name="trip">'
+    '<module name="plan">plan a trip lasting three days focus on food '
+    "the quick brown fox jumps over the lazy dog</module>"
+    '<module name="city">paris museums cafes architecture louvre seine'
+    "</module>"
+    "</schema>"
+)
+# Four prompts sharing one module selection — their streams fork the
+# same pre-spliced base, so they form one shared-attention group — with
+# distinct suffixes so the private phases diverge immediately.
+GROUP_PROMPTS = [
+    '<prompt schema="trip"><plan/><city/> answer the question</prompt>',
+    '<prompt schema="trip"><plan/><city/> miami beaches nightlife</prompt>',
+    '<prompt schema="trip"><plan/><city/> the capital of atlantis</prompt>',
+    '<prompt schema="trip"><plan/><city/> def main(): return</prompt>',
+]
+
+
+def make_pc(model, tok):
+    pc = PromptCache(model, tok, template=PLAIN_TEMPLATE)
+    pc.register_schema(SCHEMA)
+    return pc
+
+
+def make_request(request_id, prompt, max_new_tokens=10):
+    return LiveRequest(
+        request_id=request_id,
+        prompt=prompt,
+        schema="trip",
+        max_new_tokens=max_new_tokens,
+        submitted_at=0.0,
+    )
+
+
+def drive(pc, mode, waves, max_new_tokens=10):
+    """Run prompts through a scheduler to completion, admitting one
+    wave per iteration; returns per-request outputs plus the aggregate
+    share-factor accounting."""
+    sched = ContinuousScheduler(pc, max_inflight=8, shared_attention=mode)
+    waves = [list(w) for w in waves]
+    results = {}
+    stats = SimpleNamespace(sizes=[], shared=0, private=0, saved=0)
+    n = 0
+    while waves or sched.active:
+        pending = []
+        if waves:
+            for prompt in waves.pop(0):
+                pending.append(make_request(f"r{n}", prompt, max_new_tokens))
+                n += 1
+        outcome = sched.iterate(pending)
+        assert not outcome.requeued
+        stats.sizes.extend(outcome.shared_group_sizes)
+        stats.shared += outcome.shared_kv_tokens
+        stats.private += outcome.private_kv_tokens
+        stats.saved += outcome.flops_saved
+        for request, result, error, _at in outcome.finished:
+            assert error is None, error
+            results[request.request_id] = (tuple(result.output_ids), result.text)
+    return results, stats
+
+
+class TestServingByteIdentity:
+    def test_two_phase_outputs_identical_to_single_pass(self, any_model, tok):
+        """The acceptance contract, per positional family: decoded
+        tokens and text with the shared path forced on (and under the
+        auto policy) are byte-identical to the legacy kernel, and the
+        groups demonstrably formed."""
+        waves = [GROUP_PROMPTS]
+        off, off_stats = drive(make_pc(any_model, tok), "off", waves)
+        on, on_stats = drive(make_pc(any_model, tok), "on", waves)
+        auto, auto_stats = drive(make_pc(any_model, tok), "auto", waves)
+        assert on == off
+        assert auto == off
+        assert off_stats.sizes == []
+        assert on_stats.sizes and max(on_stats.sizes) >= 2
+        assert auto_stats.sizes and max(auto_stats.sizes) >= 2
+        assert on_stats.shared > 0
+        assert on_stats.private > 0
+        assert on_stats.saved > 0
+
+    def test_staggered_admission_still_identical(self, any_model, tok):
+        """Members joining a group mid-flight (unequal private suffix
+        lengths) must not perturb anyone's tokens."""
+        waves = [GROUP_PROMPTS[:2], [], GROUP_PROMPTS[2:]]
+        off, _ = drive(make_pc(any_model, tok), "off", waves)
+        on, on_stats = drive(make_pc(any_model, tok), "on", waves)
+        assert on == off
+        assert on_stats.sizes and max(on_stats.sizes) >= 2
+
+    def test_mixed_selections_group_separately(self, llama, tok):
+        """Streams forked from different spliced bases never share a
+        group, and their outputs still match the off path."""
+        mixed = [
+            '<prompt schema="trip"><plan/> answer the question</prompt>',
+            '<prompt schema="trip"><plan/> miami beaches</prompt>',
+            '<prompt schema="trip"><city/> the capital of atlantis</prompt>',
+            '<prompt schema="trip"><city/> def main(): return</prompt>',
+        ]
+        off, _ = drive(make_pc(llama, tok), "off", [mixed])
+        on, on_stats = drive(make_pc(llama, tok), "on", [mixed])
+        assert on == off
+        # Two bases in flight: groups of 2, never one group of 4.
+        assert on_stats.sizes and max(on_stats.sizes) == 2
+
+
+# -- metrics export --------------------------------------------------------------
+
+
+class TestShareMetrics:
+    def test_share_factor_metrics_exported(self, llama, tok):
+        """decode_shared_group_size / *_kv_tokens_total /
+        decode_flops_saved_total reach the snapshot and the Prometheus
+        exposition when groups form."""
+        pc = make_pc(llama, tok)
+        options = ServeOptions(
+            mode="continuous",
+            queue_delay_budget_s=None,
+            shared_attention="on",
+        )
+
+        async def main():
+            async with LiveServer(pc, options) as server:
+                requests = [
+                    await server.submit(p, max_new_tokens=6)
+                    for p in GROUP_PROMPTS
+                ]
+                await asyncio.gather(*(r.wait() for r in requests))
+                return server.snapshot(), server.prometheus()
+
+        snap, prom = run(main())
+        group_size = snap["histograms"]["decode_shared_group_size"]
+        assert group_size["count"] > 0
+        assert snap["counters"]["decode_shared_kv_tokens_total"] > 0
+        assert snap["counters"]["decode_private_kv_tokens_total"] > 0
+        assert snap["gauges"]["decode_flops_saved_total"] > 0
+        for name in (
+            "decode_shared_group_size",
+            "decode_shared_kv_tokens_total",
+            "decode_private_kv_tokens_total",
+            "decode_flops_saved_total",
+        ):
+            assert name in prom
+
+    def test_off_mode_exports_nothing(self, llama, tok):
+        pc = make_pc(llama, tok)
+        options = ServeOptions(
+            mode="continuous",
+            queue_delay_budget_s=None,
+            shared_attention="off",
+        )
+
+        async def main():
+            async with LiveServer(pc, options) as server:
+                requests = [
+                    await server.submit(p, max_new_tokens=4)
+                    for p in GROUP_PROMPTS[:2]
+                ]
+                await asyncio.gather(*(r.wait() for r in requests))
+                return server.snapshot()
+
+        snap = run(main())
+        assert "decode_shared_group_size" not in snap["histograms"]
+        assert "decode_shared_kv_tokens_total" not in snap["counters"]
